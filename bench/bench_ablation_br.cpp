@@ -1,0 +1,77 @@
+// Ablation bench: the BR PUF model's nonlinearity knob.
+//
+// DESIGN.md's central substitution claim is that the interaction-term
+// variance share `nonlinear_share` is the single parameter driving both
+// Table II (best-LTF accuracy plateau) and Table III (halfspace-tester
+// distance). This bench sweeps the knob and prints all derived quantities,
+// so the calibration chosen in BistableRingConfig::paper_instance can be
+// audited — and so downstream users can dial in their own BR corpus.
+#include <iostream>
+
+#include "boolfn/fourier.hpp"
+#include "boolfn/truth_table.hpp"
+#include "ml/chow.hpp"
+#include "ml/halfspace_tester.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/crp.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pitfalls;
+  using boolfn::FourierSpectrum;
+  using boolfn::TruthTable;
+  using puf::BistableRingConfig;
+  using puf::BistableRingPuf;
+  using puf::CrpSet;
+  using support::Rng;
+  using support::Table;
+
+  std::cout << "== BR PUF ablation: nonlinear share -> spectrum, tester, "
+               "best-LTF accuracy ==\n(n = 14 so the spectrum is exact; "
+               "3 instances per row)\n\n";
+
+  Table table({"nonlinear share", "W1 (degree-0/1 weight)",
+               "tester gap [%]", "best Chow-LTF accuracy [%]",
+               "noise sensitivity @0.05"});
+
+  for (const double share : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7}) {
+    double w1 = 0.0;
+    double gap = 0.0;
+    double acc = 0.0;
+    double ns = 0.0;
+    const std::size_t repeats = 3;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      Rng rng(100 * rep + 3);
+      BistableRingConfig cfg;
+      cfg.bits = 14;
+      cfg.nonlinear_share = share;
+      const BistableRingPuf br(cfg, rng);
+      const TruthTable tt = TruthTable::from_function(br);
+      const auto spec = FourierSpectrum::of(tt);
+      w1 += spec.weight_up_to_degree(1);
+      ns += spec.noise_sensitivity(0.05);
+
+      Rng test_rng(200 * rep + 5);
+      const auto report = ml::HalfspaceTester(0.1).test(br, 40000, test_rng);
+      gap += report.gap;
+
+      const auto chow = ml::exact_chow(tt);
+      const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
+      acc += 1.0 - tt.distance(TruthTable::from_function(f_prime));
+    }
+    table.add_row({Table::fmt(share, 2), Table::fmt(w1 / repeats, 3),
+                   Table::fmt(100.0 * gap / repeats, 1),
+                   Table::fmt(100.0 * acc / repeats, 1),
+                   Table::fmt(ns / repeats, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading guide: the tester gap tracks the share almost linearly\n"
+      << "(gap ~ share, the calibration identity used for Table III), while\n"
+      << "best-LTF accuracy decays much more slowly — witnessing that the\n"
+      << "tester's statistic is a conservative distance estimate and that\n"
+      << "Tables II and III are consistent with each other.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Ablation bench: learner variants used in the table reproductions.
+//
+//   A. Perceptron raw vs averaged vs margin — Table II's plateau must be a
+//      property of the problem, not the Perceptron flavour.
+//   B. Chow reconstruction with 0/2/8 correction rounds — the De et al.
+//      refinement matters for true LTFs, not for BR PUFs (you cannot
+//      correct your way out of a wrong concept class).
+//   C. LMN degree cutoff — the accuracy/sample tradeoff behind choosing m.
+#include <iostream>
+
+#include "boolfn/truth_table.hpp"
+#include "ml/chow.hpp"
+#include "ml/features.hpp"
+#include "ml/lmn.hpp"
+#include "ml/perceptron.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/crp.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using boolfn::TruthTable;
+using puf::BistableRingConfig;
+using puf::BistableRingPuf;
+using puf::CrpSet;
+using support::Rng;
+using support::Table;
+
+}  // namespace
+
+int main() {
+  std::cout << "== Learner ablations ==\n\n";
+
+  // ------------------------------------------------------- A. Perceptron
+  {
+    Rng rng(1);
+    const BistableRingPuf br(BistableRingConfig::paper_instance(16), rng);
+    Rng collect(2);
+    const CrpSet crps = CrpSet::collect_stable(br, 8000, 11, collect);
+    const CrpSet test = CrpSet::collect_stable(br, 8000, 11, collect);
+    const auto chow = ml::estimate_chow(crps.challenges(), crps.responses());
+    const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
+    const CrpSet train = crps.relabel(f_prime);
+
+    Table table({"Perceptron variant", "test accuracy vs BR PUF [%]"});
+    struct Variant {
+      std::string name;
+      ml::PerceptronConfig config;
+    };
+    const Variant variants[] = {
+        {"raw", {.max_epochs = 48}},
+        {"averaged", {.max_epochs = 48, .averaged = true}},
+        {"margin 0.5", {.max_epochs = 48, .averaged = false, .margin = 0.5}},
+        {"averaged + margin", {.max_epochs = 48, .averaged = true, .margin = 0.5}},
+    };
+    for (const auto& variant : variants) {
+      Rng train_rng(3);
+      const ml::LinearModel model =
+          ml::Perceptron(variant.config)
+              .fit_model(train.challenges(), train.responses(),
+                         ml::pm_with_bias, train_rng);
+      table.add_row({variant.name,
+                     Table::fmt(100.0 * test.accuracy_of(model), 2)});
+    }
+    table.print(std::cout,
+                "-- A: Table II plateau is robust to the Perceptron flavour "
+                "(n=16 BR PUF) --");
+    std::cout << "\n";
+  }
+
+  // ------------------------------------------------------------- B. Chow
+  {
+    Table table({"target", "correction rounds", "accuracy [%]"});
+    for (const bool br_target : {false, true}) {
+      Rng rng(4);
+      BistableRingConfig cfg;
+      cfg.bits = 14;
+      cfg.nonlinear_share = br_target ? 0.4 : 0.0;  // 0.0 = true LTF
+      const BistableRingPuf target(cfg, rng);
+      Rng collect(5);
+      const CrpSet crps = CrpSet::collect_uniform(target, 4000, collect);
+      const CrpSet test = CrpSet::collect_uniform(target, 8000, collect);
+      const auto chow = ml::estimate_chow(crps.challenges(), crps.responses());
+      for (const std::size_t rounds : {0u, 2u, 8u}) {
+        const boolfn::Ltf f_prime = ml::reconstruct_ltf(
+            chow, {.correction_rounds = rounds, .step = 0.5},
+            crps.challenges());
+        table.add_row({br_target ? "BR PUF (share 0.4)" : "true LTF",
+                       std::to_string(rounds),
+                       Table::fmt(100.0 * test.accuracy_of(f_prime), 2)});
+      }
+    }
+    table.print(std::cout,
+                "-- B: Chow-matching correction helps true LTFs, cannot fix "
+                "a wrong concept class --");
+    std::cout << "\n";
+  }
+
+  // -------------------------------------------------------------- C. LMN
+  {
+    Rng rng(6);
+    const puf::XorArbiterPuf puf =
+        puf::XorArbiterPuf::independent(12, 2, 0.0, rng);
+    const auto target = puf.feature_space_view();
+    const TruthTable tt = TruthTable::from_function(target);
+
+    Table table({"LMN degree m", "#coefficients", "samples",
+                 "accuracy [%]"});
+    for (const std::size_t degree : {1u, 2u, 3u, 4u}) {
+      const ml::LmnLearner learner({.degree = degree, .prune_below = 0.0});
+      for (const std::size_t samples : {2000u, 20000u}) {
+        Rng learn(7);
+        const auto h = learner.learn(target, samples, learn);
+        table.add_row(
+            {std::to_string(degree),
+             std::to_string(learner.num_coefficients(12)),
+             std::to_string(samples),
+             Table::fmt(100.0 * (1.0 -
+                                 TruthTable::from_function(h).distance(tt)),
+                        1)});
+      }
+    }
+    table.print(std::cout,
+                "-- C: LMN degree cutoff vs samples (2-XOR PUF, n=12) --");
+  }
+
+  std::cout
+      << "\nTakeaways: (A) no Perceptron flavour escapes the plateau;\n"
+      << "(B) correction rounds refine LTF fits but cannot repair the\n"
+      << "BR-as-LTF representation error; (C) raising the LMN degree only\n"
+      << "pays once the sample budget supports the larger coefficient set —\n"
+      << "the concrete face of the n^{O(m)} sample bound.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// The Corollary 1 pipeline as a designer's tool: probe a black-box
+// primitive's noise sensitivity, derive the implied LMN degree cutoff and
+// sample bound, and judge feasibility at a CRP budget — for a zoo of
+// primitives of graded hardness.
+#include <cmath>
+#include <iostream>
+
+#include "core/feasibility.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pitfalls;
+  using support::BitVec;
+  using support::Rng;
+  using support::Table;
+
+  std::cout << "== Black-box LMN feasibility estimates (Corollary 1 as a "
+               "measurement) ==\n"
+            << "(budget 10^6 uniform CRPs, attack eps = 0.45)\n\n";
+
+  Rng instance_rng(1);
+  const std::size_t n = 24;
+
+  struct Probe {
+    std::string name;
+    const boolfn::BooleanFunction* fn;
+  };
+
+  const auto x1 = puf::XorArbiterPuf::independent(n, 1, 0.0, instance_rng);
+  const auto x2 = puf::XorArbiterPuf::independent(n, 2, 0.0, instance_rng);
+  const auto x4 = puf::XorArbiterPuf::independent(n, 4, 0.0, instance_rng);
+  const auto x8c = puf::XorArbiterPuf::correlated(n, 8, 0.95, 0.0, instance_rng);
+  const auto v1 = x1.feature_space_view();
+  const auto v2 = x2.feature_space_view();
+  const auto v4 = x4.feature_space_view();
+  const auto v8c = x8c.feature_space_view();
+  const puf::BistableRingPuf br(puf::BistableRingConfig::paper_instance(16),
+                                instance_rng);
+  const boolfn::FunctionView parity(
+      n, [](const BitVec& x) { return x.parity() ? -1 : +1; }, "parity");
+
+  const Probe probes[] = {
+      {"arbiter chain (k=1)", &v1},
+      {"2-XOR arbiter", &v2},
+      {"4-XOR arbiter", &v4},
+      {"8-XOR correlated (rho=0.95)", &v8c},
+      {"BR PUF (n=16)", &br},
+      {"parity (worst case)", &parity},
+  };
+
+  Table table({"primitive", "NS @0.05", "effective k", "degree cutoff m",
+               "LMN sample bound", "feasible @1e6?"});
+  for (const auto& probe : probes) {
+    Rng rng(7);
+    // Corollary 1's constants are brutal at tight eps; probe at the loose
+    // end (eps = 0.45, i.e. "noticeably better than guessing") where the
+    // feasibility frontier actually separates the primitives.
+    core::LmnFeasibilityConfig config;
+    config.attack_eps = 0.45;
+    const auto report =
+        core::estimate_lmn_feasibility(*probe.fn, 1000000, rng, config);
+    double ns05 = 0.0;
+    for (const auto& [eps, ns] : report.noise_sensitivity)
+      if (std::abs(eps - 0.05) < 1e-9) ns05 = ns;
+    table.add_row({probe.name, Table::fmt(ns05, 3),
+                   Table::fmt(report.effective_k, 2),
+                   Table::fmt(report.degree_cutoff, 1),
+                   Table::fmt_or_inf(report.sample_bound, 0),
+                   report.feasible_at_budget ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading guide: effective k (the KOS constant NS/sqrt(eps))\n"
+      << "orders the primitives exactly as Corollary 1 predicts — low for\n"
+      << "single chains and correlated XORs (attackable), growing with\n"
+      << "independent chains, unbounded for parity. A designer can run\n"
+      << "this probe against ANY black-box primitive before trusting an\n"
+      << "LTF/low-degree hardness argument.\n";
+  return 0;
+}

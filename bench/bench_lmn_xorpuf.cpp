@@ -1,0 +1,94 @@
+// Demo III-A / V-B: the LMN algorithm against XOR Arbiter PUFs.
+//
+// Reproduces the paper's in-text claims around Corollary 1:
+//   1. With independent chains, LMN accuracy collapses as k grows (the
+//      n^{O(k^2/eps^2)} sample demand) — "if k >> sqrt(ln n), applying this
+//      algorithm becomes infeasible".
+//   2. With intentionally *correlated* chains (the RocknRoll construction
+//      of [17]), XOR Arbiter PUFs with k >> ln n are still learned to a
+//      reasonable accuracy (~75% in the paper) — resolving the apparent
+//      contradiction with [9] via the distribution/algorithm axes.
+// All learning happens in the paper's feature-space coordinates, where
+// each chain is an LTF.
+#include <iostream>
+
+#include "boolfn/truth_table.hpp"
+#include "ml/lmn.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using boolfn::TruthTable;
+using puf::XorArbiterPuf;
+using support::Rng;
+using support::Table;
+
+double lmn_accuracy(const XorArbiterPuf& puf, std::size_t degree,
+                    std::size_t samples, Rng& rng) {
+  const auto target = puf.feature_space_view();
+  const ml::LmnLearner learner({.degree = degree, .prune_below = 0.0});
+  const auto h = learner.learn(target, samples, rng);
+  return 1.0 - TruthTable::from_function(h).distance(
+                   TruthTable::from_function(target));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== LMN (low-degree) algorithm vs XOR Arbiter PUFs ==\n\n";
+
+  const std::size_t n = 14;
+  const std::size_t samples = 30000;
+  const std::size_t repeats = 3;
+
+  {
+    Table table({"k (independent chains)", "LMN degree", "samples",
+                 "accuracy [%]"});
+    for (const std::size_t k : {1u, 2u, 3u, 4u, 6u}) {
+      double total = 0.0;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        Rng rng(100 * k + rep);
+        const XorArbiterPuf puf = XorArbiterPuf::independent(n, k, 0.0, rng);
+        Rng learn(200 * k + rep);
+        total += lmn_accuracy(puf, 2, samples, learn);
+      }
+      table.add_row({std::to_string(k), "2", std::to_string(samples),
+                     Table::fmt(100.0 * total / repeats, 1)});
+    }
+    table.print(std::cout,
+                "-- independent chains (n = 14): accuracy collapses in k --");
+  }
+
+  std::cout << "\n";
+
+  {
+    Table table({"k (correlated chains, rho=0.95)", "LMN degree", "samples",
+                 "accuracy [%]"});
+    for (const std::size_t k : {4u, 6u, 8u, 12u}) {
+      double total = 0.0;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        Rng rng(300 * k + rep);
+        const XorArbiterPuf puf =
+            XorArbiterPuf::correlated(n, k, 0.95, 0.0, rng);
+        Rng learn(400 * k + rep);
+        total += lmn_accuracy(puf, 2, samples, learn);
+      }
+      table.add_row({std::to_string(k), "2", std::to_string(samples),
+                     Table::fmt(100.0 * total / repeats, 1)});
+    }
+    table.print(
+        std::cout,
+        "-- correlated chains (RocknRoll regime of [17], k >> ln n) --");
+  }
+
+  std::cout
+      << "\nPaper reference points: independent chains become infeasible\n"
+      << "for k >> sqrt(ln n); correlated chains were learned to ~75%\n"
+      << "accuracy in [17] despite k >> ln n. The two tables above live in\n"
+      << "different adversary models — exactly why the paper insists the\n"
+      << "model be stated before comparing results.\n";
+  return 0;
+}

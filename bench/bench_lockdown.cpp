@@ -1,0 +1,90 @@
+// Extension bench: the lockdown protocol ([10]) and the paper's Section III
+// warning about which bound the CRP budget is derived from.
+//
+// An eavesdropper collects authentication transcripts up to the token's CRP
+// budget and trains the standard modeling attack. We sweep the budget and
+// print model accuracy, annotated with two candidate "provably safe"
+// budgets: one derived from the Perceptron bound of [9] (exponential in k,
+// hence astronomically permissive) and one from the algorithm-independent
+// uniform bound. A budget justified by the wrong row of Table I leaks far
+// more than intended.
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "ml/features.hpp"
+#include "ml/logistic.hpp"
+#include "puf/crp.hpp"
+#include "puf/lockdown.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using puf::CrpSet;
+using support::BitVec;
+using support::Rng;
+using support::Table;
+
+double eavesdropper_accuracy(std::size_t stages, std::size_t chains,
+                             std::size_t budget, std::size_t seed) {
+  Rng rng(seed);
+  puf::LockdownConfig config;
+  config.stages = stages;
+  config.chains = chains;
+  config.crp_budget = budget;
+  puf::LockdownToken token(config, rng);
+  Rng proto(seed + 1);
+
+  CrpSet transcripts;
+  for (std::size_t round = 0; round < budget; ++round) {
+    BitVec nonce(stages / 2);
+    for (std::size_t i = 0; i < nonce.size(); ++i)
+      nonce.set(i, proto.coin());
+    const auto t = token.authenticate(nonce, proto);
+    transcripts.add(t->challenge, t->response);
+  }
+
+  Rng train_rng(seed + 2);
+  const ml::LinearModel model = ml::LogisticRegression().fit_model(
+      transcripts.challenges(), transcripts.responses(),
+      ml::parity_with_bias, train_rng);
+  const CrpSet eval = CrpSet::collect_uniform(token.puf(), 4000, train_rng);
+  return eval.accuracy_of(model);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Lockdown protocol: eavesdropper model accuracy vs CRP "
+               "budget ==\n\n";
+
+  const std::size_t stages = 32;
+  const std::size_t chains = 1;  // classic single-chain modeling target
+
+  Table table({"CRP budget", "model accuracy [%] (3-instance mean)"});
+  for (const std::size_t budget : {25u, 50u, 100u, 200u, 400u, 800u, 1600u}) {
+    double total = 0.0;
+    for (std::size_t rep = 0; rep < 3; ++rep)
+      total += eavesdropper_accuracy(stages, chains, budget, 100 * rep + 7);
+    table.add_row({std::to_string(budget), Table::fmt(100.0 * total / 3, 1)});
+  }
+  table.print(std::cout);
+
+  const double bound_general = core::general_crp_bound(stages, chains, 0.05, 0.01);
+  const double bound_perceptron =
+      core::perceptron_crp_bound(stages, chains, 0.05, 0.01);
+  std::cout << "\nCandidate 'safe' budgets for this construction "
+               "(eps=0.05, delta=0.01):\n"
+            << "  algorithm-independent uniform bound : "
+            << Table::fmt_or_inf(bound_general, 0) << " CRPs\n"
+            << "  Perceptron bound of [9]             : "
+            << Table::fmt_or_inf(bound_perceptron, 0) << " CRPs\n"
+            << "\nReading guide: the empirical learner reaches ~95% with a\n"
+            << "few hundred CRPs — orders of magnitude below BOTH bounds\n"
+            << "(they are upper bounds on a sufficient number, not lower\n"
+            << "bounds on a necessary one). Lockdown budgets must therefore\n"
+            << "be set from empirical learning curves like this one, in the\n"
+            << "strongest adversary model — the paper's core prescription.\n";
+  return 0;
+}

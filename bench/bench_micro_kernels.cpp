@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the computational kernels that
+// dominate the table reproductions: the fast Walsh–Hadamard transform, PUF
+// evaluation, CDCL solving, netlist simulation, Perceptron epochs and
+// Fourier-coefficient estimation. Useful when scaling the experiments up
+// (larger n, more CRPs) to know what each knob costs.
+#include <benchmark/benchmark.h>
+
+#include "boolfn/fourier.hpp"
+#include "boolfn/truth_table.hpp"
+#include "circuit/generator.hpp"
+#include "ml/features.hpp"
+#include "ml/perceptron.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/crp.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "support/combinatorics.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using support::BitVec;
+using support::Rng;
+
+void BM_WalshHadamard(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  boolfn::TruthTable table(n);
+  for (std::uint64_t row = 0; row < table.num_rows(); ++row)
+    table.set(row, rng.coin() ? 1 : -1);
+  for (auto _ : state) {
+    auto spectrum = boolfn::FourierSpectrum::of(table);
+    benchmark::DoNotOptimize(spectrum.coefficient(0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_WalshHadamard)->DenseRange(10, 20, 2)->Complexity();
+
+void BM_XorArbiterEval(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const puf::XorArbiterPuf puf = puf::XorArbiterPuf::independent(64, k, 0.0, rng);
+  BitVec c(64);
+  for (std::size_t i = 0; i < 64; ++i) c.set(i, rng.coin());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puf.eval_pm(c));
+    c.flip(static_cast<std::size_t>(state.iterations() % 64));
+  }
+}
+BENCHMARK(BM_XorArbiterEval)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BistableRingEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const puf::BistableRingPuf puf(puf::BistableRingConfig::paper_instance(n),
+                                 rng);
+  BitVec c(n);
+  for (std::size_t i = 0; i < n; ++i) c.set(i, rng.coin());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puf.eval_pm(c));
+    c.flip(static_cast<std::size_t>(state.iterations() % n));
+  }
+}
+BENCHMARK(BM_BistableRingEval)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_NetlistEvaluate(benchmark::State& state) {
+  const auto gates = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  circuit::RandomCircuitConfig config;
+  config.inputs = 16;
+  config.gates = gates;
+  config.outputs = 4;
+  const circuit::Netlist netlist = circuit::random_circuit(config, rng);
+  BitVec in(16, 0xabcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist.evaluate(in));
+    in.flip(static_cast<std::size_t>(state.iterations() % 16));
+  }
+}
+BENCHMARK(BM_NetlistEvaluate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CdclRandom3Sat(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  const std::size_t clauses = vars * 4;  // near the threshold
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(5 + state.iterations());
+    sat::Solver solver;
+    std::vector<sat::Var> v(vars);
+    for (auto& var : v) var = solver.new_var();
+    for (std::size_t c = 0; c < clauses; ++c) {
+      std::vector<sat::Lit> lits;
+      for (int l = 0; l < 3; ++l)
+        lits.push_back(sat::Lit(v[rng.uniform_below(vars)], rng.coin()));
+      solver.add_clause(lits);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CdclRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  const auto gates = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  circuit::RandomCircuitConfig config;
+  config.inputs = 16;
+  config.gates = gates;
+  config.outputs = 4;
+  const circuit::Netlist netlist = circuit::random_circuit(config, rng);
+  for (auto _ : state) {
+    sat::Solver solver;
+    const auto enc = sat::encode_netlist(solver, netlist);
+    benchmark::DoNotOptimize(enc.output_vars.size());
+  }
+}
+BENCHMARK(BM_TseitinEncode)->Arg(100)->Arg(1000);
+
+void BM_PerceptronEpoch(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const puf::ArbiterPuf puf(64, 0.0, rng);
+  const puf::CrpSet crps = puf::CrpSet::collect_uniform(puf, samples, rng);
+  std::vector<std::vector<double>> X;
+  X.reserve(samples);
+  for (const auto& c : crps.challenges())
+    X.push_back(ml::parity_with_bias(c));
+  ml::PerceptronConfig config;
+  config.max_epochs = 1;
+  config.shuffle_each_epoch = false;
+  const ml::Perceptron learner(config);
+  for (auto _ : state) {
+    Rng train_rng(8);
+    benchmark::DoNotOptimize(learner.fit(X, crps.responses(), train_rng));
+  }
+}
+BENCHMARK(BM_PerceptronEpoch)->Arg(1000)->Arg(10000);
+
+void BM_FourierEstimateFromData(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const puf::XorArbiterPuf puf = puf::XorArbiterPuf::independent(16, 2, 0.0, rng);
+  const puf::CrpSet crps = puf::CrpSet::collect_uniform(puf, samples, rng);
+  std::vector<BitVec> subsets;
+  for (const auto& s : support::subsets_up_to_size(16, 2))
+    subsets.push_back(support::subset_mask(16, s));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boolfn::estimate_coefficients_from_data(
+        crps.challenges(), crps.responses(), subsets));
+  }
+}
+BENCHMARK(BM_FourierEstimateFromData)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

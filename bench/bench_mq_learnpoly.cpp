@@ -1,0 +1,143 @@
+// Demo IV-B (Corollary 2): membership queries make sparse-polynomial
+// targets — and XORs of near-junta arbiter chains — exactly learnable in
+// polynomial time.
+//
+// Three measurements:
+//   1. Query count of the bounded-degree ANF interpolator vs n at fixed
+//      degree: the poly(n) scaling the corollary promises.
+//   2. The Schapire–Sellie-style MQ+EQ learner on random sparse
+//      polynomials: exact recovery with query counts driven by sparsity.
+//   3. XORs of weight-decaying ("near-junta") arbiter chains learned to
+//      high accuracy — plus the control the paper glosses over: for
+//      *regular* (i.i.d. Gaussian) chains, the small-junta premise fails
+//      and accuracy drops, a pitfall inside Corollary 2's own premise.
+#include <iostream>
+
+#include "boolfn/anf.hpp"
+#include "ml/anf_learner.hpp"
+#include "ml/junta.hpp"
+#include "ml/oracle.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/combinatorics.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using boolfn::AnfPolynomial;
+using puf::ArbiterPuf;
+using puf::XorArbiterPuf;
+using support::BitVec;
+using support::Rng;
+using support::Table;
+
+XorArbiterPuf make_xor_puf(std::size_t n, std::size_t k, double decay,
+                           Rng& rng) {
+  std::vector<ArbiterPuf> chains;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> w(n + 1);
+    double scale = 1.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      w[i] = scale * rng.gaussian();
+      scale *= decay;
+    }
+    w[n] *= 0.25;  // modest bias term
+    chains.emplace_back(std::move(w), 0.0);
+  }
+  return XorArbiterPuf(std::move(chains));
+}
+
+double sampled_accuracy(const boolfn::BooleanFunction& a,
+                        const boolfn::BooleanFunction& b, std::size_t m,
+                        Rng& rng) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    BitVec x(a.num_vars());
+    for (std::size_t bit = 0; bit < x.size(); ++bit) x.set(bit, rng.coin());
+    if (a.eval_pm(x) == b.eval_pm(x)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(m);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Corollary 2: learning with membership queries ==\n\n";
+
+  {
+    Table table({"n", "degree r", "MQ count = sum C(n,i)", "exact?"});
+    Rng rng(1);
+    for (const std::size_t n : {16u, 32u, 64u}) {
+      for (const std::size_t r : {2u, 3u}) {
+        const AnfPolynomial target = AnfPolynomial::random(n, 3 * n, r, rng);
+        ml::FunctionMembershipOracle oracle(target);
+        const auto result = ml::learn_anf_bounded_degree(oracle, r);
+        table.add_row({std::to_string(n), std::to_string(r),
+                       std::to_string(result.membership_queries),
+                       result.polynomial == target ? "yes" : "NO"});
+      }
+    }
+    table.print(std::cout,
+                "-- bounded-degree ANF interpolation: poly(n) MQs, exact --");
+  }
+
+  std::cout << "\n";
+
+  {
+    Table table({"sparsity s", "degree", "MQs", "EQs", "exact?"});
+    Rng rng(2);
+    for (const std::size_t s : {2u, 8u, 32u}) {
+      for (const std::size_t d : {2u, 4u}) {
+        const AnfPolynomial target = AnfPolynomial::random(16, s, d, rng);
+        ml::FunctionMembershipOracle mq(target);
+        ml::ExhaustiveEquivalenceOracle eq(target);
+        const auto result = ml::SparsePolyLearner().learn(mq, eq);
+        table.add_row({std::to_string(s), std::to_string(d),
+                       std::to_string(result.membership_queries),
+                       std::to_string(result.equivalence_queries),
+                       result.exact && result.hypothesis == target ? "yes"
+                                                                   : "NO"});
+      }
+    }
+    table.print(std::cout,
+                "-- Schapire–Sellie-style MQ+EQ learner (n = 16) --");
+  }
+
+  std::cout << "\n";
+
+  {
+    Table table({"chain weights", "k", "ANF degree", "MQs", "accuracy [%]"});
+    const std::size_t n = 14;
+    for (const bool decaying : {true, false}) {
+      for (const std::size_t k : {2u, 3u}) {
+        Rng rng(decaying ? 300 + k : 400 + k);
+        const XorArbiterPuf puf =
+            make_xor_puf(n, k, decaying ? 0.45 : 1.0, rng);
+        const auto target = puf.feature_space_view();
+        ml::FunctionMembershipOracle oracle(target);
+        const auto result = ml::learn_anf_bounded_degree(oracle, 4);
+        Rng eval(500 + k);
+        const double acc =
+            sampled_accuracy(result.polynomial, target, 6000, eval);
+        table.add_row({decaying ? "decaying (near-junta)" : "regular (iid)",
+                       std::to_string(k), "4",
+                       std::to_string(result.membership_queries),
+                       Table::fmt(100.0 * acc, 1)});
+      }
+    }
+    table.print(
+        std::cout,
+        "-- XOR arbiter chains in feature space, degree-4 interpolation --");
+  }
+
+  std::cout
+      << "\nReading guide: Corollary 2's chain LTF -> small junta -> sparse\n"
+      << "polynomial argument holds for weight-decaying chains (high\n"
+      << "accuracy above) but NOT for regular i.i.d. Gaussian chains —\n"
+      << "Bourgain's theorem gives small juntas only when the LTF is far\n"
+      << "from regular. Membership queries are powerful, but the premise\n"
+      << "must be checked against the device, which is the paper's own\n"
+      << "representation-pitfall applied to its Corollary 2.\n";
+  return 0;
+}

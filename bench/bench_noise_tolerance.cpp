@@ -1,0 +1,108 @@
+// Ablation bench: attribute-noise tolerance of the LMN algorithm
+// (advantage (1) in the paper's Corollary 1 discussion: "the LMN algorithm
+// can tolerate the noise in its given examples").
+//
+// Protocol: train LMN and the Perceptron on CRPs whose labels come from
+// ONE noisy measurement each (attribute noise per footnote 1), evaluate
+// against the ideal PUF. LMN's coefficient estimates average the noise
+// away; the Perceptron chases every mislabelled example.
+#include <iostream>
+
+#include "boolfn/truth_table.hpp"
+#include "ml/features.hpp"
+#include "ml/lmn.hpp"
+#include "ml/perceptron.hpp"
+#include "puf/crp.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using boolfn::TruthTable;
+using puf::CrpSet;
+using support::BitVec;
+using support::Rng;
+using support::Table;
+
+}  // namespace
+
+int main() {
+  std::cout << "== Attribute-noise tolerance: LMN vs Perceptron ==\n"
+            << "(2-XOR arbiter PUF, n=12, feature-space view, 20000 noisy "
+               "training CRPs)\n\n";
+
+  const std::size_t n = 12;
+  const std::size_t k = 2;
+  const std::size_t samples = 20000;
+
+  Table table({"noise sigma", "label error rate [%]",
+               "LMN accuracy [%]", "Perceptron accuracy [%]"});
+
+  for (const double sigma : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    double label_err = 0.0;
+    double lmn_acc = 0.0;
+    double perc_acc = 0.0;
+    const std::size_t repeats = 3;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      Rng rng(100 * rep + 17);
+      const puf::XorArbiterPuf puf =
+          puf::XorArbiterPuf::independent(n, k, sigma, rng);
+      const auto ideal = puf.feature_space_view();
+
+      // Noisy labels over uniform feature-space inputs. We sample inputs in
+      // feature space directly: Phi is a bijection, so per-chain evaluation
+      // via the LTF view plus margin noise reproduces eval_noisy.
+      Rng collect(200 * rep + 19);
+      std::vector<BitVec> challenges;
+      std::vector<int> labels;
+      std::size_t mislabeled = 0;
+      for (std::size_t s = 0; s < samples; ++s) {
+        BitVec x(n);
+        for (std::size_t b = 0; b < n; ++b) x.set(b, collect.coin());
+        int noisy = 1;
+        for (std::size_t c = 0; c < k; ++c) {
+          const auto ltf = puf.chain(c).as_feature_space_ltf();
+          const double margin =
+              ltf.margin(x) + collect.gaussian(0.0, sigma);
+          noisy *= margin < 0 ? -1 : +1;
+        }
+        if (noisy != ideal.eval_pm(x)) ++mislabeled;
+        labels.push_back(noisy);
+        challenges.push_back(std::move(x));
+      }
+      label_err += static_cast<double>(mislabeled) / samples;
+
+      // LMN from the noisy data.
+      const ml::LmnLearner lmn({.degree = 2, .prune_below = 0.0});
+      const auto h = lmn.learn_from_data(challenges, labels);
+      lmn_acc += 1.0 - TruthTable::from_function(h).distance(
+                           TruthTable::from_function(ideal));
+
+      // Perceptron from the same noisy data (degree-2 monomial features so
+      // the hypothesis class is comparable).
+      Rng train_rng(300 * rep + 23);
+      const auto features = [](const BitVec& x) {
+        return ml::monomial_features(x, 2);
+      };
+      const ml::LinearModel model =
+          ml::Perceptron({.max_epochs = 24}).fit_model(
+              challenges, labels, features, train_rng);
+      perc_acc += 1.0 - TruthTable::from_function(model).distance(
+                            TruthTable::from_function(ideal));
+    }
+    table.add_row({Table::fmt(sigma, 2),
+                   Table::fmt(100.0 * label_err / repeats, 1),
+                   Table::fmt(100.0 * lmn_acc / repeats, 1),
+                   Table::fmt(100.0 * perc_acc / repeats, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape to observe: as attribute noise rises, the Perceptron's\n"
+      << "accuracy falls with the label error (it fits the noise), while\n"
+      << "LMN's coefficient averaging degrades gracefully — the reason the\n"
+      << "paper prefers LMN-style learners for bounding noisy hardware.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Section VI as an executable: audit the paper's four case-study claims
+// against the realistic hardware attacker and print every pitfall finding.
+#include <iostream>
+
+#include "core/pitfalls.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pitfalls::core;
+  using pitfalls::support::Table;
+
+  std::cout << "== Pitfall audit of published ML-based security claims ==\n\n";
+
+  const AdversaryModel attacker = realistic_hardware_attacker();
+  std::cout << "Attacker model: " << attacker.describe() << "\n\n";
+
+  const PitfallAuditor auditor;
+  const SecurityClaim cases[] = {
+      claims::ganji2015_xor_bound(),
+      claims::shamsi2019_impossibility(),
+      claims::appsat2017_online_model(),
+      claims::xu2015_br_ltf(),
+  };
+
+  Table table({"source", "primitive", "pitfall", "severity"});
+  for (const auto& claim : cases) {
+    const auto findings = auditor.audit(claim, attacker);
+    if (findings.empty()) {
+      table.add_row({claim.source, claim.primitive, "(none)", "-"});
+      continue;
+    }
+    for (const auto& finding : findings)
+      table.add_row({claim.source, claim.primitive, to_string(finding.kind),
+                     to_string(finding.severity)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDetailed findings:\n";
+  for (const auto& claim : cases) {
+    std::cout << "\n" << claim.source << " — " << claim.statement << "\n"
+              << "  claim's model: " << claim.model.describe() << "\n";
+    const auto findings = auditor.audit(claim, attacker);
+    if (findings.empty()) {
+      std::cout << "  audit: clean — the claim already assumes the strong "
+                   "attacker.\n";
+      continue;
+    }
+    for (const auto& finding : findings)
+      std::cout << "  [" << to_string(finding.severity) << "] "
+                << to_string(finding.kind) << ": " << finding.explanation
+                << "\n";
+  }
+  return 0;
+}

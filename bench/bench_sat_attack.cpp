@@ -1,0 +1,97 @@
+// Demo II-A: the oracle-guided SAT attack on combinational logic locking.
+//
+// For each (circuit, key size): run the full DIP loop, report iterations,
+// oracle queries, solver conflicts, wall time, and verify the recovered key
+// is *functionally exact* (SAT-based equivalence check). The point the
+// paper takes from [4]/[5]: with membership-query access (DIPs are chosen
+// inputs), locking reduces to exact learning and falls in minutes —
+// "random examples only" adversary models drastically understate this.
+#include <iostream>
+
+#include "attack/sat_attack.hpp"
+#include "circuit/generator.hpp"
+#include "core/experiment.hpp"
+#include "lock/combinational.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using attack::CircuitOracle;
+using circuit::Netlist;
+using lock::LockedCircuit;
+using support::Rng;
+using support::Table;
+
+struct Workload {
+  std::string name;
+  Netlist netlist;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "== SAT attack on XOR/XNOR-locked circuits ==\n\n";
+
+  Rng gen_rng(7);
+  std::vector<Workload> workloads;
+  workloads.push_back({"c17", circuit::c17()});
+  workloads.push_back({"adder8 (ripple)", circuit::ripple_carry_adder(8)});
+  workloads.push_back({"comparator8", circuit::equality_comparator(8)});
+  {
+    circuit::RandomCircuitConfig config;
+    config.inputs = 12;
+    config.gates = 120;
+    config.outputs = 4;
+    workloads.push_back({"rand12x120", circuit::random_circuit(config, gen_rng)});
+  }
+  {
+    circuit::RandomCircuitConfig config;
+    config.inputs = 16;
+    config.gates = 250;
+    config.outputs = 6;
+    workloads.push_back({"rand16x250", circuit::random_circuit(config, gen_rng)});
+  }
+
+  Table table({"circuit", "inputs", "gates", "key bits", "DIPs",
+               "oracle queries", "solver conflicts", "time [s]",
+               "exact?"});
+  for (const auto& workload : workloads) {
+    const std::size_t max_key =
+        std::min<std::size_t>(pitfalls::lock::lockable_gate_count(workload.netlist), 32);
+    for (std::size_t key_bits : {4u, 8u, 16u, 32u}) {
+      if (key_bits > max_key) continue;
+      Rng lock_rng(1000 + key_bits);
+      const LockedCircuit locked =
+          lock::lock_random_xor(workload.netlist, key_bits, lock_rng);
+      CircuitOracle oracle = CircuitOracle::from_netlist(workload.netlist);
+
+      core::Stopwatch watch;
+      const auto result = attack::sat_attack(locked, oracle);
+      const double seconds = watch.seconds();
+
+      const bool exact =
+          result.success &&
+          attack::keys_equivalent(workload.netlist, locked, result.key);
+      table.add_row({workload.name,
+                     std::to_string(workload.netlist.num_inputs()),
+                     std::to_string(workload.netlist.logic_gate_count()),
+                     std::to_string(key_bits),
+                     std::to_string(result.dip_iterations),
+                     std::to_string(result.oracle_queries),
+                     std::to_string(result.solver_stats.conflicts),
+                     Table::fmt(seconds, 3), exact ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nObservations to compare with the literature: DIP counts stay\n"
+      << "far below 2^inputs (the attack is exact learning with chosen\n"
+      << "queries, not coupon collection), and the comparator — a point\n"
+      << "function — needs disproportionately many DIPs for its size,\n"
+      << "which is precisely the weakness AppSAT [5] exploits (see\n"
+      << "bench_appsat).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Table III: "Results of testing how far BR PUFs are to LTFs."
+//
+// The Matulef et al. halfspace tester is fed uniformly drawn noiseless
+// CRPs from simulated BR PUFs with the paper's per-n sample sizes
+// (100 / 1339 / 63434) and prints its minimum-distance estimate, exactly
+// the table's "How far from any halfspace (min.) [%]" column.
+//
+// Paper values: n=16 -> 20%, n=32 -> 40%, n=64 -> 50% (delta = 0.99).
+//
+// For context the bench also prints the *achievable agreement* of the best
+// Chow-direction LTF: this shows the tester's gap statistic is a
+// conservative distance witness (large even while an LTF still agrees on
+// ~80-90% of inputs), which is also how the paper's Tables II and III
+// coexist.
+#include <iostream>
+
+#include "boolfn/truth_table.hpp"
+#include "ml/chow.hpp"
+#include "ml/halfspace_tester.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/crp.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using puf::BistableRingConfig;
+using puf::BistableRingPuf;
+using puf::CrpSet;
+using support::Rng;
+using support::Table;
+
+std::size_t paper_crps(std::size_t n) {
+  if (n <= 16) return 100;
+  if (n <= 32) return 1339;
+  return 63434;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table III: halfspace tester on BR PUFs (noiseless "
+               "uniform CRPs) ==\n\n";
+
+  Table table({"n", "# CRPs", "far from any halfspace (min.) [%]",
+               "tester verdict", "best Chow-LTF agreement [%]"});
+
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    // Average the tester statistic over a few instances (the paper reports
+    // one FPGA instance per n).
+    const std::size_t repeats = 3;
+    double far_total = 0.0;
+    double agree_total = 0.0;
+    bool accepted_any = false;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      Rng instance_rng(1000 * n + rep);
+      const BistableRingPuf br(BistableRingConfig::paper_instance(n),
+                               instance_rng);
+      Rng collect(2000 * n + rep);
+      const CrpSet crps =
+          CrpSet::collect_uniform(br, paper_crps(n), collect);
+
+      const ml::HalfspaceTester tester(0.12);
+      const auto report = tester.test(crps.challenges(), crps.responses());
+      far_total += report.far_from_halfspace;
+      accepted_any = accepted_any || report.accepted;
+
+      // Context column: what an actual LTF hypothesis achieves.
+      const CrpSet big = CrpSet::collect_uniform(br, 20000, collect);
+      const auto chow = ml::estimate_chow(big.challenges(), big.responses());
+      const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
+      const CrpSet eval = CrpSet::collect_uniform(br, 20000, collect);
+      agree_total += eval.accuracy_of(f_prime);
+    }
+    table.add_row({std::to_string(n), std::to_string(paper_crps(n)),
+                   Table::fmt(100.0 * far_total / repeats, 0),
+                   accepted_any ? "close to a halfspace" : "NOT a halfspace",
+                   Table::fmt(100.0 * agree_total / repeats, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper values: 20 / 40 / 50 % (delta = 0.99).\n"
+      << "Shape to reproduce: the distance estimate GROWS with n — larger\n"
+      << "BR rings drift further from the halfspace class, so the LTF\n"
+      << "representation used by [11] degrades with scale.\n"
+      << "The last column explains the Table II/III coexistence: the gap\n"
+      << "statistic is a conservative witness; an LTF can still agree on\n"
+      << "most inputs while the tester certifies non-membership.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Adversary-model audit: the workflow the paper's conclusion proposes,
+// applied to a designer's own security claim.
+//
+// A (fictional) design team claims: "Our 64-stage 5-XOR Arbiter PUF is
+// ML-resistant — the bound of [9] says provable learners need too many
+// CRPs." This example runs that claim through the audit pipeline:
+//
+//   1. Encode the claim as a core::SecurityClaim.
+//   2. Audit it against the realistic hardware attacker.
+//   3. Print the Table I bounds for THEIR parameters to show which row the
+//      claim silently relied on.
+//   4. Run the empirical confirmation: the LMN learner and the
+//      membership-query learner on a simulated instance.
+//
+// Build & run:  ./build/examples/adversary_model_audit
+#include <iostream>
+
+#include "boolfn/truth_table.hpp"
+#include "core/bounds.hpp"
+#include "core/pitfalls.hpp"
+#include "ml/lmn.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pitfalls;
+  using support::Table;
+
+  // ------------------------------------------------------------ 1. claim
+  core::SecurityClaim claim;
+  claim.primitive = "64-stage 5-XOR Arbiter PUF";
+  claim.statement =
+      "resistant to ML modeling: the provable-learner CRP bound is "
+      "prohibitively large";
+  claim.source = "design team";
+  claim.model.distribution = core::DistributionAssumption::kArbitrary;
+  claim.model.access = core::AccessType::kRandomExamples;
+  claim.model.goal = core::InferenceGoal::kApproximate;
+  claim.model.hypothesis = core::HypothesisRestriction::kProper;
+  claim.algorithm_specific = true;  // it cites the Perceptron bound of [9]
+
+  std::cout << "Claim under audit: \"" << claim.statement << "\"\n"
+            << "Proved in model:   " << claim.model.describe() << "\n\n";
+
+  // ------------------------------------------------------------ 2. audit
+  const core::PitfallAuditor auditor;
+  const auto findings =
+      auditor.audit(claim, core::realistic_hardware_attacker());
+  std::cout << "Audit against the realistic hardware attacker ("
+            << core::realistic_hardware_attacker().describe() << "):\n";
+  for (const auto& finding : findings)
+    std::cout << "  [" << core::to_string(finding.severity) << "] "
+              << core::to_string(finding.kind) << "\n";
+  std::cout << "\n";
+
+  // --------------------------------------------------------- 3. bounds
+  Table table({"source", "algorithm", "access", "bound (#CRPs)"});
+  for (const auto& row : core::table1_rows(64, 5, 0.05, 0.01))
+    table.add_row({row.source, row.algorithm, row.access,
+                   Table::fmt_or_inf(row.value, 1)});
+  table.print(std::cout, "Table I rows at the claim's parameters "
+                         "(n=64, k=5, eps=0.05, delta=0.01):");
+  std::cout << "The claim cites row 1; rows 2-4 are the models the audit "
+               "says were ignored.\n\n";
+
+  // ----------------------------------------------- 4. empirical evidence
+  // Small-scale empirical confirmation on a simulated instance (n scaled
+  // down so the truth-table comparison stays exact).
+  support::Rng rng(1);
+  const puf::XorArbiterPuf indep =
+      puf::XorArbiterPuf::independent(12, 5, 0.0, rng);
+  const puf::XorArbiterPuf corr =
+      puf::XorArbiterPuf::correlated(12, 5, 0.95, 0.0, rng);
+  const ml::LmnLearner lmn({.degree = 2, .prune_below = 0.0});
+  support::Rng learn(2);
+  const auto acc = [&](const puf::XorArbiterPuf& p) {
+    const auto view = p.feature_space_view();
+    const auto h = lmn.learn(view, 25000, learn);
+    return 100.0 * (1.0 - boolfn::TruthTable::from_function(h).distance(
+                              boolfn::TruthTable::from_function(view)));
+  };
+  std::cout << "Empirical check (scaled to n=12 for exact evaluation):\n"
+            << "  LMN vs independent 5-XOR : " << acc(indep) << "%\n"
+            << "  LMN vs correlated  5-XOR : " << acc(corr) << "%\n\n";
+
+  std::cout
+      << "Verdict: the claim holds only inside its own adversary model.\n"
+      << "Against uniform-distribution learners, correlated manufacturing\n"
+      << "artifacts, or chosen-challenge access, the cited bound is simply\n"
+      << "the wrong row of the table.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Feasibility probe: the designer-side workflow the library enables.
+//
+// Scenario: a team is choosing between three candidate primitives for a
+// key-storage RoT. Before any formal argument, they (1) probe each
+// candidate's noise sensitivity black-box, (2) check the halfspace
+// representation, (3) ask the bound planner which Table I row applies to
+// their declared attacker, and (4) get the audit verdict — the full
+// adversary-model workflow of the paper in one program.
+//
+// Build & run:  ./build/examples/feasibility_probe
+#include <iostream>
+
+#include "core/adversary.hpp"
+#include "core/bounds.hpp"
+#include "core/feasibility.hpp"
+#include "core/pitfalls.hpp"
+#include "ml/halfspace_tester.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/interpose.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pitfalls;
+  using support::Rng;
+  using support::Table;
+
+  Rng rng(2026);
+  const std::size_t n = 24;
+
+  // The three candidates.
+  const auto xor4 = puf::XorArbiterPuf::independent(n, 4, 0.0, rng);
+  const auto xor4_view = xor4.feature_space_view();
+  const puf::BistableRingPuf br(puf::BistableRingConfig::paper_instance(16),
+                                rng);
+  const puf::InterposePuf ipuf(n, 1, 2, 0.0, rng);
+
+  struct Candidate {
+    std::string name;
+    const boolfn::BooleanFunction* fn;
+  };
+  const Candidate candidates[] = {
+      {"4-XOR arbiter PUF", &xor4_view},
+      {"BR PUF (n=16)", &br},
+      {"(1,2)-interpose PUF", &ipuf},
+  };
+
+  // 1 + 2: black-box probes.
+  Table table({"candidate", "effective k (NS probe)", "LMN degree cutoff",
+               "halfspace tester", "tester gap [%]"});
+  for (const auto& candidate : candidates) {
+    Rng probe(7);
+    core::LmnFeasibilityConfig config;
+    config.attack_eps = 0.45;
+    const auto feas =
+        core::estimate_lmn_feasibility(*candidate.fn, 1000000, probe, config);
+    const auto half = ml::HalfspaceTester(0.12).test(*candidate.fn, 40000,
+                                                     probe);
+    table.add_row({candidate.name, Table::fmt(feas.effective_k, 2),
+                   Table::fmt(feas.degree_cutoff, 1),
+                   half.accepted ? "close to an LTF" : "NOT an LTF",
+                   Table::fmt(100.0 * half.gap, 1)});
+  }
+  table.print(std::cout, "Black-box probes (no structural knowledge used):");
+
+  // 3: which bound governs the declared attacker?
+  core::AdversaryModel attacker;
+  attacker.distribution = core::DistributionAssumption::kUniform;
+  attacker.access = core::AccessType::kMembershipQueries;
+  attacker.hypothesis = core::HypothesisRestriction::kImproper;
+  std::string rationale;
+  const auto row = core::applicable_bound(attacker, n, 4, 0.25, 0.01,
+                                          &rationale);
+  std::cout << "\nDeclared attacker: " << attacker.describe() << "\n"
+            << "Governing Table I row: " << row.source << " ("
+            << row.algorithm << "), bound = "
+            << Table::fmt_or_inf(row.value, 0) << " queries\n"
+            << "Why: " << rationale << "\n";
+
+  // 4: audit a would-be security claim for the winning candidate.
+  core::SecurityClaim claim;
+  claim.primitive = "4-XOR arbiter PUF";
+  claim.statement = "secure because LMN needs too many uniform CRPs";
+  claim.source = "design review";
+  claim.model.distribution = core::DistributionAssumption::kUniform;
+  claim.model.access = core::AccessType::kRandomExamples;
+  claim.algorithm_specific = true;
+  const auto findings = core::PitfallAuditor().audit(claim, attacker);
+  std::cout << "\nAudit of the draft claim \"" << claim.statement << "\":\n";
+  for (const auto& finding : findings)
+    std::cout << "  [" << core::to_string(finding.severity) << "] "
+              << core::to_string(finding.kind) << "\n";
+  std::cout << "\nConclusion: the NS probe ranks the candidates' low-degree\n"
+            << "hardness, the tester rules the LTF story in or out, and the\n"
+            << "planner + auditor pin the claim to the attacker it actually\n"
+            << "covers — the paper's workflow, end to end.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "attack/appsat.hpp"
+
+#include "attack/detail.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::attack {
+
+using detail::add_io_constraint;
+using detail::fresh_vars;
+using detail::mix_inputs;
+using sat::CircuitEncoding;
+using sat::Solver;
+using sat::SolveResult;
+using sat::Var;
+
+AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
+                    support::Rng& rng, const AppSatConfig& config) {
+  PITFALLS_REQUIRE(config.dips_per_round >= 1, "need at least one DIP/round");
+  PITFALLS_REQUIRE(config.random_queries >= 1,
+                   "need at least one random query");
+  PITFALLS_REQUIRE(config.error_threshold >= 0.0 &&
+                       config.error_threshold < 1.0,
+                   "error threshold must be in [0,1)");
+
+  const std::size_t num_data = locked.num_data_inputs();
+  const std::size_t num_key = locked.num_key_inputs();
+  const std::size_t start_queries = oracle.queries();
+
+  Solver main;
+  const std::vector<Var> x_vars = fresh_vars(main, num_data);
+  const std::vector<Var> k1 = fresh_vars(main, num_key);
+  const std::vector<Var> k2 = fresh_vars(main, num_key);
+  const CircuitEncoding enc1 =
+      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k1));
+  const CircuitEncoding enc2 =
+      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k2));
+  sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+
+  Solver key_solver;
+  const std::vector<Var> key_vars = fresh_vars(key_solver, num_key);
+
+  auto record_observation = [&](const BitVec& x, const BitVec& y) {
+    add_io_constraint(main, locked, k1, x, y);
+    add_io_constraint(main, locked, k2, x, y);
+    add_io_constraint(key_solver, locked, key_vars, x, y);
+  };
+
+  auto extract_key = [&]() {
+    const SolveResult kr = key_solver.solve();
+    PITFALLS_ENSURE(kr == SolveResult::kSat,
+                    "correct key must satisfy all observations");
+    BitVec key(num_key);
+    for (std::size_t i = 0; i < num_key; ++i)
+      key.set(i, key_solver.model_value(key_vars[i]));
+    return key;
+  };
+
+  AppSatResult result;
+  result.key = BitVec(num_key);
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    ++result.rounds;
+
+    // DIP phase.
+    bool unsat = false;
+    for (std::size_t d = 0; d < config.dips_per_round; ++d) {
+      if (main.solve() == SolveResult::kUnsat) {
+        unsat = true;
+        break;
+      }
+      ++result.dip_iterations;
+      BitVec dip(num_data);
+      for (std::size_t i = 0; i < num_data; ++i)
+        dip.set(i, main.model_value(x_vars[i]));
+      record_observation(dip, oracle.query(dip));
+    }
+    if (unsat) {
+      result.key = extract_key();
+      result.exact = true;
+      result.estimated_error = 0.0;
+      result.oracle_queries = oracle.queries() - start_queries;
+      return result;
+    }
+
+    // Settle phase: estimate the candidate key's error with random queries;
+    // every observed mismatch is recycled as a constraint.
+    const BitVec candidate = extract_key();
+    std::size_t mismatches = 0;
+    for (std::size_t q = 0; q < config.random_queries; ++q) {
+      BitVec data(num_data);
+      for (std::size_t b = 0; b < num_data; ++b) data.set(b, rng.coin());
+      const BitVec truth = oracle.query(data);
+      if (locked.evaluate(data, candidate) != truth) {
+        ++mismatches;
+        record_observation(data, truth);
+      }
+    }
+    result.estimated_error = static_cast<double>(mismatches) /
+                             static_cast<double>(config.random_queries);
+    result.key = candidate;
+    if (result.estimated_error <= config.error_threshold) {
+      result.settled = true;
+      result.oracle_queries = oracle.queries() - start_queries;
+      return result;
+    }
+  }
+
+  result.oracle_queries = oracle.queries() - start_queries;
+  return result;  // budget exhausted; key is the latest candidate
+}
+
+}  // namespace pitfalls::attack

@@ -1,0 +1,50 @@
+// Shared CNF-plumbing helpers for the oracle-guided attacks. Internal to
+// src/attack; not part of the public API.
+#pragma once
+
+#include "lock/combinational.hpp"
+#include "sat/encoder.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::attack::detail {
+
+using lock::LockedCircuit;
+using sat::Solver;
+using sat::Var;
+using support::BitVec;
+
+/// Shared-input vector for one locked-circuit copy: data inputs from
+/// `data_vars`, key inputs from `key_vars`, respecting netlist input order.
+inline std::vector<Var> mix_inputs(const LockedCircuit& locked,
+                                   const std::vector<Var>& data_vars,
+                                   const std::vector<Var>& key_vars) {
+  std::vector<Var> shared(locked.netlist.num_inputs());
+  for (std::size_t i = 0; i < data_vars.size(); ++i)
+    shared[locked.data_input_positions[i]] = data_vars[i];
+  for (std::size_t i = 0; i < key_vars.size(); ++i)
+    shared[locked.key_input_positions[i]] = key_vars[i];
+  return shared;
+}
+
+inline std::vector<Var> fresh_vars(Solver& solver, std::size_t count) {
+  std::vector<Var> vars(count);
+  for (auto& v : vars) v = solver.new_var();
+  return vars;
+}
+
+/// Add "locked(x, K) == y" for a concrete observation (x, y).
+inline void add_io_constraint(Solver& solver, const LockedCircuit& locked,
+                              const std::vector<Var>& key_vars,
+                              const BitVec& x, const BitVec& y) {
+  std::vector<Var> data_vars = fresh_vars(solver, x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    sat::fix_var(solver, data_vars[i], x.get(i));
+  const sat::CircuitEncoding enc = sat::encode_netlist(
+      solver, locked.netlist, mix_inputs(locked, data_vars, key_vars));
+  PITFALLS_ENSURE(enc.output_vars.size() == y.size(),
+                  "oracle output arity mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i)
+    sat::fix_var(solver, enc.output_vars[i], y.get(i));
+}
+
+}  // namespace pitfalls::attack::detail

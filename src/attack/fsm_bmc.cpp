@@ -1,0 +1,105 @@
+#include "attack/fsm_bmc.hpp"
+
+#include "circuit/fsm_synth.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::attack {
+
+using circuit::SynthesizedFsm;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+/// Clause forbidding `word_vars` from encoding the value `v`.
+void forbid_value(Solver& solver, const std::vector<Var>& word_vars,
+                  std::size_t v) {
+  std::vector<Lit> clause;
+  for (std::size_t b = 0; b < word_vars.size(); ++b)
+    clause.push_back((v >> b) & 1 ? sat::neg(word_vars[b])
+                                  : sat::pos(word_vars[b]));
+  solver.add_clause(std::move(clause));
+}
+
+}  // namespace
+
+BmcResult bmc_reach(const circuit::MealyMachine& machine,
+                    const std::set<std::size_t>& targets,
+                    std::size_t max_bound) {
+  PITFALLS_REQUIRE(!targets.empty(), "need at least one target state");
+  for (auto t : targets)
+    PITFALLS_REQUIRE(t < machine.num_states(), "target state out of range");
+
+  BmcResult result;
+  if (targets.contains(machine.reset_state())) {
+    result.found = true;  // the empty word suffices
+    return result;
+  }
+
+  const SynthesizedFsm synth = circuit::synthesize_fsm(machine);
+  const std::size_t sbits = synth.state_bits;
+  const std::size_t ibits = synth.input_bits;
+
+  for (std::size_t bound = 1; bound <= max_bound; ++bound) {
+    ++result.frames_solved;
+    Solver solver;
+
+    // Frame-0 state: the reset constant.
+    std::vector<Var> state(sbits);
+    for (std::size_t b = 0; b < sbits; ++b) {
+      state[b] = solver.new_var();
+      sat::fix_var(solver, state[b], (machine.reset_state() >> b) & 1);
+    }
+
+    std::vector<std::vector<Var>> inputs(bound, std::vector<Var>(ibits));
+    for (std::size_t frame = 0; frame < bound; ++frame) {
+      for (auto& v : inputs[frame]) v = solver.new_var();
+      // Only valid symbols.
+      for (std::size_t v = machine.num_inputs();
+           v < (std::size_t{1} << ibits); ++v)
+        forbid_value(solver, inputs[frame], v);
+
+      // Unroll one transition frame.
+      std::vector<Var> shared;
+      shared.insert(shared.end(), state.begin(), state.end());
+      shared.insert(shared.end(), inputs[frame].begin(), inputs[frame].end());
+      const auto enc = sat::encode_netlist(solver, synth.netlist, shared);
+      // Next-frame state = the first sbits outputs.
+      state.assign(enc.output_vars.begin(), enc.output_vars.begin() +
+                                                static_cast<std::ptrdiff_t>(sbits));
+    }
+
+    // Final state must be one of the targets: selector variables y_t with
+    // y_t -> (state == t), and at least one y_t.
+    std::vector<Lit> any_target;
+    for (auto t : targets) {
+      const Var y = solver.new_var();
+      for (std::size_t b = 0; b < sbits; ++b)
+        solver.add_binary(sat::neg(y), (t >> b) & 1 ? sat::pos(state[b])
+                                                    : sat::neg(state[b]));
+      any_target.push_back(sat::pos(y));
+    }
+    solver.add_clause(std::move(any_target));
+
+    const auto outcome = solver.solve();
+    result.conflicts += solver.stats().conflicts;
+    if (outcome == sat::SolveResult::kSat) {
+      result.word.clear();
+      for (std::size_t frame = 0; frame < bound; ++frame) {
+        std::size_t symbol = 0;
+        for (std::size_t b = 0; b < ibits; ++b)
+          if (solver.model_value(inputs[frame][b]))
+            symbol |= std::size_t{1} << b;
+        result.word.push_back(symbol);
+      }
+      result.found = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace pitfalls::attack

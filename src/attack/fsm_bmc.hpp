@@ -1,0 +1,34 @@
+// Bounded model checking on synthesized FSMs: unroll the next-state logic
+// k frames into CNF and ask the CDCL solver for an input word that drives
+// the machine from reset into a target state set.
+//
+// This is the *white-box structural* attacker on sequential obfuscation —
+// it holds the netlist (as a foundry would) and needs zero device queries,
+// whereas ml::LStarLearner is the *black-box query* attacker that holds
+// nothing but I/O access. Contrasting the two on the same HARPOON-style
+// targets adds a fourth axis to the paper's adversary-model story: what
+// the attacker holds structurally is as decisive as what it may query.
+#pragma once
+
+#include <set>
+
+#include "circuit/fsm.hpp"
+#include "ml/dfa.hpp"
+
+namespace pitfalls::attack {
+
+struct BmcResult {
+  bool found = false;
+  ml::Word word;                  // input word reaching a target state
+  std::size_t frames_solved = 0;  // unroll depths attempted
+  std::uint64_t conflicts = 0;    // total solver conflicts across depths
+};
+
+/// Search for the shortest input word of length <= max_bound that drives
+/// `machine` from its reset state into any state of `targets`. Returns the
+/// first (hence shortest) witness found.
+BmcResult bmc_reach(const circuit::MealyMachine& machine,
+                    const std::set<std::size_t>& targets,
+                    std::size_t max_bound);
+
+}  // namespace pitfalls::attack

@@ -1,0 +1,97 @@
+#include "attack/sat_attack.hpp"
+
+#include "attack/detail.hpp"
+#include "sat/encoder.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::attack {
+
+using detail::add_io_constraint;
+using detail::fresh_vars;
+using detail::mix_inputs;
+using sat::CircuitEncoding;
+using sat::Solver;
+using sat::SolveResult;
+using sat::Var;
+
+CircuitOracle CircuitOracle::from_netlist(const circuit::Netlist& original) {
+  return CircuitOracle(
+      [&original](const BitVec& data) { return original.evaluate(data); });
+}
+
+SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
+                           const SatAttackConfig& config) {
+  const std::size_t num_data = locked.num_data_inputs();
+  const std::size_t num_key = locked.num_key_inputs();
+  const std::size_t start_queries = oracle.queries();
+
+  // Main solver: two key copies over shared data inputs, miter on outputs.
+  Solver main;
+  const std::vector<Var> x_vars = fresh_vars(main, num_data);
+  const std::vector<Var> k1 = fresh_vars(main, num_key);
+  const std::vector<Var> k2 = fresh_vars(main, num_key);
+  const CircuitEncoding enc1 =
+      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k1));
+  const CircuitEncoding enc2 =
+      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k2));
+  sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+
+  // Key solver: accumulates the observations only.
+  Solver key_solver;
+  const std::vector<Var> key_vars = fresh_vars(key_solver, num_key);
+
+  SatAttackResult result;
+  result.key = BitVec(num_key);
+
+  while (main.solve() == SolveResult::kSat) {
+    ++result.dip_iterations;
+    if (config.max_iterations != 0 &&
+        result.dip_iterations > config.max_iterations) {
+      result.solver_stats = main.stats();
+      result.oracle_queries = oracle.queries() - start_queries;
+      return result;  // aborted: success stays false
+    }
+    BitVec dip(num_data);
+    for (std::size_t i = 0; i < num_data; ++i)
+      dip.set(i, main.model_value(x_vars[i]));
+    const BitVec response = oracle.query(dip);
+
+    // Both key copies must agree with the oracle on this DIP.
+    add_io_constraint(main, locked, k1, dip, response);
+    add_io_constraint(main, locked, k2, dip, response);
+    add_io_constraint(key_solver, locked, key_vars, dip, response);
+  }
+
+  // No DIP remains: every key satisfying the observations is functionally
+  // equivalent to the oracle. Extract one.
+  const SolveResult kr = key_solver.solve();
+  PITFALLS_ENSURE(kr == SolveResult::kSat,
+                  "correct key must satisfy all observations");
+  for (std::size_t i = 0; i < num_key; ++i)
+    result.key.set(i, key_solver.model_value(key_vars[i]));
+  result.success = true;
+  result.solver_stats = main.stats();
+  result.oracle_queries = oracle.queries() - start_queries;
+  return result;
+}
+
+bool keys_equivalent(const circuit::Netlist& original,
+                     const LockedCircuit& locked, const BitVec& key) {
+  PITFALLS_REQUIRE(key.size() == locked.num_key_inputs(),
+                   "key arity mismatch");
+  Solver solver;
+  const std::vector<Var> x_vars =
+      fresh_vars(solver, original.num_inputs());
+  std::vector<Var> key_consts = fresh_vars(solver, key.size());
+  for (std::size_t i = 0; i < key.size(); ++i)
+    sat::fix_var(solver, key_consts[i], key.get(i));
+
+  const CircuitEncoding orig_enc =
+      sat::encode_netlist(solver, original, x_vars);
+  const CircuitEncoding lock_enc = sat::encode_netlist(
+      solver, locked.netlist, mix_inputs(locked, x_vars, key_consts));
+  sat::add_miter(solver, orig_enc.output_vars, lock_enc.output_vars);
+  return solver.solve() == SolveResult::kUnsat;
+}
+
+}  // namespace pitfalls::attack

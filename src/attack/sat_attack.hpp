@@ -1,0 +1,70 @@
+// The oracle-guided SAT attack on combinational logic locking
+// (Subramanyan et al., adopted by the paper's references [4], [5]).
+//
+// Loop: find a distinguishing input pattern (DIP) — an input on which two
+// keys that agree with all previous oracle observations still disagree —
+// query the unlocked oracle on it, and add the observation as a constraint.
+// When no DIP exists, every remaining key is functionally equivalent to the
+// oracle on all inputs, and one is extracted.
+//
+// In PAC terms this is *exact* learning with membership queries — the
+// access model of Section IV, where "approximation-resilience" claims stop
+// mattering.
+#pragma once
+
+#include <functional>
+
+#include "lock/combinational.hpp"
+#include "sat/solver.hpp"
+
+namespace pitfalls::attack {
+
+using lock::LockedCircuit;
+using support::BitVec;
+
+/// The unlocked chip: data word in, output word out. Wrapped so attacks can
+/// count oracle queries.
+class CircuitOracle {
+ public:
+  using Fn = std::function<BitVec(const BitVec&)>;
+
+  explicit CircuitOracle(Fn fn) : fn_(std::move(fn)) {}
+
+  /// Oracle backed by the original (unlocked) netlist.
+  static CircuitOracle from_netlist(const circuit::Netlist& original);
+
+  BitVec query(const BitVec& data) {
+    ++queries_;
+    return fn_(data);
+  }
+  std::size_t queries() const { return queries_; }
+
+ private:
+  Fn fn_;
+  std::size_t queries_ = 0;
+};
+
+struct SatAttackResult {
+  BitVec key;                     // recovered key
+  std::size_t dip_iterations = 0;
+  std::size_t oracle_queries = 0;
+  bool success = false;           // DIP loop reached UNSAT and key extracted
+  sat::SolverStats solver_stats;
+};
+
+struct SatAttackConfig {
+  /// Abort after this many DIP iterations (0 = unlimited).
+  std::size_t max_iterations = 0;
+};
+
+/// Run the full SAT attack. The recovered key is exactly functionally
+/// correct whenever success == true.
+SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
+                           const SatAttackConfig& config = {});
+
+/// SAT-based exact equivalence check: does the locked circuit under `key`
+/// compute the same function as `original` on every input?
+bool keys_equivalent(const circuit::Netlist& original,
+                     const LockedCircuit& locked, const BitVec& key);
+
+}  // namespace pitfalls::attack

@@ -1,0 +1,99 @@
+#include "boolfn/anf.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::boolfn {
+
+AnfPolynomial::AnfPolynomial(std::size_t n) : n_(n) {}
+
+AnfPolynomial::AnfPolynomial(std::size_t n, std::vector<BitVec> monomials)
+    : n_(n) {
+  for (auto& m : monomials) {
+    PITFALLS_REQUIRE(m.size() == n, "monomial arity mismatch");
+    toggle_monomial(m);  // duplicated monomials cancel over F2
+  }
+}
+
+AnfPolynomial AnfPolynomial::from_truth_table(const TruthTable& table) {
+  const std::size_t n = table.num_vars();
+  const std::uint64_t rows = table.num_rows();
+  // 0/1 view: +1 -> 0, -1 -> 1.
+  std::vector<std::uint8_t> a(rows);
+  for (std::uint64_t row = 0; row < rows; ++row)
+    a[row] = table.at(row) < 0 ? 1 : 0;
+
+  // Moebius transform butterfly: a[S] becomes XOR_{T subseteq S} f(T),
+  // the ANF coefficient of monomial S.
+  for (std::uint64_t len = 1; len < rows; len <<= 1)
+    for (std::uint64_t block = 0; block < rows; block += len << 1)
+      for (std::uint64_t i = block; i < block + len; ++i)
+        a[i + len] ^= a[i];
+
+  AnfPolynomial p(n);
+  for (std::uint64_t mask = 0; mask < rows; ++mask)
+    if (a[mask]) p.monomials_.insert(BitVec(n, mask));
+  return p;
+}
+
+AnfPolynomial AnfPolynomial::random(std::size_t n, std::size_t terms,
+                                    std::size_t degree, support::Rng& rng) {
+  PITFALLS_REQUIRE(degree >= 1 && degree <= n, "degree must be in [1, n]");
+  AnfPolynomial p(n);
+  std::size_t guard = 0;
+  while (p.monomials_.size() < terms) {
+    PITFALLS_REQUIRE(++guard < 100000 * (terms + 1),
+                     "cannot place that many distinct monomials");
+    const std::size_t d = 1 + static_cast<std::size_t>(
+                                  rng.uniform_below(degree));
+    BitVec m(n);
+    while (m.popcount() < d)
+      m.set(static_cast<std::size_t>(rng.uniform_below(n)), true);
+    p.monomials_.insert(m);
+  }
+  return p;
+}
+
+bool AnfPolynomial::eval_f2(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == n_, "input arity mismatch");
+  bool acc = false;
+  for (const auto& m : monomials_)
+    if (m.is_subset_of(x)) acc = !acc;  // monomial evaluates to 1 iff m <= x
+  return acc;
+}
+
+void AnfPolynomial::toggle_monomial(const BitVec& monomial) {
+  PITFALLS_REQUIRE(monomial.size() == n_, "monomial arity mismatch");
+  auto it = monomials_.find(monomial);
+  if (it == monomials_.end())
+    monomials_.insert(monomial);
+  else
+    monomials_.erase(it);
+}
+
+bool AnfPolynomial::has_monomial(const BitVec& monomial) const {
+  return monomials_.contains(monomial);
+}
+
+AnfPolynomial AnfPolynomial::operator^(const AnfPolynomial& other) const {
+  PITFALLS_REQUIRE(n_ == other.n_, "arity mismatch in polynomial XOR");
+  AnfPolynomial out = *this;
+  for (const auto& m : other.monomials_) out.toggle_monomial(m);
+  return out;
+}
+
+std::size_t AnfPolynomial::degree() const {
+  std::size_t d = 0;
+  for (const auto& m : monomials_) d = std::max(d, m.popcount());
+  return d;
+}
+
+std::string AnfPolynomial::describe() const {
+  std::ostringstream os;
+  os << "F2 polynomial, " << monomials_.size() << " monomials, degree "
+     << degree();
+  return os.str();
+}
+
+}  // namespace pitfalls::boolfn

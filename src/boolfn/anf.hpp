@@ -1,0 +1,68 @@
+// Algebraic normal form (ANF): multivariate polynomials over F2,
+//   f(x) = XOR_{S in monomials} prod_{i in S} x_i,   x in {0,1}^n.
+//
+// This is the representation class behind Corollary 2: XORs of small juntas
+// are sparse low-degree F2 polynomials, exactly learnable with membership
+// queries. The class stores the monomial set explicitly (sparse), and can be
+// derived from any truth table via the Moebius transform.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "boolfn/truth_table.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::boolfn {
+
+class AnfPolynomial final : public BooleanFunction {
+ public:
+  /// Zero polynomial (constant 0, i.e. +1 in the pm encoding) on n vars.
+  explicit AnfPolynomial(std::size_t n);
+
+  /// Polynomial from explicit monomials; each monomial is a variable mask of
+  /// length n (the empty mask is the constant-1 monomial).
+  AnfPolynomial(std::size_t n, std::vector<BitVec> monomials);
+
+  /// Exact ANF of a truth table via the Moebius transform, O(n 2^n).
+  static AnfPolynomial from_truth_table(const TruthTable& table);
+
+  /// Random polynomial with `terms` distinct monomials of degree <= degree
+  /// (degree >= 1; the constant term is never generated).
+  static AnfPolynomial random(std::size_t n, std::size_t terms,
+                              std::size_t degree, support::Rng& rng);
+
+  std::size_t num_vars() const override { return n_; }
+
+  /// f(x) over F2 (0/1 output).
+  bool eval_f2(const BitVec& x) const;
+
+  /// pm encoding: 0 -> +1, 1 -> -1.
+  int eval_pm(const BitVec& x) const override { return eval_f2(x) ? -1 : +1; }
+
+  std::string describe() const override;
+
+  /// Toggle a monomial: adds it if absent, removes it if present (F2 sum).
+  void toggle_monomial(const BitVec& monomial);
+
+  bool has_monomial(const BitVec& monomial) const;
+
+  /// XOR with another polynomial of the same arity.
+  AnfPolynomial operator^(const AnfPolynomial& other) const;
+
+  std::size_t sparsity() const { return monomials_.size(); }
+  std::size_t degree() const;
+  const std::set<BitVec>& monomials() const { return monomials_; }
+
+  bool operator==(const AnfPolynomial& other) const {
+    return n_ == other.n_ && monomials_ == other.monomials_;
+  }
+
+ private:
+  std::size_t n_;
+  std::set<BitVec> monomials_;
+};
+
+}  // namespace pitfalls::boolfn

@@ -1,0 +1,56 @@
+// Core Boolean-function abstraction.
+//
+// Conventions used throughout the library (and matching the paper):
+//   * inputs are bit vectors in {0,1}^n (support::BitVec);
+//   * the +/-1 encoding is chi(0) := +1, chi(1) := -1;
+//   * outputs are +/-1 ints (eval_pm) with the 0/1 view derived from it;
+//   * sgn(0) := +1 for threshold functions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "support/bitvec.hpp"
+
+namespace pitfalls::boolfn {
+
+using support::BitVec;
+
+/// Abstract Boolean function f : {0,1}^n -> {-1,+1}.
+class BooleanFunction {
+ public:
+  virtual ~BooleanFunction() = default;
+
+  /// Number of input variables n.
+  virtual std::size_t num_vars() const = 0;
+
+  /// Evaluate in the +/-1 range. `x.size()` must equal num_vars().
+  virtual int eval_pm(const BitVec& x) const = 0;
+
+  /// Evaluate in the {0,1} range: +1 -> 0, -1 -> 1 (consistent with chi).
+  bool eval_bit(const BitVec& x) const { return eval_pm(x) < 0; }
+
+  /// Human-readable description used in experiment logs.
+  virtual std::string describe() const { return "boolean function"; }
+};
+
+/// Adapter wrapping an arbitrary callable as a BooleanFunction.
+class FunctionView final : public BooleanFunction {
+ public:
+  using Fn = std::function<int(const BitVec&)>;
+
+  FunctionView(std::size_t n, Fn fn, std::string name = "lambda")
+      : n_(n), fn_(std::move(fn)), name_(std::move(name)) {}
+
+  std::size_t num_vars() const override { return n_; }
+  int eval_pm(const BitVec& x) const override { return fn_(x); }
+  std::string describe() const override { return name_; }
+
+ private:
+  std::size_t n_;
+  Fn fn_;
+  std::string name_;
+};
+
+}  // namespace pitfalls::boolfn

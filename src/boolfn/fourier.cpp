@@ -1,0 +1,179 @@
+#include "boolfn/fourier.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace pitfalls::boolfn {
+
+FourierSpectrum FourierSpectrum::of(const TruthTable& table) {
+  const std::size_t n = table.num_vars();
+  const std::uint64_t rows = table.num_rows();
+  std::vector<double> data(rows);
+  for (std::uint64_t row = 0; row < rows; ++row)
+    data[row] = static_cast<double>(table.at(row));
+
+  // In-place fast Walsh–Hadamard butterfly. After the transform,
+  // data[S] = sum_x f(x) * (-1)^{popcount(x & S)} = 2^n * fhat(S),
+  // because chi_S(x) = (-1)^{popcount(x & S)} under the chi encoding.
+  for (std::uint64_t len = 1; len < rows; len <<= 1) {
+    for (std::uint64_t block = 0; block < rows; block += len << 1) {
+      for (std::uint64_t i = block; i < block + len; ++i) {
+        const double a = data[i];
+        const double b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(rows);
+  for (auto& value : data) value *= scale;
+  return FourierSpectrum(n, std::move(data));
+}
+
+double FourierSpectrum::coefficient(std::uint64_t subset_mask) const {
+  PITFALLS_REQUIRE(subset_mask < coeffs_.size(), "subset mask out of range");
+  return coeffs_[subset_mask];
+}
+
+double FourierSpectrum::weight_at_degree(std::size_t d) const {
+  double total = 0.0;
+  for (std::uint64_t mask = 0; mask < coeffs_.size(); ++mask)
+    if (static_cast<std::size_t>(std::popcount(mask)) == d)
+      total += coeffs_[mask] * coeffs_[mask];
+  return total;
+}
+
+double FourierSpectrum::weight_up_to_degree(std::size_t d) const {
+  double total = 0.0;
+  for (std::uint64_t mask = 0; mask < coeffs_.size(); ++mask)
+    if (static_cast<std::size_t>(std::popcount(mask)) <= d)
+      total += coeffs_[mask] * coeffs_[mask];
+  return total;
+}
+
+double FourierSpectrum::total_weight() const {
+  double total = 0.0;
+  for (auto c : coeffs_) total += c * c;
+  return total;
+}
+
+double FourierSpectrum::noise_sensitivity(double eps) const {
+  PITFALLS_REQUIRE(eps >= 0.0 && eps <= 1.0, "eps must be in [0,1]");
+  const double rho = 1.0 - 2.0 * eps;
+  double stability = 0.0;
+  for (std::uint64_t mask = 0; mask < coeffs_.size(); ++mask) {
+    const int degree = std::popcount(mask);
+    stability += std::pow(rho, degree) * coeffs_[mask] * coeffs_[mask];
+  }
+  return 0.5 - 0.5 * stability;
+}
+
+TruthTable FourierSpectrum::truncated_sign(std::size_t d) const {
+  // Zero out coefficients above degree d and invert the WHT.
+  std::vector<double> data = coeffs_;
+  for (std::uint64_t mask = 0; mask < data.size(); ++mask)
+    if (static_cast<std::size_t>(std::popcount(mask)) > d) data[mask] = 0.0;
+
+  const std::uint64_t rows = data.size();
+  for (std::uint64_t len = 1; len < rows; len <<= 1) {
+    for (std::uint64_t block = 0; block < rows; block += len << 1) {
+      for (std::uint64_t i = block; i < block + len; ++i) {
+        const double a = data[i];
+        const double b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+  // The forward transform already divided by 2^n, and the WHT matrix is its
+  // own inverse up to that factor, so `data` now holds the truncation values.
+  TruthTable out(n_);
+  for (std::uint64_t row = 0; row < rows; ++row)
+    out.set(row, data[row] < 0.0 ? -1 : +1);
+  return out;
+}
+
+namespace {
+
+BitVec uniform_input(std::size_t n, support::Rng& rng) {
+  BitVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x.set(i, rng.coin());
+  return x;
+}
+
+}  // namespace
+
+double estimate_coefficient(const BooleanFunction& f, const BitVec& subset,
+                            std::size_t m, support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one sample");
+  PITFALLS_REQUIRE(subset.size() == f.num_vars(), "subset arity mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const BitVec x = uniform_input(f.num_vars(), rng);
+    const int chi = x.masked_parity(subset) ? -1 : +1;
+    sum += static_cast<double>(f.eval_pm(x) * chi);
+  }
+  return sum / static_cast<double>(m);
+}
+
+std::vector<double> estimate_coefficients(
+    const BooleanFunction& f, const std::vector<BitVec>& subsets,
+    std::size_t m, support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one sample");
+  std::vector<BitVec> challenges;
+  std::vector<int> responses;
+  challenges.reserve(m);
+  responses.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    BitVec x = uniform_input(f.num_vars(), rng);
+    responses.push_back(f.eval_pm(x));
+    challenges.push_back(std::move(x));
+  }
+  return estimate_coefficients_from_data(challenges, responses, subsets);
+}
+
+std::vector<double> estimate_coefficients_from_data(
+    const std::vector<BitVec>& challenges, const std::vector<int>& responses,
+    const std::vector<BitVec>& subsets) {
+  PITFALLS_REQUIRE(!challenges.empty(), "empty CRP set");
+  PITFALLS_REQUIRE(challenges.size() == responses.size(),
+                   "challenge/response size mismatch");
+  std::vector<double> out(subsets.size(), 0.0);
+  for (std::size_t s = 0; s < subsets.size(); ++s) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < challenges.size(); ++i) {
+      const int chi = challenges[i].masked_parity(subsets[s]) ? -1 : +1;
+      sum += static_cast<double>(responses[i] * chi);
+    }
+    out[s] = sum / static_cast<double>(challenges.size());
+  }
+  return out;
+}
+
+double estimate_noise_sensitivity(const BooleanFunction& f, double eps,
+                                  std::size_t m, support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one sample");
+  PITFALLS_REQUIRE(eps >= 0.0 && eps <= 1.0, "eps must be in [0,1]");
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const BitVec x = uniform_input(f.num_vars(), rng);
+    BitVec y = x;
+    for (std::size_t bit = 0; bit < y.size(); ++bit)
+      if (rng.bernoulli(eps)) y.flip(bit);
+    if (f.eval_pm(x) != f.eval_pm(y)) ++disagreements;
+  }
+  return static_cast<double>(disagreements) / static_cast<double>(m);
+}
+
+double estimate_bias(const BooleanFunction& f, std::size_t m,
+                     support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one sample");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    sum += static_cast<double>(f.eval_pm(uniform_input(f.num_vars(), rng)));
+  return sum / static_cast<double>(m);
+}
+
+}  // namespace pitfalls::boolfn

@@ -1,0 +1,81 @@
+// Fourier analysis of Boolean functions over the +/-1 encoding:
+//   f(x) = sum_S fhat(S) chi_S(x),  chi_S(x) = prod_{i in S} x_i,
+//   fhat(S) = E_{x ~ U}[f(x) chi_S(x)].
+//
+// Provides the exact spectrum via a fast Walsh–Hadamard transform for
+// materialised truth tables, and sampled estimators (from an oracle or from a
+// fixed CRP set) for functions too large to materialise. These estimators are
+// exactly what the LMN algorithm, the Chow reconstruction and the halfspace
+// tester consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "boolfn/truth_table.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::boolfn {
+
+/// Exact Fourier spectrum of a truth table: entry S (as a bitmask over
+/// variables) holds fhat(S). Computed with an in-place fast WHT, O(n 2^n).
+class FourierSpectrum {
+ public:
+  static FourierSpectrum of(const TruthTable& table);
+
+  std::size_t num_vars() const { return n_; }
+  double coefficient(std::uint64_t subset_mask) const;
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  /// Fourier weight at exactly degree d: sum of fhat(S)^2 over |S| = d.
+  double weight_at_degree(std::size_t d) const;
+
+  /// Fourier weight up to degree d (inclusive).
+  double weight_up_to_degree(std::size_t d) const;
+
+  /// Total weight (Parseval: equals 1 for a +/-1 function).
+  double total_weight() const;
+
+  /// Noise sensitivity at flip probability eps, computed exactly from the
+  /// spectrum: NS_eps(f) = 1/2 - 1/2 sum_S (1-2 eps)^{|S|} fhat(S)^2.
+  double noise_sensitivity(double eps) const;
+
+  /// Reconstruct the sign of the degree-<=d truncation as a truth table.
+  /// Rows where the truncation is exactly zero are mapped to +1.
+  TruthTable truncated_sign(std::size_t d) const;
+
+ private:
+  FourierSpectrum(std::size_t n, std::vector<double> coeffs)
+      : n_(n), coeffs_(std::move(coeffs)) {}
+
+  std::size_t n_ = 0;
+  std::vector<double> coeffs_;
+};
+
+/// Sampled estimate of fhat(S) using m uniform oracle queries.
+double estimate_coefficient(const BooleanFunction& f, const BitVec& subset,
+                            std::size_t m, support::Rng& rng);
+
+/// Estimate fhat(S) for every S in `subsets` from one shared uniform sample
+/// of size m (the LMN query pattern: one sample, many coefficients).
+std::vector<double> estimate_coefficients(
+    const BooleanFunction& f, const std::vector<BitVec>& subsets,
+    std::size_t m, support::Rng& rng);
+
+/// Estimate fhat(S) for every S in `subsets` from a fixed labelled CRP set
+/// (challenges[i] with +/-1 response responses[i]).
+std::vector<double> estimate_coefficients_from_data(
+    const std::vector<BitVec>& challenges, const std::vector<int>& responses,
+    const std::vector<BitVec>& subsets);
+
+/// Sampled noise sensitivity: draw m uniform x, rerandomise each bit with
+/// probability eps, count disagreements.
+double estimate_noise_sensitivity(const BooleanFunction& f, double eps,
+                                  std::size_t m, support::Rng& rng);
+
+/// Sampled bias E[f].
+double estimate_bias(const BooleanFunction& f, std::size_t m,
+                     support::Rng& rng);
+
+}  // namespace pitfalls::boolfn

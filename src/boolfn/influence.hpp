@@ -1,0 +1,41 @@
+// Variable influences and junta structure.
+//
+// Inf_i(f) = Pr_x[f(x) != f(x with bit i flipped)]. A variable is relevant
+// iff its influence is non-zero; a k-junta depends on at most k variables.
+// Corollary 2's argument walks through juntas (Bourgain's theorem), so these
+// utilities back both the junta learner and its tests.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "boolfn/truth_table.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::boolfn {
+
+/// Exact influence of variable i from a truth table.
+double influence(const TruthTable& table, std::size_t i);
+
+/// All n exact influences.
+std::vector<double> influences(const TruthTable& table);
+
+/// Total influence (sum over variables).
+double total_influence(const TruthTable& table);
+
+/// Sampled influence of variable i using m uniform queries.
+double estimate_influence(const BooleanFunction& f, std::size_t i,
+                          std::size_t m, support::Rng& rng);
+
+/// Indices of variables with non-zero influence (exact, truth table).
+std::vector<std::size_t> relevant_variables(const TruthTable& table);
+
+/// True iff the function depends on at most k variables.
+bool is_junta(const TruthTable& table, std::size_t k);
+
+/// Restrict f to the given variables: returns the truth table over the
+/// `kept` variables obtained by fixing every other variable to `fill`.
+TruthTable restrict_to(const BooleanFunction& f,
+                       const std::vector<std::size_t>& kept, bool fill);
+
+}  // namespace pitfalls::boolfn

@@ -1,0 +1,56 @@
+#include "boolfn/ltf.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::boolfn {
+
+Ltf::Ltf(std::vector<double> weights, double threshold)
+    : weights_(std::move(weights)), threshold_(threshold) {
+  PITFALLS_REQUIRE(!weights_.empty(), "an LTF needs at least one weight");
+}
+
+Ltf Ltf::random(std::size_t n, support::Rng& rng) {
+  std::vector<double> w(n);
+  for (auto& weight : w) weight = rng.gaussian();
+  return Ltf(std::move(w), 0.0);
+}
+
+Ltf Ltf::random_decaying(std::size_t n, double ratio, support::Rng& rng) {
+  PITFALLS_REQUIRE(ratio > 0.0 && ratio <= 1.0, "decay ratio must be in (0,1]");
+  std::vector<double> w(n);
+  double scale = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = scale * rng.gaussian();
+    scale *= ratio;
+  }
+  return Ltf(std::move(w), 0.0);
+}
+
+double Ltf::margin(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == weights_.size(), "input arity mismatch");
+  double sum = -threshold_;
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    sum += weights_[i] * static_cast<double>(x.pm_one(i));
+  return sum;
+}
+
+int Ltf::eval_pm(const BitVec& x) const {
+  return margin(x) < 0.0 ? -1 : +1;  // sgn(0) := +1
+}
+
+double Ltf::weight_norm() const {
+  double sum = 0.0;
+  for (auto w : weights_) sum += w * w;
+  return std::sqrt(sum);
+}
+
+std::string Ltf::describe() const {
+  std::ostringstream os;
+  os << "LTF over " << weights_.size() << " vars (theta=" << threshold_ << ")";
+  return os.str();
+}
+
+}  // namespace pitfalls::boolfn

@@ -1,0 +1,46 @@
+// Linear threshold functions (halfspaces) over the +/-1 encoding:
+//   f(x) = sgn( sum_i w_i x_i - theta ),  sgn(0) := +1.
+//
+// Arbiter PUFs are exactly representable in this class (Section III-A of the
+// paper); BR PUFs are *claimed* to be — the claim Tables II/III refute.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::boolfn {
+
+class Ltf final : public BooleanFunction {
+ public:
+  /// weights.size() defines the arity.
+  Ltf(std::vector<double> weights, double threshold);
+
+  /// Random LTF with i.i.d. N(0,1) weights and zero threshold.
+  static Ltf random(std::size_t n, support::Rng& rng);
+
+  /// Random LTF whose weight magnitudes decay geometrically (|w_i| ~ r^i):
+  /// such LTFs are close to juntas on their leading variables, the regime
+  /// Corollary 2's membership-query argument relies on.
+  static Ltf random_decaying(std::size_t n, double ratio, support::Rng& rng);
+
+  std::size_t num_vars() const override { return weights_.size(); }
+  int eval_pm(const BitVec& x) const override;
+  std::string describe() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double threshold() const { return threshold_; }
+
+  /// The real-valued margin sum_i w_i x_i - theta.
+  double margin(const BitVec& x) const;
+
+  /// L2 norm of the weight vector (excluding the threshold).
+  double weight_norm() const;
+
+ private:
+  std::vector<double> weights_;
+  double threshold_;
+};
+
+}  // namespace pitfalls::boolfn

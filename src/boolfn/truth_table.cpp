@@ -1,0 +1,61 @@
+#include "boolfn/truth_table.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::boolfn {
+
+namespace {
+constexpr std::size_t kMaxVars = 26;  // 2^26 ints = 256 MiB; hard cap
+}
+
+TruthTable::TruthTable(std::size_t n) : n_(n) {
+  PITFALLS_REQUIRE(n <= kMaxVars, "truth table too large to materialise");
+  values_.assign(std::uint64_t{1} << n, +1);
+}
+
+TruthTable TruthTable::from_function(const BooleanFunction& f) {
+  TruthTable t(f.num_vars());
+  const std::size_t n = t.n_;
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    const BitVec x(n, row);
+    t.values_[row] = f.eval_pm(x);
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_values(std::size_t n, std::vector<int> values) {
+  TruthTable t(n);
+  PITFALLS_REQUIRE(values.size() == t.num_rows(),
+                   "value vector must have 2^n entries");
+  for (auto v : values)
+    PITFALLS_REQUIRE(v == +1 || v == -1, "truth table values must be +/-1");
+  t.values_ = std::move(values);
+  return t;
+}
+
+int TruthTable::eval_pm(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == n_, "input arity mismatch");
+  return values_[x.to_uint64()];
+}
+
+void TruthTable::set(std::uint64_t row, int pm_value) {
+  PITFALLS_REQUIRE(row < num_rows(), "row out of range");
+  PITFALLS_REQUIRE(pm_value == +1 || pm_value == -1, "value must be +/-1");
+  values_[row] = pm_value;
+}
+
+double TruthTable::distance(const TruthTable& other) const {
+  PITFALLS_REQUIRE(n_ == other.n_, "arity mismatch in distance");
+  std::uint64_t disagreements = 0;
+  for (std::uint64_t row = 0; row < num_rows(); ++row)
+    if (values_[row] != other.values_[row]) ++disagreements;
+  return static_cast<double>(disagreements) / static_cast<double>(num_rows());
+}
+
+double TruthTable::bias() const {
+  std::int64_t sum = 0;
+  for (auto v : values_) sum += v;
+  return static_cast<double>(sum) / static_cast<double>(num_rows());
+}
+
+}  // namespace pitfalls::boolfn

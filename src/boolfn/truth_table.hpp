@@ -1,0 +1,51 @@
+// Dense truth table for small n (n <= 26 or so): the workhorse for exact
+// Fourier analysis, exact distances between functions and exhaustive test
+// oracles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+
+namespace pitfalls::boolfn {
+
+class TruthTable final : public BooleanFunction {
+ public:
+  /// Constant +1 table on n variables.
+  explicit TruthTable(std::size_t n);
+
+  /// Materialise any BooleanFunction (evaluates it 2^n times).
+  static TruthTable from_function(const BooleanFunction& f);
+
+  /// Build from a +/-1 value vector of length 2^n; index bit i of the row
+  /// index is input bit i.
+  static TruthTable from_values(std::size_t n, std::vector<int> values);
+
+  std::size_t num_vars() const override { return n_; }
+  int eval_pm(const BitVec& x) const override;
+  std::string describe() const override { return "truth table"; }
+
+  /// Direct row access, index in [0, 2^n).
+  int at(std::uint64_t row) const { return values_[row]; }
+  void set(std::uint64_t row, int pm_value);
+
+  std::uint64_t num_rows() const { return values_.size(); }
+  const std::vector<int>& values() const { return values_; }
+
+  /// Fraction of inputs where the two tables disagree. Sizes must match.
+  double distance(const TruthTable& other) const;
+
+  /// E[f] over the uniform distribution.
+  double bias() const;
+
+  bool operator==(const TruthTable& other) const {
+    return n_ == other.n_ && values_ == other.values_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<int> values_;  // +/-1 per row
+};
+
+}  // namespace pitfalls::boolfn

@@ -1,0 +1,313 @@
+#include "circuit/analysis.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace pitfalls::circuit {
+
+std::vector<std::size_t> gate_depths(const Netlist& netlist) {
+  std::vector<std::size_t> depth(netlist.num_gates(), 0);
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    for (auto f : g.fanins) depth[id] = std::max(depth[id], depth[f] + 1);
+  }
+  return depth;
+}
+
+std::vector<std::size_t> fanouts(const Netlist& netlist) {
+  std::vector<std::size_t> count(netlist.num_gates(), 0);
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id)
+    for (auto f : netlist.gate(id).fanins) ++count[f];
+  return count;
+}
+
+std::vector<bool> output_cone(const Netlist& netlist) {
+  std::vector<bool> in_cone(netlist.num_gates(), false);
+  std::vector<std::size_t> stack(netlist.outputs().begin(),
+                                 netlist.outputs().end());
+  for (auto id : stack) in_cone[id] = true;
+  while (!stack.empty()) {
+    const std::size_t id = stack.back();
+    stack.pop_back();
+    for (auto f : netlist.gate(id).fanins)
+      if (!in_cone[f]) {
+        in_cone[f] = true;
+        stack.push_back(f);
+      }
+  }
+  return in_cone;
+}
+
+NetlistStats analyze(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.inputs = netlist.num_inputs();
+  stats.outputs = netlist.num_outputs();
+  stats.logic_gates = netlist.logic_gate_count();
+
+  const auto depth = gate_depths(netlist);
+  for (auto id : netlist.outputs())
+    stats.depth = std::max(stats.depth, depth[id]);
+
+  const auto fanout = fanouts(netlist);
+  for (auto f : fanout) stats.max_fanout = std::max(stats.max_fanout, f);
+
+  const auto cone = output_cone(netlist);
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    const GateType t = netlist.gate(id).type;
+    if (!cone[id] && t != GateType::kInput && t != GateType::kConst0 &&
+        t != GateType::kConst1)
+      ++stats.dead_gates;
+  }
+  return stats;
+}
+
+namespace {
+
+/// Rebuilds a netlist with constants folded; dead logic disappears because
+/// gates are materialised lazily from the outputs.
+class Simplifier {
+ public:
+  explicit Simplifier(const Netlist& source) : src_(source) {
+    compute_constants();
+    new_id_.assign(src_.num_gates(), SIZE_MAX);
+    // Inputs are always preserved, in order.
+    for (auto id : src_.inputs()) new_id_[id] = out_.add_input(src_.gate(id).name);
+  }
+
+  Netlist run() {
+    std::vector<bool> marked(1, false);  // grown on demand
+    for (auto output : src_.outputs()) {
+      std::size_t id = build(output);
+      if (id >= marked.size()) marked.resize(out_.num_gates(), false);
+      if (marked[id]) {
+        // A gate can be a primary output only once; alias through a buffer.
+        id = out_.add_gate(GateType::kBuf, {id});
+        marked.resize(out_.num_gates(), false);
+      }
+      marked[id] = true;
+      out_.mark_output(id);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  static constexpr int kUnknown = -1;
+
+  void compute_constants() {
+    const_val_.assign(src_.num_gates(), kUnknown);
+    for (std::size_t id = 0; id < src_.num_gates(); ++id) {
+      const Gate& g = src_.gate(id);
+      auto value_of = [&](std::size_t f) { return const_val_[f]; };
+      switch (g.type) {
+        case GateType::kInput:
+          break;
+        case GateType::kConst0:
+          const_val_[id] = 0;
+          break;
+        case GateType::kConst1:
+          const_val_[id] = 1;
+          break;
+        case GateType::kBuf:
+          const_val_[id] = value_of(g.fanins[0]);
+          break;
+        case GateType::kNot:
+          if (value_of(g.fanins[0]) != kUnknown)
+            const_val_[id] = 1 - value_of(g.fanins[0]);
+          break;
+        case GateType::kAnd:
+        case GateType::kNand: {
+          int acc = 1;
+          for (auto f : g.fanins) {
+            if (value_of(f) == 0) {
+              acc = 0;
+              break;
+            }
+            if (value_of(f) == kUnknown) acc = kUnknown;
+          }
+          if (acc != kUnknown)
+            const_val_[id] = g.type == GateType::kAnd ? acc : 1 - acc;
+          break;
+        }
+        case GateType::kOr:
+        case GateType::kNor: {
+          int acc = 0;
+          for (auto f : g.fanins) {
+            if (value_of(f) == 1) {
+              acc = 1;
+              break;
+            }
+            if (value_of(f) == kUnknown) acc = kUnknown;
+          }
+          if (acc != kUnknown)
+            const_val_[id] = g.type == GateType::kOr ? acc : 1 - acc;
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          int acc = g.type == GateType::kXnor ? 1 : 0;
+          bool known = true;
+          for (auto f : g.fanins) {
+            if (value_of(f) == kUnknown) {
+              known = false;
+              break;
+            }
+            acc ^= value_of(f);
+          }
+          if (known) const_val_[id] = acc;
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t materialize_const(bool value) {
+    std::size_t& cached = value ? const1_id_ : const0_id_;
+    if (cached == SIZE_MAX)
+      cached = out_.add_gate(value ? GateType::kConst1 : GateType::kConst0, {});
+    return cached;
+  }
+
+  std::size_t negate(std::size_t id) {
+    return out_.add_gate(GateType::kNot, {id});
+  }
+
+  std::size_t build(std::size_t id) {
+    if (new_id_[id] != SIZE_MAX) return new_id_[id];
+    if (const_val_[id] != kUnknown)
+      return new_id_[id] = materialize_const(const_val_[id] == 1);
+
+    const Gate& g = src_.gate(id);
+    std::size_t result = SIZE_MAX;
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        PITFALLS_ENSURE(false, "handled above");
+        break;
+      case GateType::kBuf:
+        result = build(g.fanins[0]);  // alias through
+        break;
+      case GateType::kNot:
+        result = negate(build(g.fanins[0]));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool is_and =
+            g.type == GateType::kAnd || g.type == GateType::kNand;
+        const bool inverted =
+            g.type == GateType::kNand || g.type == GateType::kNor;
+        // Absorbing constants were handled by compute_constants; remaining
+        // constants are the neutral element and can be dropped.
+        std::vector<std::size_t> fanins;
+        for (auto f : g.fanins)
+          if (const_val_[f] == kUnknown) fanins.push_back(build(f));
+        PITFALLS_ENSURE(!fanins.empty(), "constant gate slipped through");
+        if (fanins.size() == 1) {
+          result = inverted ? negate(fanins[0]) : fanins[0];
+        } else {
+          result = out_.add_gate(
+              inverted ? (is_and ? GateType::kNand : GateType::kNor)
+                       : (is_and ? GateType::kAnd : GateType::kOr),
+              std::move(fanins));
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool flip = g.type == GateType::kXnor;
+        std::vector<std::size_t> fanins;
+        for (auto f : g.fanins) {
+          if (const_val_[f] == kUnknown)
+            fanins.push_back(build(f));
+          else if (const_val_[f] == 1)
+            flip = !flip;
+        }
+        PITFALLS_ENSURE(!fanins.empty(), "constant gate slipped through");
+        if (fanins.size() == 1) {
+          result = flip ? negate(fanins[0]) : fanins[0];
+        } else {
+          result = out_.add_gate(flip ? GateType::kXnor : GateType::kXor,
+                                 std::move(fanins));
+        }
+        break;
+      }
+    }
+    return new_id_[id] = result;
+  }
+
+  const Netlist& src_;
+  Netlist out_;
+  std::vector<int> const_val_;
+  std::vector<std::size_t> new_id_;
+  std::size_t const0_id_ = SIZE_MAX;
+  std::size_t const1_id_ = SIZE_MAX;
+};
+
+}  // namespace
+
+Netlist simplify(const Netlist& netlist) { return Simplifier(netlist).run(); }
+
+Netlist specialize(const Netlist& netlist,
+                   const std::vector<std::pair<std::size_t, bool>>& pins) {
+  std::vector<int> pin_value(netlist.num_inputs(), -1);
+  for (const auto& [position, value] : pins) {
+    PITFALLS_REQUIRE(position < netlist.num_inputs(),
+                     "pin position out of range");
+    PITFALLS_REQUIRE(pin_value[position] == -1, "input pinned twice");
+    pin_value[position] = value ? 1 : 0;
+  }
+
+  Netlist out;
+  std::vector<std::size_t> remap(netlist.num_gates());
+  std::size_t const_ids[2] = {SIZE_MAX, SIZE_MAX};
+  auto constant = [&](bool v) {
+    std::size_t& cached = const_ids[v ? 1 : 0];
+    if (cached == SIZE_MAX)
+      cached = out.add_gate(v ? GateType::kConst1 : GateType::kConst0, {});
+    return cached;
+  };
+
+  std::size_t input_position = 0;
+  std::vector<bool> marked;
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::kInput) {
+      const int pv = pin_value[input_position++];
+      remap[id] = pv == -1 ? out.add_input(g.name)
+                           : constant(pv == 1);
+      continue;
+    }
+    std::vector<std::size_t> fanins;
+    for (auto f : g.fanins) fanins.push_back(remap[f]);
+    remap[id] = out.add_gate(g.type, std::move(fanins), g.name);
+  }
+  marked.assign(out.num_gates(), false);
+  for (auto output : netlist.outputs()) {
+    std::size_t id = remap[output];
+    if (id < marked.size() && marked[id]) {
+      id = out.add_gate(GateType::kBuf, {id});
+      marked.resize(out.num_gates(), false);
+    }
+    if (id >= marked.size()) marked.resize(out.num_gates(), false);
+    marked[id] = true;
+    out.mark_output(id);
+  }
+  return out;
+}
+
+bool equivalent_exhaustive(const Netlist& a, const Netlist& b) {
+  PITFALLS_REQUIRE(a.num_inputs() <= 20, "too many inputs for exhaustion");
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs())
+    return false;
+  const std::uint64_t patterns = std::uint64_t{1} << a.num_inputs();
+  for (std::uint64_t v = 0; v < patterns; ++v) {
+    const support::BitVec in(a.num_inputs(), v);
+    if (a.evaluate(in) != b.evaluate(in)) return false;
+  }
+  return true;
+}
+
+}  // namespace pitfalls::circuit

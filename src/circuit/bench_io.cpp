@@ -1,0 +1,188 @@
+#include "circuit/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::circuit {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+GateType parse_gate_type(const std::string& keyword) {
+  const std::string k = upper(keyword);
+  if (k == "BUF" || k == "BUFF") return GateType::kBuf;
+  if (k == "NOT" || k == "INV") return GateType::kNot;
+  if (k == "AND") return GateType::kAnd;
+  if (k == "OR") return GateType::kOr;
+  if (k == "NAND") return GateType::kNand;
+  if (k == "NOR") return GateType::kNor;
+  if (k == "XOR") return GateType::kXor;
+  if (k == "XNOR") return GateType::kXnor;
+  if (k == "CONST0") return GateType::kConst0;
+  if (k == "CONST1") return GateType::kConst1;
+  PITFALLS_REQUIRE(false, "unknown gate type: " + keyword);
+  return GateType::kBuf;  // unreachable
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type = GateType::kBuf;
+  std::vector<std::string> fanin_names;
+};
+
+}  // namespace
+
+Netlist read_bench(const std::string& text) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto open = line.find('(');
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(y)
+      PITFALLS_REQUIRE(open != std::string::npos && line.back() == ')',
+                       "malformed .bench line: " + line);
+      const std::string keyword = upper(trim(line.substr(0, open)));
+      const std::string name =
+          trim(line.substr(open + 1, line.size() - open - 2));
+      PITFALLS_REQUIRE(!name.empty(), "empty net name: " + line);
+      if (keyword == "INPUT")
+        input_names.push_back(name);
+      else if (keyword == "OUTPUT")
+        output_names.push_back(name);
+      else
+        PITFALLS_REQUIRE(false, "unknown .bench directive: " + line);
+      continue;
+    }
+
+    // name = TYPE(fanin, fanin, ...)
+    PendingGate gate;
+    gate.name = trim(line.substr(0, eq));
+    PITFALLS_REQUIRE(!gate.name.empty(), "missing gate name: " + line);
+    const std::string rhs = trim(line.substr(eq + 1));
+    const auto rhs_open = rhs.find('(');
+    PITFALLS_REQUIRE(rhs_open != std::string::npos && rhs.back() == ')',
+                     "malformed gate definition: " + line);
+    gate.type = parse_gate_type(trim(rhs.substr(0, rhs_open)));
+    const std::string args =
+        rhs.substr(rhs_open + 1, rhs.size() - rhs_open - 2);
+    std::istringstream argstream(args);
+    std::string arg;
+    while (std::getline(argstream, arg, ',')) {
+      arg = trim(arg);
+      PITFALLS_REQUIRE(!arg.empty(), "empty fanin in: " + line);
+      gate.fanin_names.push_back(arg);
+    }
+    pending.push_back(std::move(gate));
+  }
+
+  // Resolve names and topologically sort the defined gates.
+  std::map<std::string, std::size_t> defined;  // name -> index in pending
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PITFALLS_REQUIRE(!defined.contains(pending[i].name),
+                     "net defined twice: " + pending[i].name);
+    defined.emplace(pending[i].name, i);
+  }
+
+  Netlist netlist;
+  std::map<std::string, std::size_t> id_of;  // net name -> gate id
+  for (const auto& name : input_names) {
+    PITFALLS_REQUIRE(!id_of.contains(name), "input declared twice: " + name);
+    PITFALLS_REQUIRE(!defined.contains(name),
+                     "net is both input and gate: " + name);
+    id_of.emplace(name, netlist.add_input(name));
+  }
+
+  // Iterative DFS post-order to respect the topological constraint.
+  std::vector<int> state(pending.size(), 0);  // 0=unvisited 1=active 2=done
+  for (std::size_t root = 0; root < pending.size(); ++root) {
+    if (state[root] == 2) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [idx, next_child] = stack.back();
+      const PendingGate& g = pending[idx];
+      if (next_child < g.fanin_names.size()) {
+        const std::string& fanin = g.fanin_names[next_child++];
+        if (id_of.contains(fanin)) continue;  // input or already built
+        const auto it = defined.find(fanin);
+        PITFALLS_REQUIRE(it != defined.end(), "undefined net: " + fanin);
+        PITFALLS_REQUIRE(state[it->second] != 1,
+                         "combinational cycle through: " + fanin);
+        if (state[it->second] == 0) {
+          state[it->second] = 1;
+          stack.emplace_back(it->second, 0);
+        }
+      } else {
+        std::vector<std::size_t> fanins;
+        fanins.reserve(g.fanin_names.size());
+        for (const auto& fanin : g.fanin_names) fanins.push_back(id_of.at(fanin));
+        id_of.emplace(g.name, netlist.add_gate(g.type, std::move(fanins), g.name));
+        state[idx] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+
+  for (const auto& name : output_names) {
+    const auto it = id_of.find(name);
+    PITFALLS_REQUIRE(it != id_of.end(), "undefined output net: " + name);
+    netlist.mark_output(it->second);
+  }
+  return netlist;
+}
+
+std::string write_bench(const Netlist& netlist) {
+  // Assign printable names (keep existing, synthesise g<N> otherwise).
+  std::vector<std::string> name(netlist.num_gates());
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    name[id] = netlist.gate(id).name.empty() ? "g" + std::to_string(id)
+                                             : netlist.gate(id).name;
+  }
+
+  std::ostringstream os;
+  os << "# written by pitfalls::circuit\n";
+  for (auto id : netlist.inputs()) os << "INPUT(" << name[id] << ")\n";
+  for (auto id : netlist.outputs()) os << "OUTPUT(" << name[id] << ")\n";
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::kInput) continue;
+    os << name[id] << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t f = 0; f < g.fanins.size(); ++f) {
+      if (f > 0) os << ", ";
+      os << name[g.fanins[f]];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace pitfalls::circuit

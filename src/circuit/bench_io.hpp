@@ -1,0 +1,23 @@
+// Reader/writer for the ISCAS .bench netlist format:
+//   # comment
+//   INPUT(a)
+//   OUTPUT(y)
+//   y = NAND(a, b)
+// Gate lines may appear in any order; the reader resolves names and
+// topologically sorts before building the Netlist.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace pitfalls::circuit {
+
+/// Parse .bench text. Throws std::invalid_argument on malformed input,
+/// unknown gate types, undefined nets, or combinational cycles.
+Netlist read_bench(const std::string& text);
+
+/// Serialise to .bench text (gates named g<N> when unnamed).
+std::string write_bench(const Netlist& netlist);
+
+}  // namespace pitfalls::circuit

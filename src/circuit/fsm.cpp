@@ -1,0 +1,84 @@
+#include "circuit/fsm.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::circuit {
+
+MealyMachine::MealyMachine(std::size_t num_states, std::size_t num_inputs,
+                           std::size_t num_outputs, std::size_t reset_state)
+    : inputs_(num_inputs), outputs_(num_outputs), reset_(reset_state) {
+  PITFALLS_REQUIRE(num_states > 0, "FSM needs at least one state");
+  PITFALLS_REQUIRE(num_inputs > 0, "FSM needs at least one input symbol");
+  PITFALLS_REQUIRE(num_outputs > 0, "FSM needs at least one output symbol");
+  PITFALLS_REQUIRE(reset_state < num_states, "reset state out of range");
+  next_.assign(num_states, std::vector<std::size_t>(num_inputs, 0));
+  out_.assign(num_states, std::vector<std::size_t>(num_inputs, 0));
+  for (std::size_t s = 0; s < num_states; ++s)
+    for (std::size_t i = 0; i < num_inputs; ++i) next_[s][i] = s;
+}
+
+void MealyMachine::set_transition(std::size_t state, std::size_t input,
+                                  std::size_t next_state, std::size_t output) {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  PITFALLS_REQUIRE(input < inputs_, "input symbol out of range");
+  PITFALLS_REQUIRE(next_state < num_states(), "next state out of range");
+  PITFALLS_REQUIRE(output < outputs_, "output symbol out of range");
+  next_[state][input] = next_state;
+  out_[state][input] = output;
+}
+
+std::size_t MealyMachine::next_state(std::size_t state,
+                                     std::size_t input) const {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  PITFALLS_REQUIRE(input < inputs_, "input symbol out of range");
+  return next_[state][input];
+}
+
+std::size_t MealyMachine::output(std::size_t state, std::size_t input) const {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  PITFALLS_REQUIRE(input < inputs_, "input symbol out of range");
+  return out_[state][input];
+}
+
+std::size_t MealyMachine::run(const ml::Word& word) const {
+  std::size_t state = reset_;
+  for (auto symbol : word) state = next_state(state, symbol);
+  return state;
+}
+
+std::vector<std::size_t> MealyMachine::trace(const ml::Word& word) const {
+  std::vector<std::size_t> outputs;
+  outputs.reserve(word.size());
+  std::size_t state = reset_;
+  for (auto symbol : word) {
+    outputs.push_back(output(state, symbol));
+    state = next_state(state, symbol);
+  }
+  return outputs;
+}
+
+MealyMachine MealyMachine::random(std::size_t num_states,
+                                  std::size_t num_inputs,
+                                  std::size_t num_outputs,
+                                  support::Rng& rng) {
+  MealyMachine machine(num_states, num_inputs, num_outputs, 0);
+  for (std::size_t s = 0; s < num_states; ++s)
+    for (std::size_t i = 0; i < num_inputs; ++i)
+      machine.set_transition(
+          s, i, static_cast<std::size_t>(rng.uniform_below(num_states)),
+          static_cast<std::size_t>(rng.uniform_below(num_outputs)));
+  return machine;
+}
+
+ml::Dfa MealyMachine::to_acceptance_dfa(
+    const std::set<std::size_t>& accepting_states) const {
+  ml::Dfa dfa(num_states(), inputs_, reset_);
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    for (std::size_t i = 0; i < inputs_; ++i)
+      dfa.set_transition(s, i, next_[s][i]);
+    dfa.set_accepting(s, accepting_states.contains(s));
+  }
+  return dfa;
+}
+
+}  // namespace pitfalls::circuit

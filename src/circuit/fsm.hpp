@@ -1,0 +1,53 @@
+// Mealy finite state machines — the sequential-circuit abstraction behind
+// the paper's Section V-B discussion of learning obfuscated FSMs.
+//
+// to_acceptance_dfa() projects the machine onto a DFA whose language is
+// "input words that leave the FSM in one of the given states" — exactly
+// what Angluin's L* can learn, DFA-representation and all.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "ml/dfa.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::circuit {
+
+class MealyMachine {
+ public:
+  MealyMachine(std::size_t num_states, std::size_t num_inputs,
+               std::size_t num_outputs, std::size_t reset_state);
+
+  std::size_t num_states() const { return next_.size(); }
+  std::size_t num_inputs() const { return inputs_; }
+  std::size_t num_outputs() const { return outputs_; }
+  std::size_t reset_state() const { return reset_; }
+
+  void set_transition(std::size_t state, std::size_t input,
+                      std::size_t next_state, std::size_t output);
+  std::size_t next_state(std::size_t state, std::size_t input) const;
+  std::size_t output(std::size_t state, std::size_t input) const;
+
+  /// State reached from reset after the input word.
+  std::size_t run(const ml::Word& word) const;
+
+  /// Output sequence produced from reset for the input word.
+  std::vector<std::size_t> trace(const ml::Word& word) const;
+
+  /// Random complete machine.
+  static MealyMachine random(std::size_t num_states, std::size_t num_inputs,
+                             std::size_t num_outputs, support::Rng& rng);
+
+  /// DFA accepting the words whose final state lies in `accepting_states`.
+  ml::Dfa to_acceptance_dfa(const std::set<std::size_t>& accepting_states) const;
+
+ private:
+  std::size_t inputs_;
+  std::size_t outputs_;
+  std::size_t reset_;
+  std::vector<std::vector<std::size_t>> next_;  // [state][input]
+  std::vector<std::vector<std::size_t>> out_;   // [state][input]
+};
+
+}  // namespace pitfalls::circuit

@@ -1,0 +1,80 @@
+#include "circuit/fsm_synth.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::circuit {
+
+std::size_t encoding_width(std::size_t count) {
+  PITFALLS_REQUIRE(count >= 1, "cannot encode zero values");
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < count) ++bits;
+  return bits;
+}
+
+SynthesizedFsm synthesize_fsm(const MealyMachine& machine) {
+  SynthesizedFsm out;
+  out.state_bits = encoding_width(machine.num_states());
+  out.input_bits = encoding_width(machine.num_inputs());
+  out.output_bits = encoding_width(machine.num_outputs());
+  Netlist& n = out.netlist;
+
+  std::vector<std::size_t> state_in(out.state_bits);
+  std::vector<std::size_t> input_in(out.input_bits);
+  for (std::size_t b = 0; b < out.state_bits; ++b)
+    state_in[b] = n.add_input("s" + std::to_string(b));
+  for (std::size_t b = 0; b < out.input_bits; ++b)
+    input_in[b] = n.add_input("i" + std::to_string(b));
+
+  // Complemented literals, built once.
+  std::vector<std::size_t> state_not(out.state_bits);
+  std::vector<std::size_t> input_not(out.input_bits);
+  for (std::size_t b = 0; b < out.state_bits; ++b)
+    state_not[b] = n.add_gate(GateType::kNot, {state_in[b]});
+  for (std::size_t b = 0; b < out.input_bits; ++b)
+    input_not[b] = n.add_gate(GateType::kNot, {input_in[b]});
+
+  // One minterm per (state, input) pair.
+  std::vector<std::vector<std::size_t>> term(
+      machine.num_states(), std::vector<std::size_t>(machine.num_inputs()));
+  for (std::size_t s = 0; s < machine.num_states(); ++s) {
+    for (std::size_t i = 0; i < machine.num_inputs(); ++i) {
+      std::vector<std::size_t> literals;
+      for (std::size_t b = 0; b < out.state_bits; ++b)
+        literals.push_back((s >> b) & 1 ? state_in[b] : state_not[b]);
+      for (std::size_t b = 0; b < out.input_bits; ++b)
+        literals.push_back((i >> b) & 1 ? input_in[b] : input_not[b]);
+      term[s][i] = literals.size() >= 2
+                       ? n.add_gate(GateType::kAnd, std::move(literals))
+                       : n.add_gate(GateType::kBuf, std::move(literals));
+    }
+  }
+
+  // OR of the minterms that set a given bit of a word-valued function.
+  auto build_bit = [&](auto value_of, std::size_t bit) {
+    std::vector<std::size_t> active;
+    for (std::size_t s = 0; s < machine.num_states(); ++s)
+      for (std::size_t i = 0; i < machine.num_inputs(); ++i)
+        if ((value_of(s, i) >> bit) & 1) active.push_back(term[s][i]);
+    std::size_t gate;
+    if (active.empty())
+      gate = n.add_gate(GateType::kConst0, {});
+    else if (active.size() == 1)
+      gate = n.add_gate(GateType::kBuf, {active[0]});
+    else
+      gate = n.add_gate(GateType::kOr, std::move(active));
+    // A fresh buffer per output position keeps mark_output unambiguous.
+    return n.add_gate(GateType::kBuf, {gate});
+  };
+
+  for (std::size_t b = 0; b < out.state_bits; ++b)
+    n.mark_output(build_bit(
+        [&](std::size_t s, std::size_t i) { return machine.next_state(s, i); },
+        b));
+  for (std::size_t b = 0; b < out.output_bits; ++b)
+    n.mark_output(build_bit(
+        [&](std::size_t s, std::size_t i) { return machine.output(s, i); },
+        b));
+  return out;
+}
+
+}  // namespace pitfalls::circuit

@@ -1,0 +1,29 @@
+// FSM synthesis: lower a behavioural MealyMachine to a combinational
+// next-state/output netlist over binary-encoded state, input and output
+// words — the gate-level view a foundry or a reverse engineer actually
+// holds. Enables structural (white-box) attacks on obfuscated FSMs, in
+// contrast to the black-box query attacks of ml::LStarLearner.
+#pragma once
+
+#include "circuit/fsm.hpp"
+#include "circuit/netlist.hpp"
+
+namespace pitfalls::circuit {
+
+struct SynthesizedFsm {
+  Netlist netlist;
+  std::size_t state_bits = 0;   // binary encoding width of the state
+  std::size_t input_bits = 0;   // binary encoding width of the input symbol
+  std::size_t output_bits = 0;  // binary encoding width of the output symbol
+  // Netlist interface: inputs  = [state word, input word]
+  //                    outputs = [next-state word, output word]
+};
+
+/// Two-level (sum-of-minterms) synthesis. Size O(S * I * (log S + log I))
+/// gates — fine for the controller-scale machines the experiments use.
+SynthesizedFsm synthesize_fsm(const MealyMachine& machine);
+
+/// Bits needed to encode `count` values (>= 1).
+std::size_t encoding_width(std::size_t count);
+
+}  // namespace pitfalls::circuit

@@ -1,0 +1,195 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace pitfalls::circuit {
+
+bool arity_ok(GateType type, std::size_t fanins) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return fanins == 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return fanins == 1;
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+      return fanins >= 2;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return fanins >= 2;
+  }
+  return false;
+}
+
+std::string gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kOr: return "OR";
+    case GateType::kNand: return "NAND";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+std::size_t Netlist::add_input(std::string name) {
+  PITFALLS_REQUIRE(!name.empty(), "inputs must be named");
+  const std::size_t id = gates_.size();
+  gates_.push_back({GateType::kInput, {}, std::move(name)});
+  inputs_.push_back(id);
+  is_output_.push_back(false);
+  return id;
+}
+
+std::size_t Netlist::add_gate(GateType type, std::vector<std::size_t> fanins,
+                              std::string name) {
+  PITFALLS_REQUIRE(type != GateType::kInput,
+                   "use add_input for primary inputs");
+  PITFALLS_REQUIRE(arity_ok(type, fanins.size()),
+                   "wrong fanin count for gate type");
+  const std::size_t id = gates_.size();
+  for (auto f : fanins)
+    PITFALLS_REQUIRE(f < id, "fanin must reference an earlier gate");
+  gates_.push_back({type, std::move(fanins), std::move(name)});
+  is_output_.push_back(false);
+  return id;
+}
+
+void Netlist::mark_output(std::size_t gate_id) {
+  PITFALLS_REQUIRE(gate_id < gates_.size(), "gate id out of range");
+  PITFALLS_REQUIRE(!is_output_[gate_id], "gate already marked as output");
+  outputs_.push_back(gate_id);
+  is_output_[gate_id] = true;
+}
+
+const Gate& Netlist::gate(std::size_t id) const {
+  PITFALLS_REQUIRE(id < gates_.size(), "gate id out of range");
+  return gates_[id];
+}
+
+std::size_t Netlist::input_index(std::size_t gate_id) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), gate_id);
+  return it == inputs_.end()
+             ? SIZE_MAX
+             : static_cast<std::size_t>(it - inputs_.begin());
+}
+
+std::size_t Netlist::find_by_name(const std::string& name) const {
+  for (std::size_t id = 0; id < gates_.size(); ++id)
+    if (gates_[id].name == name) return id;
+  return SIZE_MAX;
+}
+
+std::vector<bool> Netlist::evaluate_all(const BitVec& input_values) const {
+  PITFALLS_REQUIRE(input_values.size() == inputs_.size(),
+                   "input vector arity mismatch");
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    switch (g.type) {
+      case GateType::kInput:
+        value[id] = input_values.get(next_input++);
+        break;
+      case GateType::kConst0:
+        value[id] = false;
+        break;
+      case GateType::kConst1:
+        value[id] = true;
+        break;
+      case GateType::kBuf:
+        value[id] = value[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        value[id] = !value[g.fanins[0]];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        bool acc = true;
+        for (auto f : g.fanins) acc = acc && value[f];
+        value[id] = (g.type == GateType::kAnd) ? acc : !acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        bool acc = false;
+        for (auto f : g.fanins) acc = acc || value[f];
+        value[id] = (g.type == GateType::kOr) ? acc : !acc;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool acc = false;
+        for (auto f : g.fanins) acc = acc != value[f];
+        value[id] = (g.type == GateType::kXor) ? acc : !acc;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+BitVec Netlist::evaluate(const BitVec& input_values) const {
+  const auto value = evaluate_all(input_values);
+  BitVec out(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    out.set(i, value[outputs_[i]]);
+  return out;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t count = 0;
+  for (const auto& g : gates_)
+    if (g.type != GateType::kInput && g.type != GateType::kConst0 &&
+        g.type != GateType::kConst1)
+      ++count;
+  return count;
+}
+
+NetlistFunction::NetlistFunction(
+    const Netlist& netlist, std::size_t output_index,
+    std::vector<std::pair<std::size_t, bool>> pins)
+    : netlist_(&netlist),
+      output_index_(output_index),
+      pinned_values_(netlist.num_inputs()) {
+  PITFALLS_REQUIRE(output_index < netlist.num_outputs(),
+                   "output index out of range");
+  std::vector<bool> pinned(netlist.num_inputs(), false);
+  for (const auto& [pos, value] : pins) {
+    PITFALLS_REQUIRE(pos < netlist.num_inputs(), "pin position out of range");
+    PITFALLS_REQUIRE(!pinned[pos], "input pinned twice");
+    pinned[pos] = true;
+    pinned_values_.set(pos, value);
+  }
+  for (std::size_t pos = 0; pos < netlist.num_inputs(); ++pos)
+    if (!pinned[pos]) free_inputs_.push_back(pos);
+  PITFALLS_REQUIRE(!free_inputs_.empty(), "no free inputs left");
+}
+
+int NetlistFunction::eval_pm(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == free_inputs_.size(), "input arity mismatch");
+  BitVec full = pinned_values_;
+  for (std::size_t j = 0; j < free_inputs_.size(); ++j)
+    full.set(free_inputs_[j], x.get(j));
+  const bool out = netlist_->evaluate(full).get(output_index_);
+  return out ? -1 : +1;  // chi encoding: 1 -> -1
+}
+
+std::string NetlistFunction::describe() const {
+  return "netlist output " + std::to_string(output_index_) + " over " +
+         std::to_string(free_inputs_.size()) + " free inputs";
+}
+
+}  // namespace pitfalls::circuit

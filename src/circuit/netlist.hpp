@@ -1,0 +1,114 @@
+// Gate-level combinational netlists — the substrate for the logic-locking
+// experiments (Sections II-A and V of the paper).
+//
+// A Netlist is a DAG of gates in topological order by construction: a gate
+// may only reference fanins with smaller ids, so evaluation is a single
+// forward sweep and cycles are impossible. Primary inputs are gates of type
+// kInput; any gate can be marked as a primary output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/bitvec.hpp"
+
+namespace pitfalls::circuit {
+
+using support::BitVec;
+
+enum class GateType {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Number of fanins the type accepts: {exact 0, exact 1, >= 2}.
+bool arity_ok(GateType type, std::size_t fanins);
+
+/// Canonical .bench keyword for the type (e.g. "NAND").
+std::string gate_type_name(GateType type);
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<std::size_t> fanins;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  /// Append a primary input; returns its gate id.
+  std::size_t add_input(std::string name);
+
+  /// Append a gate; every fanin id must be smaller than the new gate's id
+  /// (this is what keeps the netlist topologically sorted). Returns the id.
+  std::size_t add_gate(GateType type, std::vector<std::size_t> fanins,
+                       std::string name = "");
+
+  /// Mark an existing gate as a primary output (order of calls = output
+  /// order). A gate may be marked only once.
+  void mark_output(std::size_t gate_id);
+
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  const Gate& gate(std::size_t id) const;
+  const std::vector<std::size_t>& inputs() const { return inputs_; }
+  const std::vector<std::size_t>& outputs() const { return outputs_; }
+
+  /// Position of `gate_id` in the input list, or SIZE_MAX.
+  std::size_t input_index(std::size_t gate_id) const;
+
+  /// Gate id with the given name, or SIZE_MAX.
+  std::size_t find_by_name(const std::string& name) const;
+
+  /// Evaluate every gate for the given primary-input assignment (bit i of
+  /// `input_values` feeds the i-th input in insertion order). Returns the
+  /// value of every gate.
+  std::vector<bool> evaluate_all(const BitVec& input_values) const;
+
+  /// Evaluate and collect only the primary outputs.
+  BitVec evaluate(const BitVec& input_values) const;
+
+  /// Count of non-input, non-constant gates (circuit size).
+  std::size_t logic_gate_count() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<std::size_t> inputs_;
+  std::vector<std::size_t> outputs_;
+  std::vector<bool> is_output_;
+};
+
+/// Adapter exposing one output of a netlist as a BooleanFunction over a
+/// subset of "free" inputs, with the remaining inputs pinned to constants —
+/// e.g. a locked circuit with the key pinned, viewed as a function of the
+/// data inputs.
+class NetlistFunction final : public boolfn::BooleanFunction {
+ public:
+  /// Free inputs are those NOT pinned. `pins` maps input index (position in
+  /// netlist.inputs()) to a fixed value; pass {} to leave all inputs free.
+  NetlistFunction(const Netlist& netlist, std::size_t output_index,
+                  std::vector<std::pair<std::size_t, bool>> pins = {});
+
+  std::size_t num_vars() const override { return free_inputs_.size(); }
+  int eval_pm(const BitVec& x) const override;
+  std::string describe() const override;
+
+ private:
+  const Netlist* netlist_;
+  std::size_t output_index_;
+  std::vector<std::size_t> free_inputs_;      // input positions, ascending
+  BitVec pinned_values_;                      // full input vector template
+};
+
+}  // namespace pitfalls::circuit

@@ -1,0 +1,90 @@
+#include "core/adversary.hpp"
+
+namespace pitfalls::core {
+
+std::string to_string(DistributionAssumption d) {
+  switch (d) {
+    case DistributionAssumption::kArbitrary: return "arbitrary distribution";
+    case DistributionAssumption::kUniform: return "uniform distribution";
+    case DistributionAssumption::kSpecific: return "specific distribution";
+  }
+  return "?";
+}
+
+std::string to_string(AccessType a) {
+  switch (a) {
+    case AccessType::kRandomExamples: return "random examples";
+    case AccessType::kMembershipQueries: return "membership queries";
+    case AccessType::kEquivalenceQueries: return "equivalence queries";
+    case AccessType::kMembershipAndEquivalence:
+      return "membership + equivalence queries";
+  }
+  return "?";
+}
+
+std::string to_string(InferenceGoal g) {
+  switch (g) {
+    case InferenceGoal::kExact: return "exact inference";
+    case InferenceGoal::kApproximate: return "approximate inference";
+  }
+  return "?";
+}
+
+std::string to_string(HypothesisRestriction h) {
+  switch (h) {
+    case HypothesisRestriction::kProper: return "proper hypotheses";
+    case HypothesisRestriction::kImproper: return "improper hypotheses";
+  }
+  return "?";
+}
+
+std::string AdversaryModel::describe() const {
+  return to_string(distribution) + ", " + to_string(access) + ", " +
+         to_string(goal) + ", " + to_string(hypothesis);
+}
+
+namespace {
+
+int access_rank(AccessType a) {
+  switch (a) {
+    case AccessType::kRandomExamples: return 0;
+    case AccessType::kEquivalenceQueries:
+      // Angluin: EQ is simulable from random examples, so it does not add
+      // power over them on its own.
+      return 0;
+    case AccessType::kMembershipQueries: return 1;
+    case AccessType::kMembershipAndEquivalence: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool at_least_as_strong(const AdversaryModel& stronger,
+                        const AdversaryModel& weaker) {
+  // Distribution: a distribution-free learner serves every distribution, so
+  // "arbitrary" is the *stronger requirement on the learner* — an attacker
+  // that only needs the uniform distribution is easier to realise. For
+  // attacker power comparison: needing less (uniform) >= needing arbitrary.
+  const auto dist_rank = [](DistributionAssumption d) {
+    switch (d) {
+      case DistributionAssumption::kArbitrary: return 0;  // hardest to run
+      case DistributionAssumption::kSpecific: return 1;
+      case DistributionAssumption::kUniform: return 2;    // easiest to run
+    }
+    return 0;
+  };
+  if (dist_rank(stronger.distribution) < dist_rank(weaker.distribution))
+    return false;
+  if (access_rank(stronger.access) < access_rank(weaker.access)) return false;
+  // Exact learners imply approximate ones.
+  if (stronger.goal == InferenceGoal::kApproximate &&
+      weaker.goal == InferenceGoal::kExact)
+    return false;
+  if (stronger.hypothesis == HypothesisRestriction::kProper &&
+      weaker.hypothesis == HypothesisRestriction::kImproper)
+    return false;
+  return true;
+}
+
+}  // namespace pitfalls::core

@@ -1,0 +1,64 @@
+// The adversary model, made explicit.
+//
+// The paper's thesis is that an ML-based security claim is only meaningful
+// relative to a fully specified adversary model along three axes (plus the
+// inference goal Rivest [2] distinguishes). This header turns those axes
+// into types so that claims and attackers can be compared mechanically by
+// the pitfall auditor.
+#pragma once
+
+#include <string>
+
+namespace pitfalls::core {
+
+/// Section III: what the example distribution is assumed to be.
+enum class DistributionAssumption {
+  kArbitrary,  // distribution-free PAC (any fixed D)
+  kUniform,    // uniform-distribution PAC
+  kSpecific,   // some other fixed, known distribution
+};
+
+/// Section IV: how the attacker may interact with the device.
+enum class AccessType {
+  kRandomExamples,            // passive CRP eavesdropping
+  kMembershipQueries,         // chosen challenges
+  kEquivalenceQueries,        // hypothesis validation
+  kMembershipAndEquivalence,  // the full Angluin teacher
+};
+
+/// Rivest's exact-vs-approximate distinction (Sections IV-A, V).
+enum class InferenceGoal {
+  kExact,        // recover the function exactly
+  kApproximate,  // PAC: eps-close with confidence 1-delta
+};
+
+/// Section V-B: is the learner restricted to output hypotheses from the
+/// target's own representation class?
+enum class HypothesisRestriction {
+  kProper,    // hypothesis must come from the concept class
+  kImproper,  // any efficiently evaluable hypothesis allowed
+};
+
+std::string to_string(DistributionAssumption d);
+std::string to_string(AccessType a);
+std::string to_string(InferenceGoal g);
+std::string to_string(HypothesisRestriction h);
+
+struct AdversaryModel {
+  DistributionAssumption distribution = DistributionAssumption::kArbitrary;
+  AccessType access = AccessType::kRandomExamples;
+  InferenceGoal goal = InferenceGoal::kApproximate;
+  HypothesisRestriction hypothesis = HypothesisRestriction::kProper;
+
+  std::string describe() const;
+  bool operator==(const AdversaryModel& other) const = default;
+};
+
+/// Partial order on attacker power per axis: returns true when `stronger`
+/// dominates `weaker` on every axis (more access, fewer distributional
+/// demands satisfied by uniform, improper >= proper, approximate goals are
+/// implied by exact learners).
+bool at_least_as_strong(const AdversaryModel& stronger,
+                        const AdversaryModel& weaker);
+
+}  // namespace pitfalls::core

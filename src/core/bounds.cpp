@@ -1,0 +1,120 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/adversary.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::core {
+
+namespace {
+
+void check_params(std::size_t n, std::size_t k, double eps, double delta) {
+  PITFALLS_REQUIRE(n >= 1, "need at least one stage");
+  PITFALLS_REQUIRE(k >= 1, "need at least one chain");
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  PITFALLS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+}
+
+}  // namespace
+
+double vc_dim_xor_arbiter(std::size_t n, std::size_t k) {
+  PITFALLS_REQUIRE(n >= 1 && k >= 1, "need n >= 1 and k >= 1");
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return kd * (nd + 1.0) * (1.0 + std::log(kd * nd + kd));
+}
+
+double perceptron_crp_bound(std::size_t n, std::size_t k, double eps,
+                            double delta) {
+  check_params(n, k, eps, delta);
+  const double nd = static_cast<double>(n);
+  return std::pow(nd + 1.0, static_cast<double>(k)) / (eps * eps * eps) +
+         std::log(1.0 / delta) / eps;
+}
+
+double general_crp_bound(std::size_t n, std::size_t k, double eps,
+                         double delta) {
+  check_params(n, k, eps, delta);
+  return (vc_dim_xor_arbiter(n, k) * std::log(1.0 / eps) +
+          std::log(1.0 / delta)) /
+         eps;
+}
+
+double lmn_degree_cutoff(std::size_t k, double eps) {
+  PITFALLS_REQUIRE(k >= 1, "need at least one chain");
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  const double kd = static_cast<double>(k);
+  return 2.32 * kd * kd / (eps * eps);
+}
+
+double lmn_crp_bound(std::size_t n, std::size_t k, double eps, double delta) {
+  check_params(n, k, eps, delta);
+  const double m = lmn_degree_cutoff(k, eps);
+  // n^m ln(1/delta), computed in log space to survive the astronomical range.
+  const double log_value =
+      m * std::log(static_cast<double>(n)) +
+      std::log(std::log(1.0 / delta));
+  if (log_value > 700.0) return std::numeric_limits<double>::infinity();
+  return std::exp(log_value);
+}
+
+double bourgain_junta_size(double eps) {
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  return std::pow(eps, -1.5);
+}
+
+double learnpoly_query_bound(std::size_t n, std::size_t k, double eps,
+                             double delta) {
+  check_params(n, k, eps, delta);
+  const double r = std::ceil(bourgain_junta_size(eps));
+  const double log_s = std::log(static_cast<double>(k)) + r * std::log(2.0);
+  if (log_s > 700.0) return std::numeric_limits<double>::infinity();
+  const double s = std::exp(log_s);  // k 2^r monomials
+  return static_cast<double>(n) * r * s + s * std::log(1.0 / delta) / eps;
+}
+
+std::vector<BoundRow> table1_rows(std::size_t n, std::size_t k, double eps,
+                                  double delta) {
+  return {
+      {"[9]", "Arbitrary", "Perceptron", "Random examples",
+       perceptron_crp_bound(n, k, eps, delta)},
+      {"General", "Uniform", "Independent", "Uniformly-distributed examples",
+       general_crp_bound(n, k, eps, delta)},
+      {"Corollary 1", "Uniform", "LMN [16]", "Uniformly-distributed examples",
+       lmn_crp_bound(n, k, eps, delta)},
+      {"Corollary 2", "Uniform", "LearnPoly [21]", "Membership queries",
+       learnpoly_query_bound(n, k, eps, delta)},
+  };
+}
+
+BoundRow applicable_bound(const AdversaryModel& attacker, std::size_t n,
+                          std::size_t k, double eps, double delta,
+                          std::string* rationale) {
+  const auto rows = table1_rows(n, k, eps, delta);
+  const bool has_mq =
+      attacker.access == AccessType::kMembershipQueries ||
+      attacker.access == AccessType::kMembershipAndEquivalence;
+  if (has_mq) {
+    if (rationale != nullptr)
+      *rationale =
+          "attacker has chosen-challenge access: the membership-query row "
+          "(Corollary 2) governs";
+    return rows[3];
+  }
+  if (attacker.distribution == DistributionAssumption::kUniform) {
+    if (rationale != nullptr)
+      *rationale =
+          "uniform random examples only: the algorithm-independent uniform "
+          "bound governs (the LMN row is an algorithm-specific alternative)";
+    return rows[1];
+  }
+  if (rationale != nullptr)
+    *rationale =
+        "distribution-free random examples: only the [9] row was proved in "
+        "this model — and it is algorithm-specific (Perceptron)";
+  return rows[0];
+}
+
+}  // namespace pitfalls::core

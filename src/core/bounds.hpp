@@ -1,0 +1,77 @@
+// Sample-complexity bounds for PAC learning XOR Arbiter PUFs — all four
+// rows of the paper's Table I, as executable formulas.
+//
+// Every function returns the bound as a double (possibly huge/inf: the
+// whole point of the table is contrasting growth regimes), together with
+// enough metadata to print the table exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pitfalls::core {
+
+/// VC dimension bound for n-bit k-XOR arbiter PUFs (cf. [17] in the paper):
+/// VCdim = O(k (n+1) (1 + log(kn + k))).
+double vc_dim_xor_arbiter(std::size_t n, std::size_t k);
+
+/// Row 1 — the bound of [9] (Ganji et al., TRUST'15), built on the
+/// Perceptron mistake bound: O((n+1)^k / eps^3 + ln(1/delta)/eps).
+/// Distribution-free, algorithm-specific, random examples.
+double perceptron_crp_bound(std::size_t n, std::size_t k, double eps,
+                            double delta);
+
+/// Row 2 — the paper's "general bound": algorithm-independent uniform PAC
+/// bound from Blumer et al. [12] with the XOR-arbiter VC dimension:
+/// O((VCdim ln(1/eps) + ln(1/delta)) / eps).
+double general_crp_bound(std::size_t n, std::size_t k, double eps,
+                         double delta);
+
+/// The LMN degree cutoff from the paper's Corollary 1 proof:
+/// m = 2.32 k^2 / eps^2 (requires eps <= 1/k^2 in the derivation).
+double lmn_degree_cutoff(std::size_t k, double eps);
+
+/// Row 3 — Corollary 1: the LMN algorithm needs n^{O(m)} ln(1/delta)
+/// examples with m as above: O(n^{k^2/eps^2} ln(1/delta)).
+double lmn_crp_bound(std::size_t n, std::size_t k, double eps, double delta);
+
+/// Junta size from Corollary 2's use of Bourgain's theorem:
+/// r = O(eps^{-3/2}).
+double bourgain_junta_size(double eps);
+
+/// Row 4 — Corollary 2: membership-query learning of the sparse-polynomial
+/// representation (Schapire–Sellie [21]). Concrete instantiation:
+/// s = k 2^r monomials of degree <= r, query count ~ n r s + s ln(1/delta)/eps,
+/// which is poly(n, k, 1/eps, log(1/delta)) for constant eps.
+double learnpoly_query_bound(std::size_t n, std::size_t k, double eps,
+                             double delta);
+
+/// One printable row of Table I.
+struct BoundRow {
+  std::string source;        // "[9]", "General", "Corollary 1", "Corollary 2"
+  std::string distribution;  // "Arbitrary" / "Uniform"
+  std::string algorithm;     // "Perceptron" / "Independent" / "LMN" / "LearnPoly"
+  std::string access;        // as printed in the paper
+  double value = 0.0;        // evaluated bound
+};
+
+/// All four rows evaluated at (n, k, eps, delta), in the paper's order.
+std::vector<BoundRow> table1_rows(std::size_t n, std::size_t k, double eps,
+                                  double delta);
+
+struct AdversaryModel;  // adversary.hpp
+
+/// The Table I row that actually applies to a given attacker — the paper's
+/// prescription ("pick the bound whose adversary model matches yours")
+/// as an API:
+///   * membership-query access      -> Corollary 2 (LearnPoly),
+///   * uniform-distribution samples -> the algorithm-independent bound,
+///   * distribution-free samples    -> the [9] row (the only row proved in
+///     that model — with its algorithm-specific caveat).
+/// `rationale` (optional) receives a one-line explanation.
+BoundRow applicable_bound(const AdversaryModel& attacker, std::size_t n,
+                          std::size_t k, double eps, double delta,
+                          std::string* rationale = nullptr);
+
+}  // namespace pitfalls::core

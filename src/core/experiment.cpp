@@ -1,0 +1,47 @@
+#include "core/experiment.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::core {
+
+EvaluationReport evaluate(const Trainer& trainer, const CrpSet& train,
+                          const CrpSet& test) {
+  PITFALLS_REQUIRE(!train.empty(), "empty training set");
+  PITFALLS_REQUIRE(!test.empty(), "empty test set");
+  Stopwatch watch;
+  const std::unique_ptr<BooleanFunction> hypothesis = trainer(train);
+  PITFALLS_ENSURE(hypothesis != nullptr, "trainer returned no hypothesis");
+
+  EvaluationReport report;
+  report.train_seconds = watch.seconds();
+  report.train_size = train.size();
+  report.test_size = test.size();
+  report.train_accuracy = train.accuracy_of(*hypothesis);
+  report.test_accuracy = test.accuracy_of(*hypothesis);
+  return report;
+}
+
+std::vector<LearningCurvePoint> learning_curve(
+    const Trainer& trainer, const CrpSet& train, const CrpSet& test,
+    const std::vector<std::size_t>& budgets) {
+  std::vector<LearningCurvePoint> curve;
+  curve.reserve(budgets.size());
+  for (auto budget : budgets) {
+    PITFALLS_REQUIRE(budget > 0 && budget <= train.size(),
+                     "budget exceeds available training CRPs");
+    const CrpSet subset = train.prefix(budget);
+    const EvaluationReport report = evaluate(trainer, subset, test);
+    curve.push_back({budget, report.test_accuracy, report.train_seconds});
+  }
+  return curve;
+}
+
+double mean_of(std::size_t repeats,
+               const std::function<double(std::size_t)>& experiment) {
+  PITFALLS_REQUIRE(repeats > 0, "need at least one repeat");
+  double sum = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) sum += experiment(r);
+  return sum / static_cast<double>(repeats);
+}
+
+}  // namespace pitfalls::core

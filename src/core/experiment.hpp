@@ -1,0 +1,67 @@
+// Experiment harness shared by the benches: train/test evaluation with
+// timing, learning curves over CRP budgets, and repeated-instance averaging
+// — the plumbing every table reproduction uses.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "puf/crp.hpp"
+
+namespace pitfalls::core {
+
+using boolfn::BooleanFunction;
+using puf::CrpSet;
+
+/// Anything that turns a training CRP set into a hypothesis.
+using Trainer =
+    std::function<std::unique_ptr<BooleanFunction>(const CrpSet& train)>;
+
+struct EvaluationReport {
+  std::size_t train_size = 0;
+  std::size_t test_size = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Train on `train`, evaluate on both sets, time the training call.
+EvaluationReport evaluate(const Trainer& trainer, const CrpSet& train,
+                          const CrpSet& test);
+
+struct LearningCurvePoint {
+  std::size_t train_size = 0;
+  double test_accuracy = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Run the trainer on growing prefixes of `train` and report test accuracy
+/// at each budget.
+std::vector<LearningCurvePoint> learning_curve(
+    const Trainer& trainer, const CrpSet& train, const CrpSet& test,
+    const std::vector<std::size_t>& budgets);
+
+/// Mean of `repeats` runs of `experiment` (each receiving the repeat index),
+/// for instance-averaged table cells.
+double mean_of(std::size_t repeats,
+               const std::function<double(std::size_t)>& experiment);
+
+/// Wall-clock helper.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pitfalls::core

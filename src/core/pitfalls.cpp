@@ -1,0 +1,184 @@
+#include "core/pitfalls.hpp"
+
+namespace pitfalls::core {
+
+std::string to_string(PitfallKind kind) {
+  switch (kind) {
+    case PitfallKind::kDistributionMismatch:
+      return "distribution mismatch";
+    case PitfallKind::kAccessUnderestimated:
+      return "access underestimated";
+    case PitfallKind::kAlgorithmSpecificBound:
+      return "algorithm-specific bound";
+    case PitfallKind::kRepresentationUnvalidated:
+      return "concept representation unvalidated";
+    case PitfallKind::kHypothesisRestriction:
+      return "hypothesis class restricted";
+    case PitfallKind::kExactApproximateConfusion:
+      return "exact/approximate confusion";
+  }
+  return "?";
+}
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::vector<PitfallFinding> PitfallAuditor::audit(
+    const SecurityClaim& claim, const AdversaryModel& attacker) const {
+  std::vector<PitfallFinding> findings;
+
+  // P1 — Section III: a lower bound proved in the distribution-free model
+  // says nothing about an attacker who only needs the uniform distribution;
+  // positive uniform-PAC results (e.g. LMN for AC0) may exist.
+  if (claim.model.distribution == DistributionAssumption::kArbitrary &&
+      attacker.distribution == DistributionAssumption::kUniform) {
+    findings.push_back(
+        {PitfallKind::kDistributionMismatch, Severity::kCritical,
+         "claim proved in the distribution-free PAC model, but the attacker "
+         "samples uniformly: uniform-distribution PAC results (LMN-style) "
+         "can invalidate the claimed hardness"});
+  }
+
+  // P2 — Section IV: hardware usually exposes chosen challenges, so a claim
+  // assuming passive examples underestimates the attacker.
+  const bool claim_assumes_passive =
+      claim.model.access == AccessType::kRandomExamples ||
+      claim.model.access == AccessType::kEquivalenceQueries;
+  const bool attacker_has_mq =
+      attacker.access == AccessType::kMembershipQueries ||
+      attacker.access == AccessType::kMembershipAndEquivalence;
+  if (claim_assumes_passive && attacker_has_mq) {
+    findings.push_back(
+        {PitfallKind::kAccessUnderestimated, Severity::kCritical,
+         "claim assumes random examples only, but the device answers chosen "
+         "challenges: membership-query learners (LearnPoly, L*) apply and "
+         "can learn classes that are hard from random examples"});
+  }
+
+  // P3 — Table I footnote: a mistake-bound argument for one algorithm is
+  // not a sample-complexity bound for the class.
+  if (claim.algorithm_specific) {
+    findings.push_back(
+        {PitfallKind::kAlgorithmSpecificBound, Severity::kWarning,
+         "the bound is tied to one algorithm's mistake bound; an "
+         "algorithm-independent (VC) bound or a different algorithm (LMN) "
+         "yields different — sometimes exponentially better — complexity"});
+  }
+
+  // P4 — Section V-A: using an unvalidated representation caps achievable
+  // accuracy and misleads both attacks and defenses.
+  if (!claim.representation_validated) {
+    findings.push_back(
+        {PitfallKind::kRepresentationUnvalidated, Severity::kCritical,
+         "the concept-class representation was assumed, not validated: run "
+         "a property tester (e.g. the halfspace tester) before concluding "
+         "learnability or its absence"});
+  }
+
+  // P5 — Section V-B: impossibility for proper learners does not bind an
+  // improper attacker.
+  if (claim.model.hypothesis == HypothesisRestriction::kProper &&
+      attacker.hypothesis == HypothesisRestriction::kImproper) {
+    findings.push_back(
+        {PitfallKind::kHypothesisRestriction, Severity::kWarning,
+         "claim restricts the hypothesis representation; improper learners "
+         "(LMN, L* DFAs) are strictly more powerful and remain available "
+         "to the attacker"});
+  }
+
+  // P6 — Section IV-A: exact-inference resilience does not imply
+  // approximation resilience, and uniform-PAC learners convert to exact
+  // learners once membership queries are available.
+  if (claim.exact_only_argument) {
+    const Severity severity = attacker_has_mq ? Severity::kCritical
+                                              : Severity::kWarning;
+    findings.push_back(
+        {PitfallKind::kExactApproximateConfusion, severity,
+         "the argument addresses exact inference only; approximate learning "
+         "may still succeed, and with membership queries approximate "
+         "learners convert to exact ones, voiding the distinction"});
+  }
+
+  return findings;
+}
+
+namespace claims {
+
+SecurityClaim ganji2015_xor_bound() {
+  SecurityClaim claim;
+  claim.primitive = "n-bit k-XOR Arbiter PUF";
+  claim.statement =
+      "beyond an upper bound on k, a provable ML algorithm cannot learn the "
+      "PUF from random CRPs";
+  claim.source = "[9]";
+  claim.model.distribution = DistributionAssumption::kArbitrary;
+  claim.model.access = AccessType::kRandomExamples;
+  claim.model.goal = InferenceGoal::kApproximate;
+  claim.model.hypothesis = HypothesisRestriction::kProper;
+  claim.algorithm_specific = true;  // Perceptron mistake bound
+  claim.representation_validated = true;  // arbiter chains ARE LTFs
+  return claim;
+}
+
+SecurityClaim shamsi2019_impossibility() {
+  SecurityClaim claim;
+  claim.primitive = "combinationally locked circuit";
+  claim.statement =
+      "approximation-resilience is impossible, but exact-inference "
+      "resilience can be ensured for some locked circuits";
+  claim.source = "[4]";
+  claim.model.distribution = DistributionAssumption::kArbitrary;
+  claim.model.access = AccessType::kRandomExamples;
+  claim.model.goal = InferenceGoal::kExact;
+  claim.model.hypothesis = HypothesisRestriction::kProper;
+  claim.exact_only_argument = true;
+  return claim;
+}
+
+SecurityClaim appsat2017_online_model() {
+  SecurityClaim claim;
+  claim.primitive = "combinationally locked circuit";
+  claim.statement =
+      "online-ML deobfuscation approximates the locked circuit; circuit "
+      "size enters only through the allowed mistake budget";
+  claim.source = "[5]";
+  claim.model.distribution = DistributionAssumption::kUniform;
+  claim.model.access = AccessType::kMembershipQueries;
+  claim.model.goal = InferenceGoal::kApproximate;
+  claim.model.hypothesis = HypothesisRestriction::kImproper;
+  return claim;
+}
+
+SecurityClaim xu2015_br_ltf() {
+  SecurityClaim claim;
+  claim.primitive = "Bistable Ring PUF";
+  claim.statement =
+      "BR PUFs can be represented by linear threshold functions and "
+      "defended accordingly";
+  claim.source = "[11]";
+  claim.model.distribution = DistributionAssumption::kUniform;
+  claim.model.access = AccessType::kRandomExamples;
+  claim.model.goal = InferenceGoal::kApproximate;
+  claim.model.hypothesis = HypothesisRestriction::kProper;
+  claim.representation_validated = false;  // the pitfall Tables II/III expose
+  return claim;
+}
+
+}  // namespace claims
+
+AdversaryModel realistic_hardware_attacker() {
+  AdversaryModel attacker;
+  attacker.distribution = DistributionAssumption::kUniform;
+  attacker.access = AccessType::kMembershipAndEquivalence;
+  attacker.goal = InferenceGoal::kApproximate;
+  attacker.hypothesis = HypothesisRestriction::kImproper;
+  return attacker;
+}
+
+}  // namespace pitfalls::core

@@ -1,0 +1,94 @@
+// The pitfall auditor — the paper's conclusion as an executable checklist.
+//
+// A SecurityClaim records the adversary model a published security argument
+// was proved against, plus flags for the representational assumptions it
+// makes. audit() compares the claim against a (realistic) attacker model
+// and emits one finding per pitfall the paper identifies:
+//
+//   P1  distribution mismatch      (Section III)
+//   P2  access underestimated      (Section IV)
+//   P3  algorithm-specific bound   (Section III-A, Table I footnote)
+//   P4  concept representation unvalidated  (Section V-A)
+//   P5  hypothesis class restricted (improper learning ignored, Section V-B)
+//   P6  exact/approximate confusion (Rivest's distinction, Section IV-A)
+//
+// The case studies the paper walks through ([9], [4], [5], [11]) ship as
+// pre-built claims so the audit can be demonstrated end-to-end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/adversary.hpp"
+
+namespace pitfalls::core {
+
+struct SecurityClaim {
+  std::string primitive;   // e.g. "n-bit k-XOR Arbiter PUF"
+  std::string statement;   // the published claim, one line
+  std::string source;      // citation tag, e.g. "[9]"
+  AdversaryModel model;    // the adversary model the claim was proved in
+
+  /// The proof's bound is tied to one algorithm's mistake/sample bound.
+  bool algorithm_specific = false;
+  /// The concept-class representation (e.g. "BR PUFs are LTFs") was assumed
+  /// rather than validated against the device.
+  bool representation_validated = true;
+  /// The claim's impossibility/security argument is about exact inference
+  /// only (approximation left open).
+  bool exact_only_argument = false;
+};
+
+enum class PitfallKind {
+  kDistributionMismatch,
+  kAccessUnderestimated,
+  kAlgorithmSpecificBound,
+  kRepresentationUnvalidated,
+  kHypothesisRestriction,
+  kExactApproximateConfusion,
+};
+
+std::string to_string(PitfallKind kind);
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+std::string to_string(Severity severity);
+
+struct PitfallFinding {
+  PitfallKind kind;
+  Severity severity;
+  std::string explanation;
+};
+
+class PitfallAuditor {
+ public:
+  /// Compare a published claim against an attacker and list every pitfall
+  /// that makes the claim inapplicable to that attacker.
+  std::vector<PitfallFinding> audit(const SecurityClaim& claim,
+                                    const AdversaryModel& attacker) const;
+};
+
+/// The paper's case studies, ready for auditing.
+namespace claims {
+
+/// [9] Ganji et al.: "beyond k chains, the PAC learner fails" — proved via
+/// the Perceptron mistake bound in the distribution-free model.
+SecurityClaim ganji2015_xor_bound();
+
+/// [4] Shamsi et al.: exact-inference resilience of some locked circuits.
+SecurityClaim shamsi2019_impossibility();
+
+/// [5] AppSAT's online-ML framing of approximate deobfuscation.
+SecurityClaim appsat2017_online_model();
+
+/// [11] Xu et al.: BR PUFs modeled (and defended) as LTFs.
+SecurityClaim xu2015_br_ltf();
+
+}  // namespace claims
+
+/// The realistic hardware attacker the paper argues for: uniform examples
+/// are what "random CRPs" mean in practice, hardware exposes chosen
+/// challenges, and nothing restricts the hypothesis representation.
+AdversaryModel realistic_hardware_attacker();
+
+}  // namespace pitfalls::core

@@ -1,0 +1,23 @@
+// Anti-SAT locking (Xie & Srivastava): the AND-tree counterpart of SARLock.
+//
+// Two complementary blocks share the data inputs:
+//   g  = AND over i of XNOR(data_i, KA_i)    (1 on exactly one pattern)
+//   gb = NAND over i of XNOR(data_i, KB_i)   (0 on exactly one pattern)
+// and the flip signal  f = g AND gb  is XORed into one output. With
+// KA == KB (the correct relationship) the two protected patterns coincide
+// and f == 0 everywhere; any other key pair leaves exactly one flipped
+// input pattern. Like SARLock this drives the exact SAT attack to ~2^k
+// DIPs while conceding approximation — but with twice the key material and
+// an AND-tree structure instead of a comparator-plus-secret.
+#pragma once
+
+#include "lock/combinational.hpp"
+
+namespace pitfalls::lock {
+
+/// Lock `original` with an Anti-SAT block over `width` guarded data inputs
+/// (width <= number of data inputs). The key has 2*width bits: KA then KB.
+LockedCircuit lock_antisat(const Netlist& original, std::size_t width,
+                           support::Rng& rng);
+
+}  // namespace pitfalls::lock

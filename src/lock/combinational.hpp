@@ -1,0 +1,50 @@
+// Combinational logic locking (Section II-A): EPIC-style random insertion
+// of XOR/XNOR key gates. With the correct key every key gate is transparent
+// and the locked netlist computes the original function; any wrong key bit
+// inverts an internal net.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::lock {
+
+using circuit::Netlist;
+using support::BitVec;
+
+struct LockedCircuit {
+  Netlist netlist;  // inputs = original data inputs + key inputs
+  /// Positions (within netlist.inputs()) of the data inputs, in the
+  /// original order.
+  std::vector<std::size_t> data_input_positions;
+  /// Positions of the key inputs, in key-bit order.
+  std::vector<std::size_t> key_input_positions;
+  BitVec correct_key;
+
+  std::size_t num_data_inputs() const { return data_input_positions.size(); }
+  std::size_t num_key_inputs() const { return key_input_positions.size(); }
+
+  /// Assemble the full input vector from a data word and a key.
+  BitVec assemble_inputs(const BitVec& data, const BitVec& key) const;
+
+  /// Evaluate the locked circuit under the given key.
+  BitVec evaluate(const BitVec& data, const BitVec& key) const;
+};
+
+/// Number of gates eligible for key insertion: logic gates inside the
+/// transitive fanin cone of at least one primary output.
+std::size_t lockable_gate_count(const Netlist& netlist);
+
+/// Insert `key_bits` XOR/XNOR key gates after distinct randomly chosen
+/// lockable gates (see lockable_gate_count). Requires key_bits <=
+/// lockable_gate_count(original).
+LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
+                              support::Rng& rng);
+
+/// Fraction of inputs (exhaustive when feasible, else `samples` random ones)
+/// on which the locked circuit under `key` matches the original.
+double key_accuracy(const Netlist& original, const LockedCircuit& locked,
+                    const BitVec& key, std::size_t samples,
+                    support::Rng& rng);
+
+}  // namespace pitfalls::lock

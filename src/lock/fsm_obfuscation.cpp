@@ -1,0 +1,51 @@
+#include "lock/fsm_obfuscation.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::lock {
+
+ObfuscatedFsm obfuscate_fsm(const MealyMachine& functional,
+                            std::size_t unlock_length, support::Rng& rng) {
+  PITFALLS_REQUIRE(unlock_length >= 1, "unlock sequence must be non-empty");
+  const std::size_t inputs = functional.num_inputs();
+  const std::size_t outputs = functional.num_outputs();
+  PITFALLS_REQUIRE(inputs >= 2,
+                   "need at least two input symbols for a wrong branch");
+
+  const std::size_t obf = unlock_length;  // obfuscation states 0..obf-1
+  const std::size_t total = obf + functional.num_states();
+  // Functional state s maps to obf + s; reset is the chain head.
+  MealyMachine machine(total, inputs, outputs, 0);
+
+  ObfuscatedFsm result{machine, {}, {}, obf};
+
+  // Unlock chain.
+  for (std::size_t stage = 0; stage < obf; ++stage) {
+    const std::size_t correct =
+        static_cast<std::size_t>(rng.uniform_below(inputs));
+    result.unlock_sequence.push_back(correct);
+    for (std::size_t symbol = 0; symbol < inputs; ++symbol) {
+      const std::size_t garbage =
+          static_cast<std::size_t>(rng.uniform_below(outputs));
+      if (symbol == correct) {
+        const std::size_t next =
+            (stage + 1 == obf) ? obf + functional.reset_state() : stage + 1;
+        result.machine.set_transition(stage, symbol, next, garbage);
+      } else {
+        result.machine.set_transition(stage, symbol, 0, garbage);
+      }
+    }
+  }
+
+  // Functional core, shifted by `obf`.
+  for (std::size_t s = 0; s < functional.num_states(); ++s) {
+    result.functional_states.insert(obf + s);
+    for (std::size_t symbol = 0; symbol < inputs; ++symbol)
+      result.machine.set_transition(obf + s, symbol,
+                                    obf + functional.next_state(s, symbol),
+                                    functional.output(s, symbol));
+  }
+  return result;
+}
+
+}  // namespace pitfalls::lock

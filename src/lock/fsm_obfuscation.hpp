@@ -1,0 +1,43 @@
+// Sequential logic locking by FSM augmentation (HARPOON-style, the
+// "sequential LL" of Section II-A): the reset state is moved into a chain
+// of obfuscation states; only the correct unlock input sequence reaches the
+// functional FSM, any wrong symbol resets the chain. Outputs in obfuscation
+// mode are scrambled.
+//
+// Section V-B's point is demonstrated against this construction: Angluin's
+// L* learns the acceptance DFA of the obfuscated machine — unlock sequence
+// included — because the *hypothesis representation* (a DFA) need not match
+// the designer's gate-level view.
+#pragma once
+
+#include <set>
+
+#include "circuit/fsm.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::lock {
+
+using circuit::MealyMachine;
+using ml::Word;
+
+struct ObfuscatedFsm {
+  MealyMachine machine;
+  Word unlock_sequence;
+  /// Indices of the original functional states inside `machine`
+  /// (the obfuscation states occupy [0, unlock_sequence.size())).
+  std::set<std::size_t> functional_states;
+  std::size_t num_obfuscation_states = 0;
+
+  /// DFA accepting exactly the words that end inside the functional FSM.
+  ml::Dfa functional_mode_dfa() const {
+    return machine.to_acceptance_dfa(functional_states);
+  }
+};
+
+/// Augment `functional` with an unlock chain of the given length. Unlock
+/// symbols are drawn at random; wrong symbols return to the chain head.
+/// Outputs in obfuscation states are random (deterministic per instance).
+ObfuscatedFsm obfuscate_fsm(const MealyMachine& functional,
+                            std::size_t unlock_length, support::Rng& rng);
+
+}  // namespace pitfalls::lock

@@ -1,0 +1,38 @@
+// SARLock-style point-function locking — the SAT-attack-resilient scheme
+// family that motivated AppSAT (reference [5] of the paper).
+//
+// Construction: on top of a conventionally XOR-locked core, a comparator
+// block flips one output whenever the data input equals a key-dependent
+// protected pattern and the key is wrong. Each DIP then eliminates only a
+// single wrong key, so the exact SAT attack needs ~2^|key| iterations —
+// while an approximate attacker (AppSAT) reaches a key that is wrong on at
+// most one input pattern almost immediately. This is Rivest's exact-vs-
+// approximate distinction in silicon, and exactly the scenario Section
+// IV-A of the paper builds on.
+//
+// Our variant: flip = (data == key) AND (key != secret), realised as
+//   flip_i = comparator(data, K) AND mismatch(K, secret)
+// folded into output 0 by XOR. With the correct key the flip signal is
+// constantly 0.
+#pragma once
+
+#include "lock/combinational.hpp"
+
+namespace pitfalls::lock {
+
+/// Lock `original` with a SARLock comparator over `key_bits` key inputs
+/// (key_bits <= number of data inputs; the comparator guards the first
+/// key_bits data inputs). The returned circuit has exactly `key_bits` key
+/// inputs and the same outputs as the original.
+LockedCircuit lock_sarlock(const Netlist& original, std::size_t key_bits,
+                           support::Rng& rng);
+
+/// Combined scheme (as deployed in practice): SARLock on top of
+/// `xor_key_bits` conventional XOR key gates. Total key = xor_key_bits +
+/// sar_key_bits, XOR bits first.
+LockedCircuit lock_sarlock_plus_xor(const Netlist& original,
+                                    std::size_t sar_key_bits,
+                                    std::size_t xor_key_bits,
+                                    support::Rng& rng);
+
+}  // namespace pitfalls::lock

@@ -1,0 +1,106 @@
+#include "ml/chow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+#include "support/stats.hpp"
+
+namespace pitfalls::ml {
+
+double ChowParameters::degree1_weight() const {
+  double sum = 0.0;
+  for (auto c : degree1) sum += c * c;
+  return sum;
+}
+
+ChowParameters estimate_chow(const std::vector<BitVec>& challenges,
+                             const std::vector<int>& responses) {
+  PITFALLS_REQUIRE(!challenges.empty(), "empty CRP set");
+  PITFALLS_REQUIRE(challenges.size() == responses.size(),
+                   "challenge/response count mismatch");
+  const std::size_t n = challenges.front().size();
+  ChowParameters chow;
+  chow.degree1.assign(n, 0.0);
+  for (std::size_t s = 0; s < challenges.size(); ++s) {
+    const double y = static_cast<double>(responses[s]);
+    chow.degree0 += y;
+    for (std::size_t i = 0; i < n; ++i)
+      chow.degree1[i] += y * static_cast<double>(challenges[s].pm_one(i));
+  }
+  const double m = static_cast<double>(challenges.size());
+  chow.degree0 /= m;
+  for (auto& c : chow.degree1) c /= m;
+  return chow;
+}
+
+ChowParameters exact_chow(const boolfn::TruthTable& table) {
+  const std::size_t n = table.num_vars();
+  ChowParameters chow;
+  chow.degree1.assign(n, 0.0);
+  const std::uint64_t rows = table.num_rows();
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const double y = static_cast<double>(table.at(row));
+    chow.degree0 += y;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = ((row >> i) & 1ULL) ? -1.0 : +1.0;
+      chow.degree1[i] += y * xi;
+    }
+  }
+  const double m = static_cast<double>(rows);
+  chow.degree0 /= m;
+  for (auto& c : chow.degree1) c /= m;
+  return chow;
+}
+
+namespace {
+
+/// Threshold making a unit-margin Gaussian LTF match bias mu = E[f]:
+/// Pr[f = +1] = (1 + mu)/2 = Pr[N(0,1) >= theta]  =>  theta = Phi^{-1}((1-mu)/2).
+double bias_matched_threshold(double mu, double weight_norm) {
+  const double p_plus = std::clamp((1.0 + mu) / 2.0, 1e-9, 1.0 - 1e-9);
+  return weight_norm * support::normal_quantile(1.0 - p_plus);
+}
+
+}  // namespace
+
+boolfn::Ltf reconstruct_ltf(const ChowParameters& target,
+                            const ChowReconstructionConfig& config,
+                            const std::vector<BitVec>& challenges) {
+  PITFALLS_REQUIRE(target.num_vars() > 0, "need at least one variable");
+  std::vector<double> w = target.degree1;
+  double norm = std::sqrt(target.degree1_weight());
+  if (norm <= 0.0) {
+    // Degenerate Chow vector: fall back to a constant classifier in the
+    // direction of the bias.
+    w.assign(target.num_vars(), 0.0);
+    w[0] = 1e-12;
+    return boolfn::Ltf(std::move(w), target.degree0 >= 0.0 ? -1.0 : 1.0);
+  }
+
+  double theta = bias_matched_threshold(target.degree0, norm);
+  if (config.correction_rounds == 0 || challenges.empty())
+    return boolfn::Ltf(std::move(w), theta);
+
+  // Chow-matching correction (the iterative core of [25]): move the weight
+  // vector toward the gap between the target's Chow parameters and the
+  // current hypothesis', measured on the provided challenge sample.
+  for (std::size_t round = 0; round < config.correction_rounds; ++round) {
+    boolfn::Ltf current(w, theta);
+    std::vector<int> labels;
+    labels.reserve(challenges.size());
+    for (const auto& c : challenges) labels.push_back(current.eval_pm(c));
+    const ChowParameters own = estimate_chow(challenges, labels);
+
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] += config.step * (target.degree1[i] - own.degree1[i]);
+    norm = 0.0;
+    for (auto weight : w) norm += weight * weight;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) break;
+    theta = bias_matched_threshold(target.degree0, norm);
+  }
+  return boolfn::Ltf(std::move(w), theta);
+}
+
+}  // namespace pitfalls::ml

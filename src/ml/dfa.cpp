@@ -1,0 +1,191 @@
+#include "ml/dfa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+Dfa::Dfa(std::size_t num_states, std::size_t alphabet_size, std::size_t start)
+    : alphabet_(alphabet_size), start_(start) {
+  PITFALLS_REQUIRE(num_states > 0, "a DFA needs at least one state");
+  PITFALLS_REQUIRE(alphabet_size > 0, "a DFA needs a non-empty alphabet");
+  PITFALLS_REQUIRE(start < num_states, "start state out of range");
+  delta_.assign(num_states, std::vector<std::size_t>(alphabet_size, 0));
+  for (std::size_t s = 0; s < num_states; ++s)
+    std::fill(delta_[s].begin(), delta_[s].end(), s);  // self-loops
+  accepting_.assign(num_states, false);
+}
+
+void Dfa::set_transition(std::size_t state, std::size_t symbol,
+                         std::size_t target) {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  PITFALLS_REQUIRE(symbol < alphabet_, "symbol out of range");
+  PITFALLS_REQUIRE(target < num_states(), "target out of range");
+  delta_[state][symbol] = target;
+}
+
+std::size_t Dfa::transition(std::size_t state, std::size_t symbol) const {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  PITFALLS_REQUIRE(symbol < alphabet_, "symbol out of range");
+  return delta_[state][symbol];
+}
+
+void Dfa::set_accepting(std::size_t state, bool accepting) {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  accepting_[state] = accepting;
+}
+
+bool Dfa::accepting(std::size_t state) const {
+  PITFALLS_REQUIRE(state < num_states(), "state out of range");
+  return accepting_[state];
+}
+
+std::size_t Dfa::run(const Word& word, std::size_t from) const {
+  PITFALLS_REQUIRE(from < num_states(), "state out of range");
+  std::size_t state = from;
+  for (auto symbol : word) {
+    PITFALLS_REQUIRE(symbol < alphabet_, "symbol out of range");
+    state = delta_[state][symbol];
+  }
+  return state;
+}
+
+Dfa Dfa::random(std::size_t num_states, std::size_t alphabet_size,
+                double accept_probability, support::Rng& rng) {
+  Dfa dfa(num_states, alphabet_size, 0);
+  for (std::size_t s = 0; s < num_states; ++s)
+    for (std::size_t a = 0; a < alphabet_size; ++a)
+      dfa.set_transition(s, a,
+                         static_cast<std::size_t>(rng.uniform_below(num_states)));
+  for (std::size_t s = 0; s < num_states; ++s)
+    dfa.set_accepting(s, rng.bernoulli(accept_probability));
+  if (num_states >= 2) {
+    bool any_accept = false;
+    bool any_reject = false;
+    for (std::size_t s = 0; s < num_states; ++s)
+      (dfa.accepting(s) ? any_accept : any_reject) = true;
+    if (!any_accept)
+      dfa.set_accepting(static_cast<std::size_t>(rng.uniform_below(num_states)),
+                        true);
+    if (!any_reject) dfa.set_accepting(0, false);
+  }
+  return dfa;
+}
+
+std::size_t Dfa::reachable_states() const {
+  std::vector<bool> seen(num_states(), false);
+  std::queue<std::size_t> frontier;
+  frontier.push(start_);
+  seen[start_] = true;
+  std::size_t count = 0;
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop();
+    ++count;
+    for (std::size_t a = 0; a < alphabet_; ++a)
+      if (!seen[delta_[s][a]]) {
+        seen[delta_[s][a]] = true;
+        frontier.push(delta_[s][a]);
+      }
+  }
+  return count;
+}
+
+Dfa Dfa::minimized() const {
+  // Restrict to reachable states.
+  std::vector<std::size_t> index(num_states(), SIZE_MAX);
+  std::vector<std::size_t> order;
+  {
+    std::queue<std::size_t> frontier;
+    frontier.push(start_);
+    index[start_] = 0;
+    order.push_back(start_);
+    while (!frontier.empty()) {
+      const std::size_t s = frontier.front();
+      frontier.pop();
+      for (std::size_t a = 0; a < alphabet_; ++a) {
+        const std::size_t t = delta_[s][a];
+        if (index[t] == SIZE_MAX) {
+          index[t] = order.size();
+          order.push_back(t);
+          frontier.push(t);
+        }
+      }
+    }
+  }
+
+  // Moore partition refinement over the reachable subset.
+  const std::size_t m = order.size();
+  std::vector<std::size_t> block(m);
+  for (std::size_t i = 0; i < m; ++i) block[i] = accepting_[order[i]] ? 1 : 0;
+  for (;;) {
+    // Signature: (block, block of each successor).
+    std::map<std::vector<std::size_t>, std::size_t> classes;
+    std::vector<std::size_t> next(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::size_t> sig{block[i]};
+      for (std::size_t a = 0; a < alphabet_; ++a)
+        sig.push_back(block[index[delta_[order[i]][a]]]);
+      auto [it, inserted] = classes.emplace(std::move(sig), classes.size());
+      next[i] = it->second;
+    }
+    if (next == block) break;
+    block = std::move(next);
+  }
+
+  const std::size_t num_blocks =
+      1 + *std::max_element(block.begin(), block.end());
+  Dfa out(num_blocks, alphabet_, block[0]);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.set_accepting(block[i], accepting_[order[i]]);
+    for (std::size_t a = 0; a < alphabet_; ++a)
+      out.set_transition(block[i], a, block[index[delta_[order[i]][a]]]);
+  }
+  return out;
+}
+
+std::optional<Word> Dfa::distinguishing_word(const Dfa& a, const Dfa& b) {
+  PITFALLS_REQUIRE(a.alphabet_ == b.alphabet_, "alphabet mismatch");
+  // BFS over the product automaton, remembering parent pointers.
+  struct Node {
+    std::size_t sa, sb;
+  };
+  const std::size_t nb = b.num_states();
+  auto key = [nb](std::size_t sa, std::size_t sb) { return sa * nb + sb; };
+  std::vector<std::int64_t> parent(a.num_states() * nb, -2);  // -2 = unseen
+  std::vector<std::size_t> via(a.num_states() * nb, 0);
+  std::queue<Node> frontier;
+  frontier.push({a.start_, b.start_});
+  parent[key(a.start_, b.start_)] = -1;  // root
+
+  while (!frontier.empty()) {
+    const Node node = frontier.front();
+    frontier.pop();
+    if (a.accepting_[node.sa] != b.accepting_[node.sb]) {
+      Word word;
+      std::size_t k = key(node.sa, node.sb);
+      while (parent[k] >= 0) {
+        word.push_back(via[k]);
+        k = static_cast<std::size_t>(parent[k]);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (std::size_t sym = 0; sym < a.alphabet_; ++sym) {
+      const std::size_t ta = a.delta_[node.sa][sym];
+      const std::size_t tb = b.delta_[node.sb][sym];
+      if (parent[key(ta, tb)] == -2) {
+        parent[key(ta, tb)] = static_cast<std::int64_t>(key(node.sa, node.sb));
+        via[key(ta, tb)] = sym;
+        frontier.push({ta, tb});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pitfalls::ml

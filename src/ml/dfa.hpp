@@ -1,0 +1,76 @@
+// Deterministic finite automata over an arbitrary finite alphabet.
+//
+// The representation class Angluin's L* delivers (Section V-B): note it is a
+// DFA even when the target is presented as a gate-level FSM — an *improper*
+// hypothesis representation, which is precisely the paper's point about
+// representation-dependent impossibility claims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+/// An input word: sequence of symbol indices in [0, alphabet).
+using Word = std::vector<std::size_t>;
+
+struct WordHash {
+  std::size_t operator()(const Word& w) const {
+    std::size_t h = 1469598103934665603ULL ^ w.size();
+    for (auto s : w) {
+      h ^= s + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+class Dfa {
+ public:
+  /// All transitions initially self-loops; no state accepting.
+  Dfa(std::size_t num_states, std::size_t alphabet_size, std::size_t start);
+
+  std::size_t num_states() const { return accepting_.size(); }
+  std::size_t alphabet_size() const { return alphabet_; }
+  std::size_t start() const { return start_; }
+
+  void set_transition(std::size_t state, std::size_t symbol,
+                      std::size_t target);
+  std::size_t transition(std::size_t state, std::size_t symbol) const;
+
+  void set_accepting(std::size_t state, bool accepting);
+  bool accepting(std::size_t state) const;
+
+  /// State reached from `from` after consuming `word`.
+  std::size_t run(const Word& word, std::size_t from) const;
+  std::size_t run(const Word& word) const { return run(word, start_); }
+
+  bool accepts(const Word& word) const { return accepting_[run(word)]; }
+
+  /// Uniformly random complete DFA; each state accepting with the given
+  /// probability (at least one accepting and one rejecting state enforced
+  /// when num_states >= 2 so the language is non-trivial).
+  static Dfa random(std::size_t num_states, std::size_t alphabet_size,
+                    double accept_probability, support::Rng& rng);
+
+  /// Number of states reachable from the start state.
+  std::size_t reachable_states() const;
+
+  /// Language-equivalent minimal DFA (reachable subset + Moore partition
+  /// refinement).
+  Dfa minimized() const;
+
+  /// Shortest word on which the two automata disagree, or nullopt if they
+  /// are language-equivalent. Alphabets must match.
+  static std::optional<Word> distinguishing_word(const Dfa& a, const Dfa& b);
+
+ private:
+  std::size_t alphabet_;
+  std::size_t start_;
+  std::vector<std::vector<std::size_t>> delta_;  // [state][symbol]
+  std::vector<bool> accepting_;
+};
+
+}  // namespace pitfalls::ml

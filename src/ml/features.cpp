@@ -1,0 +1,41 @@
+#include "ml/features.hpp"
+
+#include "support/combinatorics.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+std::vector<double> pm_with_bias(const BitVec& x) {
+  std::vector<double> out(x.size() + 1);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = static_cast<double>(x.pm_one(i));
+  out[x.size()] = 1.0;
+  return out;
+}
+
+std::vector<double> parity_with_bias(const BitVec& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n + 1);
+  out[n] = 1.0;
+  int suffix = 1;
+  for (std::size_t i = n; i-- > 0;) {
+    suffix *= x.pm_one(i);
+    out[i] = static_cast<double>(suffix);
+  }
+  return out;
+}
+
+std::vector<double> monomial_features(const BitVec& x, std::size_t degree) {
+  PITFALLS_REQUIRE(degree <= x.size(), "degree exceeds arity");
+  const auto subsets = support::subsets_up_to_size(x.size(), degree);
+  std::vector<double> out;
+  out.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    int prod = 1;
+    for (auto i : subset) prod *= x.pm_one(i);
+    out.push_back(static_cast<double>(prod));
+  }
+  return out;
+}
+
+}  // namespace pitfalls::ml

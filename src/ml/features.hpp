@@ -1,0 +1,35 @@
+// Feature maps turning challenge bit vectors into real vectors for the
+// linear learners.
+//
+// The choice of feature map IS the choice of concept representation the
+// paper's Section V is about: parity features make an arbiter PUF exactly
+// linearly separable, raw +/-1 features do not make a BR PUF separable no
+// matter how many CRPs are used (Table II).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace pitfalls::ml {
+
+using support::BitVec;
+
+using FeatureMap = std::function<std::vector<double>(const BitVec&)>;
+
+/// +/-1 encoding of each bit followed by a constant-1 bias feature;
+/// dimension n+1. The representation Weka's Perceptron sees in Table II.
+std::vector<double> pm_with_bias(const BitVec& x);
+
+/// The arbiter-PUF parity transform: phi_i = prod_{j>=i} (1-2 x_j) for
+/// i < n, plus a constant-1 bias; dimension n+1. In this representation an
+/// additive-delay arbiter PUF is an exact halfspace.
+std::vector<double> parity_with_bias(const BitVec& x);
+
+/// All monomials chi_S for |S| <= degree (including the constant), in the
+/// order produced by support::subsets_up_to_size. Dimension sum_i C(n,i).
+/// This is the explicit low-degree expansion the LMN algorithm works in.
+std::vector<double> monomial_features(const BitVec& x, std::size_t degree);
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,64 @@
+// Property tester for halfspaces (Matulef–O'Donnell–Rubinfeld–Servedio,
+// SIAM J. Comp. 2010 — reference [28] of the paper), driving Table III.
+//
+// Core statistic: for a regular LTF with bias mu = E[f], the degree-1
+// Fourier weight W1 = sum_i fhat(i)^2 concentrates (Gaussian limit) at
+//   W1_ltf(mu) = 4 * phi( Phi^{-1}((1-mu)/2) )^2,
+// which is 2/pi ~ 0.6366 for an unbiased LTF. Functions far from every
+// halfspace push Fourier weight to higher degrees, so the deficit
+//   gap = 1 - W1 / W1_ltf(mu)
+// witnesses distance. The tester estimates W1 from uniformly drawn
+// noiseless CRPs only — poly(1/eps) examples, no structural access — and
+// reports `gap` as its (conservative) far-from-halfspace estimate, exactly
+// the "how far from any halfspace (min.)" column of Table III.
+//
+// NOTE: the raw plug-in estimate of fhat(i)^2 is biased upward by the
+// sampling variance (1 - fhat(i)^2)/m per coordinate, which for the paper's
+// n=16 / 100-CRP row would swamp the signal; we apply the unbiased
+// correction before summing.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+using boolfn::BooleanFunction;
+using support::BitVec;
+
+struct HalfspaceTestReport {
+  std::size_t samples = 0;
+  double bias = 0.0;              // estimated E[f]
+  double w1_raw = 0.0;            // plug-in degree-1 weight
+  double w1 = 0.0;                // bias-corrected degree-1 weight
+  double w1_expected_ltf = 0.0;   // Gaussian-limit W1 of an LTF of that bias
+  double gap = 0.0;               // max(0, 1 - w1 / w1_expected_ltf)
+  double far_from_halfspace = 0.0;  // the tester's reported distance estimate
+  bool accepted = false;          // "close to a halfspace" at the tolerance
+};
+
+class HalfspaceTester {
+ public:
+  /// tolerance: accept iff gap < tolerance (the tester's eps knob).
+  explicit HalfspaceTester(double tolerance = 0.1);
+
+  /// Test from a fixed, uniformly collected, noiseless CRP set.
+  HalfspaceTestReport test(const std::vector<BitVec>& challenges,
+                           const std::vector<int>& responses) const;
+
+  /// Test with oracle access using m uniform queries.
+  HalfspaceTestReport test(const BooleanFunction& f, std::size_t m,
+                           support::Rng& rng) const;
+
+  /// Query budget sufficient to resolve a gap of eps with confidence delta
+  /// at arity n (Hoeffding per coordinate + union bound): poly(1/eps).
+  static std::size_t recommended_samples(std::size_t n, double eps,
+                                         double delta);
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,66 @@
+// Membership-query junta learner.
+//
+// Corollary 2's chain of reasoning is: LTF -> close to a small junta
+// (Bourgain) -> r-XT -> sparse F2 polynomial -> LearnPoly. This module
+// implements the junta step directly: find the relevant variables by binary
+// search over differing input pairs, then read off the junta's truth table
+// with one query per assignment. Exact for true juntas; the benches use it
+// on weight-decaying arbiter chains (the only regime where the "LTF is
+// almost a junta" premise actually holds — itself a pitfall worth
+// demonstrating).
+#pragma once
+
+#include <vector>
+
+#include "boolfn/truth_table.hpp"
+#include "ml/oracle.hpp"
+
+namespace pitfalls::ml {
+
+/// Hypothesis: a function of the `relevant` variables given by a truth
+/// table over them (row bit j corresponds to relevant[j]).
+class JuntaHypothesis final : public BooleanFunction {
+ public:
+  JuntaHypothesis(std::size_t n, std::vector<std::size_t> relevant,
+                  boolfn::TruthTable table);
+
+  std::size_t num_vars() const override { return n_; }
+  int eval_pm(const BitVec& x) const override;
+  std::string describe() const override;
+
+  const std::vector<std::size_t>& relevant() const { return relevant_; }
+  const boolfn::TruthTable& table() const { return table_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> relevant_;
+  boolfn::TruthTable table_;
+};
+
+struct JuntaLearnConfig {
+  /// Give up searching for new relevant variables after this many
+  /// consecutive random probes find no disagreement.
+  std::size_t probes_per_round = 64;
+  /// Refuse to grow beyond this many relevant variables.
+  std::size_t max_junta = 16;
+};
+
+struct JuntaLearnResult {
+  std::vector<std::size_t> relevant;
+  std::size_t membership_queries = 0;
+  bool hit_cap = false;  // stopped because max_junta was reached
+};
+
+class JuntaLearner {
+ public:
+  explicit JuntaLearner(JuntaLearnConfig config = {}) : config_(config) {}
+
+  /// Find relevant variables and interpolate the junta's table.
+  JuntaHypothesis learn(MembershipOracle& oracle, support::Rng& rng,
+                        JuntaLearnResult* stats = nullptr) const;
+
+ private:
+  JuntaLearnConfig config_;
+};
+
+}  // namespace pitfalls::ml

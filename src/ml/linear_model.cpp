@@ -1,0 +1,31 @@
+#include "ml/linear_model.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+LinearModel::LinearModel(std::size_t num_vars, std::vector<double> weights,
+                         FeatureMap features, std::string name)
+    : num_vars_(num_vars),
+      weights_(std::move(weights)),
+      features_(std::move(features)),
+      name_(std::move(name)) {
+  PITFALLS_REQUIRE(!weights_.empty(), "a linear model needs weights");
+  PITFALLS_REQUIRE(static_cast<bool>(features_), "a feature map is required");
+}
+
+double LinearModel::score(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == num_vars_, "input arity mismatch");
+  const auto phi = features_(x);
+  PITFALLS_REQUIRE(phi.size() == weights_.size(),
+                   "feature dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) sum += weights_[i] * phi[i];
+  return sum;
+}
+
+int LinearModel::eval_pm(const BitVec& x) const {
+  return score(x) < 0.0 ? -1 : +1;
+}
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,36 @@
+// A trained linear classifier over an explicit feature map: the hypothesis
+// representation shared by the Perceptron and logistic-regression learners.
+// Wrapping it as a BooleanFunction lets every downstream tool (accuracy
+// evaluation, Fourier estimation, property testing) treat hypotheses and
+// targets uniformly.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "ml/features.hpp"
+
+namespace pitfalls::ml {
+
+class LinearModel final : public boolfn::BooleanFunction {
+ public:
+  LinearModel(std::size_t num_vars, std::vector<double> weights,
+              FeatureMap features, std::string name = "linear model");
+
+  std::size_t num_vars() const override { return num_vars_; }
+  int eval_pm(const BitVec& x) const override;  // sgn(0) := +1
+  std::string describe() const override { return name_; }
+
+  /// Real-valued score w . phi(x).
+  double score(const BitVec& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::size_t num_vars_;
+  std::vector<double> weights_;
+  FeatureMap features_;
+  std::string name_;
+};
+
+}  // namespace pitfalls::ml

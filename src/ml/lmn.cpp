@@ -1,0 +1,117 @@
+#include "ml/lmn.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "boolfn/fourier.hpp"
+#include "support/combinatorics.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+SparseFourierHypothesis::SparseFourierHypothesis(
+    std::size_t n, std::vector<BitVec> subsets,
+    std::vector<double> coefficients)
+    : n_(n), subsets_(std::move(subsets)), coefficients_(std::move(coefficients)) {
+  PITFALLS_REQUIRE(subsets_.size() == coefficients_.size(),
+                   "subset/coefficient count mismatch");
+  for (const auto& s : subsets_)
+    PITFALLS_REQUIRE(s.size() == n, "subset arity mismatch");
+}
+
+double SparseFourierHypothesis::approximation(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == n_, "input arity mismatch");
+  double sum = 0.0;
+  for (std::size_t s = 0; s < subsets_.size(); ++s) {
+    const int chi = x.masked_parity(subsets_[s]) ? -1 : +1;
+    sum += coefficients_[s] * static_cast<double>(chi);
+  }
+  return sum;
+}
+
+int SparseFourierHypothesis::eval_pm(const BitVec& x) const {
+  return approximation(x) < 0.0 ? -1 : +1;
+}
+
+double SparseFourierHypothesis::captured_weight() const {
+  double sum = 0.0;
+  for (auto c : coefficients_) sum += c * c;
+  return sum;
+}
+
+std::string SparseFourierHypothesis::describe() const {
+  std::ostringstream os;
+  os << "LMN hypothesis, " << subsets_.size() << " Fourier terms";
+  return os.str();
+}
+
+namespace {
+
+std::vector<BitVec> low_degree_subsets(std::size_t n, std::size_t degree) {
+  const auto index_sets = support::subsets_up_to_size(n, degree);
+  std::vector<BitVec> out;
+  out.reserve(index_sets.size());
+  for (const auto& s : index_sets) out.push_back(support::subset_mask(n, s));
+  return out;
+}
+
+}  // namespace
+
+SparseFourierHypothesis LmnLearner::learn(const BooleanFunction& target,
+                                          std::size_t samples,
+                                          support::Rng& rng) const {
+  PITFALLS_REQUIRE(samples > 0, "need at least one sample");
+  const std::size_t n = target.num_vars();
+  auto subsets = low_degree_subsets(n, config_.degree);
+  auto coeffs = boolfn::estimate_coefficients(target, subsets, samples, rng);
+
+  if (config_.prune_below > 0.0) {
+    std::vector<BitVec> kept_subsets;
+    std::vector<double> kept_coeffs;
+    for (std::size_t i = 0; i < subsets.size(); ++i)
+      if (std::abs(coeffs[i]) >= config_.prune_below) {
+        kept_subsets.push_back(subsets[i]);
+        kept_coeffs.push_back(coeffs[i]);
+      }
+    subsets = std::move(kept_subsets);
+    coeffs = std::move(kept_coeffs);
+  }
+  return SparseFourierHypothesis(n, std::move(subsets), std::move(coeffs));
+}
+
+SparseFourierHypothesis LmnLearner::learn_from_data(
+    const std::vector<BitVec>& challenges,
+    const std::vector<int>& responses) const {
+  PITFALLS_REQUIRE(!challenges.empty(), "empty CRP set");
+  const std::size_t n = challenges.front().size();
+  auto subsets = low_degree_subsets(n, config_.degree);
+  auto coeffs =
+      boolfn::estimate_coefficients_from_data(challenges, responses, subsets);
+  if (config_.prune_below > 0.0) {
+    std::vector<BitVec> kept_subsets;
+    std::vector<double> kept_coeffs;
+    for (std::size_t i = 0; i < subsets.size(); ++i)
+      if (std::abs(coeffs[i]) >= config_.prune_below) {
+        kept_subsets.push_back(subsets[i]);
+        kept_coeffs.push_back(coeffs[i]);
+      }
+    subsets = std::move(kept_subsets);
+    coeffs = std::move(kept_coeffs);
+  }
+  return SparseFourierHypothesis(n, std::move(subsets), std::move(coeffs));
+}
+
+std::uint64_t LmnLearner::num_coefficients(std::size_t n) const {
+  return support::binomial_sum(n, config_.degree);
+}
+
+std::size_t LmnLearner::recommended_samples(std::size_t n, double eps,
+                                            double delta) const {
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  PITFALLS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double coeffs = static_cast<double>(num_coefficients(n));
+  const double m = coeffs / eps * std::log(coeffs / delta);
+  return static_cast<std::size_t>(std::ceil(m));
+}
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,79 @@
+// The LMN low-degree algorithm (Linial–Mansour–Nisan [16]) — the improper,
+// uniform-distribution PAC learner behind Corollary 1.
+//
+// Estimates every Fourier coefficient of degree <= d from one shared uniform
+// sample and outputs the sign of the resulting low-degree approximation. The
+// hypothesis is a real multilinear polynomial, *not* a member of the target
+// class — the "improper learning" freedom Section V-B argues makes the
+// attacker strictly stronger.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+using boolfn::BooleanFunction;
+using support::BitVec;
+
+/// sign( sum_S chat(S) chi_S(x) ) over an explicit subset list.
+class SparseFourierHypothesis final : public BooleanFunction {
+ public:
+  SparseFourierHypothesis(std::size_t n, std::vector<BitVec> subsets,
+                          std::vector<double> coefficients);
+
+  std::size_t num_vars() const override { return n_; }
+  int eval_pm(const BitVec& x) const override;  // sgn(0) := +1
+  std::string describe() const override;
+
+  /// The real-valued approximation sum_S chat(S) chi_S(x).
+  double approximation(const BitVec& x) const;
+
+  std::size_t num_terms() const { return subsets_.size(); }
+  const std::vector<BitVec>& subsets() const { return subsets_; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// Sum of squared stored coefficients (captured Fourier weight).
+  double captured_weight() const;
+
+ private:
+  std::size_t n_;
+  std::vector<BitVec> subsets_;
+  std::vector<double> coefficients_;
+};
+
+struct LmnConfig {
+  std::size_t degree = 2;        // cutoff m in the paper's Corollary 1 proof
+  double prune_below = 0.0;      // drop estimated |chat| below this
+};
+
+class LmnLearner {
+ public:
+  explicit LmnLearner(LmnConfig config) : config_(config) {}
+
+  /// Learn from oracle access with `samples` uniformly drawn examples
+  /// (the LMN query pattern: one sample reused for all coefficients).
+  SparseFourierHypothesis learn(const BooleanFunction& target,
+                                std::size_t samples,
+                                support::Rng& rng) const;
+
+  /// Learn from a fixed CRP set (uniformly collected).
+  SparseFourierHypothesis learn_from_data(
+      const std::vector<BitVec>& challenges,
+      const std::vector<int>& responses) const;
+
+  /// Number of coefficients the degree cutoff implies for arity n.
+  std::uint64_t num_coefficients(std::size_t n) const;
+
+  /// Theory-guided sample size: O(coeffs/eps * ln(coeffs/delta)). The
+  /// constant is 1 — benches sweep around it.
+  std::size_t recommended_samples(std::size_t n, double eps,
+                                  double delta) const;
+
+ private:
+  LmnConfig config_;
+};
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,51 @@
+// Logistic regression — the workhorse of the *empirical* modeling attacks
+// on arbiter-PUF variants (Ruehrmair et al. [8]). Included both as a
+// baseline against the provable learners and to demonstrate the paper's
+// point that empirical success under one sampling regime says nothing about
+// PAC guarantees under another.
+//
+// Plain batch gradient descent with an adaptive per-dimension step (RProp),
+// which is what the original PUF modeling-attack papers used.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/linear_model.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+struct LogisticConfig {
+  std::size_t max_iters = 300;
+  double init_step = 0.05;
+  double step_up = 1.2;      // RProp step growth on sign agreement
+  double step_down = 0.5;    // RProp step shrink on sign flip
+  double min_step = 1e-8;
+  double max_step = 10.0;
+  double tolerance = 1e-6;   // stop when the gradient norm falls below this
+};
+
+struct LogisticResult {
+  std::vector<double> weights;
+  std::size_t iterations = 0;
+  double final_loss = 0.0;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+
+  LogisticResult fit(const std::vector<std::vector<double>>& X,
+                     const std::vector<int>& y, support::Rng& rng) const;
+
+  LinearModel fit_model(const std::vector<BitVec>& challenges,
+                        const std::vector<int>& responses,
+                        const FeatureMap& features, support::Rng& rng,
+                        LogisticResult* stats = nullptr) const;
+
+ private:
+  LogisticConfig config_;
+};
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,158 @@
+#include "ml/lstar.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+SampledDfaTeacher::SampledDfaTeacher(const Dfa& target,
+                                     std::size_t samples_per_call,
+                                     double mean_word_length,
+                                     support::Rng& rng)
+    : target_(&target), samples_per_call_(samples_per_call), rng_(&rng) {
+  PITFALLS_REQUIRE(samples_per_call > 0, "need at least one sample per call");
+  PITFALLS_REQUIRE(mean_word_length > 0.0, "mean word length must be > 0");
+  continue_probability_ = mean_word_length / (1.0 + mean_word_length);
+}
+
+std::optional<Word> SampledDfaTeacher::equivalent(const Dfa& hypothesis) {
+  count_eq();
+  for (std::size_t s = 0; s < samples_per_call_; ++s) {
+    Word word;
+    while (rng_->bernoulli(continue_probability_))
+      word.push_back(static_cast<std::size_t>(
+          rng_->uniform_below(target_->alphabet_size())));
+    if (target_->accepts(word) != hypothesis.accepts(word)) return word;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Observation table for the Maler–Pnueli variant of L*.
+class ObservationTable {
+ public:
+  ObservationTable(DfaTeacher& teacher, std::size_t alphabet)
+      : teacher_(&teacher), alphabet_(alphabet) {
+    s_.push_back({});                 // epsilon
+    e_.push_back({});                 // epsilon
+  }
+
+  /// Restore closedness; returns when every one-symbol extension of a row
+  /// word matches some row.
+  void close() {
+    for (;;) {
+      bool changed = false;
+      // Recompute signatures of S.
+      std::map<std::vector<bool>, std::size_t> signatures;
+      for (std::size_t i = 0; i < s_.size(); ++i)
+        signatures.emplace(signature(s_[i]), i);
+      for (std::size_t i = 0; i < s_.size() && !changed; ++i) {
+        for (std::size_t a = 0; a < alphabet_ && !changed; ++a) {
+          Word extended = s_[i];
+          extended.push_back(a);
+          if (!signatures.contains(signature(extended))) {
+            s_.push_back(std::move(extended));  // keeps S prefix-closed
+            changed = true;
+          }
+        }
+      }
+      if (!changed) return;
+    }
+  }
+
+  /// Add every suffix of the counterexample to E (deduplicated).
+  void absorb_counterexample(const Word& cex) {
+    for (std::size_t start = 0; start <= cex.size(); ++start) {
+      Word suffix(cex.begin() + static_cast<std::ptrdiff_t>(start), cex.end());
+      if (std::find(e_.begin(), e_.end(), suffix) == e_.end())
+        e_.push_back(std::move(suffix));
+    }
+  }
+
+  Dfa hypothesis() const {
+    // Map distinct signatures to states; state of epsilon's row is start.
+    std::map<std::vector<bool>, std::size_t> state_of;
+    std::vector<std::size_t> row_state(s_.size());
+    std::vector<std::size_t> representative;  // row index per state
+    for (std::size_t i = 0; i < s_.size(); ++i) {
+      auto sig = signature(s_[i]);
+      auto [it, inserted] = state_of.emplace(std::move(sig), state_of.size());
+      row_state[i] = it->second;
+      if (inserted) representative.push_back(i);
+    }
+
+    Dfa dfa(state_of.size(), alphabet_, row_state[0]);
+    for (std::size_t q = 0; q < representative.size(); ++q) {
+      const Word& s = s_[representative[q]];
+      dfa.set_accepting(q, lookup(s));  // epsilon is e_[0]
+      for (std::size_t a = 0; a < alphabet_; ++a) {
+        Word extended = s;
+        extended.push_back(a);
+        const auto it = state_of.find(signature(extended));
+        PITFALLS_ENSURE(it != state_of.end(), "table not closed");
+        dfa.set_transition(q, a, it->second);
+      }
+    }
+    return dfa;
+  }
+
+  std::size_t num_rows() const { return s_.size(); }
+
+ private:
+  std::vector<bool> signature(const Word& prefix) const {
+    std::vector<bool> sig(e_.size());
+    for (std::size_t j = 0; j < e_.size(); ++j) {
+      Word word = prefix;
+      word.insert(word.end(), e_[j].begin(), e_[j].end());
+      sig[j] = lookup(word);
+    }
+    return sig;
+  }
+
+  bool lookup(const Word& word) const {
+    auto it = cache_.find(word);
+    if (it != cache_.end()) return it->second;
+    const bool value = teacher_->member(word);
+    cache_.emplace(word, value);
+    return value;
+  }
+
+  DfaTeacher* teacher_;
+  std::size_t alphabet_;
+  std::vector<Word> s_;  // row words, prefix-closed
+  std::vector<Word> e_;  // experiments (suffixes), e_[0] = epsilon
+  mutable std::unordered_map<Word, bool, WordHash> cache_;
+};
+
+}  // namespace
+
+Dfa LStarLearner::learn(DfaTeacher& teacher, LStarStats* stats) const {
+  ObservationTable table(teacher, teacher.alphabet_size());
+  std::size_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    table.close();
+    PITFALLS_REQUIRE(table.num_rows() <= max_states_ * 4,
+                     "L* exceeded the state cap");
+    Dfa hypothesis = table.hypothesis();
+    PITFALLS_REQUIRE(hypothesis.num_states() <= max_states_,
+                     "L* exceeded the state cap");
+    const auto cex = teacher.equivalent(hypothesis);
+    if (!cex.has_value()) {
+      if (stats != nullptr) {
+        stats->membership_queries = teacher.membership_queries();
+        stats->equivalence_queries = teacher.equivalence_queries();
+        stats->states = hypothesis.num_states();
+        stats->rounds = rounds;
+      }
+      return hypothesis;
+    }
+    table.absorb_counterexample(*cex);
+  }
+}
+
+}  // namespace pitfalls::ml

@@ -1,0 +1,124 @@
+// Online (mistake-bound) learning — the model the paper's Section V-A says
+// AppSAT [5] actually lives in: "the impact of the size of the concept
+// representation is reflected by the number of mistakes that the algorithm
+// is allowed to make for a given level of accuracy."
+//
+// Provided here:
+//   * OnlineLearner — predict/update interface with mistake counting;
+//   * Winnow — multiplicative-weights learner for sparse monotone
+//     disjunctions, mistake bound O(r log n) for r-relevant-literal
+//     targets: the representation SIZE is the mistake budget, literally;
+//   * HalvingLearner — the information-theoretic baseline over an explicit
+//     finite hypothesis class: mistakes <= log2 |H|;
+//   * online_to_pac — the standard conversion (Littlestone/Angluin): run
+//     the online learner over random examples; any hypothesis that
+//     survives ~ (1/eps) ln(M/delta) consecutive examples without a
+//     mistake is eps-accurate with high probability.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+using boolfn::BooleanFunction;
+using support::BitVec;
+
+/// Mistake-bound learner: predict, then learn from the revealed label.
+class OnlineLearner {
+ public:
+  virtual ~OnlineLearner() = default;
+
+  virtual std::size_t num_vars() const = 0;
+
+  /// Predict the +/-1 label of x with the current hypothesis.
+  virtual int predict(const BitVec& x) const = 0;
+
+  /// Reveal the true label; updates the hypothesis. Returns true if the
+  /// prior prediction was wrong (a mistake). Implementations must count
+  /// mistakes via note_mistake().
+  virtual bool observe(const BitVec& x, int label) = 0;
+
+  /// Snapshot of the current hypothesis as a BooleanFunction.
+  virtual std::unique_ptr<BooleanFunction> hypothesis() const = 0;
+
+  std::size_t mistakes() const { return mistakes_; }
+
+ protected:
+  void note_mistake() { ++mistakes_; }
+
+ private:
+  std::size_t mistakes_ = 0;
+};
+
+/// Winnow2 for monotone disjunctions over {0,1}^n: target OR_{i in S} x_i,
+/// pm convention: +1 <-> the disjunction is 0 (chi encoding, bit 1 -> -1).
+/// Mistake bound O(|S| log n).
+class Winnow final : public OnlineLearner {
+ public:
+  /// threshold defaults to n; promotion factor alpha = 2.
+  explicit Winnow(std::size_t n, double alpha = 2.0);
+
+  std::size_t num_vars() const override { return weights_.size(); }
+  int predict(const BitVec& x) const override;
+  bool observe(const BitVec& x, int label) override;
+  std::unique_ptr<BooleanFunction> hypothesis() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  double score(const BitVec& x) const;
+
+  std::vector<double> weights_;
+  double threshold_;
+  double alpha_;
+};
+
+/// The halving algorithm over an explicit hypothesis list: predicts the
+/// majority vote of the surviving hypotheses, discards every hypothesis
+/// that errs. Mistakes <= log2 |H| when the target is in H — the concept-
+/// representation size bound of Section V-A, made executable.
+class HalvingLearner final : public OnlineLearner {
+ public:
+  /// `hypotheses` must be non-empty; all over the same arity. The learner
+  /// stores shared pointers so callers can keep class members alive.
+  explicit HalvingLearner(
+      std::vector<std::shared_ptr<const BooleanFunction>> hypotheses);
+
+  std::size_t num_vars() const override;
+  int predict(const BitVec& x) const override;
+  bool observe(const BitVec& x, int label) override;
+  std::unique_ptr<BooleanFunction> hypothesis() const override;
+
+  std::size_t surviving() const;
+  std::size_t initial_size() const { return hypotheses_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const BooleanFunction>> hypotheses_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+};
+
+struct OnlineToPacResult {
+  std::unique_ptr<BooleanFunction> hypothesis;
+  std::size_t examples_used = 0;
+  std::size_t mistakes = 0;
+  bool converged = false;  // some hypothesis survived the full quiet run
+};
+
+/// Littlestone's online-to-PAC conversion: feed uniform random examples of
+/// `target` to the learner; output the first hypothesis that survives
+/// ceil((1/eps) ln((M+1)/delta)) consecutive examples without a mistake,
+/// where M is the learner's mistake bound (caller-supplied). With
+/// probability >= 1-delta the output is eps-accurate.
+OnlineToPacResult online_to_pac(OnlineLearner& learner,
+                                const BooleanFunction& target,
+                                std::size_t mistake_bound, double eps,
+                                double delta, support::Rng& rng,
+                                std::size_t max_examples = 1000000);
+
+}  // namespace pitfalls::ml

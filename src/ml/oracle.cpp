@@ -1,0 +1,58 @@
+#include "ml/oracle.hpp"
+
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+ExhaustiveEquivalenceOracle::ExhaustiveEquivalenceOracle(
+    const BooleanFunction& target)
+    : target_(&target) {
+  PITFALLS_REQUIRE(target.num_vars() <= 24,
+                   "exhaustive equivalence limited to small arities");
+}
+
+std::optional<BitVec> ExhaustiveEquivalenceOracle::counterexample(
+    const BooleanFunction& hypothesis) {
+  count_call();
+  PITFALLS_REQUIRE(hypothesis.num_vars() == target_->num_vars(),
+                   "hypothesis arity mismatch");
+  const std::size_t n = target_->num_vars();
+  const std::uint64_t rows = std::uint64_t{1} << n;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const BitVec x(n, row);
+    if (target_->eval_pm(x) != hypothesis.eval_pm(x)) return x;
+  }
+  return std::nullopt;
+}
+
+SampledEquivalenceOracle::SampledEquivalenceOracle(
+    const BooleanFunction& target, double eps, double delta,
+    support::Rng& rng)
+    : target_(&target), eps_(eps), delta_(delta), rng_(&rng) {
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  PITFALLS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+}
+
+std::optional<BitVec> SampledEquivalenceOracle::counterexample(
+    const BooleanFunction& hypothesis) {
+  count_call();
+  PITFALLS_REQUIRE(hypothesis.num_vars() == target_->num_vars(),
+                   "hypothesis arity mismatch");
+  const std::size_t n = target_->num_vars();
+  // Angluin's schedule: q_i = ceil((ln(1/delta) + i ln 2) / eps) for the
+  // i-th call (1-based) keeps the total failure probability below delta.
+  const double i = static_cast<double>(calls());
+  const std::size_t q = static_cast<std::size_t>(std::ceil(
+      (std::log(1.0 / delta_) + i * std::log(2.0)) / eps_));
+  for (std::size_t s = 0; s < q; ++s) {
+    BitVec x(n);
+    for (std::size_t b = 0; b < n; ++b) x.set(b, rng_->coin());
+    ++samples_used_;
+    if (target_->eval_pm(x) != hypothesis.eval_pm(x)) return x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pitfalls::ml

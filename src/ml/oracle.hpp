@@ -1,0 +1,120 @@
+// Attacker access models (Section IV of the paper) as oracle interfaces.
+//
+//   * MembershipOracle — the attacker picks the input (chosen-challenge /
+//     chosen-plaintext access). Every call is counted: query complexity is
+//     the currency all of Table I trades in.
+//   * EquivalenceOracle — the attacker proposes a hypothesis and receives a
+//     counterexample or "equivalent". Angluin [22] showed this can be
+//     simulated with random examples; SampledEquivalenceOracle implements
+//     exactly that simulation (so "EQ is unrealistic for hardware" is not a
+//     valid objection — the paper's Section IV point).
+#pragma once
+
+#include <optional>
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::ml {
+
+using boolfn::BooleanFunction;
+using support::BitVec;
+
+class MembershipOracle {
+ public:
+  virtual ~MembershipOracle() = default;
+
+  virtual std::size_t num_vars() const = 0;
+
+  /// One chosen-input query, +/-1 result. Increments the query counter.
+  virtual int query_pm(const BitVec& x) = 0;
+
+  /// F2 view of the same query: +1 -> 0, -1 -> 1.
+  bool query_f2(const BitVec& x) { return query_pm(x) < 0; }
+
+  std::size_t queries() const { return queries_; }
+
+ protected:
+  void count() { ++queries_; }
+
+ private:
+  std::size_t queries_ = 0;
+};
+
+/// Membership access to a concrete function (the unlocked-oracle setting of
+/// the SAT attack, or direct CRP access to a PUF).
+class FunctionMembershipOracle final : public MembershipOracle {
+ public:
+  explicit FunctionMembershipOracle(const BooleanFunction& f) : f_(&f) {}
+  /// The oracle only references the function; a temporary would dangle.
+  explicit FunctionMembershipOracle(BooleanFunction&&) = delete;
+
+  std::size_t num_vars() const override { return f_->num_vars(); }
+  int query_pm(const BitVec& x) override {
+    count();
+    return f_->eval_pm(x);
+  }
+
+ private:
+  const BooleanFunction* f_;
+};
+
+class EquivalenceOracle {
+ public:
+  virtual ~EquivalenceOracle() = default;
+
+  /// A point where hypothesis and target disagree, or nullopt if the oracle
+  /// considers them equivalent.
+  virtual std::optional<BitVec> counterexample(
+      const BooleanFunction& hypothesis) = 0;
+
+  std::size_t calls() const { return calls_; }
+
+ protected:
+  void count_call() { ++calls_; }
+
+ private:
+  std::size_t calls_ = 0;
+};
+
+/// Exact equivalence via exhaustive sweep — only for small arities; the
+/// yardstick tests compare the sampled simulation against.
+class ExhaustiveEquivalenceOracle final : public EquivalenceOracle {
+ public:
+  explicit ExhaustiveEquivalenceOracle(const BooleanFunction& target);
+  /// The oracle only references the target; a temporary would dangle.
+  explicit ExhaustiveEquivalenceOracle(BooleanFunction&&) = delete;
+
+  std::optional<BitVec> counterexample(
+      const BooleanFunction& hypothesis) override;
+
+ private:
+  const BooleanFunction* target_;
+};
+
+/// Angluin's EQ-from-random-examples simulation: the i-th call draws
+/// ceil((ln(1/delta) + (i+1) ln 2) / eps) uniform samples; if all agree the
+/// hypothesis is declared equivalent. Guarantees: with probability >= 1-delta
+/// every accepted hypothesis is eps-accurate (union bound over calls).
+class SampledEquivalenceOracle final : public EquivalenceOracle {
+ public:
+  SampledEquivalenceOracle(const BooleanFunction& target, double eps,
+                           double delta, support::Rng& rng);
+  /// The oracle only references the target; a temporary would dangle.
+  SampledEquivalenceOracle(BooleanFunction&&, double, double,
+                           support::Rng&) = delete;
+
+  std::optional<BitVec> counterexample(
+      const BooleanFunction& hypothesis) override;
+
+  std::size_t samples_used() const { return samples_used_; }
+
+ private:
+  const BooleanFunction* target_;
+  double eps_;
+  double delta_;
+  support::Rng* rng_;
+  std::size_t samples_used_ = 0;
+};
+
+}  // namespace pitfalls::ml

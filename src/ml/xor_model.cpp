@@ -1,0 +1,174 @@
+#include "ml/xor_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::ml {
+
+XorChainModel::XorChainModel(std::size_t num_vars,
+                             std::vector<std::vector<double>> chain_weights,
+                             FeatureMap features)
+    : num_vars_(num_vars),
+      weights_(std::move(chain_weights)),
+      features_(std::move(features)) {
+  PITFALLS_REQUIRE(!weights_.empty(), "need at least one chain");
+  for (const auto& w : weights_)
+    PITFALLS_REQUIRE(w.size() == weights_.front().size() && !w.empty(),
+                     "chain weight dimensions must match");
+  PITFALLS_REQUIRE(static_cast<bool>(features_), "a feature map is required");
+}
+
+double XorChainModel::soft_response(const BitVec& x) const {
+  const auto phi = features_(x);
+  PITFALLS_REQUIRE(phi.size() == weights_.front().size(),
+                   "feature dimension mismatch");
+  double product = 1.0;
+  for (const auto& w : weights_) {
+    double score = 0.0;
+    for (std::size_t i = 0; i < phi.size(); ++i) score += w[i] * phi[i];
+    product *= std::tanh(score);
+  }
+  return product;
+}
+
+int XorChainModel::eval_pm(const BitVec& x) const {
+  PITFALLS_REQUIRE(x.size() == num_vars_, "input arity mismatch");
+  const auto phi = features_(x);
+  int product = 1;
+  for (const auto& w : weights_) {
+    double score = 0.0;
+    for (std::size_t i = 0; i < phi.size(); ++i) score += w[i] * phi[i];
+    product *= score < 0.0 ? -1 : +1;
+  }
+  return product;
+}
+
+std::string XorChainModel::describe() const {
+  std::ostringstream os;
+  os << weights_.size() << "-chain XOR model";
+  return os.str();
+}
+
+XorChainModel XorModelAttack::fit(const std::vector<BitVec>& challenges,
+                                  const std::vector<int>& responses,
+                                  const FeatureMap& features,
+                                  support::Rng& rng,
+                                  XorModelResult* stats) const {
+  PITFALLS_REQUIRE(!challenges.empty(), "empty training set");
+  PITFALLS_REQUIRE(challenges.size() == responses.size(),
+                   "challenge/response count mismatch");
+  PITFALLS_REQUIRE(config_.chains >= 1, "need at least one chain");
+  for (auto r : responses)
+    PITFALLS_REQUIRE(r == +1 || r == -1, "labels must be +/-1");
+
+  const std::size_t m = challenges.size();
+  std::vector<std::vector<double>> X;
+  X.reserve(m);
+  for (const auto& c : challenges) X.push_back(features(c));
+  const std::size_t dim = X.front().size();
+  const std::size_t k = config_.chains;
+
+  auto accuracy_of = [&](const std::vector<std::vector<double>>& w) {
+    std::size_t agree = 0;
+    for (std::size_t s = 0; s < m; ++s) {
+      int product = 1;
+      for (const auto& chain : w) {
+        double score = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) score += chain[i] * X[s][i];
+        product *= score < 0.0 ? -1 : +1;
+      }
+      if (product == responses[s]) ++agree;
+    }
+    return static_cast<double>(agree) / static_cast<double>(m);
+  };
+
+  std::vector<std::vector<double>> best_weights;
+  double best_accuracy = -1.0;
+  std::size_t best_iterations = 0;
+  std::size_t restarts_used = 0;
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    ++restarts_used;
+    // Fresh random initialisation.
+    std::vector<std::vector<double>> w(k, std::vector<double>(dim));
+    for (auto& chain : w)
+      for (auto& weight : chain)
+        weight = config_.init_scale * rng.gaussian();
+    std::vector<std::vector<double>> step(
+        k, std::vector<double>(dim, config_.init_step));
+    std::vector<std::vector<double>> prev_grad(k,
+                                               std::vector<double>(dim, 0.0));
+
+    std::size_t iter = 0;
+    for (; iter < config_.max_iters; ++iter) {
+      // Batch gradient of NLL = -sum log((1 + y*yhat)/2) with
+      // yhat = prod_j tanh(s_j), s_j = w_j . x.
+      std::vector<std::vector<double>> grad(k, std::vector<double>(dim, 0.0));
+      for (std::size_t s = 0; s < m; ++s) {
+        std::vector<double> t(k);
+        double yhat = 1.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          double score = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) score += w[j][i] * X[s][i];
+          t[j] = std::tanh(score);
+          yhat *= t[j];
+        }
+        const double y = static_cast<double>(responses[s]);
+        const double denom = 1.0 + y * yhat;
+        if (denom < 1e-9) continue;  // saturated wrong example: skip
+        const double coeff = -y / denom / static_cast<double>(m);
+        for (std::size_t j = 0; j < k; ++j) {
+          // d yhat / d s_j = (1 - t_j^2) * prod_{l != j} t_l
+          double others = 1.0;
+          for (std::size_t l = 0; l < k; ++l)
+            if (l != j) others *= t[l];
+          const double factor = coeff * (1.0 - t[j] * t[j]) * others;
+          for (std::size_t i = 0; i < dim; ++i)
+            grad[j][i] += factor * X[s][i];
+        }
+      }
+
+      // RProp update.
+      for (std::size_t j = 0; j < k; ++j) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          const double sign_product = grad[j][i] * prev_grad[j][i];
+          if (sign_product > 0.0)
+            step[j][i] = std::min(step[j][i] * config_.step_up,
+                                  config_.max_step);
+          else if (sign_product < 0.0)
+            step[j][i] = std::max(step[j][i] * config_.step_down,
+                                  config_.min_step);
+          if (grad[j][i] > 0.0)
+            w[j][i] -= step[j][i];
+          else if (grad[j][i] < 0.0)
+            w[j][i] += step[j][i];
+          prev_grad[j][i] = grad[j][i];
+        }
+      }
+
+      if ((iter & 15u) == 0 &&
+          accuracy_of(w) >= config_.target_train_accuracy)
+        break;
+    }
+
+    const double acc = accuracy_of(w);
+    if (acc > best_accuracy) {
+      best_accuracy = acc;
+      best_weights = w;
+      best_iterations = iter;
+    }
+    if (best_accuracy >= config_.target_train_accuracy) break;
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = best_iterations;
+    stats->restarts_used = restarts_used;
+    stats->train_accuracy = best_accuracy;
+  }
+  const std::size_t n = challenges.front().size();
+  return XorChainModel(n, std::move(best_weights), features);
+}
+
+}  // namespace pitfalls::ml

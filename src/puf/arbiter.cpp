@@ -1,0 +1,67 @@
+#include "puf/arbiter.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+ArbiterPuf::ArbiterPuf(std::size_t stages, double noise_sigma,
+                       support::Rng& rng)
+    : stages_(stages), weights_(stages + 1), noise_sigma_(noise_sigma) {
+  PITFALLS_REQUIRE(stages > 0, "an arbiter PUF needs at least one stage");
+  PITFALLS_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+  for (auto& w : weights_) w = rng.gaussian();
+}
+
+ArbiterPuf::ArbiterPuf(std::vector<double> weights, double noise_sigma)
+    : stages_(weights.empty() ? 0 : weights.size() - 1),
+      weights_(std::move(weights)),
+      noise_sigma_(noise_sigma) {
+  PITFALLS_REQUIRE(weights_.size() >= 2, "need stage weights plus a bias");
+  PITFALLS_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+}
+
+std::vector<int> ArbiterPuf::feature_map(const BitVec& challenge) {
+  const std::size_t n = challenge.size();
+  std::vector<int> phi(n + 1);
+  phi[n] = 1;
+  // Build the suffix parity products back to front.
+  int suffix = 1;
+  for (std::size_t i = n; i-- > 0;) {
+    suffix *= challenge.pm_one(i);  // (1 - 2 c_i)
+    phi[i] = suffix;
+  }
+  return phi;
+}
+
+double ArbiterPuf::delay_difference(const BitVec& challenge) const {
+  PITFALLS_REQUIRE(challenge.size() == stages_, "challenge arity mismatch");
+  const auto phi = feature_map(challenge);
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= stages_; ++i)
+    sum += weights_[i] * static_cast<double>(phi[i]);
+  return sum;
+}
+
+int ArbiterPuf::eval_pm(const BitVec& challenge) const {
+  return delay_difference(challenge) < 0.0 ? -1 : +1;
+}
+
+int ArbiterPuf::eval_noisy(const BitVec& challenge, support::Rng& rng) const {
+  const double noisy = delay_difference(challenge) + rng.gaussian(0.0, noise_sigma_);
+  return noisy < 0.0 ? -1 : +1;
+}
+
+boolfn::Ltf ArbiterPuf::as_feature_space_ltf() const {
+  std::vector<double> w(weights_.begin(), weights_.end() - 1);
+  return boolfn::Ltf(std::move(w), -weights_.back());
+}
+
+std::string ArbiterPuf::describe() const {
+  std::ostringstream os;
+  os << stages_ << "-stage arbiter PUF (noise sigma " << noise_sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace pitfalls::puf

@@ -1,0 +1,58 @@
+// Additive-delay Arbiter PUF.
+//
+// The standard linear model (Gassend et al. [6], Ruehrmair et al. [8]): the
+// delay difference accumulated over n stages is a linear function of the
+// parity feature vector
+//   Phi_i(c) = prod_{j=i}^{n-1} (1 - 2 c_j)   for i = 0..n-1,  Phi_n = 1,
+// so the response is the LTF  sgn(w . Phi(c))  in feature space. Stage delay
+// deviations are i.i.d. Gaussian, which makes w i.i.d. Gaussian too. The
+// noisy channel adds a fresh Gaussian to the margin per evaluation
+// (metastability near the switching threshold — the attribute noise of the
+// paper's footnote 1).
+#pragma once
+
+#include <vector>
+
+#include "boolfn/ltf.hpp"
+#include "puf/puf.hpp"
+
+namespace pitfalls::puf {
+
+class ArbiterPuf final : public Puf {
+ public:
+  /// Sample a fresh instance with `stages` challenge bits.
+  /// noise_sigma is the per-evaluation margin noise, in units of a single
+  /// stage's delay deviation (sigma = 0 gives a deterministic PUF).
+  ArbiterPuf(std::size_t stages, double noise_sigma, support::Rng& rng);
+
+  /// Instance with explicit feature-space weights (size stages+1: the last
+  /// entry is the bias/threshold term).
+  ArbiterPuf(std::vector<double> weights, double noise_sigma);
+
+  std::size_t num_vars() const override { return stages_; }
+  int eval_pm(const BitVec& challenge) const override;
+  int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
+  std::string describe() const override;
+
+  /// The parity feature map Phi(c), size stages+1 (+/-1 entries, last = 1).
+  static std::vector<int> feature_map(const BitVec& challenge);
+
+  /// The PUF as an explicit LTF over the *feature space*: Phi is a bijection
+  /// of {0,1}^n, and in Phi coordinates the arbiter PUF is exactly
+  /// sgn(sum_i w_i x_i - theta). This is the representation the paper's
+  /// Section III-A formulas (and Corollary 1) are stated in.
+  boolfn::Ltf as_feature_space_ltf() const;
+
+  /// Real-valued delay difference w . Phi(c).
+  double delay_difference(const BitVec& challenge) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double noise_sigma() const { return noise_sigma_; }
+
+ private:
+  std::size_t stages_;
+  std::vector<double> weights_;  // size stages_ + 1
+  double noise_sigma_;
+};
+
+}  // namespace pitfalls::puf

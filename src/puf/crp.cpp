@@ -1,0 +1,126 @@
+#include "puf/crp.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+namespace {
+
+BitVec uniform_challenge(std::size_t n, support::Rng& rng) {
+  BitVec c(n);
+  for (std::size_t i = 0; i < n; ++i) c.set(i, rng.coin());
+  return c;
+}
+
+}  // namespace
+
+CrpSet::CrpSet(std::vector<BitVec> challenges, std::vector<int> responses)
+    : challenges_(std::move(challenges)), responses_(std::move(responses)) {
+  PITFALLS_REQUIRE(challenges_.size() == responses_.size(),
+                   "challenge/response count mismatch");
+  for (auto r : responses_)
+    PITFALLS_REQUIRE(r == +1 || r == -1, "responses must be +/-1");
+}
+
+CrpSet CrpSet::collect_uniform(const Puf& puf, std::size_t m,
+                               support::Rng& rng) {
+  CrpSet set;
+  for (std::size_t i = 0; i < m; ++i) {
+    BitVec c = uniform_challenge(puf.num_vars(), rng);
+    const int r = puf.eval_pm(c);
+    set.add(std::move(c), r);
+  }
+  return set;
+}
+
+CrpSet CrpSet::collect_noisy(const Puf& puf, std::size_t m,
+                             support::Rng& rng) {
+  CrpSet set;
+  for (std::size_t i = 0; i < m; ++i) {
+    BitVec c = uniform_challenge(puf.num_vars(), rng);
+    const int r = puf.eval_noisy(c, rng);
+    set.add(std::move(c), r);
+  }
+  return set;
+}
+
+CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
+                              std::size_t repeats, support::Rng& rng) {
+  PITFALLS_REQUIRE(repeats >= 2, "stability needs at least two measurements");
+  CrpSet set;
+  std::size_t rejections = 0;
+  while (set.size() < m) {
+    PITFALLS_REQUIRE(rejections < 1000 * (m + 1),
+                     "PUF too noisy: no stable challenges found");
+    BitVec c = uniform_challenge(puf.num_vars(), rng);
+    const int first = puf.eval_noisy(c, rng);
+    bool stable = true;
+    for (std::size_t t = 1; t < repeats && stable; ++t)
+      stable = puf.eval_noisy(c, rng) == first;
+    if (stable) {
+      set.add(std::move(c), first);
+    } else {
+      ++rejections;
+    }
+  }
+  return set;
+}
+
+void CrpSet::add(BitVec challenge, int response) {
+  PITFALLS_REQUIRE(response == +1 || response == -1, "response must be +/-1");
+  PITFALLS_REQUIRE(challenges_.empty() ||
+                       challenge.size() == challenges_.front().size(),
+                   "all challenges must share one arity");
+  challenges_.push_back(std::move(challenge));
+  responses_.push_back(response);
+}
+
+CrpSet CrpSet::prefix(std::size_t count) const {
+  PITFALLS_REQUIRE(count <= size(), "prefix longer than the set");
+  return CrpSet(
+      std::vector<BitVec>(challenges_.begin(), challenges_.begin() + count),
+      std::vector<int>(responses_.begin(), responses_.begin() + count));
+}
+
+std::pair<CrpSet, CrpSet> CrpSet::split_at(std::size_t train_count) const {
+  PITFALLS_REQUIRE(train_count <= size(), "split point past the end");
+  CrpSet train(
+      std::vector<BitVec>(challenges_.begin(),
+                          challenges_.begin() + train_count),
+      std::vector<int>(responses_.begin(), responses_.begin() + train_count));
+  CrpSet test(
+      std::vector<BitVec>(challenges_.begin() + train_count,
+                          challenges_.end()),
+      std::vector<int>(responses_.begin() + train_count, responses_.end()));
+  return {std::move(train), std::move(test)};
+}
+
+void CrpSet::shuffle(support::Rng& rng) {
+  for (std::size_t i = size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_below(i));
+    std::swap(challenges_[i - 1], challenges_[j]);
+    std::swap(responses_[i - 1], responses_[j]);
+  }
+}
+
+CrpSet CrpSet::relabel(const boolfn::BooleanFunction& f) const {
+  CrpSet out;
+  for (std::size_t i = 0; i < size(); ++i)
+    out.add(challenges_[i], f.eval_pm(challenges_[i]));
+  return out;
+}
+
+double CrpSet::accuracy_of(const boolfn::BooleanFunction& f) const {
+  return accuracy_of([&f](const BitVec& c) { return f.eval_pm(c); });
+}
+
+double CrpSet::accuracy_of(
+    const std::function<int(const BitVec&)>& predictor) const {
+  PITFALLS_REQUIRE(!empty(), "accuracy over an empty CRP set");
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (predictor(challenges_[i]) == responses_[i]) ++agree;
+  return static_cast<double>(agree) / static_cast<double>(size());
+}
+
+}  // namespace pitfalls::puf

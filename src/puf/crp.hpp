@@ -1,0 +1,73 @@
+// Challenge/response pair (CRP) datasets — the learning examples of the
+// paper's adversary models.
+//
+// Collection modes mirror the access axes of Section IV: uniform random
+// examples (noiseless or noisy) and stabilised CRPs (the paper's "noiseless
+// and stable CRPs": keep a challenge only when repeated noisy measurements
+// agree).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "puf/puf.hpp"
+
+namespace pitfalls::puf {
+
+class CrpSet {
+ public:
+  CrpSet() = default;
+  CrpSet(std::vector<BitVec> challenges, std::vector<int> responses);
+
+  /// m uniform challenges labelled with ideal (noise-free) responses.
+  static CrpSet collect_uniform(const Puf& puf, std::size_t m,
+                                support::Rng& rng);
+
+  /// m uniform challenges labelled with one noisy measurement each.
+  static CrpSet collect_noisy(const Puf& puf, std::size_t m,
+                              support::Rng& rng);
+
+  /// m uniform challenges that are *stable*: all `repeats` noisy
+  /// measurements agree (unstable challenges are discarded and resampled).
+  /// Requires noise low enough that stable challenges exist; a guard trips
+  /// after 1000*m consecutive rejections.
+  static CrpSet collect_stable(const Puf& puf, std::size_t m,
+                               std::size_t repeats, support::Rng& rng);
+
+  std::size_t size() const { return challenges_.size(); }
+  bool empty() const { return challenges_.empty(); }
+
+  const std::vector<BitVec>& challenges() const { return challenges_; }
+  const std::vector<int>& responses() const { return responses_; }
+  const BitVec& challenge(std::size_t i) const { return challenges_[i]; }
+  int response(std::size_t i) const { return responses_[i]; }
+
+  void add(BitVec challenge, int response);
+
+  /// First `count` pairs as a new set (count <= size()).
+  CrpSet prefix(std::size_t count) const;
+
+  /// Split into {first `train_count` pairs, rest}.
+  std::pair<CrpSet, CrpSet> split_at(std::size_t train_count) const;
+
+  /// In-place random permutation.
+  void shuffle(support::Rng& rng);
+
+  /// Re-label every challenge with f (used to build training sets labelled
+  /// by a hypothesis, as in Table II).
+  CrpSet relabel(const boolfn::BooleanFunction& f) const;
+
+  /// Fraction of pairs where `f` agrees with the stored response.
+  double accuracy_of(const boolfn::BooleanFunction& f) const;
+
+  /// Fraction of pairs where the predictor agrees with the stored response.
+  double accuracy_of(
+      const std::function<int(const BitVec&)>& predictor) const;
+
+ private:
+  std::vector<BitVec> challenges_;
+  std::vector<int> responses_;
+};
+
+}  // namespace pitfalls::puf

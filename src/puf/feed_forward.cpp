@@ -1,0 +1,97 @@
+#include "puf/feed_forward.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+FeedForwardArbiterPuf::FeedForwardArbiterPuf(std::size_t stages,
+                                             std::size_t loops,
+                                             double noise_sigma,
+                                             support::Rng& rng)
+    : stages_(stages), weights_(stages + 1), noise_sigma_(noise_sigma) {
+  PITFALLS_REQUIRE(stages >= 4, "need at least four stages");
+  PITFALLS_REQUIRE(loops < stages / 2, "too many feed-forward loops");
+  PITFALLS_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+  for (auto& w : weights_) w = rng.gaussian();
+
+  std::set<std::size_t> targets;
+  while (loops_.size() < loops) {
+    // Tap in the first half, inject in the second half, distinct targets.
+    const std::size_t from =
+        static_cast<std::size_t>(rng.uniform_below(stages / 2));
+    const std::size_t to =
+        stages / 2 +
+        static_cast<std::size_t>(rng.uniform_below(stages - stages / 2));
+    if (targets.contains(to)) continue;
+    targets.insert(to);
+    loops_.push_back({from, to});
+  }
+  std::sort(loops_.begin(), loops_.end(),
+            [](const FeedForwardLoop& a, const FeedForwardLoop& b) {
+              return a.to < b.to;
+            });
+}
+
+FeedForwardArbiterPuf::FeedForwardArbiterPuf(
+    std::vector<double> stage_weights, std::vector<FeedForwardLoop> loops,
+    double noise_sigma)
+    : stages_(stage_weights.empty() ? 0 : stage_weights.size() - 1),
+      weights_(std::move(stage_weights)),
+      loops_(std::move(loops)),
+      noise_sigma_(noise_sigma) {
+  PITFALLS_REQUIRE(weights_.size() >= 5, "need at least four stage weights");
+  PITFALLS_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+  std::set<std::size_t> targets;
+  for (const auto& loop : loops_) {
+    PITFALLS_REQUIRE(loop.from < loop.to, "loop must tap an earlier stage");
+    PITFALLS_REQUIRE(loop.to < stages_, "loop target out of range");
+    PITFALLS_REQUIRE(targets.insert(loop.to).second,
+                     "duplicate feed-forward target");
+  }
+  std::sort(loops_.begin(), loops_.end(),
+            [](const FeedForwardLoop& a, const FeedForwardLoop& b) {
+              return a.to < b.to;
+            });
+}
+
+double FeedForwardArbiterPuf::delay_difference(const BitVec& challenge) const {
+  PITFALLS_REQUIRE(challenge.size() == stages_, "challenge arity mismatch");
+  std::vector<double> partial(stages_ + 1, 0.0);
+  double d = 0.0;
+  std::size_t loop_index = 0;
+  for (std::size_t i = 0; i < stages_; ++i) {
+    int select = challenge.pm_one(i);
+    while (loop_index < loops_.size() && loops_[loop_index].to == i) {
+      // The intermediate arbiter's decision overrides this select bit.
+      select = partial[loops_[loop_index].from + 1] < 0.0 ? -1 : +1;
+      ++loop_index;
+    }
+    d = static_cast<double>(select) * d + weights_[i];
+    partial[i + 1] = d;
+  }
+  return d + weights_[stages_];  // final bias
+}
+
+int FeedForwardArbiterPuf::eval_pm(const BitVec& challenge) const {
+  return delay_difference(challenge) < 0.0 ? -1 : +1;
+}
+
+int FeedForwardArbiterPuf::eval_noisy(const BitVec& challenge,
+                                      support::Rng& rng) const {
+  const double noisy =
+      delay_difference(challenge) + rng.gaussian(0.0, noise_sigma_);
+  return noisy < 0.0 ? -1 : +1;
+}
+
+std::string FeedForwardArbiterPuf::describe() const {
+  std::ostringstream os;
+  os << stages_ << "-stage feed-forward arbiter PUF (" << loops_.size()
+     << " loops)";
+  return os.str();
+}
+
+}  // namespace pitfalls::puf

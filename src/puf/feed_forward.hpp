@@ -1,0 +1,59 @@
+// Feed-forward Arbiter PUF: intermediate arbiters tap the accumulated delay
+// difference and drive later stage-select bits, breaking the clean LTF
+// structure of the plain arbiter chain.
+//
+// Included as a second "representation pitfall" specimen alongside the BR
+// PUF: the parity-feature LTF model that is *exact* for plain arbiter
+// chains (Section III-A) is only an approximation here, so the same
+// Chow/Perceptron pipeline plateaus — and the halfspace tester flags the
+// feature-space view.
+//
+// Delay recursion (standard additive model): with s_i in {-1,+1} the
+// effective select of stage i and t_i the stage asymmetry,
+//   D_i = s_i * D_{i-1} + t_i,   response = sgn(D_n).
+// For a plain chain s_i = chi(c_i); a feed-forward loop (from, to) replaces
+// s_to by sgn(D_from).
+#pragma once
+
+#include <vector>
+
+#include "puf/puf.hpp"
+
+namespace pitfalls::puf {
+
+struct FeedForwardLoop {
+  std::size_t from = 0;  // stage whose accumulated delay sign is tapped
+  std::size_t to = 0;    // later stage whose select bit it overrides
+};
+
+class FeedForwardArbiterPuf final : public Puf {
+ public:
+  /// Random instance with `stages` challenge bits and `loops` feed-forward
+  /// loops at random positions (from < to, targets distinct).
+  FeedForwardArbiterPuf(std::size_t stages, std::size_t loops,
+                        double noise_sigma, support::Rng& rng);
+
+  /// Explicit construction: one asymmetry weight per stage plus a final
+  /// bias weight (size stages+1).
+  FeedForwardArbiterPuf(std::vector<double> stage_weights,
+                        std::vector<FeedForwardLoop> loops,
+                        double noise_sigma);
+
+  std::size_t num_vars() const override { return stages_; }
+  int eval_pm(const BitVec& challenge) const override;
+  int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
+  std::string describe() const override;
+
+  const std::vector<FeedForwardLoop>& loops() const { return loops_; }
+
+  /// Accumulated delay difference D_n (before noise and sign).
+  double delay_difference(const BitVec& challenge) const;
+
+ private:
+  std::size_t stages_;
+  std::vector<double> weights_;  // t_1..t_n, plus trailing bias
+  std::vector<FeedForwardLoop> loops_;
+  double noise_sigma_;
+};
+
+}  // namespace pitfalls::puf

@@ -1,0 +1,51 @@
+#include "puf/interpose.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+InterposePuf::InterposePuf(std::size_t stages, std::size_t x, std::size_t y,
+                           double noise_sigma, support::Rng& rng)
+    : stages_(stages),
+      position_(stages / 2),
+      upper_(XorArbiterPuf::independent(stages, x, noise_sigma, rng)),
+      lower_(XorArbiterPuf::independent(stages + 1, y, noise_sigma, rng)) {
+  PITFALLS_REQUIRE(stages >= 2, "need at least two stages");
+  PITFALLS_REQUIRE(x >= 1 && y >= 1, "need at least one chain per layer");
+}
+
+BitVec InterposePuf::extend_challenge(const BitVec& challenge,
+                                      int upper_response) const {
+  PITFALLS_REQUIRE(challenge.size() == stages_, "challenge arity mismatch");
+  PITFALLS_REQUIRE(upper_response == +1 || upper_response == -1,
+                   "upper response must be +/-1");
+  BitVec extended(stages_ + 1);
+  for (std::size_t i = 0; i < position_; ++i)
+    extended.set(i, challenge.get(i));
+  extended.set(position_, upper_response < 0);  // chi: -1 -> bit 1
+  for (std::size_t i = position_; i < stages_; ++i)
+    extended.set(i + 1, challenge.get(i));
+  return extended;
+}
+
+int InterposePuf::eval_pm(const BitVec& challenge) const {
+  const int upper_response = upper_.eval_pm(challenge);
+  return lower_.eval_pm(extend_challenge(challenge, upper_response));
+}
+
+int InterposePuf::eval_noisy(const BitVec& challenge,
+                             support::Rng& rng) const {
+  const int upper_response = upper_.eval_noisy(challenge, rng);
+  return lower_.eval_noisy(extend_challenge(challenge, upper_response), rng);
+}
+
+std::string InterposePuf::describe() const {
+  std::ostringstream os;
+  os << "(" << upper_.num_chains() << "," << lower_.num_chains()
+     << ")-interpose PUF, " << stages_ << " stages";
+  return os.str();
+}
+
+}  // namespace pitfalls::puf

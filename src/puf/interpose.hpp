@@ -1,0 +1,44 @@
+// Interpose PUF (iPUF): a modern "composed hardware" construction in the
+// spirit the paper's title addresses — an (x, y)-iPUF feeds the response of
+// an upper x-XOR arbiter PUF into the middle of the challenge of a lower
+// y-XOR arbiter PUF over n+1 stages.
+//
+// Included as a composition specimen for the adversary-model framework:
+// the upper response is a hidden intermediate value, so the attacker's
+// access model must now distinguish "CRPs of the composition" from
+// "CRPs of the components" — yet the LTF structure of each half keeps the
+// usual learners relevant once that distinction is made explicit.
+#pragma once
+
+#include "puf/xor_arbiter.hpp"
+
+namespace pitfalls::puf {
+
+class InterposePuf final : public Puf {
+ public:
+  /// (x, y)-iPUF on `stages` challenge bits: upper = x-XOR over `stages`,
+  /// lower = y-XOR over `stages`+1 with the upper response interposed at
+  /// the middle position (stages/2).
+  InterposePuf(std::size_t stages, std::size_t x, std::size_t y,
+               double noise_sigma, support::Rng& rng);
+
+  std::size_t num_vars() const override { return stages_; }
+  int eval_pm(const BitVec& challenge) const override;
+  int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
+  std::string describe() const override;
+
+  const XorArbiterPuf& upper() const { return upper_; }
+  const XorArbiterPuf& lower() const { return lower_; }
+  std::size_t interpose_position() const { return position_; }
+
+  /// The lower layer's extended challenge for a given upper response.
+  BitVec extend_challenge(const BitVec& challenge, int upper_response) const;
+
+ private:
+  std::size_t stages_;
+  std::size_t position_;
+  XorArbiterPuf upper_;
+  XorArbiterPuf lower_;
+};
+
+}  // namespace pitfalls::puf

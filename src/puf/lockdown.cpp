@@ -1,0 +1,38 @@
+#include "puf/lockdown.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+LockdownToken::LockdownToken(const LockdownConfig& config, support::Rng& rng)
+    : config_(config),
+      puf_(XorArbiterPuf::independent(config.stages, config.chains,
+                                      config.noise_sigma, rng)),
+      remaining_(config.crp_budget) {
+  PITFALLS_REQUIRE(config.stages >= 2 && config.stages % 2 == 0,
+                   "stages must be even (half-and-half nonces)");
+  PITFALLS_REQUIRE(config.chains >= 1, "need at least one chain");
+}
+
+std::optional<LockdownTranscript> LockdownToken::authenticate(
+    const support::BitVec& verifier_nonce, support::Rng& rng) {
+  PITFALLS_REQUIRE(verifier_nonce.size() == config_.stages / 2,
+                   "verifier nonce must cover half of the challenge");
+  if (remaining_ == 0) return std::nullopt;  // lockdown engaged
+  --remaining_;
+
+  // Token nonce fills the second half: even a verifier-impersonating
+  // adversary only controls half the challenge, so no membership queries.
+  support::BitVec challenge(config_.stages);
+  for (std::size_t i = 0; i < verifier_nonce.size(); ++i)
+    challenge.set(i, verifier_nonce.get(i));
+  for (std::size_t i = verifier_nonce.size(); i < config_.stages; ++i)
+    challenge.set(i, rng.coin());
+
+  LockdownTranscript transcript;
+  transcript.response = puf_.eval_noisy(challenge, rng);
+  transcript.challenge = std::move(challenge);
+  return transcript;
+}
+
+}  // namespace pitfalls::puf

@@ -1,0 +1,65 @@
+// Lockdown authentication (Yu et al., reference [10] of the paper): the
+// protocol-level countermeasure built directly on top of the CRP bounds of
+// [9]. Two mechanisms:
+//
+//   1. NO membership queries: the full challenge is derived from a
+//      verifier nonce AND a token nonce, so an active adversary who
+//      impersonates the verifier still cannot choose the challenge — the
+//      access axis of Section IV is pinned to "random examples".
+//   2. CRP budget: the token answers at most `crp_budget` authentication
+//      rounds in its lifetime, chosen below the CRP learning bound.
+//
+// The paper's Section III warning applies here verbatim: the budget is only
+// meaningful relative to a bound in the RIGHT adversary model — a budget
+// derived from the (exponential-in-k) Perceptron bound of [9] is far above
+// what the algorithm-independent uniform bound allows, so a "provably safe"
+// budget can still leak enough CRPs for an empirical attack. The bench
+// bench_lockdown measures exactly that gap.
+#pragma once
+
+#include <optional>
+
+#include "puf/xor_arbiter.hpp"
+
+namespace pitfalls::puf {
+
+struct LockdownConfig {
+  std::size_t stages = 64;
+  std::size_t chains = 4;
+  double noise_sigma = 0.0;
+  /// Lifetime CRP budget enforced by the token.
+  std::size_t crp_budget = 1000;
+};
+
+/// One authentication round as seen on the wire (what an eavesdropper or a
+/// verifier-impersonating adversary learns).
+struct LockdownTranscript {
+  support::BitVec challenge;  // full challenge actually applied to the PUF
+  int response = +1;          // token's (possibly noisy) response
+};
+
+class LockdownToken {
+ public:
+  LockdownToken(const LockdownConfig& config, support::Rng& rng);
+
+  std::size_t challenge_bits() const { return config_.stages; }
+  std::size_t remaining_budget() const { return remaining_; }
+
+  /// Run one round: the verifier contributes `verifier_nonce` (the FIRST
+  /// half of the challenge, length stages/2); the token draws its own
+  /// nonce for the second half. Returns the wire transcript, or nullopt
+  /// once the budget is exhausted (the lockdown).
+  std::optional<LockdownTranscript> authenticate(
+      const support::BitVec& verifier_nonce, support::Rng& rng);
+
+  /// Ground-truth access for experiment evaluation only (a real token
+  /// would not expose this).
+  const XorArbiterPuf& puf() const { return puf_; }
+
+ private:
+  LockdownConfig config_;
+  XorArbiterPuf puf_;
+  std::size_t remaining_;
+};
+
+}  // namespace pitfalls::puf

@@ -1,0 +1,72 @@
+#include "puf/metrics.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+namespace {
+
+BitVec uniform_challenge(std::size_t n, support::Rng& rng) {
+  BitVec c(n);
+  for (std::size_t i = 0; i < n; ++i) c.set(i, rng.coin());
+  return c;
+}
+
+}  // namespace
+
+double uniformity(const Puf& puf, std::size_t m, support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one challenge");
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (puf.eval_pm(uniform_challenge(puf.num_vars(), rng)) < 0) ++ones;
+  return static_cast<double>(ones) / static_cast<double>(m);
+}
+
+double reliability(const Puf& puf, std::size_t m, std::size_t repeats,
+                   support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0 && repeats > 0, "need challenges and repeats");
+  std::size_t agreements = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const BitVec c = uniform_challenge(puf.num_vars(), rng);
+    const int ideal = puf.eval_pm(c);
+    for (std::size_t t = 0; t < repeats; ++t)
+      if (puf.eval_noisy(c, rng) == ideal) ++agreements;
+  }
+  return static_cast<double>(agreements) / static_cast<double>(m * repeats);
+}
+
+double uniqueness(const std::vector<const Puf*>& instances, std::size_t m,
+                  support::Rng& rng) {
+  PITFALLS_REQUIRE(instances.size() >= 2, "uniqueness needs >= 2 instances");
+  PITFALLS_REQUIRE(m > 0, "need at least one challenge");
+  const std::size_t n = instances.front()->num_vars();
+  for (const auto* p : instances) {
+    PITFALLS_REQUIRE(p != nullptr, "null PUF instance");
+    PITFALLS_REQUIRE(p->num_vars() == n, "instances must share the arity");
+  }
+  std::size_t diffs = 0;
+  std::size_t pairs = 0;
+  for (std::size_t s = 0; s < m; ++s) {
+    const BitVec c = uniform_challenge(n, rng);
+    std::vector<int> responses;
+    responses.reserve(instances.size());
+    for (const auto* p : instances) responses.push_back(p->eval_pm(c));
+    for (std::size_t a = 0; a < responses.size(); ++a)
+      for (std::size_t b = a + 1; b < responses.size(); ++b) {
+        if (responses[a] != responses[b]) ++diffs;
+        ++pairs;
+      }
+  }
+  return static_cast<double>(diffs) / static_cast<double>(pairs);
+}
+
+double expected_bias(const Puf& puf, std::size_t m, support::Rng& rng) {
+  PITFALLS_REQUIRE(m > 0, "need at least one challenge");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    sum += static_cast<double>(
+        puf.eval_noisy(uniform_challenge(puf.num_vars(), rng), rng));
+  return sum / static_cast<double>(m);
+}
+
+}  // namespace pitfalls::puf

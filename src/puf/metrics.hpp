@@ -1,0 +1,32 @@
+// Standard PUF quality metrics (uniformity, reliability, uniqueness,
+// expected bias under attribute noise). The paper's Section III-A explicitly
+// excludes "the impact of the inherent bias" from its bounds — these metrics
+// let the benches report that bias so the exclusion is visible.
+#pragma once
+
+#include <vector>
+
+#include "puf/puf.hpp"
+
+namespace pitfalls::puf {
+
+/// Fraction of 1-responses over m uniform challenges (ideal evaluation);
+/// 0.5 is perfectly uniform.
+double uniformity(const Puf& puf, std::size_t m, support::Rng& rng);
+
+/// Pr[noisy response == ideal response] over m uniform challenges, with
+/// `repeats` noisy measurements per challenge.
+double reliability(const Puf& puf, std::size_t m, std::size_t repeats,
+                   support::Rng& rng);
+
+/// Mean pairwise fractional Hamming distance of the response vectors of the
+/// given instances over m shared uniform challenges. Requires >= 2 instances
+/// of equal arity; ideal value 0.5.
+double uniqueness(const std::vector<const Puf*>& instances, std::size_t m,
+                  support::Rng& rng);
+
+/// Expected bias E[f] under noisy evaluation (the paper's "expected bias" in
+/// the presence of attribute noise, cf. [17]).
+double expected_bias(const Puf& puf, std::size_t m, support::Rng& rng);
+
+}  // namespace pitfalls::puf

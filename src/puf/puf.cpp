@@ -1,0 +1,15 @@
+#include "puf/puf.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+int Puf::eval_majority(const BitVec& challenge, std::size_t votes,
+                       support::Rng& rng) const {
+  PITFALLS_REQUIRE(votes % 2 == 1, "majority vote needs an odd vote count");
+  int sum = 0;
+  for (std::size_t i = 0; i < votes; ++i) sum += eval_noisy(challenge, rng);
+  return sum < 0 ? -1 : +1;
+}
+
+}  // namespace pitfalls::puf

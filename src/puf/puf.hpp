@@ -1,0 +1,29 @@
+// Base abstraction for simulated PUFs.
+//
+// A PUF is a Boolean function (its *ideal*, noise-free challenge/response
+// map) plus a noisy evaluation channel modelling the attribute noise the
+// paper discusses (metastability, aging, measurement noise — footnote 1).
+// Learners attack either the ideal map (the "noiseless and stable CRPs" of
+// Section V) or the noisy channel, depending on the experiment.
+#pragma once
+
+#include "boolfn/boolean_function.hpp"
+#include "support/rng.hpp"
+
+namespace pitfalls::puf {
+
+using boolfn::BooleanFunction;
+using support::BitVec;
+
+class Puf : public BooleanFunction {
+ public:
+  /// One noisy measurement of the response to `challenge`.
+  virtual int eval_noisy(const BitVec& challenge, support::Rng& rng) const = 0;
+
+  /// Majority vote over `votes` noisy measurements (votes must be odd) —
+  /// the standard way real CRP sets are stabilised before an attack.
+  int eval_majority(const BitVec& challenge, std::size_t votes,
+                    support::Rng& rng) const;
+};
+
+}  // namespace pitfalls::puf

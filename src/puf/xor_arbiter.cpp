@@ -1,0 +1,90 @@
+#include "puf/xor_arbiter.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::puf {
+
+XorArbiterPuf::XorArbiterPuf(std::vector<ArbiterPuf> chains)
+    : chains_(std::move(chains)) {
+  PITFALLS_REQUIRE(!chains_.empty(), "need at least one chain");
+  for (const auto& c : chains_)
+    PITFALLS_REQUIRE(c.num_vars() == chains_.front().num_vars(),
+                     "all chains must share the challenge length");
+}
+
+XorArbiterPuf XorArbiterPuf::independent(std::size_t stages, std::size_t k,
+                                         double noise_sigma,
+                                         support::Rng& rng) {
+  PITFALLS_REQUIRE(k > 0, "need at least one chain");
+  std::vector<ArbiterPuf> chains;
+  chains.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    chains.emplace_back(stages, noise_sigma, rng);
+  return XorArbiterPuf(std::move(chains));
+}
+
+XorArbiterPuf XorArbiterPuf::correlated(std::size_t stages, std::size_t k,
+                                        double rho, double noise_sigma,
+                                        support::Rng& rng) {
+  PITFALLS_REQUIRE(k > 0, "need at least one chain");
+  PITFALLS_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must be in [0,1)");
+  std::vector<double> shared(stages + 1);
+  for (auto& w : shared) w = rng.gaussian();
+  const double fresh_scale = std::sqrt(1.0 - rho * rho);
+  std::vector<ArbiterPuf> chains;
+  chains.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> w(stages + 1);
+    for (std::size_t i = 0; i <= stages; ++i)
+      w[i] = fresh_scale * rng.gaussian() + rho * shared[i];
+    chains.emplace_back(std::move(w), noise_sigma);
+  }
+  return XorArbiterPuf(std::move(chains));
+}
+
+std::size_t XorArbiterPuf::num_vars() const {
+  return chains_.front().num_vars();
+}
+
+int XorArbiterPuf::eval_pm(const BitVec& challenge) const {
+  int product = 1;
+  for (const auto& c : chains_) product *= c.eval_pm(challenge);
+  return product;
+}
+
+int XorArbiterPuf::eval_noisy(const BitVec& challenge,
+                              support::Rng& rng) const {
+  int product = 1;
+  for (const auto& c : chains_) product *= c.eval_noisy(challenge, rng);
+  return product;
+}
+
+const ArbiterPuf& XorArbiterPuf::chain(std::size_t i) const {
+  PITFALLS_REQUIRE(i < chains_.size(), "chain index out of range");
+  return chains_[i];
+}
+
+boolfn::FunctionView XorArbiterPuf::feature_space_view() const {
+  std::vector<boolfn::Ltf> ltfs;
+  ltfs.reserve(chains_.size());
+  for (const auto& c : chains_) ltfs.push_back(c.as_feature_space_ltf());
+  return boolfn::FunctionView(
+      num_vars(),
+      [ltfs = std::move(ltfs)](const BitVec& x) {
+        int product = 1;
+        for (const auto& f : ltfs) product *= f.eval_pm(x);
+        return product;
+      },
+      "XOR of " + std::to_string(chains_.size()) + " feature-space LTFs");
+}
+
+std::string XorArbiterPuf::describe() const {
+  std::ostringstream os;
+  os << chains_.size() << "-XOR arbiter PUF, " << num_vars() << " stages";
+  return os.str();
+}
+
+}  // namespace pitfalls::puf

@@ -1,0 +1,55 @@
+// XOR Arbiter PUF (Suh & Devadas [7]): k parallel arbiter chains fed the
+// same challenge; the response is the XOR of the chain responses (product in
+// the +/-1 encoding).
+//
+// Two instantiation modes:
+//   * independent chains — the construction Section III-A analyses; its
+//     Fourier spectrum spreads to degree ~k and uniform-distribution
+//     learning needs n^{O(k^2/eps^2)} examples (Corollary 1);
+//   * correlated chains — the RocknRoll regime of [17]: chains share a
+//     common weight component with correlation rho, which re-concentrates
+//     Fourier weight at low degrees and lets LMN reach ~75% accuracy even
+//     for k >> ln n. The contrast between the modes is exactly the
+//     "contradiction" Section V-B resolves.
+#pragma once
+
+#include <vector>
+
+#include "puf/arbiter.hpp"
+
+namespace pitfalls::puf {
+
+class XorArbiterPuf final : public Puf {
+ public:
+  /// k independent chains of `stages` bits each.
+  static XorArbiterPuf independent(std::size_t stages, std::size_t k,
+                                   double noise_sigma, support::Rng& rng);
+
+  /// k chains whose weight vectors share a common component:
+  /// w_chain = sqrt(1-rho^2) * fresh + rho * shared, rho in [0,1).
+  static XorArbiterPuf correlated(std::size_t stages, std::size_t k,
+                                  double rho, double noise_sigma,
+                                  support::Rng& rng);
+
+  /// Wrap explicit chains (all must share the same arity).
+  explicit XorArbiterPuf(std::vector<ArbiterPuf> chains);
+
+  std::size_t num_vars() const override;
+  int eval_pm(const BitVec& challenge) const override;
+  int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
+  std::string describe() const override;
+
+  std::size_t num_chains() const { return chains_.size(); }
+  const ArbiterPuf& chain(std::size_t i) const;
+
+  /// The PUF in feature-space coordinates (Section III-A's formulation):
+  /// the XOR (product) of k explicit LTFs over the same +/-1 input vector.
+  /// This is the h = g(f_1, ..., f_k) whose noise sensitivity drives
+  /// Corollary 1. The view owns copies of the chain LTFs.
+  boolfn::FunctionView feature_space_view() const;
+
+ private:
+  std::vector<ArbiterPuf> chains_;
+};
+
+}  // namespace pitfalls::puf

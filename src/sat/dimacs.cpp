@@ -1,0 +1,87 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::sat {
+
+DimacsInstance read_dimacs(const std::string& text) {
+  DimacsInstance instance;
+  std::istringstream stream(text);
+  std::string line;
+  bool header_seen = false;
+  std::size_t declared_clauses = 0;
+  std::vector<Lit> current;
+
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      PITFALLS_REQUIRE(!header_seen, "duplicate DIMACS header");
+      std::istringstream hs(line);
+      std::string p;
+      std::string cnf;
+      long long vars = 0;
+      long long clauses = 0;
+      hs >> p >> cnf >> vars >> clauses;
+      PITFALLS_REQUIRE(p == "p" && cnf == "cnf" && vars >= 0 && clauses >= 0 &&
+                           !hs.fail(),
+                       "malformed DIMACS header: " + line);
+      instance.num_vars = static_cast<std::size_t>(vars);
+      declared_clauses = static_cast<std::size_t>(clauses);
+      header_seen = true;
+      continue;
+    }
+    PITFALLS_REQUIRE(header_seen, "clause before DIMACS header");
+    std::istringstream ls(line);
+    long long lit = 0;
+    while (ls >> lit) {
+      if (lit == 0) {
+        instance.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const long long var = lit > 0 ? lit : -lit;
+      PITFALLS_REQUIRE(var >= 1 &&
+                           static_cast<std::size_t>(var) <= instance.num_vars,
+                       "literal out of range: " + std::to_string(lit));
+      current.push_back(Lit(static_cast<Var>(var - 1), lit < 0));
+    }
+  }
+  PITFALLS_REQUIRE(header_seen, "missing DIMACS header");
+  PITFALLS_REQUIRE(current.empty(), "unterminated clause at end of input");
+  PITFALLS_REQUIRE(instance.clauses.size() == declared_clauses,
+                   "clause count disagrees with the header");
+  return instance;
+}
+
+std::string write_dimacs(const DimacsInstance& instance) {
+  std::ostringstream os;
+  os << "c written by pitfalls::sat\n";
+  os << "p cnf " << instance.num_vars << " " << instance.clauses.size()
+     << "\n";
+  for (const auto& clause : instance.clauses) {
+    for (const auto lit : clause) {
+      PITFALLS_REQUIRE(lit.var() < instance.num_vars,
+                       "clause literal out of range");
+      os << (lit.negated() ? "-" : "") << (lit.var() + 1) << " ";
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+std::vector<Var> load_into(Solver& solver, const DimacsInstance& instance) {
+  std::vector<Var> vars(instance.num_vars);
+  for (auto& v : vars) v = solver.new_var();
+  for (const auto& clause : instance.clauses) {
+    std::vector<Lit> mapped;
+    mapped.reserve(clause.size());
+    for (const auto lit : clause)
+      mapped.push_back(Lit(vars[lit.var()], lit.negated()));
+    solver.add_clause(std::move(mapped));
+  }
+  return vars;
+}
+
+}  // namespace pitfalls::sat

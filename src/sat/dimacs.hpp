@@ -1,0 +1,30 @@
+// DIMACS CNF interchange: parse instances into a Solver and serialise a
+// clause list back out. Standard substrate for comparing the built-in CDCL
+// solver against external tools and for archiving attack instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace pitfalls::sat {
+
+struct DimacsInstance {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parse DIMACS text ("c" comments, "p cnf V C" header, zero-terminated
+/// clauses). Throws std::invalid_argument on malformed input, literals out
+/// of range, or a clause count that contradicts the header.
+DimacsInstance read_dimacs(const std::string& text);
+
+/// Serialise an instance to DIMACS text.
+std::string write_dimacs(const DimacsInstance& instance);
+
+/// Load an instance into a fresh region of `solver` (allocates
+/// instance.num_vars variables); returns the variable handles in order.
+std::vector<Var> load_into(Solver& solver, const DimacsInstance& instance);
+
+}  // namespace pitfalls::sat

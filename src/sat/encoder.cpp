@@ -1,0 +1,174 @@
+#include "sat/encoder.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::sat {
+
+namespace {
+
+using circuit::Gate;
+using circuit::GateType;
+
+/// y <-> AND(fanins): (~y v f_i) for each i; (y v ~f_1 v ... v ~f_n).
+void encode_and(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
+  const Lit ly = invert ? neg(y) : pos(y);
+  std::vector<Lit> big{ly};
+  for (auto fv : f) {
+    s.add_binary(~ly, pos(fv));
+    big.push_back(neg(fv));
+  }
+  s.add_clause(std::move(big));
+}
+
+/// y <-> OR(fanins): (y v ~f_i) for each i; (~y v f_1 v ... v f_n).
+void encode_or(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
+  const Lit ly = invert ? neg(y) : pos(y);
+  std::vector<Lit> big{~ly};
+  for (auto fv : f) {
+    s.add_binary(ly, neg(fv));
+    big.push_back(pos(fv));
+  }
+  s.add_clause(std::move(big));
+}
+
+/// y <-> a XOR b (4 clauses).
+void encode_xor2(Solver& s, Var y, Var a, Var b) {
+  s.add_ternary(neg(y), pos(a), pos(b));
+  s.add_ternary(neg(y), neg(a), neg(b));
+  s.add_ternary(pos(y), pos(a), neg(b));
+  s.add_ternary(pos(y), neg(a), pos(b));
+}
+
+/// y <-> XOR of fanins, chaining auxiliaries for arity > 2.
+Var encode_xor_chain(Solver& s, const std::vector<Var>& f) {
+  Var acc = f[0];
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    const Var next = s.new_var();
+    encode_xor2(s, next, acc, f[i]);
+    acc = next;
+  }
+  return acc;
+}
+
+void encode_equal(Solver& s, Var a, Var b) {
+  s.add_binary(neg(a), pos(b));
+  s.add_binary(pos(a), neg(b));
+}
+
+void encode_not_equal(Solver& s, Var a, Var b) {
+  s.add_binary(pos(a), pos(b));
+  s.add_binary(neg(a), neg(b));
+}
+
+}  // namespace
+
+CircuitEncoding encode_netlist(Solver& solver,
+                               const circuit::Netlist& netlist,
+                               const std::vector<Var>& shared_inputs) {
+  if (!shared_inputs.empty())
+    PITFALLS_REQUIRE(shared_inputs.size() == netlist.num_inputs(),
+                     "shared input variable count mismatch");
+
+  CircuitEncoding enc;
+  enc.gate_vars.resize(netlist.num_gates());
+  std::size_t next_input = 0;
+
+  for (std::size_t id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    std::vector<Var> f;
+    f.reserve(g.fanins.size());
+    for (auto fanin : g.fanins) f.push_back(enc.gate_vars[fanin]);
+
+    switch (g.type) {
+      case GateType::kInput: {
+        const Var v = shared_inputs.empty() ? solver.new_var()
+                                            : shared_inputs[next_input];
+        ++next_input;
+        enc.gate_vars[id] = v;
+        enc.input_vars.push_back(v);
+        break;
+      }
+      case GateType::kConst0: {
+        const Var v = solver.new_var();
+        solver.add_unit(neg(v));
+        enc.gate_vars[id] = v;
+        break;
+      }
+      case GateType::kConst1: {
+        const Var v = solver.new_var();
+        solver.add_unit(pos(v));
+        enc.gate_vars[id] = v;
+        break;
+      }
+      case GateType::kBuf: {
+        enc.gate_vars[id] = f[0];  // alias, no new variable needed
+        break;
+      }
+      case GateType::kNot: {
+        const Var v = solver.new_var();
+        encode_not_equal(solver, v, f[0]);
+        enc.gate_vars[id] = v;
+        break;
+      }
+      case GateType::kAnd:
+      case GateType::kNand: {
+        const Var v = solver.new_var();
+        encode_and(solver, v, f, g.type == GateType::kNand);
+        enc.gate_vars[id] = v;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const Var v = solver.new_var();
+        encode_or(solver, v, f, g.type == GateType::kNor);
+        enc.gate_vars[id] = v;
+        break;
+      }
+      case GateType::kXor: {
+        enc.gate_vars[id] = encode_xor_chain(solver, f);
+        break;
+      }
+      case GateType::kXnor: {
+        const Var x = encode_xor_chain(solver, f);
+        const Var v = solver.new_var();
+        encode_not_equal(solver, v, x);
+        enc.gate_vars[id] = v;
+        break;
+      }
+    }
+  }
+
+  for (auto output : netlist.outputs())
+    enc.output_vars.push_back(enc.gate_vars[output]);
+  return enc;
+}
+
+Var add_miter(Solver& solver, const std::vector<Var>& outputs_a,
+              const std::vector<Var>& outputs_b) {
+  PITFALLS_REQUIRE(outputs_a.size() == outputs_b.size(),
+                   "miter output count mismatch");
+  PITFALLS_REQUIRE(!outputs_a.empty(), "miter over zero outputs");
+  std::vector<Lit> any_diff;
+  for (std::size_t i = 0; i < outputs_a.size(); ++i) {
+    const Var diff = solver.new_var();
+    encode_xor2(solver, diff, outputs_a[i], outputs_b[i]);
+    any_diff.push_back(pos(diff));
+  }
+  const Var miter = solver.new_var();
+  // miter -> (d1 v ... v dn)
+  std::vector<Lit> clause{neg(miter)};
+  for (auto l : any_diff) clause.push_back(l);
+  solver.add_clause(std::move(clause));
+  // d_i -> miter
+  for (auto l : any_diff) solver.add_binary(~l, pos(miter));
+  solver.add_unit(pos(miter));
+  return miter;
+}
+
+void fix_var(Solver& solver, Var v, bool value) {
+  solver.add_unit(value ? pos(v) : neg(v));
+}
+
+void equate(Solver& solver, Var a, Var b) { encode_equal(solver, a, b); }
+
+}  // namespace pitfalls::sat

@@ -1,0 +1,42 @@
+// Tseitin encoding of combinational netlists into CNF — the bridge between
+// the circuit substrate and the SAT attack.
+//
+// Each gate gets a fresh solver variable constrained to equal its function
+// of the fanin variables. Multiple copies of a circuit can share input
+// variables (the attack encodes two key-copies over one input vector) by
+// passing pre-allocated variables for the primary inputs.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace pitfalls::sat {
+
+struct CircuitEncoding {
+  std::vector<Var> gate_vars;    // one per netlist gate
+  std::vector<Var> input_vars;   // per primary input, in input order
+  std::vector<Var> output_vars;  // per primary output, in output order
+};
+
+/// Encode `netlist` into `solver`. If `shared_inputs` is non-empty it must
+/// contain one existing variable per primary input; otherwise fresh input
+/// variables are allocated.
+CircuitEncoding encode_netlist(Solver& solver,
+                               const circuit::Netlist& netlist,
+                               const std::vector<Var>& shared_inputs = {});
+
+/// Add clauses forcing at least one of the given output pairs to differ
+/// (a "miter": XOR the pairs and OR the XORs). Returns the miter variable
+/// that was constrained true.
+Var add_miter(Solver& solver, const std::vector<Var>& outputs_a,
+              const std::vector<Var>& outputs_b);
+
+/// Constrain variable `v` to the given constant.
+void fix_var(Solver& solver, Var v, bool value);
+
+/// Constrain two variables to be equal.
+void equate(Solver& solver, Var a, Var b);
+
+}  // namespace pitfalls::sat

@@ -1,0 +1,295 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace pitfalls::sat {
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  saved_phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+std::uint8_t Solver::value_of(Lit literal) const {
+  const std::uint8_t a = assigns_[literal.var()];
+  if (a == kUndef) return kUndef;
+  return literal.negated() ? static_cast<std::uint8_t>(1 - a) : a;
+}
+
+bool Solver::add_clause(std::vector<Lit> literals) {
+  PITFALLS_REQUIRE(trail_lim_.empty(), "clauses may only be added at level 0");
+  if (unsat_at_root_) return false;
+
+  // Simplify: sort, dedupe, drop root-false literals, detect tautologies and
+  // root-true literals.
+  std::sort(literals.begin(), literals.end(),
+            [](Lit a, Lit b) { return a.index() < b.index(); });
+  std::vector<Lit> cleaned;
+  for (std::size_t i = 0; i < literals.size(); ++i) {
+    const Lit l = literals[i];
+    PITFALLS_REQUIRE(l.var() < num_vars(), "literal over unknown variable");
+    if (i + 1 < literals.size() && literals[i + 1] == l) continue;  // dup
+    if (i + 1 < literals.size() && literals[i + 1] == ~l) return true;  // taut
+    const std::uint8_t v = value_of(l);
+    if (v == 1) return true;   // already satisfied at root
+    if (v == 0) continue;      // falsified at root: drop
+    cleaned.push_back(l);
+  }
+
+  if (cleaned.empty()) {
+    unsat_at_root_ = true;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    if (!enqueue(cleaned[0], -1)) {
+      unsat_at_root_ = true;
+      return false;
+    }
+    if (propagate() >= 0) {
+      unsat_at_root_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  clauses_.push_back({std::move(cleaned), false});
+  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(std::uint32_t clause_index) {
+  const auto& c = clauses_[clause_index].literals;
+  PITFALLS_ENSURE(c.size() >= 2, "attached clause must have >= 2 literals");
+  watches_[c[0].index()].push_back({clause_index});
+  watches_[c[1].index()].push_back({clause_index});
+}
+
+bool Solver::enqueue(Lit literal, std::int64_t reason) {
+  const std::uint8_t v = value_of(literal);
+  if (v == 0) return false;  // conflicting assignment
+  if (v == 1) return true;   // already set
+  assigns_[literal.var()] = literal.negated() ? 0 : 1;
+  level_[literal.var()] =
+      static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[literal.var()] = reason;
+  trail_.push_back(literal);
+  return true;
+}
+
+std::int64_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    const Lit falsified = ~p;
+    auto& watch_list = watches_[falsified.index()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const std::uint32_t ci = watch_list[i].clause_index;
+      auto& lits = clauses_[ci].literals;
+      // Normalise: the falsified literal sits at position 1.
+      if (lits[0] == falsified) std::swap(lits[0], lits[1]);
+
+      if (value_of(lits[0]) == 1) {
+        watch_list[keep++] = watch_list[i];  // clause satisfied
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value_of(lits[k]) != 0) {
+          std::swap(lits[1], lits[k]);
+          watches_[lits[1].index()].push_back({ci});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting.
+      watch_list[keep++] = watch_list[i];
+      if (value_of(lits[0]) == 0) {
+        // Conflict: restore the remaining watchers and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j)
+          watch_list[keep++] = watch_list[j];
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return static_cast<std::int64_t>(ci);
+      }
+      const bool ok = enqueue(lits[0], static_cast<std::int64_t>(ci));
+      PITFALLS_ENSURE(ok, "unit enqueue failed unexpectedly");
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += activity_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() { activity_inc_ /= 0.95; }
+
+void Solver::analyze(std::int64_t conflict, std::vector<Lit>& learned,
+                     std::uint32_t& backtrack_level) {
+  learned.clear();
+  learned.push_back(Lit());  // slot for the asserting literal
+  std::vector<bool> seen(num_vars(), false);
+  const std::uint32_t current_level =
+      static_cast<std::uint32_t>(trail_lim_.size());
+  std::size_t counter = 0;
+  std::size_t trail_index = trail_.size();
+  Lit uip;
+  std::int64_t reason_clause = conflict;
+  bool first = true;
+
+  for (;;) {
+    PITFALLS_ENSURE(reason_clause >= 0, "reason chain broken in analyze");
+    const auto& lits = clauses_[static_cast<std::size_t>(reason_clause)].literals;
+    // Skip the asserting literal itself on non-first iterations (lits[0]).
+    for (std::size_t i = first ? 0 : 1; i < lits.size(); ++i) {
+      const Lit q = lits[i];
+      if (seen[q.var()] || level_of(q.var()) == 0) continue;
+      seen[q.var()] = true;
+      bump_var(q.var());
+      if (level_of(q.var()) == current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    first = false;
+
+    // Walk the trail back to the next marked literal.
+    do {
+      --trail_index;
+    } while (!seen[trail_[trail_index].var()]);
+    uip = trail_[trail_index];
+    seen[uip.var()] = false;
+    --counter;
+    if (counter == 0) break;
+    reason_clause = reason_[uip.var()];
+  }
+  learned[0] = ~uip;
+
+  // Backtrack level = highest level among the other literals.
+  backtrack_level = 0;
+  std::size_t max_pos = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (level_of(learned[i].var()) > backtrack_level) {
+      backtrack_level = level_of(learned[i].var());
+      max_pos = i;
+    }
+  }
+  if (learned.size() > 1) std::swap(learned[1], learned[max_pos]);
+}
+
+void Solver::backtrack(std::uint32_t level) {
+  if (trail_lim_.size() <= level) return;
+  const std::uint32_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    saved_phase_[v] = assigns_[v];
+    assigns_[v] = kUndef;
+    reason_[v] = -1;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  double best = -1.0;
+  Var best_var = 0;
+  bool found = false;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == kUndef && activity_[v] > best) {
+      best = activity_[v];
+      best_var = v;
+      found = true;
+    }
+  }
+  if (!found) return Lit();  // all assigned; caller checks
+  return Lit(best_var, saved_phase_[best_var] == 0);
+}
+
+SolveResult Solver::solve() {
+  if (unsat_at_root_) return SolveResult::kUnsat;
+  PITFALLS_ENSURE(trail_lim_.empty(), "solve must start at level 0");
+
+  std::uint64_t conflicts_since_restart = 0;
+  double restart_budget = 100.0;
+  std::vector<Lit> learned;
+
+  for (;;) {
+    const std::int64_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        unsat_at_root_ = true;
+        return SolveResult::kUnsat;
+      }
+      std::uint32_t backtrack_level = 0;
+      analyze(conflict, learned, backtrack_level);
+      backtrack(backtrack_level);
+      if (learned.size() == 1) {
+        const bool ok = enqueue(learned[0], -1);
+        PITFALLS_ENSURE(ok, "asserting unit conflicted after backtrack");
+      } else {
+        clauses_.push_back({learned, true});
+        ++stats_.learned_clauses;
+        attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+        const bool ok = enqueue(learned[0],
+                                static_cast<std::int64_t>(clauses_.size() - 1));
+        PITFALLS_ENSURE(ok, "asserting literal conflicted after backtrack");
+      }
+      decay_activities();
+      continue;
+    }
+
+    if (conflicts_since_restart >= static_cast<std::uint64_t>(restart_budget)) {
+      conflicts_since_restart = 0;
+      restart_budget *= 1.5;
+      ++stats_.restarts;
+      backtrack(0);
+      continue;
+    }
+
+    // Decision.
+    bool all_assigned = true;
+    for (Var v = 0; v < num_vars(); ++v)
+      if (assigns_[v] == kUndef) {
+        all_assigned = false;
+        break;
+      }
+    if (all_assigned) {
+      model_ = assigns_;
+      backtrack(0);
+      return SolveResult::kSat;
+    }
+    const Lit decision = pick_branch();
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    const bool ok = enqueue(decision, -1);
+    PITFALLS_ENSURE(ok, "decision literal was already assigned");
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  PITFALLS_REQUIRE(v < model_.size(), "no model available for this variable");
+  return model_[v] == 1;
+}
+
+}  // namespace pitfalls::sat

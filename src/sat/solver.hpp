@@ -1,0 +1,121 @@
+// CDCL SAT solver built from scratch for the oracle-guided deobfuscation
+// attacks (Section II-A of the paper: the SAT attack of [4]/[5] reduces
+// logic-locking security to satisfiability).
+//
+// Feature set: two-watched-literal propagation, first-UIP conflict
+// analysis with clause learning, VSIDS-style activity decision heuristic,
+// phase saving, geometric restarts, and incremental clause addition between
+// solve() calls (the DIP loop of the SAT attack adds constraints each
+// round). No preprocessing — the instances the attack generates are small
+// enough that plain CDCL solves them in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pitfalls::sat {
+
+using Var = std::uint32_t;
+
+/// MiniSat-style literal: 2*var + sign, sign 1 = negated.
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var var, bool negated) : x_(2 * var + (negated ? 1 : 0)) {}
+
+  Var var() const { return x_ >> 1; }
+  bool negated() const { return (x_ & 1) != 0; }
+  Lit operator~() const {
+    Lit flipped;
+    flipped.x_ = x_ ^ 1;
+    return flipped;
+  }
+  std::uint32_t index() const { return x_; }
+  bool operator==(const Lit& other) const = default;
+
+ private:
+  std::uint32_t x_ = 0;
+};
+
+inline Lit pos(Var v) { return Lit(v, false); }
+inline Lit neg(Var v) { return Lit(v, true); }
+
+enum class SolveResult { kSat, kUnsat };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t restarts = 0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Allocate a fresh variable; returns its index.
+  Var new_var();
+
+  std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Add a clause over existing variables. Returns false if the clause is
+  /// trivially unsatisfiable at the root (empty after simplification) —
+  /// the solver is then permanently UNSAT.
+  bool add_clause(std::vector<Lit> literals);
+
+  /// Convenience forms.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solve the current clause set. May be called repeatedly with clauses
+  /// added in between; learned clauses are kept.
+  SolveResult solve();
+
+  /// Model access after kSat.
+  bool model_value(Var v) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  enum : std::uint8_t { kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> literals;
+    bool learned = false;
+  };
+
+  struct Watcher {
+    std::uint32_t clause_index;
+  };
+
+  bool enqueue(Lit literal, std::int64_t reason);
+  std::int64_t propagate();  // returns conflicting clause index or -1
+  void analyze(std::int64_t conflict, std::vector<Lit>& learned,
+               std::uint32_t& backtrack_level);
+  void backtrack(std::uint32_t level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_activities();
+  std::uint8_t value_of(Lit literal) const;
+  std::uint32_t level_of(Var v) const { return level_[v]; }
+  void attach(std::uint32_t clause_index);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal index
+  std::vector<std::uint8_t> assigns_;          // 0=false 1=true 2=undef
+  std::vector<std::uint8_t> saved_phase_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::int64_t> reason_;           // clause index or -1
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  bool unsat_at_root_ = false;
+  std::vector<std::uint8_t> model_;
+  SolverStats stats_;
+};
+
+}  // namespace pitfalls::sat

@@ -1,0 +1,75 @@
+#include "support/combinatorics.hpp"
+
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace pitfalls::support {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // 128-bit intermediates: the running product briefly exceeds the final
+  // value (multiply before divide), so saturate on the wide value only.
+  unsigned __int128 result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result > static_cast<unsigned __int128>(kMax)) return kMax;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t binomial_sum(std::uint64_t n, std::uint64_t d) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i <= d && i <= n; ++i) {
+    const std::uint64_t term = binomial(n, i);
+    if (term == kMax || total > kMax - term) return kMax;
+    total += term;
+  }
+  return total;
+}
+
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n,
+                                                      std::size_t k) {
+  PITFALLS_REQUIRE(k <= n, "subset size must not exceed ground-set size");
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current(k);
+  for (std::size_t i = 0; i < k; ++i) current[i] = i;
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  for (;;) {
+    out.push_back(current);
+    // Advance to the next k-combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0 && current[i - 1] == n - k + (i - 1)) --i;
+    if (i == 0) break;
+    ++current[i - 1];
+    for (std::size_t j = i; j < k; ++j) current[j] = current[j - 1] + 1;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> subsets_up_to_size(std::size_t n,
+                                                         std::size_t d) {
+  std::vector<std::vector<std::size_t>> out;
+  for (std::size_t k = 0; k <= d && k <= n; ++k) {
+    auto layer = subsets_of_size(n, k);
+    out.insert(out.end(), layer.begin(), layer.end());
+  }
+  return out;
+}
+
+BitVec subset_mask(std::size_t n, const std::vector<std::size_t>& subset) {
+  BitVec mask(n);
+  for (auto index : subset) {
+    PITFALLS_REQUIRE(index < n, "subset element out of range");
+    mask.set(index, true);
+  }
+  return mask;
+}
+
+}  // namespace pitfalls::support

@@ -1,0 +1,44 @@
+// Combinatorial helpers: binomial coefficients (saturating), enumeration of
+// subsets of [n] by cardinality, and ranking helpers used by the Fourier and
+// ANF code paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace pitfalls::support {
+
+/// Saturating binomial coefficient C(n, k); returns UINT64_MAX on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Sum of C(n, i) for i in [0, d], saturating.
+std::uint64_t binomial_sum(std::uint64_t n, std::uint64_t d);
+
+/// All subsets of {0,...,n-1} with exactly k elements, as sorted index lists,
+/// in lexicographic order. Requires k <= n and a result size that fits memory.
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n,
+                                                      std::size_t k);
+
+/// All subsets of {0,...,n-1} with at most d elements, ordered by increasing
+/// cardinality then lexicographically; element 0 is the empty set.
+std::vector<std::vector<std::size_t>> subsets_up_to_size(std::size_t n,
+                                                         std::size_t d);
+
+/// Encode an index subset of [n] as a BitVec mask of length n.
+BitVec subset_mask(std::size_t n, const std::vector<std::size_t>& subset);
+
+/// Enumerate all 2^popcount submasks of `mask` (including empty and full),
+/// invoking fn(submask). Used by the ANF Moebius transform over a support.
+template <typename Fn>
+void for_each_submask(std::uint64_t mask, Fn&& fn) {
+  std::uint64_t sub = mask;
+  for (;;) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+}  // namespace pitfalls::support

@@ -1,0 +1,41 @@
+// Lightweight contract checking used across the library.
+//
+// PITFALLS_REQUIRE guards preconditions on public API boundaries and throws
+// std::invalid_argument; PITFALLS_ENSURE guards internal invariants and
+// throws std::logic_error. Both stay enabled in release builds: every caller
+// of this library is an experiment harness where a silent out-of-contract
+// call corrupts a measurement.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pitfalls::support {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace pitfalls::support
+
+#define PITFALLS_REQUIRE(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::pitfalls::support::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define PITFALLS_ENSURE(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pitfalls::support::ensure_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,131 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace pitfalls::support {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  PITFALLS_REQUIRE(count_ > 0, "mean of an empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  PITFALLS_REQUIRE(count_ > 0, "min of an empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  PITFALLS_REQUIRE(count_ > 0, "max of an empty sample");
+  return max_;
+}
+
+double hoeffding_half_width(std::size_t n, double delta) {
+  PITFALLS_REQUIRE(n > 0, "need at least one sample");
+  PITFALLS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+std::size_t hoeffding_sample_size(double eps, double delta) {
+  PITFALLS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+  PITFALLS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return static_cast<std::size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  PITFALLS_REQUIRE(trials > 0, "need at least one trial");
+  PITFALLS_REQUIRE(successes <= trials, "successes must not exceed trials");
+  PITFALLS_REQUIRE(z > 0.0, "z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {(centre - margin) / denom, (centre + margin) / denom};
+}
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth) {
+  PITFALLS_REQUIRE(!predicted.empty(), "accuracy over an empty set");
+  PITFALLS_REQUIRE(predicted.size() == truth.size(),
+                   "prediction/truth size mismatch");
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == truth[i]) ++agree;
+  return static_cast<double>(agree) / static_cast<double>(predicted.size());
+}
+
+double normal_pdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  PITFALLS_REQUIRE(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                   std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace pitfalls::support

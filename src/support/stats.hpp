@@ -1,0 +1,63 @@
+// Small statistics toolkit: running moments, Hoeffding/Wilson confidence
+// bounds for empirical accuracies, and the sample sizes the PAC bounds in
+// src/core/bounds.* are compared against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pitfalls::support {
+
+/// Single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Hoeffding half-width: with probability >= 1-delta the empirical
+/// mean of n samples in [0,1] is within this of the true mean.
+double hoeffding_half_width(std::size_t n, double delta);
+
+/// Number of [0,1]-bounded samples for the empirical mean to be within eps
+/// of the truth with confidence 1-delta (Hoeffding).
+std::size_t hoeffding_sample_size(double eps, double delta);
+
+/// Wilson score interval for a binomial proportion; returns {lo, hi}.
+/// z is the normal quantile (1.96 for 95%).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z);
+
+/// Empirical accuracy = fraction of agreements; requires non-empty inputs of
+/// equal length.
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth);
+
+/// Standard normal pdf.
+double normal_pdf(double x);
+
+/// Standard normal cdf (via erfc, accurate over the full range).
+double normal_cdf(double x);
+
+/// Standard normal quantile (inverse cdf), p in (0,1). Acklam's rational
+/// approximation refined with one Halley step; |error| < 1e-9.
+double normal_quantile(double p);
+
+}  // namespace pitfalls::support

@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PITFALLS_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PITFALLS_REQUIRE(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::fmt_or_inf(double value, int precision) {
+  if (!std::isfinite(value) || value >= 1e18) return ">1e18";
+  if (value >= 1e6) {
+    std::ostringstream os;
+    os.precision(3);
+    os << value;
+    return os.str();
+  }
+  return fmt(value, precision);
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string rule = "+";
+  for (auto w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += rule + render_row(headers_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << render(title);
+}
+
+}  // namespace pitfalls::support

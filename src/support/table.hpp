@@ -1,0 +1,38 @@
+// ASCII table rendering for the bench harnesses. Every bench reproduces a
+// paper table by printing rows through this formatter so the output is
+// directly comparable with the paper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pitfalls::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; its width must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 2);
+  /// Convenience: format a value that may have saturated/overflowed.
+  static std::string fmt_or_inf(double value, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a title, column separators and a header rule.
+  std::string render(const std::string& title = "") const;
+
+  /// Print render() to the stream.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pitfalls::support

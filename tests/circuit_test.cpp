@@ -1,0 +1,273 @@
+// Tests for pitfalls::circuit: netlists, .bench I/O, generators, FSMs.
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/fsm.hpp"
+#include "circuit/generator.hpp"
+#include "circuit/netlist.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::circuit;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+// -------------------------------------------------------------- Netlist
+
+TEST(Netlist, BuildsAndEvaluatesGateTypes) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto and_g = n.add_gate(GateType::kAnd, {a, b});
+  const auto or_g = n.add_gate(GateType::kOr, {a, b});
+  const auto xor_g = n.add_gate(GateType::kXor, {a, b});
+  const auto nand_g = n.add_gate(GateType::kNand, {a, b});
+  const auto nor_g = n.add_gate(GateType::kNor, {a, b});
+  const auto xnor_g = n.add_gate(GateType::kXnor, {a, b});
+  const auto not_g = n.add_gate(GateType::kNot, {a});
+  for (auto g : {and_g, or_g, xor_g, nand_g, nor_g, xnor_g, not_g})
+    n.mark_output(g);
+
+  struct Row {
+    bool a, b;
+    bool expect[7];  // and or xor nand nor xnor not(a)
+  };
+  const Row rows[] = {
+      {false, false, {false, false, false, true, true, true, true}},
+      {false, true, {false, true, true, true, false, false, true}},
+      {true, false, {false, true, true, true, false, false, false}},
+      {true, true, {true, true, false, false, false, true, false}},
+  };
+  for (const auto& row : rows) {
+    BitVec in(2);
+    in.set(0, row.a);
+    in.set(1, row.b);
+    const BitVec out = n.evaluate(in);
+    for (std::size_t i = 0; i < 7; ++i)
+      EXPECT_EQ(out.get(i), row.expect[i]) << "a=" << row.a << " b=" << row.b;
+  }
+}
+
+TEST(Netlist, ConstantsAndBuffers) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto c0 = n.add_gate(GateType::kConst0, {});
+  const auto c1 = n.add_gate(GateType::kConst1, {});
+  const auto buf = n.add_gate(GateType::kBuf, {a});
+  n.mark_output(c0);
+  n.mark_output(c1);
+  n.mark_output(buf);
+  const BitVec out = n.evaluate(BitVec(1, 1));
+  EXPECT_FALSE(out.get(0));
+  EXPECT_TRUE(out.get(1));
+  EXPECT_TRUE(out.get(2));
+}
+
+TEST(Netlist, TopologicalDisciplineEnforced) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a + 5}), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a}), std::invalid_argument);
+  const auto g = n.add_gate(GateType::kNot, {a});
+  n.mark_output(g);
+  EXPECT_THROW(n.mark_output(g), std::invalid_argument);
+}
+
+TEST(Netlist, InputIndexAndNameLookup) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  EXPECT_EQ(n.input_index(a), 0u);
+  EXPECT_EQ(n.input_index(b), 1u);
+  EXPECT_EQ(n.find_by_name("b"), b);
+  EXPECT_EQ(n.find_by_name("zzz"), SIZE_MAX);
+}
+
+TEST(NetlistFunction, PinsInputsAndUsesChiEncoding) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g);
+  // Pin b = 1: output = a.
+  const NetlistFunction f(n, 0, {{1, true}});
+  EXPECT_EQ(f.num_vars(), 1u);
+  EXPECT_EQ(f.eval_pm(BitVec(1, 0)), +1);  // a=0 -> out 0 -> chi +1
+  EXPECT_EQ(f.eval_pm(BitVec(1, 1)), -1);  // a=1 -> out 1 -> chi -1
+}
+
+// --------------------------------------------------------------- .bench
+
+TEST(BenchIo, RoundTripC17) {
+  const Netlist original = c17();
+  EXPECT_EQ(original.num_inputs(), 5u);
+  EXPECT_EQ(original.num_outputs(), 2u);
+  EXPECT_EQ(original.logic_gate_count(), 6u);
+
+  const Netlist reparsed = read_bench(write_bench(original));
+  EXPECT_EQ(reparsed.num_inputs(), original.num_inputs());
+  EXPECT_EQ(reparsed.num_outputs(), original.num_outputs());
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    const BitVec in(5, v);
+    EXPECT_EQ(original.evaluate(in), reparsed.evaluate(in)) << "v=" << v;
+  }
+}
+
+TEST(BenchIo, HandlesOutOfOrderDefinitions) {
+  const Netlist n = read_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(t, b)
+t = NOT(a)
+)");
+  BitVec in(2);
+  in.set(1, true);  // a=0, b=1 -> t=1 -> y=1
+  EXPECT_TRUE(n.evaluate(in).get(0));
+}
+
+TEST(BenchIo, DetectsCycles) {
+  EXPECT_THROW(read_bench(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+)"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, DetectsUndefinedNets) {
+  EXPECT_THROW(read_bench("OUTPUT(y)\ny = NOT(ghost)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, DetectsDuplicateDefinitions) {
+  EXPECT_THROW(read_bench(R"(
+INPUT(a)
+y = NOT(a)
+y = BUF(a)
+)"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, RejectsUnknownGateTypes) {
+  EXPECT_THROW(read_bench("INPUT(a)\ny = FROB(a)\n"), std::invalid_argument);
+}
+
+TEST(BenchIo, RoundTripsConstantGates) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto c1 = n.add_gate(GateType::kConst1, {});
+  const auto g = n.add_gate(GateType::kXor, {a, c1});
+  n.mark_output(g);
+  const Netlist reparsed = read_bench(write_bench(n));
+  EXPECT_EQ(reparsed.num_inputs(), 1u);
+  EXPECT_TRUE(reparsed.evaluate(BitVec(1, 0)).get(0));   // 0 xor 1
+  EXPECT_FALSE(reparsed.evaluate(BitVec(1, 1)).get(0));  // 1 xor 1
+}
+
+TEST(BenchIo, IgnoresCommentsAndBlanks) {
+  const Netlist n = read_bench(R"(
+# a comment
+INPUT(a)   # trailing comment
+
+OUTPUT(y)
+y = NOT(a)
+)");
+  EXPECT_EQ(n.num_inputs(), 1u);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Generator, RandomCircuitShapeMatchesConfig) {
+  Rng rng(1);
+  RandomCircuitConfig config;
+  config.inputs = 6;
+  config.gates = 40;
+  config.outputs = 3;
+  const Netlist n = random_circuit(config, rng);
+  EXPECT_EQ(n.num_inputs(), 6u);
+  EXPECT_EQ(n.num_outputs(), 3u);
+  EXPECT_EQ(n.logic_gate_count(), 40u);
+  // Must evaluate without throwing.
+  (void)n.evaluate(BitVec(6, 0b101010));
+}
+
+TEST(Generator, RandomCircuitsAreDeterministicPerSeed) {
+  RandomCircuitConfig config;
+  Rng a(7);
+  Rng b(7);
+  const Netlist na = random_circuit(config, a);
+  const Netlist nb = random_circuit(config, b);
+  for (std::uint64_t v = 0; v < 256; ++v)
+    EXPECT_EQ(na.evaluate(BitVec(8, v)), nb.evaluate(BitVec(8, v)));
+}
+
+TEST(Generator, RippleCarryAdderAddsCorrectly) {
+  const Netlist adder = ripple_carry_adder(4);
+  EXPECT_EQ(adder.num_inputs(), 8u);
+  EXPECT_EQ(adder.num_outputs(), 5u);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      BitVec in(8, a | (b << 4));
+      const BitVec out = adder.evaluate(in);
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < 5; ++i)
+        if (out.get(i)) sum |= std::uint64_t{1} << i;
+      EXPECT_EQ(sum, a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Generator, EqualityComparatorComparesCorrectly) {
+  const Netlist cmp = equality_comparator(3);
+  for (std::uint64_t a = 0; a < 8; ++a)
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      const BitVec in(6, a | (b << 3));
+      EXPECT_EQ(cmp.evaluate(in).get(0), a == b);
+    }
+}
+
+// ------------------------------------------------------------------ FSM
+
+TEST(MealyMachine, RunsAndTraces) {
+  // Two-state toggle machine: input 1 toggles, outputs the old state.
+  MealyMachine m(2, 2, 2, 0);
+  m.set_transition(0, 0, 0, 0);
+  m.set_transition(0, 1, 1, 0);
+  m.set_transition(1, 0, 1, 1);
+  m.set_transition(1, 1, 0, 1);
+  EXPECT_EQ(m.run({1, 1, 1}), 1u);
+  EXPECT_EQ(m.trace({1, 0, 1}), (std::vector<std::size_t>{0, 1, 1}));
+}
+
+TEST(MealyMachine, ValidatesArguments) {
+  EXPECT_THROW(MealyMachine(0, 2, 2, 0), std::invalid_argument);
+  EXPECT_THROW(MealyMachine(2, 2, 2, 5), std::invalid_argument);
+  MealyMachine m(2, 2, 2, 0);
+  EXPECT_THROW(m.set_transition(3, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(m.set_transition(0, 0, 0, 5), std::invalid_argument);
+}
+
+TEST(MealyMachine, AcceptanceDfaMirrorsTransitions) {
+  MealyMachine m(3, 2, 2, 0);
+  m.set_transition(0, 1, 1, 0);
+  m.set_transition(1, 1, 2, 0);
+  const auto dfa = m.to_acceptance_dfa({2});
+  EXPECT_TRUE(dfa.accepts({1, 1}));
+  EXPECT_FALSE(dfa.accepts({1}));
+  EXPECT_FALSE(dfa.accepts({}));
+}
+
+TEST(MealyMachine, RandomIsComplete) {
+  Rng rng(9);
+  const MealyMachine m = MealyMachine::random(6, 3, 2, rng);
+  for (std::size_t s = 0; s < 6; ++s)
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_LT(m.next_state(s, i), 6u);
+      EXPECT_LT(m.output(s, i), 2u);
+    }
+}
+
+}  // namespace

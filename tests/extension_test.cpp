@@ -1,0 +1,375 @@
+// Tests for the extension substrates: SARLock point-function locking, the
+// lockdown authentication protocol and the feed-forward arbiter PUF.
+#include <gtest/gtest.h>
+
+#include "attack/appsat.hpp"
+#include "attack/sat_attack.hpp"
+#include "boolfn/truth_table.hpp"
+#include "circuit/generator.hpp"
+#include "lock/antisat.hpp"
+#include "lock/sarlock.hpp"
+#include "ml/chow.hpp"
+#include "ml/features.hpp"
+#include "ml/halfspace_tester.hpp"
+#include "ml/logistic.hpp"
+#include "puf/crp.hpp"
+#include "puf/feed_forward.hpp"
+#include "puf/lockdown.hpp"
+#include "puf/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using lock::LockedCircuit;
+using puf::CrpSet;
+using support::BitVec;
+using support::Rng;
+
+// -------------------------------------------------------------- SARLock
+
+TEST(SarLock, CorrectKeyPreservesFunction) {
+  Rng rng(1);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit locked = lock::lock_sarlock(original, 6, rng);
+  EXPECT_EQ(locked.num_key_inputs(), 6u);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const BitVec data(6, v);
+    EXPECT_EQ(locked.evaluate(data, locked.correct_key),
+              original.evaluate(data))
+        << "v=" << v;
+  }
+}
+
+TEST(SarLock, WrongKeyFlipsExactlyTheProtectedPattern) {
+  // With sar_bits == data inputs, a wrong key corrupts exactly the inputs
+  // whose guarded bits equal the key — one pattern here.
+  Rng rng(2);
+  const circuit::Netlist original = circuit::equality_comparator(3);  // 6 in
+  const LockedCircuit locked = lock::lock_sarlock(original, 6, rng);
+  Rng key_rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    BitVec key(6);
+    for (std::size_t i = 0; i < 6; ++i) key.set(i, key_rng.coin());
+    if (key == locked.correct_key) continue;
+    std::size_t wrong_outputs = 0;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      const BitVec data(6, v);
+      if (locked.evaluate(data, key) != original.evaluate(data))
+        ++wrong_outputs;
+    }
+    EXPECT_EQ(wrong_outputs, 1u) << "key " << key.to_string();
+  }
+}
+
+TEST(SarLock, SatAttackNeedsDipPerWrongKey) {
+  // The SAT-resilience property: DIP count ~ 2^sar_bits, in stark contrast
+  // with random XOR locking.
+  Rng rng(5);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit sar = lock::lock_sarlock(original, 6, rng);
+  attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(original);
+  const auto result = attack::sat_attack(sar, oracle);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(attack::keys_equivalent(original, sar, result.key));
+  EXPECT_GE(result.dip_iterations, 30u);  // ~2^6 - something
+}
+
+TEST(SarLock, AppSatSettlesEarlyWithLowErrorKey) {
+  Rng rng(7);
+  const circuit::Netlist original = circuit::ripple_carry_adder(4);  // 8 in
+  const LockedCircuit sar = lock::lock_sarlock(original, 8, rng);
+  attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(original);
+  Rng attack_rng(8);
+  attack::AppSatConfig config;
+  config.dips_per_round = 4;
+  config.random_queries = 64;
+  config.error_threshold = 0.02;
+  config.max_rounds = 8;
+  const auto result = attack::appsat(sar, oracle, attack_rng, config);
+  // AppSAT stops long before the 2^8 DIPs the exact attack would need...
+  EXPECT_LT(result.dip_iterations, 64u);
+  // ...and its key is wrong on at most a 2^-8-ish fraction of inputs.
+  Rng eval(9);
+  const double acc = lock::key_accuracy(original, sar, result.key, 8192, eval);
+  EXPECT_GT(acc, 0.98);
+}
+
+TEST(SarLock, ComposesWithXorLocking) {
+  Rng rng(11);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit combo = lock::lock_sarlock_plus_xor(original, 4, 5, rng);
+  EXPECT_EQ(combo.num_key_inputs(), 9u);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const BitVec data(6, v);
+    EXPECT_EQ(combo.evaluate(data, combo.correct_key),
+              original.evaluate(data));
+  }
+  // The SAT attack still recovers a functionally exact key.
+  attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(original);
+  const auto result = attack::sat_attack(combo, oracle);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(attack::keys_equivalent(original, combo, result.key));
+}
+
+TEST(SarLock, ValidatesParameters) {
+  Rng rng(13);
+  const circuit::Netlist original = circuit::equality_comparator(2);  // 4 in
+  EXPECT_THROW(lock::lock_sarlock(original, 0, rng), std::invalid_argument);
+  EXPECT_THROW(lock::lock_sarlock(original, 5, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Anti-SAT
+
+TEST(AntiSat, CorrectKeyPreservesFunction) {
+  Rng rng(101);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit locked = lock::lock_antisat(original, 6, rng);
+  EXPECT_EQ(locked.num_key_inputs(), 12u);  // KA + KB
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const BitVec data(6, v);
+    EXPECT_EQ(locked.evaluate(data, locked.correct_key),
+              original.evaluate(data));
+  }
+}
+
+TEST(AntiSat, AnyEqualKeyPairIsCorrect) {
+  // The correct-key SET of Anti-SAT is {KA == KB}: every agreeing pair
+  // leaves the circuit intact.
+  Rng rng(102);
+  const circuit::Netlist original = circuit::equality_comparator(3);
+  const LockedCircuit locked = lock::lock_antisat(original, 6, rng);
+  Rng key_rng(103);
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVec key(12);
+    for (std::size_t i = 0; i < 6; ++i) {
+      const bool bit = key_rng.coin();
+      key.set(i, bit);
+      key.set(6 + i, bit);
+    }
+    EXPECT_DOUBLE_EQ(key_accuracy(original, locked, key, 4096, key_rng), 1.0);
+  }
+}
+
+TEST(AntiSat, MismatchedKeysFlipExactlyOnePattern) {
+  Rng rng(104);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit locked = lock::lock_antisat(original, 6, rng);
+  Rng key_rng(105);
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVec key(12);
+    for (std::size_t i = 0; i < 12; ++i) key.set(i, key_rng.coin());
+    // Skip the measure-zero case KA == KB.
+    bool equal = true;
+    for (std::size_t i = 0; i < 6; ++i)
+      equal = equal && key.get(i) == key.get(6 + i);
+    if (equal) continue;
+    std::size_t wrong = 0;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      const BitVec data(6, v);
+      if (locked.evaluate(data, key) != original.evaluate(data)) ++wrong;
+    }
+    EXPECT_EQ(wrong, 1u);
+  }
+}
+
+TEST(AntiSat, SatAttackPaysExponentialDips) {
+  Rng rng(106);
+  const circuit::Netlist original = circuit::ripple_carry_adder(3);
+  const LockedCircuit locked = lock::lock_antisat(original, 6, rng);
+  attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(original);
+  const auto result = attack::sat_attack(locked, oracle);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(attack::keys_equivalent(original, locked, result.key));
+  EXPECT_GE(result.dip_iterations, 30u);  // ~2^6 protected patterns
+}
+
+TEST(AntiSat, ValidatesParameters) {
+  Rng rng(107);
+  const circuit::Netlist original = circuit::equality_comparator(2);
+  EXPECT_THROW(lock::lock_antisat(original, 0, rng), std::invalid_argument);
+  EXPECT_THROW(lock::lock_antisat(original, 5, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- lockdown
+
+TEST(Lockdown, BudgetIsEnforced) {
+  Rng rng(17);
+  puf::LockdownConfig config;
+  config.stages = 16;
+  config.chains = 2;
+  config.crp_budget = 5;
+  puf::LockdownToken token(config, rng);
+  Rng proto(18);
+  const BitVec nonce(8);
+  for (int round = 0; round < 5; ++round)
+    EXPECT_TRUE(token.authenticate(nonce, proto).has_value());
+  EXPECT_FALSE(token.authenticate(nonce, proto).has_value());
+  EXPECT_EQ(token.remaining_budget(), 0u);
+}
+
+TEST(Lockdown, TranscriptChallengeContainsVerifierNonce) {
+  Rng rng(19);
+  puf::LockdownConfig config;
+  config.stages = 16;
+  config.crp_budget = 10;
+  puf::LockdownToken token(config, rng);
+  Rng proto(20);
+  BitVec nonce(8, 0b10110101);
+  const auto transcript = token.authenticate(nonce, proto);
+  ASSERT_TRUE(transcript.has_value());
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(transcript->challenge.get(i), nonce.get(i));
+}
+
+TEST(Lockdown, TokenNonceDeniesChosenChallenges) {
+  // Even replaying the same verifier nonce, the applied challenges differ:
+  // the adversary cannot realise a membership query.
+  Rng rng(21);
+  puf::LockdownConfig config;
+  config.stages = 32;
+  config.crp_budget = 50;
+  puf::LockdownToken token(config, rng);
+  Rng proto(22);
+  const BitVec nonce(16, 0xabcd);
+  std::set<std::string> seen;
+  for (int round = 0; round < 20; ++round) {
+    const auto t = token.authenticate(nonce, proto);
+    ASSERT_TRUE(t.has_value());
+    seen.insert(t->challenge.to_string());
+  }
+  EXPECT_GT(seen.size(), 15u);  // token half re-randomised every round
+}
+
+TEST(Lockdown, ResponsesMatchThePuf) {
+  Rng rng(23);
+  puf::LockdownConfig config;
+  config.stages = 16;
+  config.chains = 2;
+  config.noise_sigma = 0.0;
+  config.crp_budget = 30;
+  puf::LockdownToken token(config, rng);
+  Rng proto(24);
+  for (int round = 0; round < 30; ++round) {
+    BitVec nonce(8);
+    for (std::size_t i = 0; i < 8; ++i) nonce.set(i, proto.coin());
+    const auto t = token.authenticate(nonce, proto);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->response, token.puf().eval_pm(t->challenge));
+  }
+}
+
+TEST(Lockdown, EavesdropperAccuracyGrowsWithBudget) {
+  // The design premise of [10]: fewer exposed CRPs, worse model. Compare a
+  // starved budget with a generous one on the same construction size.
+  auto accuracy_with_budget = [](std::size_t budget) {
+    Rng rng(25);
+    puf::LockdownConfig config;
+    config.stages = 32;
+    config.chains = 1;  // single chain: the classic modeling-attack target
+    config.crp_budget = budget;
+    puf::LockdownToken token(config, rng);
+    Rng proto(26);
+
+    CrpSet transcript_crps;
+    for (std::size_t round = 0; round < budget; ++round) {
+      BitVec nonce(16);
+      for (std::size_t i = 0; i < 16; ++i) nonce.set(i, proto.coin());
+      const auto t = token.authenticate(nonce, proto);
+      transcript_crps.add(t->challenge, t->response);
+    }
+    Rng train_rng(27);
+    const ml::LinearModel model = ml::LogisticRegression().fit_model(
+        transcript_crps.challenges(), transcript_crps.responses(),
+        ml::parity_with_bias, train_rng);
+    const CrpSet eval = CrpSet::collect_uniform(token.puf(), 4000, train_rng);
+    return eval.accuracy_of(model);
+  };
+  const double starved = accuracy_with_budget(40);
+  const double generous = accuracy_with_budget(2000);
+  EXPECT_GT(generous, 0.95);
+  EXPECT_LT(starved, generous - 0.05);
+}
+
+// --------------------------------------------------------- feed-forward
+
+TEST(FeedForward, ZeroLoopsMatchesPlainChainStructure) {
+  // Without loops the recursion is the plain arbiter model: the
+  // parity-feature representation must be exact.
+  Rng rng(31);
+  const puf::FeedForwardArbiterPuf puf(16, 0, 0.0, rng);
+  Rng collect(32);
+  const CrpSet train = CrpSet::collect_uniform(puf, 3000, collect);
+  const CrpSet test = CrpSet::collect_uniform(puf, 1500, collect);
+  Rng train_rng(33);
+  const ml::LinearModel model = ml::LogisticRegression().fit_model(
+      train.challenges(), train.responses(), ml::parity_with_bias, train_rng);
+  EXPECT_GT(test.accuracy_of(model), 0.95);
+}
+
+TEST(FeedForward, LoopsBreakTheLtfRepresentation) {
+  Rng rng(35);
+  const puf::FeedForwardArbiterPuf puf(16, 4, 0.0, rng);
+  Rng collect(36);
+  const CrpSet train = CrpSet::collect_uniform(puf, 6000, collect);
+  const CrpSet test = CrpSet::collect_uniform(puf, 3000, collect);
+  Rng train_rng(37);
+  const ml::LinearModel model = ml::LogisticRegression().fit_model(
+      train.challenges(), train.responses(), ml::parity_with_bias, train_rng);
+  // Clearly better than chance, clearly below the plain-chain accuracy.
+  const double acc = test.accuracy_of(model);
+  EXPECT_GT(acc, 0.6);
+  EXPECT_LT(acc, 0.97);
+}
+
+TEST(FeedForward, DeterministicWithoutNoise) {
+  Rng rng(39);
+  const puf::FeedForwardArbiterPuf puf(12, 2, 0.0, rng);
+  Rng eval(40);
+  BitVec c(12);
+  for (std::size_t i = 0; i < 12; ++i) c.set(i, eval.coin());
+  const int first = puf.eval_noisy(c, eval);
+  for (int t = 0; t < 10; ++t) EXPECT_EQ(puf.eval_noisy(c, eval), first);
+}
+
+TEST(FeedForward, RoughlyUniformOnAverage) {
+  // Individual feed-forward instances are noticeably biased (the loops pin
+  // select bits toward dominant signs — a known weakness of the
+  // construction); the ensemble average must still be near 1/2.
+  Rng rng(41);
+  Rng eval(42);
+  double total = 0.0;
+  const int instances = 10;
+  for (int i = 0; i < instances; ++i) {
+    const puf::FeedForwardArbiterPuf puf(24, 3, 0.0, rng);
+    total += puf::uniformity(puf, 4000, eval);
+  }
+  EXPECT_NEAR(total / instances, 0.5, 0.1);
+}
+
+TEST(FeedForward, ValidatesConstruction) {
+  Rng rng(43);
+  EXPECT_THROW(puf::FeedForwardArbiterPuf(3, 0, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(puf::FeedForwardArbiterPuf(8, 4, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(puf::FeedForwardArbiterPuf({1.0, 2.0, 3.0, 4.0, 5.0},
+                                          {{3, 2}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(FeedForward, ExplicitLoopsAreApplied) {
+  // Construct two instances differing only in one loop and find a
+  // challenge where they disagree.
+  std::vector<double> w{0.5, -1.0, 0.8, -0.3, 1.2, 0.1, -0.7, 0.9, 0.2};
+  const puf::FeedForwardArbiterPuf plain(w, {}, 0.0);
+  const puf::FeedForwardArbiterPuf looped(w, {{1, 5}}, 0.0);
+  bool differs = false;
+  for (std::uint64_t v = 0; v < 256 && !differs; ++v) {
+    const BitVec c(8, v);
+    differs = plain.eval_pm(c) != looped.eval_pm(c);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace

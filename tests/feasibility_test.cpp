@@ -1,0 +1,128 @@
+// Tests for the LMN-feasibility estimator and the applicable-bound planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adversary.hpp"
+#include "core/bounds.hpp"
+#include "core/feasibility.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using core::AdversaryModel;
+using core::estimate_lmn_feasibility;
+using core::LmnFeasibilityConfig;
+using support::BitVec;
+using support::Rng;
+
+// ----------------------------------------------------------- feasibility
+
+TEST(Feasibility, EffectiveKTracksChainCount) {
+  // NS(h) = O(k sqrt(eps)) for k-XOR LTFs: the estimated effective k must
+  // grow with the real k.
+  Rng rng(1);
+  Rng probe(2);
+  const auto puf1 = puf::XorArbiterPuf::independent(24, 1, 0.0, rng);
+  const auto puf4 = puf::XorArbiterPuf::independent(24, 4, 0.0, rng);
+  const auto view1 = puf1.feature_space_view();
+  const auto view4 = puf4.feature_space_view();
+  const auto r1 = estimate_lmn_feasibility(view1, 1000000, probe);
+  const auto r4 = estimate_lmn_feasibility(view4, 1000000, probe);
+  EXPECT_GT(r4.effective_k, 1.5 * r1.effective_k);
+  EXPECT_GT(r4.degree_cutoff, r1.degree_cutoff);
+}
+
+TEST(Feasibility, ParityIsMaximallyInfeasible) {
+  // Full parity has NS ~ (1-(1-2eps)^n)/2 — huge effective k, astronomical
+  // sample bound.
+  const boolfn::FunctionView parity(
+      24, [](const BitVec& x) { return x.parity() ? -1 : +1; }, "parity");
+  Rng rng(3);
+  const auto report = estimate_lmn_feasibility(parity, 1000000000, rng);
+  EXPECT_FALSE(report.feasible_at_budget);
+  EXPECT_TRUE(std::isinf(report.sample_bound) || report.sample_bound > 1e9);
+}
+
+TEST(Feasibility, DictatorIsFeasible) {
+  // A dictator has NS = eps: effective k ~ sqrt(eps) << 1, tiny cutoff.
+  const boolfn::FunctionView dictator(
+      16, [](const BitVec& x) { return x.pm_one(0); }, "dictator");
+  Rng rng(5);
+  LmnFeasibilityConfig config;
+  config.attack_eps = 0.25;
+  const auto report =
+      estimate_lmn_feasibility(dictator, 1000000, rng, config);
+  EXPECT_LT(report.degree_cutoff, 2.0);
+  EXPECT_TRUE(report.feasible_at_budget);
+}
+
+TEST(Feasibility, ReportContainsProbes) {
+  const boolfn::FunctionView dictator(
+      8, [](const BitVec& x) { return x.pm_one(0); }, "dictator");
+  Rng rng(7);
+  LmnFeasibilityConfig config;
+  config.probe_eps = {0.01, 0.1};
+  const auto report = estimate_lmn_feasibility(dictator, 1000, rng, config);
+  ASSERT_EQ(report.noise_sensitivity.size(), 2u);
+  EXPECT_NEAR(report.noise_sensitivity[0].second, 0.01, 0.01);
+  EXPECT_NEAR(report.noise_sensitivity[1].second, 0.1, 0.02);
+}
+
+TEST(Feasibility, ValidatesConfig) {
+  const boolfn::FunctionView f(4, [](const BitVec&) { return +1; }, "one");
+  Rng rng(9);
+  LmnFeasibilityConfig config;
+  config.probe_eps = {};
+  EXPECT_THROW(estimate_lmn_feasibility(f, 100, rng, config),
+               std::invalid_argument);
+  config.probe_eps = {0.6};
+  EXPECT_THROW(estimate_lmn_feasibility(f, 100, rng, config),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ applicable bound
+
+TEST(ApplicableBound, MembershipQueriesSelectCorollaryTwo) {
+  AdversaryModel attacker;
+  attacker.access = core::AccessType::kMembershipQueries;
+  std::string rationale;
+  const auto row =
+      core::applicable_bound(attacker, 64, 4, 0.25, 0.01, &rationale);
+  EXPECT_EQ(row.source, "Corollary 2");
+  EXPECT_NE(rationale.find("membership"), std::string::npos);
+}
+
+TEST(ApplicableBound, UniformSamplesSelectGeneralBound) {
+  AdversaryModel attacker;
+  attacker.distribution = core::DistributionAssumption::kUniform;
+  attacker.access = core::AccessType::kRandomExamples;
+  const auto row = core::applicable_bound(attacker, 64, 4, 0.05, 0.01);
+  EXPECT_EQ(row.source, "General");
+}
+
+TEST(ApplicableBound, DistributionFreeSelectsPerceptronRow) {
+  AdversaryModel attacker;  // defaults: arbitrary distribution, random ex.
+  std::string rationale;
+  const auto row =
+      core::applicable_bound(attacker, 64, 4, 0.05, 0.01, &rationale);
+  EXPECT_EQ(row.source, "[9]");
+  EXPECT_NE(rationale.find("algorithm-specific"), std::string::npos);
+}
+
+TEST(ApplicableBound, StrongerAccessYieldsSmallerBoundHere) {
+  // For these parameters the MQ bound is far below the distribution-free
+  // one — the access axis pays.
+  AdversaryModel passive;
+  AdversaryModel active;
+  active.access = core::AccessType::kMembershipAndEquivalence;
+  const double passive_bound =
+      core::applicable_bound(passive, 64, 5, 0.25, 0.01).value;
+  const double active_bound =
+      core::applicable_bound(active, 64, 5, 0.25, 0.01).value;
+  EXPECT_LT(active_bound, passive_bound);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Tests for FSM synthesis, the BMC reachability attack, and the interpose
+// PUF composition.
+#include <gtest/gtest.h>
+
+#include "attack/fsm_bmc.hpp"
+#include "circuit/fsm_synth.hpp"
+#include "lock/fsm_obfuscation.hpp"
+#include "ml/features.hpp"
+#include "ml/logistic.hpp"
+#include "ml/lstar.hpp"
+#include "puf/crp.hpp"
+#include "puf/interpose.hpp"
+#include "puf/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using circuit::MealyMachine;
+using support::BitVec;
+using support::Rng;
+
+// -------------------------------------------------------------- synthesis
+
+TEST(FsmSynth, EncodingWidths) {
+  EXPECT_EQ(circuit::encoding_width(1), 1u);
+  EXPECT_EQ(circuit::encoding_width(2), 1u);
+  EXPECT_EQ(circuit::encoding_width(3), 2u);
+  EXPECT_EQ(circuit::encoding_width(8), 3u);
+  EXPECT_EQ(circuit::encoding_width(9), 4u);
+  EXPECT_THROW(circuit::encoding_width(0), std::invalid_argument);
+}
+
+TEST(FsmSynth, NetlistMatchesBehaviouralModel) {
+  Rng rng(1);
+  const MealyMachine machine = MealyMachine::random(6, 3, 4, rng);
+  const auto synth = circuit::synthesize_fsm(machine);
+  ASSERT_EQ(synth.netlist.num_inputs(), synth.state_bits + synth.input_bits);
+  ASSERT_EQ(synth.netlist.num_outputs(),
+            synth.state_bits + synth.output_bits);
+
+  for (std::size_t s = 0; s < machine.num_states(); ++s) {
+    for (std::size_t i = 0; i < machine.num_inputs(); ++i) {
+      BitVec in(synth.state_bits + synth.input_bits);
+      for (std::size_t b = 0; b < synth.state_bits; ++b)
+        in.set(b, (s >> b) & 1);
+      for (std::size_t b = 0; b < synth.input_bits; ++b)
+        in.set(synth.state_bits + b, (i >> b) & 1);
+      const BitVec out = synth.netlist.evaluate(in);
+
+      std::size_t next = 0;
+      for (std::size_t b = 0; b < synth.state_bits; ++b)
+        if (out.get(b)) next |= std::size_t{1} << b;
+      std::size_t output = 0;
+      for (std::size_t b = 0; b < synth.output_bits; ++b)
+        if (out.get(synth.state_bits + b)) output |= std::size_t{1} << b;
+
+      EXPECT_EQ(next, machine.next_state(s, i)) << "s=" << s << " i=" << i;
+      EXPECT_EQ(output, machine.output(s, i)) << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST(FsmSynth, PowerOfTwoSizesToo) {
+  Rng rng(2);
+  const MealyMachine machine = MealyMachine::random(8, 2, 2, rng);
+  const auto synth = circuit::synthesize_fsm(machine);
+  EXPECT_EQ(synth.state_bits, 3u);
+  EXPECT_EQ(synth.input_bits, 1u);
+  // Spot check a transition.
+  BitVec in(4);
+  const BitVec out = synth.netlist.evaluate(in);
+  std::size_t next = 0;
+  for (std::size_t b = 0; b < 3; ++b)
+    if (out.get(b)) next |= std::size_t{1} << b;
+  EXPECT_EQ(next, machine.next_state(0, 0));
+}
+
+// -------------------------------------------------------------------- BMC
+
+TEST(FsmBmc, EmptyWordWhenResetIsTarget) {
+  Rng rng(3);
+  const MealyMachine machine = MealyMachine::random(4, 2, 2, rng);
+  const auto result = attack::bmc_reach(machine, {machine.reset_state()}, 4);
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(result.word.empty());
+}
+
+TEST(FsmBmc, FindsShortestPathInAChain) {
+  // 0 -1-> 1 -1-> 2 -1-> 3; symbol 0 loops back to 0.
+  MealyMachine machine(4, 2, 2, 0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    machine.set_transition(s, 1, s + 1, 0);
+    machine.set_transition(s, 0, 0, 0);
+  }
+  const auto result = attack::bmc_reach(machine, {3}, 8);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.word, (ml::Word{1, 1, 1}));
+  EXPECT_EQ(result.frames_solved, 3u);  // depths 1, 2 unsat, 3 sat
+}
+
+TEST(FsmBmc, ReportsFailureBeyondBound) {
+  MealyMachine machine(4, 2, 2, 0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    machine.set_transition(s, 1, s + 1, 0);
+    machine.set_transition(s, 0, 0, 0);
+  }
+  const auto result = attack::bmc_reach(machine, {3}, 2);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.frames_solved, 2u);
+}
+
+TEST(FsmBmc, RecoversUnlockSequenceOfObfuscatedFsm) {
+  Rng rng(5);
+  const MealyMachine functional = MealyMachine::random(6, 3, 2, rng);
+  const auto obf = lock::obfuscate_fsm(functional, 4, rng);
+  const auto result =
+      attack::bmc_reach(obf.machine, obf.functional_states, 8);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.word.size(), obf.unlock_sequence.size());
+  EXPECT_TRUE(obf.functional_states.contains(obf.machine.run(result.word)));
+}
+
+TEST(FsmBmc, AgreesWithLStarOnUnlockLength) {
+  // White-box BMC and black-box L* must find unlock words of equal length.
+  Rng rng(7);
+  const MealyMachine functional = MealyMachine::random(5, 2, 2, rng);
+  const auto obf = lock::obfuscate_fsm(functional, 5, rng);
+
+  const auto bmc = attack::bmc_reach(obf.machine, obf.functional_states, 10);
+  ASSERT_TRUE(bmc.found);
+
+  const ml::Dfa target = obf.functional_mode_dfa();
+  ml::ExactDfaTeacher teacher(target);
+  const ml::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
+  const ml::Dfa empty(1, 2, 0);
+  const auto lstar_word = ml::Dfa::distinguishing_word(learned, empty);
+  ASSERT_TRUE(lstar_word.has_value());
+  EXPECT_EQ(bmc.word.size(), lstar_word->size());
+}
+
+TEST(FsmBmc, ValidatesTargets) {
+  Rng rng(9);
+  const MealyMachine machine = MealyMachine::random(4, 2, 2, rng);
+  EXPECT_THROW(attack::bmc_reach(machine, {}, 4), std::invalid_argument);
+  EXPECT_THROW(attack::bmc_reach(machine, {9}, 4), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- interpose
+
+TEST(InterposePuf, ExtendChallengeInsertsAtMiddle) {
+  Rng rng(11);
+  const puf::InterposePuf ipuf(8, 1, 1, 0.0, rng);
+  const BitVec c = BitVec::from_string("10110011");
+  const BitVec plus = ipuf.extend_challenge(c, -1);  // response 1 -> bit 1
+  ASSERT_EQ(plus.size(), 9u);
+  EXPECT_TRUE(plus.get(4));
+  EXPECT_EQ(plus.to_string(), "101110011");
+  const BitVec minus = ipuf.extend_challenge(c, +1);
+  EXPECT_FALSE(minus.get(4));
+}
+
+TEST(InterposePuf, CompositionMatchesManualEvaluation) {
+  Rng rng(13);
+  const puf::InterposePuf ipuf(10, 2, 2, 0.0, rng);
+  Rng eval(14);
+  for (int t = 0; t < 100; ++t) {
+    BitVec c(10);
+    for (std::size_t b = 0; b < 10; ++b) c.set(b, eval.coin());
+    const int up = ipuf.upper().eval_pm(c);
+    const int expected = ipuf.lower().eval_pm(ipuf.extend_challenge(c, up));
+    EXPECT_EQ(ipuf.eval_pm(c), expected);
+  }
+}
+
+TEST(InterposePuf, RoughlyUniform) {
+  Rng rng(15);
+  const puf::InterposePuf ipuf(16, 1, 1, 0.0, rng);
+  Rng eval(16);
+  EXPECT_NEAR(puf::uniformity(ipuf, 20000, eval), 0.5, 0.12);
+}
+
+TEST(InterposePuf, HarderThanPlainChainForNaiveAttack) {
+  // A single-LTF model in parity features masters a plain chain but not a
+  // (1,1)-iPUF — the interposed bit breaks the clean feature map.
+  Rng rng(17);
+  const puf::InterposePuf ipuf(24, 1, 1, 0.0, rng);
+  Rng collect(18);
+  const puf::CrpSet train = puf::CrpSet::collect_uniform(ipuf, 6000, collect);
+  const puf::CrpSet test = puf::CrpSet::collect_uniform(ipuf, 3000, collect);
+  Rng train_rng(19);
+  const ml::LinearModel model = ml::LogisticRegression().fit_model(
+      train.challenges(), train.responses(), ml::parity_with_bias, train_rng);
+  const double acc = test.accuracy_of(model);
+  EXPECT_LT(acc, 0.95);
+  EXPECT_GT(acc, 0.55);  // but far from unlearnable
+}
+
+TEST(InterposePuf, ValidatesConstruction) {
+  Rng rng(21);
+  EXPECT_THROW(puf::InterposePuf(1, 1, 1, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(puf::InterposePuf(8, 0, 1, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for DFAs and Angluin's L* (Section V-B machinery).
+#include <gtest/gtest.h>
+
+#include "ml/dfa.hpp"
+#include "ml/lstar.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::ml;
+using pitfalls::support::Rng;
+
+/// DFA over {0,1} accepting words with an odd number of 1s.
+Dfa odd_ones_dfa() {
+  Dfa dfa(2, 2, 0);
+  dfa.set_transition(0, 0, 0);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 1);
+  dfa.set_transition(1, 1, 0);
+  dfa.set_accepting(1, true);
+  return dfa;
+}
+
+/// DFA accepting words containing the substring "ab" (alphabet {a=0,b=1}).
+Dfa contains_ab_dfa() {
+  Dfa dfa(3, 2, 0);
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(0, 1, 0);
+  dfa.set_transition(1, 0, 1);
+  dfa.set_transition(1, 1, 2);
+  dfa.set_transition(2, 0, 2);
+  dfa.set_transition(2, 1, 2);
+  dfa.set_accepting(2, true);
+  return dfa;
+}
+
+// ------------------------------------------------------------------ Dfa
+
+TEST(Dfa, RunsAndAccepts) {
+  const Dfa dfa = odd_ones_dfa();
+  EXPECT_FALSE(dfa.accepts({}));
+  EXPECT_TRUE(dfa.accepts({1}));
+  EXPECT_FALSE(dfa.accepts({1, 1}));
+  EXPECT_TRUE(dfa.accepts({1, 0, 0, 1, 1}));
+}
+
+TEST(Dfa, ValidatesIndices) {
+  Dfa dfa(2, 2, 0);
+  EXPECT_THROW(dfa.set_transition(2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(dfa.set_transition(0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(dfa.accepts({5}), std::invalid_argument);
+  EXPECT_THROW(Dfa(0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(Dfa(2, 2, 5), std::invalid_argument);
+}
+
+TEST(Dfa, ReachableStatesCountsConnectedComponent) {
+  Dfa dfa(4, 1, 0);
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(1, 0, 0);
+  // States 2, 3 unreachable (self-loops by default).
+  EXPECT_EQ(dfa.reachable_states(), 2u);
+}
+
+TEST(Dfa, MinimizeMergesEquivalentStates) {
+  // Two redundant accepting states with identical behaviour.
+  Dfa dfa(4, 1, 0);
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(1, 0, 2);
+  dfa.set_transition(2, 0, 3);
+  dfa.set_transition(3, 0, 2);
+  dfa.set_accepting(2, true);
+  dfa.set_accepting(3, true);
+  const Dfa minimal = dfa.minimized();
+  EXPECT_LT(minimal.num_states(), dfa.num_states());
+  EXPECT_FALSE(Dfa::distinguishing_word(dfa, minimal).has_value());
+}
+
+TEST(Dfa, DistinguishingWordIsShortestAndValid) {
+  const Dfa a = odd_ones_dfa();
+  const Dfa b = contains_ab_dfa();
+  const auto word = Dfa::distinguishing_word(a, b);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_NE(a.accepts(*word), b.accepts(*word));
+  EXPECT_LE(word->size(), 2u);  // "1" already separates them
+}
+
+TEST(Dfa, EquivalentToItself) {
+  const Dfa a = contains_ab_dfa();
+  EXPECT_FALSE(Dfa::distinguishing_word(a, a).has_value());
+}
+
+TEST(Dfa, RandomHasBothAcceptingAndRejecting) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dfa dfa = Dfa::random(6, 2, 0.5, rng);
+    bool any_accept = false;
+    bool any_reject = false;
+    for (std::size_t s = 0; s < dfa.num_states(); ++s)
+      (dfa.accepting(s) ? any_accept : any_reject) = true;
+    EXPECT_TRUE(any_accept);
+    EXPECT_TRUE(any_reject);
+  }
+}
+
+// ---------------------------------------------------------------- L*
+
+TEST(LStar, LearnsOddOnesExactly) {
+  const Dfa target = odd_ones_dfa();
+  ExactDfaTeacher teacher(target);
+  LStarStats stats;
+  const Dfa learned = LStarLearner().learn(teacher, &stats);
+  EXPECT_FALSE(Dfa::distinguishing_word(target, learned).has_value());
+  EXPECT_EQ(learned.num_states(), 2u);
+  EXPECT_GT(stats.membership_queries, 0u);
+}
+
+TEST(LStar, LearnsSubstringLanguage) {
+  const Dfa target = contains_ab_dfa();
+  ExactDfaTeacher teacher(target);
+  const Dfa learned = LStarLearner().learn(teacher, nullptr);
+  EXPECT_FALSE(Dfa::distinguishing_word(target, learned).has_value());
+  EXPECT_EQ(learned.num_states(), target.minimized().num_states());
+}
+
+class LStarRandom
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(LStarRandom, LearnsRandomDfasExactly) {
+  const auto [states, alphabet] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(4000 + states * 10 + alphabet));
+  const Dfa target = Dfa::random(states, alphabet, 0.4, rng);
+  ExactDfaTeacher teacher(target);
+  LStarStats stats;
+  const Dfa learned = LStarLearner().learn(teacher, &stats);
+  EXPECT_FALSE(Dfa::distinguishing_word(target, learned).has_value());
+  // L* returns the minimal automaton.
+  EXPECT_EQ(learned.num_states(), target.minimized().num_states());
+  EXPECT_EQ(stats.states, learned.num_states());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LStarRandom,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 10, 20),
+                       ::testing::Values<std::size_t>(2, 3)));
+
+TEST(LStar, SampledTeacherYieldsApproximatelyCorrectDfa) {
+  Rng rng(9);
+  const Dfa target = Dfa::random(8, 2, 0.4, rng);
+  SampledDfaTeacher teacher(target, 3000, 8.0, rng);
+  const Dfa learned = LStarLearner().learn(teacher, nullptr);
+  // Measure agreement over random words of the teacher's distribution.
+  std::size_t agree = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    Word w;
+    while (rng.bernoulli(8.0 / 9.0))
+      w.push_back(static_cast<std::size_t>(rng.uniform_below(2)));
+    if (target.accepts(w) == learned.accepts(w)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / trials, 0.97);
+}
+
+TEST(LStar, MembershipQueriesStayPolynomial) {
+  Rng rng(10);
+  const Dfa target = Dfa::random(16, 2, 0.5, rng);
+  ExactDfaTeacher teacher(target);
+  LStarStats stats;
+  (void)LStarLearner().learn(teacher, &stats);
+  const std::size_t m = target.minimized().num_states();
+  // Crude sanity bound: far below exponential, polynomial-ish in m.
+  EXPECT_LT(stats.membership_queries, 2000 * m * m);
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Tests for the Fourier-analytic learners: LMN, Chow-parameter LTF
+// reconstruction and the halfspace property tester — the machinery behind
+// Corollary 1 and Tables II/III.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolfn/ltf.hpp"
+#include "boolfn/truth_table.hpp"
+#include "ml/chow.hpp"
+#include "ml/halfspace_tester.hpp"
+#include "ml/lmn.hpp"
+#include "puf/bistable_ring.hpp"
+#include "puf/crp.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::ml;
+using pitfalls::boolfn::FunctionView;
+using pitfalls::boolfn::Ltf;
+using pitfalls::boolfn::TruthTable;
+using pitfalls::puf::BistableRingConfig;
+using pitfalls::puf::BistableRingPuf;
+using pitfalls::puf::CrpSet;
+using pitfalls::puf::XorArbiterPuf;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+// ------------------------------------------------------------------ LMN
+
+TEST(Lmn, HypothesisEvaluatesStoredExpansion) {
+  // 0.8*chi_{} - 0.5*chi_{0}
+  SparseFourierHypothesis h(2, {BitVec(2, 0), BitVec(2, 1)}, {0.8, -0.5});
+  EXPECT_DOUBLE_EQ(h.approximation(BitVec::from_string("00")), 0.3);
+  EXPECT_DOUBLE_EQ(h.approximation(BitVec::from_string("10")), 1.3);
+  EXPECT_EQ(h.eval_pm(BitVec::from_string("00")), +1);
+  EXPECT_DOUBLE_EQ(h.captured_weight(), 0.64 + 0.25);
+}
+
+TEST(Lmn, LearnsLowDegreeTargetExactly) {
+  // x0 XOR x1 has its whole spectrum at degree 2.
+  const FunctionView target(
+      4, [](const BitVec& x) { return (x.get(0) != x.get(1)) ? -1 : +1; },
+      "x0^x1");
+  Rng rng(1);
+  const LmnLearner learner({.degree = 2, .prune_below = 0.0});
+  const auto h = learner.learn(target, 4000, rng);
+  const TruthTable ht = TruthTable::from_function(h);
+  const TruthTable tt = TruthTable::from_function(target);
+  EXPECT_DOUBLE_EQ(ht.distance(tt), 0.0);
+}
+
+TEST(Lmn, DegreeCutoffBelowSpectrumFails) {
+  // The same XOR target is invisible at degree 1: accuracy ~ 1/2.
+  const FunctionView target(
+      6, [](const BitVec& x) { return (x.get(0) != x.get(1)) ? -1 : +1; },
+      "x0^x1");
+  Rng rng(2);
+  const LmnLearner learner({.degree = 1, .prune_below = 0.0});
+  const auto h = learner.learn(target, 4000, rng);
+  const double acc =
+      1.0 - TruthTable::from_function(h).distance(TruthTable::from_function(target));
+  EXPECT_LT(acc, 0.65);
+}
+
+TEST(Lmn, LearnsSingleArbiterChainWell) {
+  // k=1: in the paper's feature-space coordinates the chain is one LTF,
+  // whose spectrum concentrates at degree <= 1; LMN at degree 2 beats 90%.
+  Rng rng(3);
+  const XorArbiterPuf puf = XorArbiterPuf::independent(12, 1, 0.0, rng);
+  const auto target = puf.feature_space_view();
+  Rng learn_rng(4);
+  const LmnLearner learner({.degree = 2, .prune_below = 0.0});
+  const auto h = learner.learn(target, 30000, learn_rng);
+  const double acc = 1.0 - TruthTable::from_function(h).distance(
+                               TruthTable::from_function(target));
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Lmn, IndependentXorChainsDegradeAccuracy) {
+  // Corollary 1's blow-up, observed: fixed degree + fixed samples, rising k.
+  Rng rng(5);
+  Rng learn_rng(6);
+  const LmnLearner learner({.degree = 2, .prune_below = 0.0});
+  const XorArbiterPuf puf1 = XorArbiterPuf::independent(12, 1, 0.0, rng);
+  const XorArbiterPuf puf4 = XorArbiterPuf::independent(12, 4, 0.0, rng);
+  const auto t1 = puf1.feature_space_view();
+  const auto t4 = puf4.feature_space_view();
+  const double acc_k1 =
+      1.0 - TruthTable::from_function(learner.learn(t1, 20000, learn_rng))
+                .distance(TruthTable::from_function(t1));
+  const double acc_k4 =
+      1.0 - TruthTable::from_function(learner.learn(t4, 20000, learn_rng))
+                .distance(TruthTable::from_function(t4));
+  EXPECT_GT(acc_k1, acc_k4 + 0.15);
+}
+
+TEST(Lmn, CorrelatedChainsStayLearnable) {
+  // The [17] observation: correlation keeps large-k XOR PUFs learnable to
+  // a useful accuracy (~75% in the paper).
+  Rng rng(7);
+  const XorArbiterPuf corr = XorArbiterPuf::correlated(12, 6, 0.95, 0.0, rng);
+  const auto target = corr.feature_space_view();
+  Rng learn_rng(8);
+  const LmnLearner learner({.degree = 2, .prune_below = 0.0});
+  const auto h = learner.learn(target, 30000, learn_rng);
+  const double acc = 1.0 - TruthTable::from_function(h).distance(
+                               TruthTable::from_function(target));
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(Lmn, FromDataMatchesFromOracle) {
+  const FunctionView target(
+      5, [](const BitVec& x) { return x.pm_one(2); }, "dictator");
+  Rng rng(9);
+  std::vector<BitVec> challenges;
+  std::vector<int> responses;
+  for (int i = 0; i < 2000; ++i) {
+    BitVec x(5);
+    for (std::size_t b = 0; b < 5; ++b) x.set(b, rng.coin());
+    responses.push_back(target.eval_pm(x));
+    challenges.push_back(std::move(x));
+  }
+  const LmnLearner learner({.degree = 1, .prune_below = 0.0});
+  const auto h = learner.learn_from_data(challenges, responses);
+  EXPECT_DOUBLE_EQ(TruthTable::from_function(h).distance(
+                       TruthTable::from_function(target)),
+                   0.0);
+}
+
+TEST(Lmn, PruningDropsSmallCoefficients) {
+  const FunctionView target(
+      4, [](const BitVec& x) { return x.pm_one(0); }, "dictator");
+  Rng rng(10);
+  const LmnLearner learner({.degree = 2, .prune_below = 0.3});
+  const auto h = learner.learn(target, 5000, rng);
+  EXPECT_EQ(h.num_terms(), 1u);  // only chi_{0} survives
+}
+
+TEST(Lmn, SampleBookkeeping) {
+  const LmnLearner learner({.degree = 2, .prune_below = 0.0});
+  EXPECT_EQ(learner.num_coefficients(10), 1u + 10u + 45u);
+  EXPECT_GT(learner.recommended_samples(10, 0.1, 0.01), 56u);
+}
+
+// ----------------------------------------------------------------- Chow
+
+TEST(Chow, ExactChowOfDictator) {
+  const FunctionView f(
+      3, [](const BitVec& x) { return x.pm_one(1); }, "dictator");
+  const auto chow = exact_chow(TruthTable::from_function(f));
+  EXPECT_DOUBLE_EQ(chow.degree0, 0.0);
+  EXPECT_DOUBLE_EQ(chow.degree1[1], 1.0);
+  EXPECT_DOUBLE_EQ(chow.degree1[0], 0.0);
+  EXPECT_DOUBLE_EQ(chow.degree1_weight(), 1.0);
+}
+
+TEST(Chow, EstimateConvergesToExact) {
+  Rng rng(11);
+  const Ltf ltf = Ltf::random(8, rng);
+  const auto exact = exact_chow(TruthTable::from_function(ltf));
+  std::vector<BitVec> challenges;
+  std::vector<int> responses;
+  for (int i = 0; i < 60000; ++i) {
+    BitVec x(8);
+    for (std::size_t b = 0; b < 8; ++b) x.set(b, rng.coin());
+    responses.push_back(ltf.eval_pm(x));
+    challenges.push_back(std::move(x));
+  }
+  const auto estimated = estimate_chow(challenges, responses);
+  EXPECT_NEAR(estimated.degree0, exact.degree0, 0.02);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(estimated.degree1[i], exact.degree1[i], 0.02);
+}
+
+class ChowReconstruction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChowReconstruction, RecoversRandomLtfs) {
+  // Chow's theorem in action: the reconstruction from exact Chow parameters
+  // must be close to the original LTF.
+  Rng rng(100 + GetParam());
+  const Ltf target = Ltf::random(GetParam(), rng);
+  const TruthTable tt = TruthTable::from_function(target);
+  const auto chow = exact_chow(tt);
+  const Ltf rebuilt = reconstruct_ltf(chow);
+  const double acc = 1.0 - tt.distance(TruthTable::from_function(rebuilt));
+  EXPECT_GT(acc, 0.93) << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, ChowReconstruction,
+                         ::testing::Values(6, 8, 10, 12));
+
+TEST(Chow, CorrectionRoundsDoNotHurt) {
+  Rng rng(13);
+  const Ltf target = Ltf::random(10, rng);
+  const TruthTable tt = TruthTable::from_function(target);
+  const auto chow = exact_chow(tt);
+
+  std::vector<BitVec> challenges;
+  for (int i = 0; i < 4000; ++i) {
+    BitVec x(10);
+    for (std::size_t b = 0; b < 10; ++b) x.set(b, rng.coin());
+    challenges.push_back(std::move(x));
+  }
+  const Ltf plain = reconstruct_ltf(chow);
+  const Ltf corrected =
+      reconstruct_ltf(chow, {.correction_rounds = 5, .step = 0.5}, challenges);
+  const double acc_plain = 1.0 - tt.distance(TruthTable::from_function(plain));
+  const double acc_corr =
+      1.0 - tt.distance(TruthTable::from_function(corrected));
+  EXPECT_GE(acc_corr, acc_plain - 0.02);
+}
+
+TEST(Chow, BiasedLtfThresholdMatched) {
+  // A heavily biased LTF: the reconstruction must reproduce the bias sign.
+  const Ltf target({1.0, 1.0, 1.0, 1.0}, 2.5);  // mostly -1... check
+  const TruthTable tt = TruthTable::from_function(target);
+  const auto chow = exact_chow(tt);
+  const Ltf rebuilt = reconstruct_ltf(chow);
+  const TruthTable rt = TruthTable::from_function(rebuilt);
+  EXPECT_LT(tt.distance(rt), 0.15);
+  EXPECT_EQ(tt.bias() > 0, rt.bias() > 0);
+}
+
+TEST(Chow, DegenerateChowFallsBackToConstant) {
+  ChowParameters chow;
+  chow.degree0 = 1.0;
+  chow.degree1 = {0.0, 0.0, 0.0};
+  const Ltf rebuilt = reconstruct_ltf(chow);
+  // Constant +1 function expected.
+  EXPECT_EQ(rebuilt.eval_pm(BitVec(3, 0b101)), +1);
+  EXPECT_EQ(rebuilt.eval_pm(BitVec(3, 0b010)), +1);
+}
+
+// ------------------------------------------------------ halfspace tester
+
+TEST(HalfspaceTester, AcceptsRandomLtfs) {
+  Rng rng(17);
+  const HalfspaceTester tester(0.15);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Ltf ltf = Ltf::random(16, rng);
+    const auto report = tester.test(ltf, 60000, rng);
+    EXPECT_TRUE(report.accepted) << "gap=" << report.gap;
+    EXPECT_LT(report.far_from_halfspace, 0.15);
+  }
+}
+
+TEST(HalfspaceTester, RejectsParity) {
+  // Parity has zero degree-1 weight: maximal gap.
+  const FunctionView parity(
+      16, [](const BitVec& x) { return x.parity() ? -1 : +1; }, "parity");
+  Rng rng(19);
+  const HalfspaceTester tester(0.15);
+  const auto report = tester.test(parity, 20000, rng);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_GT(report.far_from_halfspace, 0.8);
+}
+
+TEST(HalfspaceTester, GapTracksBrNonlinearShare) {
+  Rng rng(23);
+  const HalfspaceTester tester(0.1);
+  double previous = -1.0;
+  for (double share : {0.1, 0.3, 0.5}) {
+    BistableRingConfig cfg;
+    cfg.bits = 16;
+    cfg.nonlinear_share = share;
+    const BistableRingPuf puf(cfg, rng);
+    Rng test_rng(24);
+    const auto report = tester.test(puf, 60000, test_rng);
+    EXPECT_GT(report.gap, previous) << "share=" << share;
+    EXPECT_NEAR(report.gap, share, 0.12) << "share=" << share;
+    previous = report.gap;
+  }
+}
+
+TEST(HalfspaceTester, SmallSampleBiasCorrectionKeepsLtfAccepted) {
+  // With only ~100 CRPs the raw W1 estimate of an LTF on n=16 inputs is
+  // inflated by ~n/m; the corrected statistic must still accept.
+  Rng rng(29);
+  const Ltf ltf = Ltf::random(16, rng);
+  const HalfspaceTester tester(0.35);
+  const auto report = tester.test(ltf, 120, rng);
+  EXPECT_LT(report.w1, report.w1_raw);
+  EXPECT_TRUE(report.accepted) << "gap=" << report.gap;
+}
+
+TEST(HalfspaceTester, ReportsBias) {
+  const FunctionView constant(8, [](const BitVec&) { return +1; }, "one");
+  Rng rng(31);
+  const auto report = HalfspaceTester(0.2).test(constant, 2000, rng);
+  EXPECT_DOUBLE_EQ(report.bias, 1.0);
+}
+
+TEST(HalfspaceTester, RecommendedSamplesGrowWithDimension) {
+  const auto small = HalfspaceTester::recommended_samples(16, 0.1, 0.01);
+  const auto large = HalfspaceTester::recommended_samples(64, 0.1, 0.01);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 100u);
+}
+
+TEST(HalfspaceTester, ValidatesParameters) {
+  EXPECT_THROW(HalfspaceTester(0.0), std::invalid_argument);
+  EXPECT_THROW(HalfspaceTester(1.0), std::invalid_argument);
+  const HalfspaceTester tester(0.1);
+  EXPECT_THROW(tester.test({}, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Tests for the linear learners: feature maps, Perceptron, logistic
+// regression — including the representation pitfall (Section V-A): the same
+// Perceptron that masters an arbiter PUF in parity-feature space fails in
+// raw challenge space.
+#include <gtest/gtest.h>
+
+#include "ml/features.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/logistic.hpp"
+#include "ml/perceptron.hpp"
+#include "puf/arbiter.hpp"
+#include "puf/crp.hpp"
+#include "support/combinatorics.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::ml;
+using pitfalls::puf::ArbiterPuf;
+using pitfalls::puf::CrpSet;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+// ------------------------------------------------------------- features
+
+TEST(Features, PmWithBias) {
+  const auto phi = pm_with_bias(BitVec::from_string("011"));
+  EXPECT_EQ(phi, (std::vector<double>{1.0, -1.0, -1.0, 1.0}));
+}
+
+TEST(Features, ParityWithBiasMatchesArbiterMap) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec c(9);
+    for (std::size_t i = 0; i < 9; ++i) c.set(i, rng.coin());
+    const auto phi = parity_with_bias(c);
+    const auto reference = ArbiterPuf::feature_map(c);
+    ASSERT_EQ(phi.size(), reference.size());
+    for (std::size_t i = 0; i < phi.size(); ++i)
+      EXPECT_DOUBLE_EQ(phi[i], static_cast<double>(reference[i]));
+  }
+}
+
+TEST(Features, MonomialFeaturesMatchCharacters) {
+  const BitVec x = BitVec::from_string("01");
+  const auto phi = monomial_features(x, 2);
+  // Subsets in order: {}, {0}, {1}, {0,1}.
+  EXPECT_EQ(phi, (std::vector<double>{1.0, 1.0, -1.0, -1.0}));
+  EXPECT_EQ(monomial_features(x, 1).size(),
+            pitfalls::support::binomial_sum(2, 1));
+}
+
+TEST(LinearModel, ScoreAndSign) {
+  LinearModel model(2, {1.0, -2.0, 0.5}, pm_with_bias, "test");
+  const BitVec x = BitVec::from_string("01");  // phi = (1, -1, 1)
+  EXPECT_DOUBLE_EQ(model.score(x), 1.0 + 2.0 + 0.5);
+  EXPECT_EQ(model.eval_pm(x), +1);
+}
+
+TEST(LinearModel, ValidatesDimensions) {
+  EXPECT_THROW(LinearModel(2, {}, pm_with_bias), std::invalid_argument);
+  LinearModel model(2, {1.0, 1.0}, pm_with_bias);  // wrong dim discovered on use
+  EXPECT_THROW(model.score(BitVec(2)), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- perceptron
+
+TEST(Perceptron, ConvergesOnSeparableData) {
+  Rng rng(11);
+  // Labels from a planted LTF in pm-feature space.
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  const std::vector<double> w{1.5, -2.0, 0.7, 0.1, 0.5};
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row(5);
+    for (auto& v : row) v = rng.gaussian();
+    double score = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) score += w[j] * row[j];
+    if (std::abs(score) < 0.1) continue;  // keep a margin
+    X.push_back(row);
+    y.push_back(score < 0 ? -1 : +1);
+  }
+  const Perceptron learner;
+  const auto result = learner.fit(X, y, rng);
+  EXPECT_TRUE(result.converged);
+  // Zero training error after convergence.
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    double score = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) score += result.weights[j] * X[i][j];
+    EXPECT_EQ(score < 0 ? -1 : +1, y[i]);
+  }
+}
+
+TEST(Perceptron, LearnsArbiterPufInParityFeatures) {
+  Rng rng(13);
+  const ArbiterPuf puf(24, 0.0, rng);
+  Rng collect(14);
+  const CrpSet all = CrpSet::collect_uniform(puf, 3000, collect);
+  const auto [train, test] = all.split_at(2000);
+
+  Rng train_rng(15);
+  const Perceptron learner;
+  const LinearModel model = learner.fit_model(
+      train.challenges(), train.responses(), parity_with_bias, train_rng);
+  EXPECT_GT(test.accuracy_of(model), 0.95);
+}
+
+TEST(Perceptron, RawFeaturesFailOnArbiterPuf) {
+  // Representation pitfall: in raw +/-1 challenge space the arbiter PUF is
+  // not linearly separable and accuracy stalls far below the parity-feature
+  // result.
+  Rng rng(17);
+  const ArbiterPuf puf(24, 0.0, rng);
+  Rng collect(18);
+  const CrpSet all = CrpSet::collect_uniform(puf, 3000, collect);
+  const auto [train, test] = all.split_at(2000);
+
+  Rng train_rng(19);
+  const Perceptron learner;
+  const LinearModel raw = learner.fit_model(
+      train.challenges(), train.responses(), pm_with_bias, train_rng);
+  const LinearModel parity = learner.fit_model(
+      train.challenges(), train.responses(), parity_with_bias, train_rng);
+  EXPECT_LT(test.accuracy_of(raw), test.accuracy_of(parity) - 0.15);
+}
+
+TEST(Perceptron, AveragedVariantAlsoLearns) {
+  Rng rng(21);
+  const ArbiterPuf puf(16, 0.0, rng);
+  Rng collect(22);
+  const CrpSet all = CrpSet::collect_uniform(puf, 2000, collect);
+  const auto [train, test] = all.split_at(1500);
+
+  PerceptronConfig config;
+  config.averaged = true;
+  Rng train_rng(23);
+  const LinearModel model =
+      Perceptron(config).fit_model(train.challenges(), train.responses(),
+                                   parity_with_bias, train_rng);
+  EXPECT_GT(test.accuracy_of(model), 0.93);
+}
+
+TEST(Perceptron, TracksMistakes) {
+  Rng rng(25);
+  std::vector<std::vector<double>> X{{1.0, 1.0}, {-1.0, 1.0}};
+  std::vector<int> y{+1, -1};
+  const auto result = Perceptron().fit(X, y, rng);
+  EXPECT_GT(result.mistakes, 0u);  // at least the first update
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Perceptron, ValidatesInputs) {
+  Rng rng(1);
+  const Perceptron learner;
+  EXPECT_THROW(learner.fit({}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(learner.fit({{1.0}}, {2}, rng), std::invalid_argument);
+  EXPECT_THROW(learner.fit({{1.0}, {1.0, 2.0}}, {1, -1}, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- logistic
+
+TEST(Logistic, LearnsArbiterPufInParityFeatures) {
+  Rng rng(27);
+  const ArbiterPuf puf(24, 0.0, rng);
+  Rng collect(28);
+  const CrpSet all = CrpSet::collect_uniform(puf, 4000, collect);
+  const auto [train, test] = all.split_at(3000);
+
+  Rng train_rng(29);
+  const LogisticRegression learner;
+  const LinearModel model = learner.fit_model(
+      train.challenges(), train.responses(), parity_with_bias, train_rng);
+  EXPECT_GT(test.accuracy_of(model), 0.95);
+}
+
+TEST(Logistic, ToleratesResponseNoiseBetterThanItsTrainingError) {
+  // The classic empirical modeling-attack setting [8]: noisy CRPs in, still
+  // a high-accuracy model of the ideal PUF out.
+  Rng rng(31);
+  const ArbiterPuf puf(16, 0.5, rng);
+  Rng collect(32);
+  const CrpSet noisy_train = CrpSet::collect_noisy(puf, 3000, collect);
+  const CrpSet clean_test = CrpSet::collect_uniform(puf, 1500, collect);
+
+  Rng train_rng(33);
+  const LinearModel model =
+      LogisticRegression().fit_model(noisy_train.challenges(),
+                                     noisy_train.responses(),
+                                     parity_with_bias, train_rng);
+  EXPECT_GT(clean_test.accuracy_of(model), 0.9);
+}
+
+TEST(Logistic, ReportsLossAndIterations) {
+  Rng rng(35);
+  std::vector<std::vector<double>> X{{1.0, 1.0}, {-1.0, 1.0}, {0.5, 1.0}};
+  std::vector<int> y{+1, -1, +1};
+  LogisticResult stats;
+  const auto result = LogisticRegression().fit(X, y, rng);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_GE(result.final_loss, 0.0);
+  (void)stats;
+}
+
+TEST(Logistic, ValidatesInputs) {
+  Rng rng(1);
+  const LogisticRegression learner;
+  EXPECT_THROW(learner.fit({}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(learner.fit({{1.0}}, {0}, rng), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the empirical XOR-PUF modeling attack (Ruehrmair et al. [8]).
+#include <gtest/gtest.h>
+
+#include "ml/xor_model.hpp"
+#include "puf/crp.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::ml;
+using pitfalls::puf::CrpSet;
+using pitfalls::puf::XorArbiterPuf;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+TEST(XorChainModel, EvaluatesProductOfSigns) {
+  // Two dictator chains: chain 0 = sign of phi_0, chain 1 = sign of phi_1.
+  std::vector<std::vector<double>> w{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const XorChainModel model(2, std::move(w), pm_with_bias);
+  // pm features: (chi(x0), chi(x1), 1).
+  EXPECT_EQ(model.eval_pm(BitVec::from_string("00")), +1);  // +1 * +1
+  EXPECT_EQ(model.eval_pm(BitVec::from_string("10")), -1);  // -1 * +1
+  EXPECT_EQ(model.eval_pm(BitVec::from_string("11")), +1);  // -1 * -1
+}
+
+TEST(XorChainModel, SoftResponseBounded) {
+  std::vector<std::vector<double>> w{{3.0, -2.0, 0.5}};
+  const XorChainModel model(2, std::move(w), pm_with_bias);
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    BitVec x(2);
+    x.set(0, rng.coin());
+    x.set(1, rng.coin());
+    const double soft = model.soft_response(x);
+    EXPECT_GE(soft, -1.0);
+    EXPECT_LE(soft, 1.0);
+    // Sign of the soft response matches the hard response.
+    EXPECT_EQ(soft < 0 ? -1 : +1, model.eval_pm(x));
+  }
+}
+
+TEST(XorChainModel, ValidatesConstruction) {
+  EXPECT_THROW(XorChainModel(2, {}, pm_with_bias), std::invalid_argument);
+  EXPECT_THROW(XorChainModel(2, {{1.0, 2.0}, {1.0}}, pm_with_bias),
+               std::invalid_argument);
+}
+
+class XorAttackRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XorAttackRecovery, LearnsKXorArbiterPufs) {
+  const std::size_t k = GetParam();
+  Rng rng(100 + k);
+  const XorArbiterPuf puf = XorArbiterPuf::independent(32, k, 0.0, rng);
+  Rng collect(200 + k);
+  const std::size_t budget = 2000 * k * k;  // empirical scaling
+  const CrpSet train = CrpSet::collect_uniform(puf, budget, collect);
+  const CrpSet test = CrpSet::collect_uniform(puf, 3000, collect);
+
+  XorModelConfig config;
+  config.chains = k;
+  config.restarts = 5;
+  Rng attack_rng(300 + k);
+  XorModelResult stats;
+  const XorChainModel model = XorModelAttack(config).fit(
+      train.challenges(), train.responses(), parity_with_bias, attack_rng,
+      &stats);
+  EXPECT_GT(test.accuracy_of(model), 0.9)
+      << "k=" << k << " train acc " << stats.train_accuracy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, XorAttackRecovery,
+                         ::testing::Values(1, 2, 3));
+
+TEST(XorAttack, SingleChainMatchesLogisticQuality) {
+  Rng rng(11);
+  const XorArbiterPuf puf = XorArbiterPuf::independent(48, 1, 0.0, rng);
+  Rng collect(12);
+  const CrpSet train = CrpSet::collect_uniform(puf, 3000, collect);
+  const CrpSet test = CrpSet::collect_uniform(puf, 2000, collect);
+  XorModelConfig config;
+  config.chains = 1;
+  Rng attack_rng(13);
+  const XorChainModel model = XorModelAttack(config).fit(
+      train.challenges(), train.responses(), parity_with_bias, attack_rng);
+  EXPECT_GT(test.accuracy_of(model), 0.95);
+}
+
+TEST(XorAttack, ReportsStats) {
+  Rng rng(21);
+  const XorArbiterPuf puf = XorArbiterPuf::independent(16, 2, 0.0, rng);
+  Rng collect(22);
+  const CrpSet train = CrpSet::collect_uniform(puf, 4000, collect);
+  XorModelConfig config;
+  config.chains = 2;
+  Rng attack_rng(23);
+  XorModelResult stats;
+  (void)XorModelAttack(config).fit(train.challenges(), train.responses(),
+                                   parity_with_bias, attack_rng, &stats);
+  EXPECT_GE(stats.restarts_used, 1u);
+  EXPECT_GT(stats.train_accuracy, 0.5);
+}
+
+TEST(XorAttack, NoiseToleranceDegradesGracefully) {
+  // The [8] observation: the attack tolerates measurement noise in the
+  // training labels.
+  Rng rng(31);
+  const XorArbiterPuf puf = XorArbiterPuf::independent(32, 2, 0.5, rng);
+  Rng collect(32);
+  const CrpSet noisy_train = CrpSet::collect_noisy(puf, 8000, collect);
+  const CrpSet clean_test = CrpSet::collect_uniform(puf, 3000, collect);
+  XorModelConfig config;
+  config.chains = 2;
+  config.restarts = 5;
+  config.target_train_accuracy = 0.95;  // noise caps attainable train acc
+  Rng attack_rng(33);
+  const XorChainModel model =
+      XorModelAttack(config).fit(noisy_train.challenges(),
+                                 noisy_train.responses(), parity_with_bias,
+                                 attack_rng);
+  EXPECT_GT(clean_test.accuracy_of(model), 0.85);
+}
+
+TEST(XorAttack, ValidatesInputs) {
+  Rng rng(1);
+  XorModelConfig config;
+  const XorModelAttack attack(config);
+  EXPECT_THROW(attack.fit({}, {}, pm_with_bias, rng), std::invalid_argument);
+  EXPECT_THROW(attack.fit({BitVec(4)}, {2}, pm_with_bias, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

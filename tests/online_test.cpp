@@ -1,0 +1,196 @@
+// Tests for online (mistake-bound) learning and the online-to-PAC
+// conversion — the Section V-A machinery ("representation size = mistake
+// budget").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolfn/ltf.hpp"
+#include "boolfn/truth_table.hpp"
+#include "ml/online.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::ml;
+using pitfalls::boolfn::FunctionView;
+using pitfalls::boolfn::TruthTable;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+/// Monotone disjunction OR_{i in vars} x_i in the chi encoding
+/// (true -> -1).
+FunctionView disjunction(std::size_t n, std::vector<std::size_t> vars) {
+  return FunctionView(
+      n,
+      [vars = std::move(vars)](const BitVec& x) {
+        for (auto v : vars)
+          if (x.get(v)) return -1;
+        return +1;
+      },
+      "disjunction");
+}
+
+// --------------------------------------------------------------- Winnow
+
+TEST(Winnow, LearnsSparseDisjunctionWithFewMistakes) {
+  const std::size_t n = 64;
+  const std::vector<std::size_t> relevant{3, 17, 42};
+  const auto target = disjunction(n, relevant);
+
+  Winnow learner(n);
+  Rng rng(1);
+  for (int t = 0; t < 4000; ++t) {
+    BitVec x(n);
+    for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.1));
+    learner.observe(x, target.eval_pm(x));
+  }
+  // Winnow bound: O(r log n) with small constants; allow 3 r log2 n + 10.
+  const double bound = 3.0 * 3.0 * std::log2(64.0) + 10.0;
+  EXPECT_LE(static_cast<double>(learner.mistakes()), bound);
+
+  // And the final hypothesis is accurate on the sampling distribution.
+  const auto hypothesis = learner.hypothesis();
+  std::size_t agree = 0;
+  for (int t = 0; t < 2000; ++t) {
+    BitVec x(n);
+    for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.1));
+    if (hypothesis->eval_pm(x) == target.eval_pm(x)) ++agree;
+  }
+  EXPECT_GT(agree / 2000.0, 0.97);
+}
+
+TEST(Winnow, MistakesScaleWithSparsityNotDimension) {
+  // Double the dimension: mistakes grow by ~log factor only.
+  auto mistakes_for = [](std::size_t n) {
+    const auto target = disjunction(n, {0, 1});
+    Winnow learner(n);
+    Rng rng(7);
+    for (int t = 0; t < 3000; ++t) {
+      BitVec x(n);
+      for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.1));
+      learner.observe(x, target.eval_pm(x));
+    }
+    return learner.mistakes();
+  };
+  const auto small = mistakes_for(32);
+  const auto large = mistakes_for(512);
+  EXPECT_LE(large, 4 * small + 20);  // far from the 16x dimension blowup
+}
+
+TEST(Winnow, PredictObserveContract) {
+  Winnow learner(4);
+  const BitVec x = BitVec::from_string("1000");
+  const int before = learner.predict(x);
+  const bool mistake = learner.observe(x, -before);
+  EXPECT_TRUE(mistake);
+  EXPECT_EQ(learner.mistakes(), 1u);
+  EXPECT_THROW(learner.observe(x, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Halving
+
+TEST(Halving, MistakeBoundIsLogOfClassSize) {
+  // Class: all 2n dictators and anti-dictators over n vars.
+  const std::size_t n = 16;
+  std::vector<std::shared_ptr<const pitfalls::boolfn::BooleanFunction>> hs;
+  for (std::size_t i = 0; i < n; ++i) {
+    hs.push_back(std::make_shared<FunctionView>(
+        n, [i](const BitVec& x) { return x.pm_one(i); }, "dict"));
+    hs.push_back(std::make_shared<FunctionView>(
+        n, [i](const BitVec& x) { return -x.pm_one(i); }, "anti"));
+  }
+  const std::size_t class_size = hs.size();
+  HalvingLearner learner(std::move(hs));
+
+  const FunctionView target(
+      n, [](const BitVec& x) { return x.pm_one(5); }, "dict5");
+  Rng rng(11);
+  for (int t = 0; t < 500; ++t) {
+    BitVec x(n);
+    for (std::size_t b = 0; b < n; ++b) x.set(b, rng.coin());
+    learner.observe(x, target.eval_pm(x));
+  }
+  EXPECT_LE(static_cast<double>(learner.mistakes()),
+            std::log2(static_cast<double>(class_size)) + 1.0);
+  EXPECT_GE(learner.surviving(), 1u);
+}
+
+TEST(Halving, ThrowsWhenTargetOutsideClass) {
+  std::vector<std::shared_ptr<const pitfalls::boolfn::BooleanFunction>> hs;
+  hs.push_back(std::make_shared<FunctionView>(
+      2, [](const BitVec& x) { return x.pm_one(0); }, "d0"));
+  HalvingLearner learner(std::move(hs));
+  // Feed inconsistent labels: the version space empties.
+  const BitVec x = BitVec::from_string("10");
+  learner.observe(x, x.pm_one(0));
+  EXPECT_THROW(learner.observe(x, -x.pm_one(0)), std::logic_error);
+}
+
+TEST(Halving, ValidatesConstruction) {
+  EXPECT_THROW(HalvingLearner({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------- online -> PAC
+
+TEST(OnlineToPac, WinnowConvertsToAccuratePacHypothesis) {
+  const std::size_t n = 32;
+  const auto target = disjunction(n, {2, 9});
+  Winnow learner(n);
+  Rng rng(13);
+  const auto result = online_to_pac(learner, target, /*mistake_bound=*/64,
+                                    /*eps=*/0.05, /*delta=*/0.05, rng);
+  ASSERT_TRUE(result.converged);
+  // Validate eps-accuracy on the uniform distribution.
+  std::size_t agree = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    BitVec x(n);
+    for (std::size_t b = 0; b < n; ++b) x.set(b, rng.coin());
+    if (result.hypothesis->eval_pm(x) == target.eval_pm(x)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / trials, 0.93);
+}
+
+TEST(OnlineToPac, ExampleBudgetScalesWithMistakeBound) {
+  // The conversion's survival run is ~(1/eps) ln(M/delta): the concept-
+  // representation size (through M) shows up in the PAC sample count —
+  // Section V-A's claim in executable form.
+  const std::size_t n = 16;
+  const auto target = disjunction(n, {1});
+  auto examples_for = [&](std::size_t mistake_bound) {
+    Winnow learner(n);
+    Rng rng(17);
+    const auto result =
+        online_to_pac(learner, target, mistake_bound, 0.1, 0.05, rng);
+    EXPECT_TRUE(result.converged);
+    return result.examples_used;
+  };
+  const auto small = examples_for(8);
+  const auto large = examples_for(8192);
+  EXPECT_GT(large, small);
+}
+
+TEST(OnlineToPac, ReportsNonConvergenceOnBudgetExhaustion) {
+  const std::size_t n = 8;
+  const auto target = disjunction(n, {0});
+  Winnow learner(n);
+  Rng rng(19);
+  const auto result =
+      online_to_pac(learner, target, 16, 0.01, 0.01, rng, /*max_examples=*/5);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.examples_used, 5u);
+  EXPECT_NE(result.hypothesis, nullptr);
+}
+
+TEST(OnlineToPac, ValidatesParameters) {
+  Winnow learner(4);
+  const auto target = disjunction(4, {0});
+  Rng rng(1);
+  EXPECT_THROW(online_to_pac(learner, target, 4, 0.0, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(online_to_pac(learner, target, 4, 0.1, 1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

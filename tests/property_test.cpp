@@ -1,0 +1,286 @@
+// Cross-cutting property tests: randomised invariants spanning modules.
+// Each suite draws many random instances and checks a mathematical identity
+// or contract the rest of the library silently relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolfn/anf.hpp"
+#include "boolfn/fourier.hpp"
+#include "boolfn/influence.hpp"
+#include "boolfn/ltf.hpp"
+#include "boolfn/truth_table.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/generator.hpp"
+#include "ml/chow.hpp"
+#include "ml/dfa.hpp"
+#include "ml/lstar.hpp"
+#include "ml/oracle.hpp"
+#include "ml/perceptron.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using boolfn::AnfPolynomial;
+using boolfn::FourierSpectrum;
+using boolfn::TruthTable;
+using support::BitVec;
+using support::Rng;
+
+TruthTable random_table(std::size_t n, Rng& rng) {
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    t.set(row, rng.coin() ? +1 : -1);
+  return t;
+}
+
+// ------------------------------------------------- Fourier identities
+
+class FourierIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourierIdentity, TotalInfluenceEqualsSumDegreeTimesWeight) {
+  // I(f) = sum_S |S| fhat(S)^2 — the Poincare identity connecting the
+  // influence module and the spectrum module.
+  Rng rng(1000 + GetParam());
+  const std::size_t n = 4 + GetParam() % 5;
+  const TruthTable t = random_table(n, rng);
+  const auto spec = FourierSpectrum::of(t);
+  double weighted = 0.0;
+  for (std::size_t d = 1; d <= n; ++d)
+    weighted += static_cast<double>(d) * spec.weight_at_degree(d);
+  EXPECT_NEAR(boolfn::total_influence(t), weighted, 1e-9);
+}
+
+TEST_P(FourierIdentity, BiasIsDegreeZeroCoefficient) {
+  Rng rng(2000 + GetParam());
+  const TruthTable t = random_table(6, rng);
+  EXPECT_NEAR(t.bias(), FourierSpectrum::of(t).coefficient(0), 1e-12);
+}
+
+TEST_P(FourierIdentity, NoiseSensitivityZeroAtEpsZero) {
+  Rng rng(3000 + GetParam());
+  const TruthTable t = random_table(6, rng);
+  const auto spec = FourierSpectrum::of(t);
+  EXPECT_NEAR(spec.noise_sensitivity(0.0), 0.0, 1e-9);
+  // At eps = 1/2 the noisy copy is independent: NS = (1 - bias^2)/2.
+  EXPECT_NEAR(spec.noise_sensitivity(0.5),
+              0.5 * (1.0 - t.bias() * t.bias()), 1e-9);
+}
+
+TEST_P(FourierIdentity, ChowParametersMatchSpectrum) {
+  Rng rng(4000 + GetParam());
+  const std::size_t n = 5;
+  const TruthTable t = random_table(n, rng);
+  const auto spec = FourierSpectrum::of(t);
+  const auto chow = ml::exact_chow(t);
+  EXPECT_NEAR(chow.degree0, spec.coefficient(0), 1e-12);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(chow.degree1[i], spec.coefficient(1ull << i), 1e-12);
+}
+
+TEST_P(FourierIdentity, AnfAndTruthTableAgreeEverywhere) {
+  Rng rng(5000 + GetParam());
+  const std::size_t n = 6;
+  const TruthTable t = random_table(n, rng);
+  const AnfPolynomial p = AnfPolynomial::from_truth_table(t);
+  // Round trip through the pm adapter.
+  EXPECT_EQ(TruthTable::from_function(p), t);
+  // ANF degree never exceeds n; sparsity never exceeds 2^n.
+  EXPECT_LE(p.degree(), n);
+  EXPECT_LE(p.sparsity(), t.num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourierIdentity, ::testing::Range(0, 8));
+
+// ---------------------------------------------- Chow's theorem (approx)
+
+class ChowTheorem : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChowTheorem, ChowParametersDetermineLtfsUpToSmallError) {
+  // Two random LTFs with (numerically) close Chow parameters must be close
+  // as functions; equivalently the reconstruction from exact parameters is
+  // close to the original (Chow's uniqueness, De et al. effectivised).
+  Rng rng(6000 + GetParam());
+  const boolfn::Ltf f = boolfn::Ltf::random(9, rng);
+  const TruthTable tf = TruthTable::from_function(f);
+  const boolfn::Ltf rebuilt = ml::reconstruct_ltf(ml::exact_chow(tf));
+  EXPECT_LT(tf.distance(TruthTable::from_function(rebuilt)), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChowTheorem, ::testing::Range(0, 10));
+
+// ------------------------------------------- Perceptron mistake bound
+
+TEST(PerceptronTheory, MistakeBoundRespectedOnSeparableData) {
+  // Novikoff: mistakes <= (R / gamma)^2 for margin-gamma separable data of
+  // radius R. Verified on random LTF-labelled data with enforced margin.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t dim = 8;
+    std::vector<double> w(dim);
+    double norm = 0.0;
+    for (auto& weight : w) {
+      weight = rng.gaussian();
+      norm += weight * weight;
+    }
+    norm = std::sqrt(norm);
+    for (auto& weight : w) weight /= norm;
+
+    const double gamma = 0.1;
+    std::vector<std::vector<double>> X;
+    std::vector<int> y;
+    double radius_sq = 0.0;
+    while (X.size() < 200) {
+      std::vector<double> x(dim);
+      double r2 = 0.0;
+      for (auto& value : x) {
+        value = rng.gaussian();
+        r2 += value * value;
+      }
+      double score = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) score += w[i] * x[i];
+      if (std::abs(score) < gamma) continue;  // enforce the margin
+      radius_sq = std::max(radius_sq, r2);
+      X.push_back(std::move(x));
+      y.push_back(score < 0 ? -1 : +1);
+    }
+
+    ml::PerceptronConfig config;
+    config.max_epochs = 10000;
+    config.shuffle_each_epoch = true;
+    Rng train_rng(100 + trial);
+    const auto result = ml::Perceptron(config).fit(X, y, train_rng);
+    ASSERT_TRUE(result.converged);
+    EXPECT_LE(static_cast<double>(result.mistakes),
+              radius_sq / (gamma * gamma) + 1.0)
+        << "trial " << trial;
+  }
+}
+
+// ------------------------------------- netlist <-> .bench <-> CNF triangle
+
+class CircuitTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircuitTriangle, BenchRoundTripPreservesFunction) {
+  Rng rng(8000 + GetParam());
+  circuit::RandomCircuitConfig config;
+  config.inputs = 6;
+  config.gates = 25 + GetParam() * 7;
+  config.outputs = 3;
+  const circuit::Netlist original = circuit::random_circuit(config, rng);
+  const circuit::Netlist reparsed =
+      circuit::read_bench(circuit::write_bench(original));
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const BitVec in(6, v);
+    EXPECT_EQ(original.evaluate(in), reparsed.evaluate(in)) << "v=" << v;
+  }
+}
+
+TEST_P(CircuitTriangle, CnfEncodingIsFunctionallyFaithful) {
+  // SAT-check: no input exists on which the encoding and the simulator
+  // disagree (a miter between the circuit and its own encoding, realised
+  // by solving for each output value and comparing).
+  Rng rng(9000 + GetParam());
+  circuit::RandomCircuitConfig config;
+  config.inputs = 7;
+  config.gates = 30 + GetParam() * 5;
+  config.outputs = 2;
+  const circuit::Netlist netlist = circuit::random_circuit(config, rng);
+
+  // Encode twice with shared inputs and miter the two encodings: must be
+  // UNSAT (an encoding is equivalent to itself) — catches nondeterminism
+  // or aux-var leakage in the encoder.
+  sat::Solver solver;
+  std::vector<sat::Var> shared;
+  for (std::size_t i = 0; i < netlist.num_inputs(); ++i)
+    shared.push_back(solver.new_var());
+  const auto enc1 = sat::encode_netlist(solver, netlist, shared);
+  const auto enc2 = sat::encode_netlist(solver, netlist, shared);
+  sat::add_miter(solver, enc1.output_vars, enc2.output_vars);
+  EXPECT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitTriangle, ::testing::Range(0, 6));
+
+// -------------------------------------------------- DFA / L* invariants
+
+class DfaInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfaInvariant, MinimizationIsIdempotentAndEquivalent) {
+  Rng rng(10000 + GetParam());
+  const ml::Dfa dfa = ml::Dfa::random(12, 2, 0.4, rng);
+  const ml::Dfa minimal = dfa.minimized();
+  EXPECT_FALSE(ml::Dfa::distinguishing_word(dfa, minimal).has_value());
+  const ml::Dfa twice = minimal.minimized();
+  EXPECT_EQ(twice.num_states(), minimal.num_states());
+  EXPECT_LE(minimal.num_states(), dfa.reachable_states());
+}
+
+TEST_P(DfaInvariant, LStarNeverOvershootsMinimalSize) {
+  Rng rng(11000 + GetParam());
+  const ml::Dfa target = ml::Dfa::random(10, 2, 0.5, rng);
+  ml::ExactDfaTeacher teacher(target);
+  const ml::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
+  EXPECT_EQ(learned.num_states(), target.minimized().num_states());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaInvariant, ::testing::Range(0, 8));
+
+// --------------------------------------- Angluin EQ-simulation guarantee
+
+TEST(EqSimulation, AcceptedHypothesesAreEpsAccurate) {
+  // Run the sampled EQ oracle many times on hypotheses of known distance;
+  // hypotheses farther than eps must essentially never be accepted.
+  Rng rng(13);
+  const double eps = 0.1;
+  std::size_t false_accepts = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const boolfn::Ltf target = boolfn::Ltf::random(10, rng);
+    // A hypothesis at distance ~0.25: flip the sign on a quarter of inputs
+    // via XOR with an independent biased mask function.
+    const boolfn::FunctionView far_hypothesis(
+        10,
+        [&target](const BitVec& x) {
+          // Deterministic "corruption" on a quarter of the space.
+          const bool corrupt = x.get(0) && x.get(1);
+          const int base = target.eval_pm(x);
+          return corrupt ? -base : base;
+        },
+        "corrupted");
+    ml::SampledEquivalenceOracle oracle(target, eps, 0.05, rng);
+    if (!oracle.counterexample(far_hypothesis).has_value()) ++false_accepts;
+  }
+  // delta = 0.05 per construction; allow generous slack.
+  EXPECT_LE(false_accepts, 4);
+}
+
+// ----------------------------------------- solver learned-clause safety
+
+TEST(SolverInvariant, LearnedClausesPreserveSatisfiability) {
+  // Solve, then re-solve with extra constraints consistent with the found
+  // model: must stay SAT (learned clauses must not over-constrain).
+  Rng rng(17);
+  for (int instance = 0; instance < 10; ++instance) {
+    sat::Solver solver;
+    std::vector<sat::Var> vars(30);
+    for (auto& v : vars) v = solver.new_var();
+    for (int c = 0; c < 100; ++c) {
+      std::vector<sat::Lit> clause;
+      for (int l = 0; l < 3; ++l)
+        clause.push_back(sat::Lit(vars[rng.uniform_below(30)], rng.coin()));
+      solver.add_clause(clause);
+    }
+    if (solver.solve() != sat::SolveResult::kSat) continue;
+    // Pin half the variables to their model values.
+    for (int i = 0; i < 15; ++i)
+      solver.add_unit(sat::Lit(vars[i], !solver.model_value(vars[i])));
+    EXPECT_EQ(solver.solve(), sat::SolveResult::kSat)
+        << "instance " << instance;
+  }
+}
+
+}  // namespace

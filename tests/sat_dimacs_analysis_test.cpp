@@ -1,0 +1,251 @@
+// Tests for DIMACS CNF I/O and the structural netlist analysis utilities.
+#include <gtest/gtest.h>
+
+#include "circuit/analysis.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/generator.hpp"
+#include "lock/combinational.hpp"
+#include "sat/dimacs.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using circuit::GateType;
+using circuit::Netlist;
+using support::BitVec;
+using support::Rng;
+
+// --------------------------------------------------------------- DIMACS
+
+TEST(Dimacs, ParsesWellFormedInstance) {
+  const auto instance = sat::read_dimacs(R"(
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+)");
+  EXPECT_EQ(instance.num_vars, 3u);
+  ASSERT_EQ(instance.clauses.size(), 2u);
+  EXPECT_EQ(instance.clauses[0].size(), 2u);
+  EXPECT_EQ(instance.clauses[0][0].var(), 0u);
+  EXPECT_FALSE(instance.clauses[0][0].negated());
+  EXPECT_TRUE(instance.clauses[0][1].negated());
+}
+
+TEST(Dimacs, RoundTripPreservesInstance) {
+  Rng rng(1);
+  sat::DimacsInstance instance;
+  instance.num_vars = 12;
+  for (int c = 0; c < 30; ++c) {
+    std::vector<sat::Lit> clause;
+    for (int l = 0; l < 3; ++l)
+      clause.push_back(sat::Lit(static_cast<sat::Var>(rng.uniform_below(12)),
+                                rng.coin()));
+    instance.clauses.push_back(clause);
+  }
+  const auto reparsed = sat::read_dimacs(sat::write_dimacs(instance));
+  EXPECT_EQ(reparsed.num_vars, instance.num_vars);
+  ASSERT_EQ(reparsed.clauses.size(), instance.clauses.size());
+  for (std::size_t c = 0; c < instance.clauses.size(); ++c)
+    EXPECT_EQ(reparsed.clauses[c], instance.clauses[c]);
+}
+
+TEST(Dimacs, LoadIntoSolverSolves) {
+  // (x1 | x2) & (~x1) & (~x2 | x3): forced model x1=0, x2=1, x3=1.
+  const auto instance = sat::read_dimacs("p cnf 3 3\n1 2 0\n-1 0\n-2 3 0\n");
+  sat::Solver solver;
+  const auto vars = sat::load_into(solver, instance);
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  EXPECT_FALSE(solver.model_value(vars[0]));
+  EXPECT_TRUE(solver.model_value(vars[1]));
+  EXPECT_TRUE(solver.model_value(vars[2]));
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(sat::read_dimacs("1 2 0\n"), std::invalid_argument);  // no hdr
+  EXPECT_THROW(sat::read_dimacs("p cnf 2 1\n3 0\n"),
+               std::invalid_argument);  // var out of range
+  EXPECT_THROW(sat::read_dimacs("p cnf 2 2\n1 0\n"),
+               std::invalid_argument);  // clause count mismatch
+  EXPECT_THROW(sat::read_dimacs("p cnf 2 1\n1 2\n"),
+               std::invalid_argument);  // unterminated clause
+  EXPECT_THROW(sat::read_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n"),
+               std::invalid_argument);  // duplicate header
+}
+
+// ------------------------------------------------------------- analysis
+
+TEST(Analysis, StatsOfC17) {
+  const auto stats = circuit::analyze(circuit::c17());
+  EXPECT_EQ(stats.inputs, 5u);
+  EXPECT_EQ(stats.outputs, 2u);
+  EXPECT_EQ(stats.logic_gates, 6u);
+  EXPECT_EQ(stats.depth, 3u);      // NAND chains of depth 3
+  EXPECT_EQ(stats.dead_gates, 0u); // every c17 gate feeds an output
+  EXPECT_GE(stats.max_fanout, 2u); // G11/G16 fan out twice
+}
+
+TEST(Analysis, DepthAndFanout) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g1 = n.add_gate(GateType::kAnd, {a, b});
+  const auto g2 = n.add_gate(GateType::kNot, {g1});
+  const auto g3 = n.add_gate(GateType::kOr, {g1, g2});
+  n.mark_output(g3);
+  const auto depth = circuit::gate_depths(n);
+  EXPECT_EQ(depth[a], 0u);
+  EXPECT_EQ(depth[g1], 1u);
+  EXPECT_EQ(depth[g2], 2u);
+  EXPECT_EQ(depth[g3], 3u);
+  const auto fanout = circuit::fanouts(n);
+  EXPECT_EQ(fanout[g1], 2u);
+  EXPECT_EQ(fanout[g3], 0u);
+}
+
+TEST(Analysis, DeadGateDetection) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto live = n.add_gate(GateType::kNot, {a});
+  const auto dead = n.add_gate(GateType::kNot, {live});
+  n.mark_output(live);
+  (void)dead;
+  const auto stats = circuit::analyze(n);
+  EXPECT_EQ(stats.dead_gates, 1u);
+  const auto cone = circuit::output_cone(n);
+  EXPECT_TRUE(cone[live]);
+  EXPECT_FALSE(cone[dead]);
+}
+
+TEST(Analysis, SimplifyFoldsConstants) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto one = n.add_gate(GateType::kConst1, {});
+  const auto zero = n.add_gate(GateType::kConst0, {});
+  const auto and_gate = n.add_gate(GateType::kAnd, {a, one});   // = a
+  const auto or_gate = n.add_gate(GateType::kOr, {and_gate, zero});  // = a
+  const auto xor_gate = n.add_gate(GateType::kXor, {or_gate, one});  // = !a
+  n.mark_output(xor_gate);
+
+  const Netlist simplified = circuit::simplify(n);
+  EXPECT_TRUE(circuit::equivalent_exhaustive(n, simplified));
+  // One NOT gate should remain.
+  EXPECT_LE(simplified.logic_gate_count(), 1u);
+}
+
+TEST(Analysis, SimplifyRemovesDeadLogic) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto live = n.add_gate(GateType::kXor, {a, b});
+  // A dead cone of 3 gates.
+  const auto d1 = n.add_gate(GateType::kAnd, {a, b});
+  const auto d2 = n.add_gate(GateType::kNot, {d1});
+  (void)n.add_gate(GateType::kOr, {d1, d2});
+  n.mark_output(live);
+
+  const Netlist simplified = circuit::simplify(n);
+  EXPECT_TRUE(circuit::equivalent_exhaustive(n, simplified));
+  EXPECT_EQ(simplified.logic_gate_count(), 1u);
+  EXPECT_EQ(simplified.num_inputs(), 2u);  // inputs always preserved
+}
+
+TEST(Analysis, SimplifyHandlesAliasedOutputs) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto buf1 = n.add_gate(GateType::kBuf, {a});
+  const auto buf2 = n.add_gate(GateType::kBuf, {a});
+  n.mark_output(buf1);
+  n.mark_output(buf2);
+  const Netlist simplified = circuit::simplify(n);
+  EXPECT_EQ(simplified.num_outputs(), 2u);
+  EXPECT_TRUE(circuit::equivalent_exhaustive(n, simplified));
+}
+
+class SimplifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyProperty, PreservesFunctionOnRandomCircuits) {
+  Rng rng(1000 + GetParam());
+  circuit::RandomCircuitConfig config;
+  config.inputs = 6;
+  config.gates = 40;
+  config.outputs = 3;
+  const Netlist original = circuit::random_circuit(config, rng);
+  const Netlist simplified = circuit::simplify(original);
+  EXPECT_TRUE(circuit::equivalent_exhaustive(original, simplified));
+  EXPECT_LE(simplified.logic_gate_count(), original.logic_gate_count() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range(0, 10));
+
+TEST(Analysis, SimplifyIsIdempotentOnFunction) {
+  Rng rng(99);
+  circuit::RandomCircuitConfig config;
+  config.inputs = 5;
+  config.gates = 30;
+  const Netlist original = circuit::random_circuit(config, rng);
+  const Netlist once = circuit::simplify(original);
+  const Netlist twice = circuit::simplify(once);
+  EXPECT_TRUE(circuit::equivalent_exhaustive(once, twice));
+  EXPECT_EQ(once.logic_gate_count(), twice.logic_gate_count());
+}
+
+TEST(Analysis, SpecializePinsInputsToConstants) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g);
+  // Pin b = 1: function becomes identity on a, with one remaining input.
+  const Netlist special = circuit::specialize(n, {{1, true}});
+  EXPECT_EQ(special.num_inputs(), 1u);
+  EXPECT_FALSE(special.evaluate(BitVec(1, 0)).get(0));
+  EXPECT_TRUE(special.evaluate(BitVec(1, 1)).get(0));
+  EXPECT_THROW(circuit::specialize(n, {{5, true}}), std::invalid_argument);
+  EXPECT_THROW(circuit::specialize(n, {{0, true}, {0, false}}),
+               std::invalid_argument);
+}
+
+TEST(Analysis, SpecializeHandlesPinnedOutputs) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  n.mark_output(a);
+  n.mark_output(b);
+  const Netlist special = circuit::specialize(n, {{0, true}, {1, true}});
+  EXPECT_EQ(special.num_inputs(), 0u);
+  EXPECT_EQ(special.num_outputs(), 2u);
+  const BitVec out = special.evaluate(BitVec(0));
+  EXPECT_TRUE(out.get(0));
+  EXPECT_TRUE(out.get(1));
+}
+
+TEST(Analysis, ActivatedLockedCircuitSimplifiesToOriginal) {
+  // Burn the correct key into a locked netlist and simplify: the result
+  // must compute the original function — the "vendor activation" path.
+  pitfalls::support::Rng rng(7);
+  const Netlist original = circuit::c17();
+  const auto locked = pitfalls::lock::lock_random_xor(original, 5, rng);
+
+  std::vector<std::pair<std::size_t, bool>> pins;
+  for (std::size_t i = 0; i < locked.num_key_inputs(); ++i)
+    pins.emplace_back(locked.key_input_positions[i],
+                      locked.correct_key.get(i));
+  const Netlist activated =
+      circuit::simplify(circuit::specialize(locked.netlist, pins));
+
+  EXPECT_EQ(activated.num_inputs(), original.num_inputs());
+  EXPECT_TRUE(circuit::equivalent_exhaustive(original, activated));
+  // The key gates must have melted away (close to the original size).
+  EXPECT_LE(activated.logic_gate_count(), original.logic_gate_count() + 1);
+}
+
+TEST(Analysis, EquivalentExhaustiveDetectsDifferences) {
+  const Netlist adder3 = circuit::ripple_carry_adder(3);
+  const Netlist cmp3 = circuit::equality_comparator(3);
+  EXPECT_FALSE(circuit::equivalent_exhaustive(adder3, cmp3));
+  EXPECT_TRUE(circuit::equivalent_exhaustive(adder3, adder3));
+}
+
+}  // namespace

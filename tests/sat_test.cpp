@@ -1,0 +1,294 @@
+// Tests for the CDCL SAT solver and the Tseitin circuit encoder.
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls::sat;
+using pitfalls::circuit::Netlist;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+// --------------------------------------------------------------- Solver
+
+TEST(Solver, TrivialSatAndModel) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  s.add_unit(neg(a));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, DirectContradictionIsUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  EXPECT_FALSE(s.add_unit(neg(a)));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, EmptyClauseAfterSimplificationIsUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  // (~a) simplifies to the empty clause at root level.
+  EXPECT_FALSE(s.add_clause({neg(a)}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, TautologiesAreDropped) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Solver, XorChainForcesUniqueModel) {
+  // x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1  =>  x1 = 0, x2 = 1.
+  Solver s;
+  const Var x0 = s.new_var();
+  const Var x1 = s.new_var();
+  const Var x2 = s.new_var();
+  auto add_xor1 = [&](Var u, Var v) {  // u xor v = 1
+    s.add_binary(pos(u), pos(v));
+    s.add_binary(neg(u), neg(v));
+  };
+  add_xor1(x0, x1);
+  add_xor1(x1, x2);
+  s.add_unit(pos(x0));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(x0));
+  EXPECT_FALSE(s.model_value(x1));
+  EXPECT_TRUE(s.model_value(x2));
+}
+
+TEST(Solver, PigeonholePrinciple) {
+  // PHP(n+1, n): n+1 pigeons into n holes — UNSAT, needs real search.
+  const int holes = 5;
+  const int pigeons = 6;
+  Solver s;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (auto& row : at)
+    for (auto& v : row) v = s.new_var();
+  // Every pigeon sits somewhere.
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(pos(at[p][h]));
+    s.add_clause(clause);
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_binary(neg(at[p1][h]), neg(at[p2][h]));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, SatisfiablePigeonhole) {
+  // n pigeons into n holes — SAT with a perfect matching.
+  const int n = 5;
+  Solver s;
+  std::vector<std::vector<Var>> at(n, std::vector<Var>(n));
+  for (auto& row : at)
+    for (auto& v : row) v = s.new_var();
+  for (int p = 0; p < n; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < n; ++h) clause.push_back(pos(at[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < n; ++h)
+    for (int p1 = 0; p1 < n; ++p1)
+      for (int p2 = p1 + 1; p2 < n; ++p2)
+        s.add_binary(neg(at[p1][h]), neg(at[p2][h]));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  // Verify the model is a valid assignment.
+  for (int p = 0; p < n; ++p) {
+    int count = 0;
+    for (int h = 0; h < n; ++h)
+      if (s.model_value(at[p][h])) ++count;
+    EXPECT_GE(count, 1);
+  }
+}
+
+TEST(Solver, RandomInstancesMatchBruteForce) {
+  // Property test: on random 3-CNF over 10 vars, CDCL must agree with
+  // exhaustive enumeration.
+  Rng rng(77);
+  for (int instance = 0; instance < 30; ++instance) {
+    const std::size_t num_vars = 10;
+    const std::size_t num_clauses = 38 + rng.uniform_below(12);
+    std::vector<std::vector<std::pair<std::size_t, bool>>> cnf;
+    for (std::size_t c = 0; c < num_clauses; ++c) {
+      std::vector<std::pair<std::size_t, bool>> clause;
+      for (int l = 0; l < 3; ++l)
+        clause.emplace_back(rng.uniform_below(num_vars), rng.coin());
+      cnf.push_back(clause);
+    }
+    // Brute force.
+    bool brute_sat = false;
+    for (std::uint64_t assignment = 0; assignment < (1u << num_vars);
+         ++assignment) {
+      bool all = true;
+      for (const auto& clause : cnf) {
+        bool any = false;
+        for (const auto& [v, negated] : clause) {
+          const bool value = (assignment >> v) & 1;
+          if (value != negated) any = true;
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        brute_sat = true;
+        break;
+      }
+    }
+    // CDCL.
+    Solver s;
+    std::vector<Var> vars(num_vars);
+    for (auto& v : vars) v = s.new_var();
+    for (const auto& clause : cnf) {
+      std::vector<Lit> lits;
+      for (const auto& [v, negated] : clause)
+        lits.push_back(Lit(vars[v], negated));
+      s.add_clause(lits);
+    }
+    EXPECT_EQ(s.solve() == SolveResult::kSat, brute_sat)
+        << "instance " << instance;
+  }
+}
+
+TEST(Solver, IncrementalSolvingNarrowsModels) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  // Now force a = 0 — still SAT via b.
+  s.add_unit(neg(a));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(b));
+  // Now force b = 0 — UNSAT.
+  s.add_unit(neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, RejectsUnknownVariables) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_THROW(s.add_unit(pos(5)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Encoder
+
+TEST(Encoder, CircuitEncodingAgreesWithSimulation) {
+  // For every input pattern, fixing the input vars must force the encoded
+  // outputs to the simulated values.
+  Rng rng(5);
+  pitfalls::circuit::RandomCircuitConfig config;
+  config.inputs = 6;
+  config.gates = 30;
+  config.outputs = 2;
+  const Netlist n = pitfalls::circuit::random_circuit(config, rng);
+
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    Solver s;
+    const auto enc = encode_netlist(s, n);
+    const BitVec in(6, v);
+    for (std::size_t i = 0; i < 6; ++i) fix_var(s, enc.input_vars[i], in.get(i));
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    const BitVec expected = n.evaluate(in);
+    for (std::size_t o = 0; o < enc.output_vars.size(); ++o)
+      EXPECT_EQ(s.model_value(enc.output_vars[o]), expected.get(o))
+          << "v=" << v;
+  }
+}
+
+TEST(Encoder, MiterOfIdenticalCopiesIsUnsat) {
+  const Netlist n = pitfalls::circuit::c17();
+  Solver s;
+  std::vector<Var> shared;
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) shared.push_back(s.new_var());
+  const auto enc1 = encode_netlist(s, n, shared);
+  const auto enc2 = encode_netlist(s, n, shared);
+  add_miter(s, enc1.output_vars, enc2.output_vars);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Encoder, MiterFindsFunctionalDifference) {
+  // c17 vs c17 with one output inverted: the miter must find a witness.
+  const Netlist n = pitfalls::circuit::c17();
+  Netlist inverted = pitfalls::circuit::c17();
+  // Build an inverted copy manually.
+  Netlist m;
+  std::vector<std::size_t> remap(n.num_gates());
+  for (std::size_t id = 0; id < n.num_gates(); ++id) {
+    const auto& g = n.gate(id);
+    if (g.type == pitfalls::circuit::GateType::kInput) {
+      remap[id] = m.add_input(g.name);
+    } else {
+      std::vector<std::size_t> fanins;
+      for (auto f : g.fanins) fanins.push_back(remap[f]);
+      remap[id] = m.add_gate(g.type, fanins, g.name);
+    }
+  }
+  m.mark_output(remap[n.outputs()[0]]);
+  const auto inverted_out = m.add_gate(pitfalls::circuit::GateType::kNot,
+                                       {remap[n.outputs()[1]]});
+  m.mark_output(inverted_out);
+
+  Solver s;
+  std::vector<Var> shared;
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) shared.push_back(s.new_var());
+  const auto enc1 = encode_netlist(s, n, shared);
+  const auto enc2 = encode_netlist(s, m, shared);
+  add_miter(s, enc1.output_vars, enc2.output_vars);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+
+  // The witness must really distinguish the circuits.
+  BitVec witness(n.num_inputs());
+  for (std::size_t i = 0; i < shared.size(); ++i)
+    witness.set(i, s.model_value(shared[i]));
+  EXPECT_NE(n.evaluate(witness), m.evaluate(witness));
+}
+
+TEST(Encoder, EquateAndFixHelpers) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  equate(s, a, b);
+  fix_var(s, a, true);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Encoder, AdderEncodingMatchesArithmetic) {
+  const Netlist adder = pitfalls::circuit::ripple_carry_adder(3);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t a = rng.uniform_below(8);
+    const std::uint64_t b = rng.uniform_below(8);
+    Solver s;
+    const auto enc = encode_netlist(s, adder);
+    const BitVec in(6, a | (b << 3));
+    for (std::size_t i = 0; i < 6; ++i)
+      fix_var(s, enc.input_vars[i], in.get(i));
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      if (s.model_value(enc.output_vars[i])) sum |= std::uint64_t{1} << i;
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+}  // namespace
