@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_br.dir/bench_ablation_br.cpp.o"
+  "CMakeFiles/bench_ablation_br.dir/bench_ablation_br.cpp.o.d"
+  "bench_ablation_br"
+  "bench_ablation_br.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_br.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lmn_xorpuf.dir/bench_lmn_xorpuf.cpp.o"
+  "CMakeFiles/bench_lmn_xorpuf.dir/bench_lmn_xorpuf.cpp.o.d"
+  "bench_lmn_xorpuf"
+  "bench_lmn_xorpuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmn_xorpuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

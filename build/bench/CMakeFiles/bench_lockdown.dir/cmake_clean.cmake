@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockdown.dir/bench_lockdown.cpp.o"
+  "CMakeFiles/bench_lockdown.dir/bench_lockdown.cpp.o.d"
+  "bench_lockdown"
+  "bench_lockdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mq_learnpoly.dir/bench_mq_learnpoly.cpp.o"
+  "CMakeFiles/bench_mq_learnpoly.dir/bench_mq_learnpoly.cpp.o.d"
+  "bench_mq_learnpoly"
+  "bench_mq_learnpoly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mq_learnpoly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_to_pac.dir/bench_online_to_pac.cpp.o"
+  "CMakeFiles/bench_online_to_pac.dir/bench_online_to_pac.cpp.o.d"
+  "bench_online_to_pac"
+  "bench_online_to_pac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_to_pac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pitfall_audit.cpp" "bench/CMakeFiles/bench_pitfall_audit.dir/bench_pitfall_audit.cpp.o" "gcc" "bench/CMakeFiles/bench_pitfall_audit.dir/bench_pitfall_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pitfalls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/pitfalls_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/pitfalls_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/pitfalls_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pitfalls_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pitfalls_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/pitfalls_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pitfall_audit.dir/bench_pitfall_audit.cpp.o"
+  "CMakeFiles/bench_pitfall_audit.dir/bench_pitfall_audit.cpp.o.d"
+  "bench_pitfall_audit"
+  "bench_pitfall_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pitfall_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

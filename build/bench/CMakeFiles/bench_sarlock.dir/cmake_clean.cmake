@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sarlock.dir/bench_sarlock.cpp.o"
+  "CMakeFiles/bench_sarlock.dir/bench_sarlock.cpp.o.d"
+  "bench_sarlock"
+  "bench_sarlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sarlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sat_attack.dir/bench_sat_attack.cpp.o"
+  "CMakeFiles/bench_sat_attack.dir/bench_sat_attack.cpp.o.d"
+  "bench_sat_attack"
+  "bench_sat_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sat_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_chow.dir/bench_table2_chow.cpp.o"
+  "CMakeFiles/bench_table2_chow.dir/bench_table2_chow.cpp.o.d"
+  "bench_table2_chow"
+  "bench_table2_chow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_chow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

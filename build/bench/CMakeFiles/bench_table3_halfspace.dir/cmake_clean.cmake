@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_halfspace.dir/bench_table3_halfspace.cpp.o"
+  "CMakeFiles/bench_table3_halfspace.dir/bench_table3_halfspace.cpp.o.d"
+  "bench_table3_halfspace"
+  "bench_table3_halfspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_halfspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

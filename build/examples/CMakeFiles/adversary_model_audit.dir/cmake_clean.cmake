@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_model_audit.dir/adversary_model_audit.cpp.o"
+  "CMakeFiles/adversary_model_audit.dir/adversary_model_audit.cpp.o.d"
+  "adversary_model_audit"
+  "adversary_model_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_model_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_probe.dir/feasibility_probe.cpp.o"
+  "CMakeFiles/feasibility_probe.dir/feasibility_probe.cpp.o.d"
+  "feasibility_probe"
+  "feasibility_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_locking_attack.dir/logic_locking_attack.cpp.o"
+  "CMakeFiles/logic_locking_attack.dir/logic_locking_attack.cpp.o.d"
+  "logic_locking_attack"
+  "logic_locking_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_locking_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

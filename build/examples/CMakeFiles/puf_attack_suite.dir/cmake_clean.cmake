@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puf_attack_suite.dir/puf_attack_suite.cpp.o"
+  "CMakeFiles/puf_attack_suite.dir/puf_attack_suite.cpp.o.d"
+  "puf_attack_suite"
+  "puf_attack_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puf_attack_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

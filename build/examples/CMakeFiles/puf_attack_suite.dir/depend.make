@@ -1,0 +1,2 @@
+# Empty dependencies file for puf_attack_suite.
+# This may be replaced when dependencies are built.

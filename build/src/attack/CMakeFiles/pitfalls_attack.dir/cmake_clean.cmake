@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_attack.dir/appsat.cpp.o"
+  "CMakeFiles/pitfalls_attack.dir/appsat.cpp.o.d"
+  "CMakeFiles/pitfalls_attack.dir/fsm_bmc.cpp.o"
+  "CMakeFiles/pitfalls_attack.dir/fsm_bmc.cpp.o.d"
+  "CMakeFiles/pitfalls_attack.dir/sat_attack.cpp.o"
+  "CMakeFiles/pitfalls_attack.dir/sat_attack.cpp.o.d"
+  "libpitfalls_attack.a"
+  "libpitfalls_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolfn/anf.cpp" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/anf.cpp.o" "gcc" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/anf.cpp.o.d"
+  "/root/repo/src/boolfn/fourier.cpp" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/fourier.cpp.o" "gcc" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/fourier.cpp.o.d"
+  "/root/repo/src/boolfn/influence.cpp" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/influence.cpp.o" "gcc" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/influence.cpp.o.d"
+  "/root/repo/src/boolfn/ltf.cpp" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/ltf.cpp.o" "gcc" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/ltf.cpp.o.d"
+  "/root/repo/src/boolfn/truth_table.cpp" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/truth_table.cpp.o" "gcc" "src/boolfn/CMakeFiles/pitfalls_boolfn.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_boolfn.dir/anf.cpp.o"
+  "CMakeFiles/pitfalls_boolfn.dir/anf.cpp.o.d"
+  "CMakeFiles/pitfalls_boolfn.dir/fourier.cpp.o"
+  "CMakeFiles/pitfalls_boolfn.dir/fourier.cpp.o.d"
+  "CMakeFiles/pitfalls_boolfn.dir/influence.cpp.o"
+  "CMakeFiles/pitfalls_boolfn.dir/influence.cpp.o.d"
+  "CMakeFiles/pitfalls_boolfn.dir/ltf.cpp.o"
+  "CMakeFiles/pitfalls_boolfn.dir/ltf.cpp.o.d"
+  "CMakeFiles/pitfalls_boolfn.dir/truth_table.cpp.o"
+  "CMakeFiles/pitfalls_boolfn.dir/truth_table.cpp.o.d"
+  "libpitfalls_boolfn.a"
+  "libpitfalls_boolfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_boolfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

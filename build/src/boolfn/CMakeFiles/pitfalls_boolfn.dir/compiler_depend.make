@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pitfalls_boolfn.
+# This may be replaced when dependencies are built.

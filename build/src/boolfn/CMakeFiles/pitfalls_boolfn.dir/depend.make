@@ -1,0 +1,2 @@
+# Empty dependencies file for pitfalls_boolfn.
+# This may be replaced when dependencies are built.

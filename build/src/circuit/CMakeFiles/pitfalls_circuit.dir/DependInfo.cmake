@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/analysis.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/analysis.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/analysis.cpp.o.d"
+  "/root/repo/src/circuit/bench_io.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/bench_io.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/fsm.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/fsm.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/fsm.cpp.o.d"
+  "/root/repo/src/circuit/fsm_synth.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/fsm_synth.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/fsm_synth.cpp.o.d"
+  "/root/repo/src/circuit/generator.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/generator.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/generator.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/pitfalls_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/pitfalls_circuit.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pitfalls_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

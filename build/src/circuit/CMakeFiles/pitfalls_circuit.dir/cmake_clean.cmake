@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_circuit.dir/analysis.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/analysis.cpp.o.d"
+  "CMakeFiles/pitfalls_circuit.dir/bench_io.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/bench_io.cpp.o.d"
+  "CMakeFiles/pitfalls_circuit.dir/fsm.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/fsm.cpp.o.d"
+  "CMakeFiles/pitfalls_circuit.dir/fsm_synth.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/fsm_synth.cpp.o.d"
+  "CMakeFiles/pitfalls_circuit.dir/generator.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/generator.cpp.o.d"
+  "CMakeFiles/pitfalls_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/pitfalls_circuit.dir/netlist.cpp.o.d"
+  "libpitfalls_circuit.a"
+  "libpitfalls_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/pitfalls_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/pitfalls_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/pitfalls_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/pitfalls_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/pitfalls_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/pitfalls_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/pitfalls_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/pitfalls_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/pitfalls.cpp" "src/core/CMakeFiles/pitfalls_core.dir/pitfalls.cpp.o" "gcc" "src/core/CMakeFiles/pitfalls_core.dir/pitfalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/puf/CMakeFiles/pitfalls_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pitfalls_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

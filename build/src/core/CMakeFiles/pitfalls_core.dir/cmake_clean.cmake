@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_core.dir/adversary.cpp.o"
+  "CMakeFiles/pitfalls_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/pitfalls_core.dir/bounds.cpp.o"
+  "CMakeFiles/pitfalls_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/pitfalls_core.dir/experiment.cpp.o"
+  "CMakeFiles/pitfalls_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/pitfalls_core.dir/feasibility.cpp.o"
+  "CMakeFiles/pitfalls_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/pitfalls_core.dir/pitfalls.cpp.o"
+  "CMakeFiles/pitfalls_core.dir/pitfalls.cpp.o.d"
+  "libpitfalls_core.a"
+  "libpitfalls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

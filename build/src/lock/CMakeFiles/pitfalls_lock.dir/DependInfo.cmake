@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/antisat.cpp" "src/lock/CMakeFiles/pitfalls_lock.dir/antisat.cpp.o" "gcc" "src/lock/CMakeFiles/pitfalls_lock.dir/antisat.cpp.o.d"
+  "/root/repo/src/lock/combinational.cpp" "src/lock/CMakeFiles/pitfalls_lock.dir/combinational.cpp.o" "gcc" "src/lock/CMakeFiles/pitfalls_lock.dir/combinational.cpp.o.d"
+  "/root/repo/src/lock/fsm_obfuscation.cpp" "src/lock/CMakeFiles/pitfalls_lock.dir/fsm_obfuscation.cpp.o" "gcc" "src/lock/CMakeFiles/pitfalls_lock.dir/fsm_obfuscation.cpp.o.d"
+  "/root/repo/src/lock/sarlock.cpp" "src/lock/CMakeFiles/pitfalls_lock.dir/sarlock.cpp.o" "gcc" "src/lock/CMakeFiles/pitfalls_lock.dir/sarlock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/pitfalls_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pitfalls_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

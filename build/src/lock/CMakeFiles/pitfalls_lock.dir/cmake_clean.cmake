@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_lock.dir/antisat.cpp.o"
+  "CMakeFiles/pitfalls_lock.dir/antisat.cpp.o.d"
+  "CMakeFiles/pitfalls_lock.dir/combinational.cpp.o"
+  "CMakeFiles/pitfalls_lock.dir/combinational.cpp.o.d"
+  "CMakeFiles/pitfalls_lock.dir/fsm_obfuscation.cpp.o"
+  "CMakeFiles/pitfalls_lock.dir/fsm_obfuscation.cpp.o.d"
+  "CMakeFiles/pitfalls_lock.dir/sarlock.cpp.o"
+  "CMakeFiles/pitfalls_lock.dir/sarlock.cpp.o.d"
+  "libpitfalls_lock.a"
+  "libpitfalls_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpitfalls_lock.a"
+)

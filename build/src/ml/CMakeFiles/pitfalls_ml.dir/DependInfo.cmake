@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/anf_learner.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/anf_learner.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/anf_learner.cpp.o.d"
+  "/root/repo/src/ml/chow.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/chow.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/chow.cpp.o.d"
+  "/root/repo/src/ml/dfa.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/dfa.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/dfa.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/halfspace_tester.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/halfspace_tester.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/halfspace_tester.cpp.o.d"
+  "/root/repo/src/ml/junta.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/junta.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/junta.cpp.o.d"
+  "/root/repo/src/ml/linear_model.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/linear_model.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/linear_model.cpp.o.d"
+  "/root/repo/src/ml/lmn.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/lmn.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/lmn.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/lstar.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/lstar.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/lstar.cpp.o.d"
+  "/root/repo/src/ml/online.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/online.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/online.cpp.o.d"
+  "/root/repo/src/ml/oracle.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/oracle.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/oracle.cpp.o.d"
+  "/root/repo/src/ml/perceptron.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/perceptron.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/perceptron.cpp.o.d"
+  "/root/repo/src/ml/xor_model.cpp" "src/ml/CMakeFiles/pitfalls_ml.dir/xor_model.cpp.o" "gcc" "src/ml/CMakeFiles/pitfalls_ml.dir/xor_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

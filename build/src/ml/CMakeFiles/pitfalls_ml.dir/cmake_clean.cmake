@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_ml.dir/anf_learner.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/anf_learner.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/chow.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/chow.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/dfa.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/dfa.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/features.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/features.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/halfspace_tester.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/halfspace_tester.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/junta.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/junta.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/linear_model.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/linear_model.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/lmn.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/lmn.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/logistic.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/lstar.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/lstar.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/online.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/online.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/oracle.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/oracle.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/perceptron.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/perceptron.cpp.o.d"
+  "CMakeFiles/pitfalls_ml.dir/xor_model.cpp.o"
+  "CMakeFiles/pitfalls_ml.dir/xor_model.cpp.o.d"
+  "libpitfalls_ml.a"
+  "libpitfalls_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/arbiter.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/arbiter.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/arbiter.cpp.o.d"
+  "/root/repo/src/puf/bistable_ring.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/bistable_ring.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/bistable_ring.cpp.o.d"
+  "/root/repo/src/puf/crp.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/crp.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/crp.cpp.o.d"
+  "/root/repo/src/puf/feed_forward.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/feed_forward.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/feed_forward.cpp.o.d"
+  "/root/repo/src/puf/interpose.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/interpose.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/interpose.cpp.o.d"
+  "/root/repo/src/puf/lockdown.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/lockdown.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/lockdown.cpp.o.d"
+  "/root/repo/src/puf/metrics.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/metrics.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/metrics.cpp.o.d"
+  "/root/repo/src/puf/puf.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/puf.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/puf.cpp.o.d"
+  "/root/repo/src/puf/xor_arbiter.cpp" "src/puf/CMakeFiles/pitfalls_puf.dir/xor_arbiter.cpp.o" "gcc" "src/puf/CMakeFiles/pitfalls_puf.dir/xor_arbiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boolfn/CMakeFiles/pitfalls_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pitfalls_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_puf.dir/arbiter.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/arbiter.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/bistable_ring.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/bistable_ring.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/crp.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/crp.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/feed_forward.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/feed_forward.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/interpose.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/interpose.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/lockdown.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/lockdown.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/metrics.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/metrics.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/puf.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/puf.cpp.o.d"
+  "CMakeFiles/pitfalls_puf.dir/xor_arbiter.cpp.o"
+  "CMakeFiles/pitfalls_puf.dir/xor_arbiter.cpp.o.d"
+  "libpitfalls_puf.a"
+  "libpitfalls_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/pitfalls_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/pitfalls_sat.dir/encoder.cpp.o"
+  "CMakeFiles/pitfalls_sat.dir/encoder.cpp.o.d"
+  "CMakeFiles/pitfalls_sat.dir/solver.cpp.o"
+  "CMakeFiles/pitfalls_sat.dir/solver.cpp.o.d"
+  "libpitfalls_sat.a"
+  "libpitfalls_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

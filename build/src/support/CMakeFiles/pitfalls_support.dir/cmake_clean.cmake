@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_support.dir/bitvec.cpp.o"
+  "CMakeFiles/pitfalls_support.dir/bitvec.cpp.o.d"
+  "CMakeFiles/pitfalls_support.dir/combinatorics.cpp.o"
+  "CMakeFiles/pitfalls_support.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/pitfalls_support.dir/rng.cpp.o"
+  "CMakeFiles/pitfalls_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pitfalls_support.dir/stats.cpp.o"
+  "CMakeFiles/pitfalls_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pitfalls_support.dir/table.cpp.o"
+  "CMakeFiles/pitfalls_support.dir/table.cpp.o.d"
+  "libpitfalls_support.a"
+  "libpitfalls_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

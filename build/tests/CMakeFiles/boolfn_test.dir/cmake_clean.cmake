@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolfn_test.dir/boolfn_test.cpp.o"
+  "CMakeFiles/boolfn_test.dir/boolfn_test.cpp.o.d"
+  "boolfn_test"
+  "boolfn_test.pdb"
+  "boolfn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolfn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

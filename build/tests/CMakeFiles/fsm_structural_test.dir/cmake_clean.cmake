@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_structural_test.dir/fsm_structural_test.cpp.o"
+  "CMakeFiles/fsm_structural_test.dir/fsm_structural_test.cpp.o.d"
+  "fsm_structural_test"
+  "fsm_structural_test.pdb"
+  "fsm_structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

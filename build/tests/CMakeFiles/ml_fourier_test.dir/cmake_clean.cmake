@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_fourier_test.dir/ml_fourier_test.cpp.o"
+  "CMakeFiles/ml_fourier_test.dir/ml_fourier_test.cpp.o.d"
+  "ml_fourier_test"
+  "ml_fourier_test.pdb"
+  "ml_fourier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_fourier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

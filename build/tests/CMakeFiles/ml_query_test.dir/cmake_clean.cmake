@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_query_test.dir/ml_query_test.cpp.o"
+  "CMakeFiles/ml_query_test.dir/ml_query_test.cpp.o.d"
+  "ml_query_test"
+  "ml_query_test.pdb"
+  "ml_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

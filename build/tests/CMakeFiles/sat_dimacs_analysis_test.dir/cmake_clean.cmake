@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_dimacs_analysis_test.dir/sat_dimacs_analysis_test.cpp.o"
+  "CMakeFiles/sat_dimacs_analysis_test.dir/sat_dimacs_analysis_test.cpp.o.d"
+  "sat_dimacs_analysis_test"
+  "sat_dimacs_analysis_test.pdb"
+  "sat_dimacs_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_dimacs_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

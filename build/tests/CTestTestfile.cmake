@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/boolfn_test[1]_include.cmake")
+include("/root/repo/build/tests/puf_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_linear_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_fourier_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_query_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_automata_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_xor_model_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/online_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_dimacs_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/feasibility_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_structural_test[1]_include.cmake")
