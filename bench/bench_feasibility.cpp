@@ -6,20 +6,25 @@
 #include <iostream>
 
 #include "core/feasibility.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/bistable_ring.hpp"
 #include "puf/xor_arbiter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pitfalls;
   using support::BitVec;
   using support::Rng;
   using support::Table;
 
+  obs::BenchReporter reporter("feasibility", argc, argv);
+
   std::cout << "== Black-box LMN feasibility estimates (Corollary 1 as a "
                "measurement) ==\n"
             << "(budget 10^6 uniform CRPs, attack eps = 0.45)\n\n";
+
+  const bool smoke = reporter.smoke();
 
   Rng instance_rng(1);
   const std::size_t n = 24;
@@ -60,6 +65,7 @@ int main() {
     // feasibility frontier actually separates the primitives.
     core::LmnFeasibilityConfig config;
     config.attack_eps = 0.45;
+    if (smoke) config.samples_per_probe = 1000;
     const auto report =
         core::estimate_lmn_feasibility(*probe.fn, 1000000, rng, config);
     double ns05 = 0.0;
@@ -71,7 +77,7 @@ int main() {
                    Table::fmt_or_inf(report.sample_bound, 0),
                    report.feasible_at_budget ? "yes" : "no"});
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   std::cout
       << "\nReading guide: effective k (the KOS constant NS/sqrt(eps))\n"
@@ -80,5 +86,5 @@ int main() {
       << "independent chains, unbounded for parity. A designer can run\n"
       << "this probe against ANY black-box primitive before trusting an\n"
       << "LTF/low-degree hardness argument.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -11,9 +11,11 @@
 // All learning happens in the paper's feature-space coordinates, where
 // each chain is an LTF.
 #include <iostream>
+#include <vector>
 
 #include "boolfn/truth_table.hpp"
 #include "ml/lmn.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/xor_arbiter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -37,17 +39,28 @@ double lmn_accuracy(const XorArbiterPuf& puf, std::size_t degree,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("lmn_xorpuf", argc, argv);
+
   std::cout << "== LMN (low-degree) algorithm vs XOR Arbiter PUFs ==\n\n";
 
-  const std::size_t n = 14;
-  const std::size_t samples = 30000;
-  const std::size_t repeats = 3;
+  const bool smoke = reporter.smoke();
+  const std::size_t n = smoke ? 10 : 14;
+  const std::size_t samples = smoke ? 2000 : 30000;
+  const std::size_t repeats = smoke ? 1 : 3;
+  const std::vector<std::size_t> independent_ks =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 3, 4, 6};
+  const std::vector<std::size_t> correlated_ks =
+      smoke ? std::vector<std::size_t>{4}
+            : std::vector<std::size_t>{4, 6, 8, 12};
+  reporter.note("n", static_cast<double>(n));
+  reporter.note("samples", static_cast<double>(samples));
 
   {
     Table table({"k (independent chains)", "LMN degree", "samples",
                  "accuracy [%]"});
-    for (const std::size_t k : {1u, 2u, 3u, 4u, 6u}) {
+    for (const std::size_t k : independent_ks) {
       double total = 0.0;
       for (std::size_t rep = 0; rep < repeats; ++rep) {
         Rng rng(100 * k + rep);
@@ -58,8 +71,9 @@ int main() {
       table.add_row({std::to_string(k), "2", std::to_string(samples),
                      Table::fmt(100.0 * total / repeats, 1)});
     }
-    table.print(std::cout,
-                "-- independent chains (n = 14): accuracy collapses in k --");
+    reporter.print(
+        std::cout, table,
+        "-- independent chains (n = 14): accuracy collapses in k --");
   }
 
   std::cout << "\n";
@@ -67,7 +81,7 @@ int main() {
   {
     Table table({"k (correlated chains, rho=0.95)", "LMN degree", "samples",
                  "accuracy [%]"});
-    for (const std::size_t k : {4u, 6u, 8u, 12u}) {
+    for (const std::size_t k : correlated_ks) {
       double total = 0.0;
       for (std::size_t rep = 0; rep < repeats; ++rep) {
         Rng rng(300 * k + rep);
@@ -79,8 +93,8 @@ int main() {
       table.add_row({std::to_string(k), "2", std::to_string(samples),
                      Table::fmt(100.0 * total / repeats, 1)});
     }
-    table.print(
-        std::cout,
+    reporter.print(
+        std::cout, table,
         "-- correlated chains (RocknRoll regime of [17], k >> ln n) --");
   }
 
@@ -90,5 +104,5 @@ int main() {
       << "accuracy in [17] despite k >> ln n. The two tables above live in\n"
       << "different adversary models — exactly why the paper insists the\n"
       << "model be stated before comparing results.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -6,12 +6,14 @@
 // sequence. We sweep FSM size and unlock length and report query counts —
 // polynomial throughout — plus the recovered unlock sequences.
 #include <iostream>
+#include <vector>
 
 #include "attack/fsm_bmc.hpp"
 #include "circuit/fsm.hpp"
 #include "core/experiment.hpp"
 #include "lock/fsm_obfuscation.hpp"
 #include "ml/lstar.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -33,14 +35,27 @@ std::string word_to_string(const Word& word) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("lstar_fsm", argc, argv);
+
   std::cout << "== L* vs HARPOON-style FSM obfuscation ==\n\n";
+
+  const bool smoke = reporter.smoke();
+  const std::vector<std::size_t> state_sweep =
+      smoke ? std::vector<std::size_t>{4, 8}
+            : std::vector<std::size_t>{4, 8, 16, 32};
+  const std::vector<std::size_t> unlock_sweep =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 6};
+  const std::vector<std::size_t> duel_states =
+      smoke ? std::vector<std::size_t>{8} : std::vector<std::size_t>{8, 32};
+  const std::vector<std::size_t> duel_unlocks =
+      smoke ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 6};
 
   Table table({"functional states", "unlock length", "DFA states (target)",
                "MQs", "EQs", "time [s]", "unlock recovered", "sequence"});
 
-  for (const std::size_t states : {4u, 8u, 16u, 32u}) {
-    for (const std::size_t unlock_len : {2u, 4u, 6u}) {
+  for (const std::size_t states : state_sweep) {
+    for (const std::size_t unlock_len : unlock_sweep) {
       Rng rng(100 * states + unlock_len);
       const MealyMachine functional =
           MealyMachine::random(states, 2, 2, rng);
@@ -74,7 +89,7 @@ int main() {
                      unlock.has_value() ? word_to_string(*unlock) : "-"});
     }
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   std::cout
       << "\nReading guide: the obfuscated FSM's functional-mode language is\n"
@@ -88,8 +103,8 @@ int main() {
   // on the unrolled transition relation finds the unlock word directly.
   Table duel({"functional states", "unlock length", "L* MQs",
               "BMC queries", "BMC solver conflicts", "both recover?"});
-  for (const std::size_t states : {8u, 32u}) {
-    for (const std::size_t unlock_len : {4u, 6u}) {
+  for (const std::size_t states : duel_states) {
+    for (const std::size_t unlock_len : duel_unlocks) {
       Rng rng(500 * states + unlock_len);
       const MealyMachine functional =
           MealyMachine::random(states, 2, 2, rng);
@@ -113,12 +128,12 @@ int main() {
                     std::to_string(bmc.conflicts), both ? "yes" : "NO"});
     }
   }
-  duel.print(std::cout,
-             "-- black-box query attacker (L*) vs white-box structural "
-             "attacker (BMC on the synthesized netlist) --");
+  reporter.print(std::cout, duel,
+                 "-- black-box query attacker (L*) vs white-box structural "
+                 "attacker (BMC on the synthesized netlist) --");
   std::cout
       << "\nBoth recover the unlock sequence; they differ in WHAT the\n"
       << "adversary model grants — queries vs structure. A security claim\n"
       << "must state both axes to be meaningful.\n";
-  return 0;
+  return reporter.finish();
 }

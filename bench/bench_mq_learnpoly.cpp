@@ -12,11 +12,13 @@
 //      *regular* (i.i.d. Gaussian) chains, the small-junta premise fails
 //      and accuracy drops, a pitfall inside Corollary 2's own premise.
 #include <iostream>
+#include <vector>
 
 #include "boolfn/anf.hpp"
 #include "ml/anf_learner.hpp"
 #include "ml/junta.hpp"
 #include "ml/oracle.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/xor_arbiter.hpp"
 #include "support/combinatorics.hpp"
 #include "support/rng.hpp"
@@ -62,14 +64,31 @@ double sampled_accuracy(const boolfn::BooleanFunction& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("mq_learnpoly", argc, argv);
+
   std::cout << "== Corollary 2: learning with membership queries ==\n\n";
+
+  const bool smoke = reporter.smoke();
+  const std::vector<std::size_t> interpolation_ns =
+      smoke ? std::vector<std::size_t>{16}
+            : std::vector<std::size_t>{16, 32, 64};
+  const std::vector<std::size_t> interpolation_rs =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 3};
+  const std::vector<std::size_t> sparsities =
+      smoke ? std::vector<std::size_t>{2, 8}
+            : std::vector<std::size_t>{2, 8, 32};
+  const std::vector<std::size_t> sparse_degrees =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  const std::vector<std::size_t> xor_ks =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 3};
+  const std::size_t accuracy_samples = smoke ? 1000 : 6000;
 
   {
     Table table({"n", "degree r", "MQ count = sum C(n,i)", "exact?"});
     Rng rng(1);
-    for (const std::size_t n : {16u, 32u, 64u}) {
-      for (const std::size_t r : {2u, 3u}) {
+    for (const std::size_t n : interpolation_ns) {
+      for (const std::size_t r : interpolation_rs) {
         const AnfPolynomial target = AnfPolynomial::random(n, 3 * n, r, rng);
         ml::FunctionMembershipOracle oracle(target);
         const auto result = ml::learn_anf_bounded_degree(oracle, r);
@@ -78,8 +97,9 @@ int main() {
                        result.polynomial == target ? "yes" : "NO"});
       }
     }
-    table.print(std::cout,
-                "-- bounded-degree ANF interpolation: poly(n) MQs, exact --");
+    reporter.print(
+        std::cout, table,
+        "-- bounded-degree ANF interpolation: poly(n) MQs, exact --");
   }
 
   std::cout << "\n";
@@ -87,8 +107,8 @@ int main() {
   {
     Table table({"sparsity s", "degree", "MQs", "EQs", "exact?"});
     Rng rng(2);
-    for (const std::size_t s : {2u, 8u, 32u}) {
-      for (const std::size_t d : {2u, 4u}) {
+    for (const std::size_t s : sparsities) {
+      for (const std::size_t d : sparse_degrees) {
         const AnfPolynomial target = AnfPolynomial::random(16, s, d, rng);
         ml::FunctionMembershipOracle mq(target);
         ml::ExhaustiveEquivalenceOracle eq(target);
@@ -100,8 +120,8 @@ int main() {
                                                                    : "NO"});
       }
     }
-    table.print(std::cout,
-                "-- Schapire–Sellie-style MQ+EQ learner (n = 16) --");
+    reporter.print(std::cout, table,
+                   "-- Schapire–Sellie-style MQ+EQ learner (n = 16) --");
   }
 
   std::cout << "\n";
@@ -110,7 +130,7 @@ int main() {
     Table table({"chain weights", "k", "ANF degree", "MQs", "accuracy [%]"});
     const std::size_t n = 14;
     for (const bool decaying : {true, false}) {
-      for (const std::size_t k : {2u, 3u}) {
+      for (const std::size_t k : xor_ks) {
         Rng rng(decaying ? 300 + k : 400 + k);
         const XorArbiterPuf puf =
             make_xor_puf(n, k, decaying ? 0.45 : 1.0, rng);
@@ -119,15 +139,15 @@ int main() {
         const auto result = ml::learn_anf_bounded_degree(oracle, 4);
         Rng eval(500 + k);
         const double acc =
-            sampled_accuracy(result.polynomial, target, 6000, eval);
+            sampled_accuracy(result.polynomial, target, accuracy_samples, eval);
         table.add_row({decaying ? "decaying (near-junta)" : "regular (iid)",
                        std::to_string(k), "4",
                        std::to_string(result.membership_queries),
                        Table::fmt(100.0 * acc, 1)});
       }
     }
-    table.print(
-        std::cout,
+    reporter.print(
+        std::cout, table,
         "-- XOR arbiter chains in feature space, degree-4 interpolation --");
   }
 
@@ -139,5 +159,5 @@ int main() {
       << "from regular. Membership queries are powerful, but the premise\n"
       << "must be checked against the device, which is the paper's own\n"
       << "representation-pitfall applied to its Corollary 2.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -16,9 +16,11 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "boolfn/boolean_function.hpp"
 #include "ml/online.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/combinatorics.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -46,9 +48,25 @@ FunctionView disjunction(std::size_t n, std::vector<std::size_t> vars) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("online_to_pac", argc, argv);
+
   std::cout << "== Online ML: representation size <-> mistake budget <-> "
                "PAC samples ==\n\n";
+
+  const bool smoke = reporter.smoke();
+  const std::vector<std::size_t> halving_widths =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 3};
+  const int halving_rounds = smoke ? 500 : 3000;
+  const std::vector<std::size_t> winnow_ns =
+      smoke ? std::vector<std::size_t>{32, 128}
+            : std::vector<std::size_t>{32, 128, 512};
+  const std::vector<std::size_t> winnow_rs =
+      smoke ? std::vector<std::size_t>{1, 3} : std::vector<std::size_t>{1, 3, 5};
+  const int winnow_rounds = smoke ? 1000 : 4000;
+  const std::vector<std::size_t> mistake_bounds =
+      smoke ? std::vector<std::size_t>{8, 128}
+            : std::vector<std::size_t>{8, 128, 4096, 1u << 16};
 
   // ------------------------------------------------------------- Halving
   {
@@ -56,7 +74,7 @@ int main() {
                  "halving mistakes"});
     const std::size_t n = 12;
     Rng rng(1);
-    for (const std::size_t width : {1u, 2u, 3u}) {
+    for (const std::size_t width : halving_widths) {
       // Class: all conjunctions of exactly `width` positive literals.
       std::vector<std::shared_ptr<const boolfn::BooleanFunction>> hs;
       const auto combos = support::subsets_of_size(n, width);
@@ -82,7 +100,7 @@ int main() {
             return -1;
           },
           "target");
-      for (int t = 0; t < 3000; ++t) {
+      for (int t = 0; t < halving_rounds; ++t) {
         BitVec x(n);
         for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.7));
         learner.observe(x, target.eval_pm(x));
@@ -91,9 +109,9 @@ int main() {
                      Table::fmt(std::log2(static_cast<double>(class_size)), 1),
                      std::to_string(learner.mistakes())});
     }
-    table.print(std::cout,
-                "-- 1: halving mistakes track log2 of the representation "
-                "class size --");
+    reporter.print(std::cout, table,
+                   "-- 1: halving mistakes track log2 of the representation "
+                   "class size --");
     std::cout << "\n";
   }
 
@@ -101,14 +119,14 @@ int main() {
   {
     Table table({"n", "relevant literals r", "winnow mistakes",
                  "r * log2(n)"});
-    for (const std::size_t n : {32u, 128u, 512u}) {
-      for (const std::size_t r : {1u, 3u, 5u}) {
+    for (const std::size_t n : winnow_ns) {
+      for (const std::size_t r : winnow_rs) {
         std::vector<std::size_t> vars;
         for (std::size_t i = 0; i < r; ++i) vars.push_back(i * (n / r));
         const auto target = disjunction(n, vars);
         Winnow learner(n);
         Rng rng(10 * n + r);
-        for (int t = 0; t < 4000; ++t) {
+        for (int t = 0; t < winnow_rounds; ++t) {
           BitVec x(n);
           for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.08));
           learner.observe(x, target.eval_pm(x));
@@ -118,8 +136,8 @@ int main() {
                        Table::fmt(r * std::log2(static_cast<double>(n)), 1)});
       }
     }
-    table.print(std::cout,
-                "-- 2: Winnow mistakes scale with r log n, not n --");
+    reporter.print(std::cout, table,
+                   "-- 2: Winnow mistakes scale with r log n, not n --");
     std::cout << "\n";
   }
 
@@ -129,7 +147,7 @@ int main() {
                  "converged"});
     const std::size_t n = 24;
     const auto target = disjunction(n, {3, 11});
-    for (const std::size_t mistake_bound : {8u, 128u, 4096u, 1u << 16}) {
+    for (const std::size_t mistake_bound : mistake_bounds) {
       Winnow learner(n);
       Rng rng(77);
       const auto result =
@@ -138,9 +156,9 @@ int main() {
                      std::to_string(result.examples_used),
                      result.converged ? "yes" : "no"});
     }
-    table.print(std::cout,
-                "-- 3: the PAC sample budget of the converted learner grows "
-                "with M --");
+    reporter.print(std::cout, table,
+                   "-- 3: the PAC sample budget of the converted learner "
+                   "grows with M --");
   }
 
   std::cout
@@ -150,5 +168,5 @@ int main() {
       << "(table 3). Claims that ignore the representation size silently\n"
       << "assume a small mistake budget — AppSAT's circuit-size dependence\n"
       << "enters exactly here.\n";
-  return 0;
+  return reporter.finish();
 }

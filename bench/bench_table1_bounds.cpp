@@ -10,26 +10,41 @@
 // stays polynomial in n.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "core/bounds.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using pitfalls::core::table1_rows;
   using pitfalls::support::Table;
+
+  pitfalls::obs::BenchReporter reporter("table1_bounds", argc, argv);
 
   std::cout << "== Table I: CRP upper bounds for PAC learning n-bit k-XOR "
                "Arbiter PUFs ==\n\n";
 
   const double delta = 0.01;
+  const bool smoke = reporter.smoke();
+  const std::vector<double> eps_sweep =
+      smoke ? std::vector<double>{0.25} : std::vector<double>{0.05, 0.25, 0.50};
+  const std::vector<std::size_t> n_sweep =
+      smoke ? std::vector<std::size_t>{16, 32}
+            : std::vector<std::size_t>{16, 32, 64, 128};
+  const std::vector<std::size_t> k_sweep =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 6};
+  reporter.note("delta", delta);
+
   // The LMN constant m = 2.32 k^2/eps^2 makes tight-eps cells astronomical
   // even for k = 1; the eps = 0.50 block exposes the "feasible for constant
   // k" regime of Corollary 1.
-  for (const double eps : {0.05, 0.25, 0.50}) {
+  for (const double eps : eps_sweep) {
     Table table({"n", "k", "source", "distribution", "algorithm",
                  "attacker's access", "bound (#CRPs)"});
-    for (const std::size_t n : {16u, 32u, 64u, 128u}) {
-      for (const std::size_t k : {1u, 2u, 4u, 6u}) {
+    for (const std::size_t n : n_sweep) {
+      for (const std::size_t k : k_sweep) {
         for (const auto& row : table1_rows(n, k, eps, delta)) {
           table.add_row({std::to_string(n), std::to_string(k), row.source,
                          row.distribution, row.algorithm, row.access,
@@ -40,7 +55,7 @@ int main() {
     char title[96];
     std::snprintf(title, sizeof(title),
                   "-- eps = %.2f, delta = %.2f --", eps, delta);
-    table.print(std::cout, title);
+    reporter.print(std::cout, table, title);
     std::cout << "\n";
   }
 
@@ -54,5 +69,5 @@ int main() {
       << "    k >> sqrt(ln n) (values saturate to >1e18).\n"
       << "  * Corollary 2 (LearnPoly + membership queries): polynomial in\n"
       << "    n — chosen-challenge access collapses the hardness.\n";
-  return 0;
+  return reporter.finish();
 }

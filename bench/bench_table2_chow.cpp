@@ -15,9 +15,11 @@
 // below 100% — because BR PUFs are not LTFs. Absolute cells depend on the
 // FPGA instances; our simulated instances are calibrated per DESIGN.md §3.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "ml/chow.hpp"
+#include "obs/bench_reporter.hpp"
 #include "ml/features.hpp"
 #include "ml/perceptron.hpp"
 #include "puf/bistable_ring.hpp"
@@ -41,7 +43,8 @@ std::size_t paper_test_size(std::size_t n) {
   return 31375;
 }
 
-double run_cell(std::size_t n, std::size_t budget, std::size_t repeats) {
+double run_cell(std::size_t n, std::size_t budget, std::size_t repeats,
+                std::size_t test_size) {
   double total = 0.0;
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     Rng instance_rng(1000 * n + rep);
@@ -50,8 +53,7 @@ double run_cell(std::size_t n, std::size_t budget, std::size_t repeats) {
 
     Rng collect(2000 * n + rep);
     const CrpSet train_crps = CrpSet::collect_stable(br, budget, 11, collect);
-    const CrpSet test_crps =
-        CrpSet::collect_stable(br, paper_test_size(n), 11, collect);
+    const CrpSet test_crps = CrpSet::collect_stable(br, test_size, 11, collect);
 
     // Chow parameters from the collected CRPs -> f'.
     const auto chow =
@@ -73,22 +75,36 @@ double run_cell(std::size_t n, std::size_t budget, std::size_t repeats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("table2_chow", argc, argv);
+
   std::cout << "== Table II: Perceptron on the Chow-parameter LTF f' vs. "
                "real BR PUF responses ==\n"
             << "(accuracy %, averaged over 3 simulated BR instances per "
                "cell; test sets are the\n"
             << " paper's stable-CRP sizes: 44834 / 35876 / 31375)\n\n";
 
-  const std::size_t repeats = 3;
-  Table table({"# CRPs (Chow + training)", "n=16", "n=32", "n=64"});
-  for (const std::size_t budget : {1000u, 2500u, 5000u, 10000u}) {
+  const bool smoke = reporter.smoke();
+  const std::size_t repeats = smoke ? 1 : 3;
+  const std::vector<std::size_t> budgets =
+      smoke ? std::vector<std::size_t>{500}
+            : std::vector<std::size_t>{1000, 2500, 5000, 10000};
+  const std::vector<std::size_t> ns = smoke ? std::vector<std::size_t>{16}
+                                            : std::vector<std::size_t>{16, 32, 64};
+  reporter.note("repeats", static_cast<double>(repeats));
+
+  std::vector<std::string> headers{"# CRPs (Chow + training)"};
+  for (const std::size_t n : ns) headers.push_back("n=" + std::to_string(n));
+  Table table(headers);
+  for (const std::size_t budget : budgets) {
     std::vector<std::string> row{std::to_string(budget)};
-    for (const std::size_t n : {16u, 32u, 64u})
-      row.push_back(Table::fmt(run_cell(n, budget, repeats), 2));
+    for (const std::size_t n : ns) {
+      const std::size_t test_size = smoke ? 2000 : paper_test_size(n);
+      row.push_back(Table::fmt(run_cell(n, budget, repeats, test_size), 2));
+    }
     table.add_row(row);
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   std::cout
       << "\nPaper (FPGA) values for comparison:\n"
@@ -97,5 +113,5 @@ int main() {
       << "\nKey insight (paper Section V-A): the accuracy cannot be\n"
       << "increased arbitrarily by adding CRPs — the plateau certifies that\n"
       << "the LTF representation of BR PUFs is invalid.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -13,10 +13,12 @@
 // ~80-90% of inputs), which is also how the paper's Tables II and III
 // coexist.
 #include <iostream>
+#include <vector>
 
 #include "boolfn/truth_table.hpp"
 #include "ml/chow.hpp"
 #include "ml/halfspace_tester.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/bistable_ring.hpp"
 #include "puf/crp.hpp"
 #include "support/rng.hpp"
@@ -39,17 +41,24 @@ std::size_t paper_crps(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("table3_halfspace", argc, argv);
+
   std::cout << "== Table III: halfspace tester on BR PUFs (noiseless "
                "uniform CRPs) ==\n\n";
+
+  const bool smoke = reporter.smoke();
+  const std::vector<std::size_t> ns = smoke ? std::vector<std::size_t>{16}
+                                            : std::vector<std::size_t>{16, 32, 64};
+  const std::size_t context_crps = smoke ? 2000 : 20000;
 
   Table table({"n", "# CRPs", "far from any halfspace (min.) [%]",
                "tester verdict", "best Chow-LTF agreement [%]"});
 
-  for (const std::size_t n : {16u, 32u, 64u}) {
+  for (const std::size_t n : ns) {
     // Average the tester statistic over a few instances (the paper reports
     // one FPGA instance per n).
-    const std::size_t repeats = 3;
+    const std::size_t repeats = smoke ? 1 : 3;
     double far_total = 0.0;
     double agree_total = 0.0;
     bool accepted_any = false;
@@ -67,10 +76,10 @@ int main() {
       accepted_any = accepted_any || report.accepted;
 
       // Context column: what an actual LTF hypothesis achieves.
-      const CrpSet big = CrpSet::collect_uniform(br, 20000, collect);
+      const CrpSet big = CrpSet::collect_uniform(br, context_crps, collect);
       const auto chow = ml::estimate_chow(big.challenges(), big.responses());
       const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
-      const CrpSet eval = CrpSet::collect_uniform(br, 20000, collect);
+      const CrpSet eval = CrpSet::collect_uniform(br, context_crps, collect);
       agree_total += eval.accuracy_of(f_prime);
     }
     table.add_row({std::to_string(n), std::to_string(paper_crps(n)),
@@ -78,7 +87,7 @@ int main() {
                    accepted_any ? "close to a halfspace" : "NOT a halfspace",
                    Table::fmt(100.0 * agree_total / repeats, 1)});
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   std::cout
       << "\nPaper values: 20 / 40 / 50 % (delta = 0.99).\n"
@@ -88,5 +97,5 @@ int main() {
       << "The last column explains the Table II/III coexistence: the gap\n"
       << "statistic is a conservative witness; an LTF can still agree on\n"
       << "most inputs while the tester certifies non-membership.\n";
-  return 0;
+  return reporter.finish();
 }

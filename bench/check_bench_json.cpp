@@ -1,0 +1,204 @@
+// Schema validator for the BENCH_*.json files written by obs::BenchReporter.
+//
+// Usage: check_bench_json <file.json> [<file.json> ...]
+// Exits 0 when every file parses and matches schema v1, 1 otherwise, with
+// one diagnostic line per violation. Used by the bench_smoke ctest target
+// (scripts/run_benches.sh) and usable standalone against any BENCH_*.json.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using pitfalls::obs::JsonValue;
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& what) {
+  std::cerr << file << ": " << what << "\n";
+  ++g_errors;
+}
+
+const JsonValue* require_member(const std::string& file, const JsonValue& doc,
+                                const char* name, JsonValue::Kind kind,
+                                const char* kind_name) {
+  const JsonValue* member = doc.find(name);
+  if (member == nullptr) {
+    fail(file, std::string("missing member \"") + name + "\"");
+    return nullptr;
+  }
+  if (member->kind != kind) {
+    fail(file, std::string("member \"") + name + "\" is not " + kind_name);
+    return nullptr;
+  }
+  return member;
+}
+
+void check_tables(const std::string& file, const JsonValue& tables) {
+  if (tables.items.empty()) {
+    fail(file, "\"tables\" is empty — every bench prints at least one table");
+    return;
+  }
+  for (std::size_t t = 0; t < tables.items.size(); ++t) {
+    const JsonValue& table = tables.items[t];
+    const std::string where = "tables[" + std::to_string(t) + "]";
+    if (!table.is_object()) {
+      fail(file, where + " is not an object");
+      continue;
+    }
+    const JsonValue* title = table.find("title");
+    if (title == nullptr || !title->is_string())
+      fail(file, where + ".title missing or not a string");
+    const JsonValue* headers = table.find("headers");
+    const JsonValue* rows = table.find("rows");
+    if (headers == nullptr || !headers->is_array() || headers->items.empty()) {
+      fail(file, where + ".headers missing, not an array, or empty");
+      continue;
+    }
+    if (rows == nullptr || !rows->is_array()) {
+      fail(file, where + ".rows missing or not an array");
+      continue;
+    }
+    for (std::size_t r = 0; r < rows->items.size(); ++r) {
+      const JsonValue& row = rows->items[r];
+      if (!row.is_array() || row.items.size() != headers->items.size()) {
+        fail(file, where + ".rows[" + std::to_string(r) +
+                       "] width does not match headers");
+        continue;
+      }
+      for (const JsonValue& cell : row.items)
+        if (!cell.is_string()) {
+          fail(file, where + ".rows[" + std::to_string(r) +
+                         "] has a non-string cell");
+          break;
+        }
+    }
+  }
+}
+
+void check_metrics(const std::string& file, const JsonValue& metrics) {
+  const JsonValue* counters = require_member(file, metrics, "counters",
+                                             JsonValue::Kind::Object,
+                                             "an object");
+  require_member(file, metrics, "gauges", JsonValue::Kind::Object,
+                 "an object");
+  const JsonValue* histograms = require_member(
+      file, metrics, "histograms", JsonValue::Kind::Object, "an object");
+  if (counters != nullptr) {
+    for (const auto& [name, value] : counters->members)
+      if (!value.is_number())
+        fail(file, "counter \"" + name + "\" is not a number");
+    // finish() pre-registers the oracle counters so every bench JSON shares
+    // this core key even when the bench never touches an oracle.
+    if (counters->find("oracle.membership_queries") == nullptr)
+      fail(file, "counters lack \"oracle.membership_queries\"");
+  }
+  if (histograms != nullptr) {
+    for (const auto& [name, value] : histograms->members) {
+      if (!value.is_object()) {
+        fail(file, "histogram \"" + name + "\" is not an object");
+        continue;
+      }
+      for (const char* field :
+           {"count", "total", "mean", "min", "p50", "p95", "max"}) {
+        const JsonValue* member = value.find(field);
+        if (member == nullptr || !(member->is_number() || member->is_string()))
+          fail(file, "histogram \"" + name + "\" lacks numeric \"" +
+                         field + "\"");
+      }
+    }
+  }
+}
+
+void check_trace(const std::string& file, const JsonValue& trace) {
+  for (std::size_t i = 0; i < trace.items.size(); ++i) {
+    const JsonValue& event = trace.items[i];
+    const std::string where = "trace[" + std::to_string(i) + "]";
+    if (!event.is_object()) {
+      fail(file, where + " is not an object");
+      continue;
+    }
+    for (const char* field : {"id", "parent", "depth", "start_seconds",
+                              "duration_seconds"}) {
+      const JsonValue* member = event.find(field);
+      if (member == nullptr || !member->is_number())
+        fail(file, where + " lacks numeric \"" + std::string(field) + "\"");
+    }
+    const JsonValue* name = event.find("name");
+    if (name == nullptr || !name->is_string())
+      fail(file, where + " lacks string \"name\"");
+  }
+}
+
+void check_file(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    fail(file, "cannot open");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(buffer.str());
+  } catch (const std::exception& e) {
+    fail(file, std::string("parse error: ") + e.what());
+    return;
+  }
+  if (!doc.is_object()) {
+    fail(file, "root is not an object");
+    return;
+  }
+
+  const JsonValue* version =
+      require_member(file, doc, "schema_version", JsonValue::Kind::Number,
+                     "a number");
+  if (version != nullptr && version->number_value != 1.0)
+    fail(file, "schema_version is not 1");
+
+  const JsonValue* bench =
+      require_member(file, doc, "bench", JsonValue::Kind::String, "a string");
+  if (bench != nullptr && bench->string_value.empty())
+    fail(file, "\"bench\" is empty");
+
+  require_member(file, doc, "smoke", JsonValue::Kind::Bool, "a bool");
+
+  const JsonValue* wall = require_member(file, doc, "wall_seconds",
+                                         JsonValue::Kind::Number, "a number");
+  if (wall != nullptr && wall->number_value < 0.0)
+    fail(file, "wall_seconds is negative");
+
+  require_member(file, doc, "notes", JsonValue::Kind::Object, "an object");
+
+  const JsonValue* tables =
+      require_member(file, doc, "tables", JsonValue::Kind::Array, "an array");
+  if (tables != nullptr) check_tables(file, *tables);
+
+  const JsonValue* metrics = require_member(file, doc, "metrics",
+                                            JsonValue::Kind::Object,
+                                            "an object");
+  if (metrics != nullptr) check_metrics(file, *metrics);
+
+  const JsonValue* trace =
+      require_member(file, doc, "trace", JsonValue::Kind::Array, "an array");
+  if (trace != nullptr) check_trace(file, *trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: check_bench_json <file.json> [<file.json> ...]\n";
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) check_file(argv[i]);
+  if (g_errors != 0) {
+    std::cerr << g_errors << " schema violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Smoke-run every BenchReporter-wired bench with tiny parameters in --json
+# mode and validate each emitted BENCH_<name>.json against schema v1.
+#
+# Usage: run_benches.sh <bench-bin-dir> <check_bench_json-path> [<out-dir>]
+#
+# Exits non-zero if any bench fails, emits no JSON, or emits JSON that the
+# validator rejects. Used by the `bench_smoke` ctest target; also runnable
+# by hand, e.g.:
+#   sh scripts/run_benches.sh build/bench build/bench/check_bench_json /tmp/bj
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <bench-bin-dir> <check_bench_json-path> [<out-dir>]" >&2
+  exit 2
+fi
+
+bin_dir=$1
+checker=$2
+out_dir=${3:-bench_json}
+
+mkdir -p "$out_dir"
+
+BENCHES="table1_bounds table2_chow table3_halfspace lmn_xorpuf \
+mq_learnpoly lstar_fsm online_to_pac feasibility"
+
+status=0
+json_files=""
+for name in $BENCHES; do
+  bench="$bin_dir/bench_$name"
+  json="$out_dir/BENCH_$name.json"
+  if [ ! -x "$bench" ]; then
+    echo "run_benches: missing bench binary $bench" >&2
+    status=1
+    continue
+  fi
+  echo "== bench_$name --smoke --json $json =="
+  if ! "$bench" --smoke --json "$json" > "$out_dir/bench_$name.out" 2>&1; then
+    echo "run_benches: bench_$name exited non-zero; tail of output:" >&2
+    tail -n 20 "$out_dir/bench_$name.out" >&2
+    status=1
+    continue
+  fi
+  if [ ! -s "$json" ]; then
+    echo "run_benches: bench_$name produced no JSON at $json" >&2
+    status=1
+    continue
+  fi
+  json_files="$json_files $json"
+done
+
+if [ -n "$json_files" ]; then
+  # shellcheck disable=SC2086 — word-splitting the file list is intended.
+  if ! "$checker" $json_files; then
+    status=1
+  fi
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "run_benches: all benches emitted schema-valid JSON in $out_dir"
+fi
+exit "$status"

@@ -1,5 +1,6 @@
 #include "ml/anf_learner.hpp"
 
+#include "obs/trace.hpp"
 #include "support/combinatorics.hpp"
 #include "support/require.hpp"
 
@@ -27,6 +28,9 @@ AnfLearnResult learn_anf_bounded_degree(MembershipOracle& oracle,
   }
 
   AnfLearnResult result{std::move(poly), oracle.queries() - start_queries};
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ml.anf.interpolations").add(1);
+  registry.counter("ml.anf.membership_queries").add(result.membership_queries);
   return result;
 }
 
@@ -127,6 +131,13 @@ SparsePolyResult SparsePolyLearner::learn(MembershipOracle& mq,
 
   result.hypothesis = std::move(h);
   result.membership_queries = mq.queries() - start_queries;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ml.sparsepoly.runs").add(1);
+  registry.counter("ml.sparsepoly.membership_queries")
+      .add(result.membership_queries);
+  registry.counter("ml.sparsepoly.equivalence_queries")
+      .add(result.equivalence_queries);
+  registry.counter("ml.sparsepoly.terms").add(result.hypothesis.sparsity());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/require.hpp"
 #include "support/stats.hpp"
 
@@ -19,6 +20,9 @@ ChowParameters estimate_chow(const std::vector<BitVec>& challenges,
   PITFALLS_REQUIRE(!challenges.empty(), "empty CRP set");
   PITFALLS_REQUIRE(challenges.size() == responses.size(),
                    "challenge/response count mismatch");
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ml.chow.estimates").add(1);
+  registry.counter("ml.chow.crps_used").add(challenges.size());
   const std::size_t n = challenges.front().size();
   ChowParameters chow;
   chow.degree1.assign(n, 0.0);

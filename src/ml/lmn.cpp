@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "boolfn/fourier.hpp"
+#include "obs/trace.hpp"
 #include "support/combinatorics.hpp"
 #include "support/require.hpp"
 
@@ -61,8 +62,13 @@ SparseFourierHypothesis LmnLearner::learn(const BooleanFunction& target,
                                           std::size_t samples,
                                           support::Rng& rng) const {
   PITFALLS_REQUIRE(samples > 0, "need at least one sample");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "ml.lmn.learn_seconds");
   const std::size_t n = target.num_vars();
   auto subsets = low_degree_subsets(n, config_.degree);
+  registry.counter("ml.lmn.fits").add(1);
+  registry.counter("ml.lmn.samples").add(samples);
+  registry.counter("ml.lmn.coefficients_estimated").add(subsets.size());
   auto coeffs = boolfn::estimate_coefficients(target, subsets, samples, rng);
 
   if (config_.prune_below > 0.0) {
@@ -76,6 +82,7 @@ SparseFourierHypothesis LmnLearner::learn(const BooleanFunction& target,
     subsets = std::move(kept_subsets);
     coeffs = std::move(kept_coeffs);
   }
+  registry.counter("ml.lmn.terms_kept").add(subsets.size());
   return SparseFourierHypothesis(n, std::move(subsets), std::move(coeffs));
 }
 
@@ -83,8 +90,13 @@ SparseFourierHypothesis LmnLearner::learn_from_data(
     const std::vector<BitVec>& challenges,
     const std::vector<int>& responses) const {
   PITFALLS_REQUIRE(!challenges.empty(), "empty CRP set");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "ml.lmn.learn_seconds");
   const std::size_t n = challenges.front().size();
   auto subsets = low_degree_subsets(n, config_.degree);
+  registry.counter("ml.lmn.fits").add(1);
+  registry.counter("ml.lmn.samples").add(challenges.size());
+  registry.counter("ml.lmn.coefficients_estimated").add(subsets.size());
   auto coeffs =
       boolfn::estimate_coefficients_from_data(challenges, responses, subsets);
   if (config_.prune_below > 0.0) {
@@ -98,6 +110,7 @@ SparseFourierHypothesis LmnLearner::learn_from_data(
     subsets = std::move(kept_subsets);
     coeffs = std::move(kept_coeffs);
   }
+  registry.counter("ml.lmn.terms_kept").add(subsets.size());
   return SparseFourierHypothesis(n, std::move(subsets), std::move(coeffs));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::ml {
@@ -17,6 +18,9 @@ LogisticResult LogisticRegression::fit(
     PITFALLS_REQUIRE(row.size() == dim, "ragged feature matrix");
   for (auto label : y)
     PITFALLS_REQUIRE(label == +1 || label == -1, "labels must be +/-1");
+
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "ml.logistic.fit_seconds");
 
   const double m = static_cast<double>(X.size());
   std::vector<double> w(dim);
@@ -62,6 +66,10 @@ LogisticResult LogisticRegression::fit(
       prev_grad[j] = grad[j];
     }
   }
+
+  registry.counter("ml.logistic.fits").add(1);
+  registry.counter("ml.logistic.iterations").add(iter);
+  registry.gauge("ml.logistic.final_loss").set(loss);
 
   LogisticResult result;
   result.weights = std::move(w);

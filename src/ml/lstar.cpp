@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::ml {
@@ -131,6 +132,8 @@ class ObservationTable {
 }  // namespace
 
 Dfa LStarLearner::learn(DfaTeacher& teacher, LStarStats* stats) const {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "ml.lstar.learn_seconds");
   ObservationTable table(teacher, teacher.alphabet_size());
   std::size_t rounds = 0;
   for (;;) {
@@ -143,6 +146,10 @@ Dfa LStarLearner::learn(DfaTeacher& teacher, LStarStats* stats) const {
                      "L* exceeded the state cap");
     const auto cex = teacher.equivalent(hypothesis);
     if (!cex.has_value()) {
+      registry.counter("ml.lstar.runs").add(1);
+      registry.counter("ml.lstar.rounds").add(rounds);
+      registry.gauge("ml.lstar.states").set(
+          static_cast<double>(hypothesis.num_states()));
       if (stats != nullptr) {
         stats->membership_queries = teacher.membership_queries();
         stats->equivalence_queries = teacher.equivalence_queries();

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "ml/dfa.hpp"
+#include "obs/metrics.hpp"
 
 namespace pitfalls::ml {
 
@@ -30,13 +31,26 @@ class DfaTeacher {
   std::size_t membership_queries() const { return mq_; }
   std::size_t equivalence_queries() const { return eq_; }
 
+  /// Per-phase reset (the global DFA-oracle counters keep running).
+  void reset_counts() { mq_ = eq_ = 0; }
+
  protected:
-  void count_mq() { ++mq_; }
-  void count_eq() { ++eq_; }
+  void count_mq() {
+    ++mq_;
+    mq_counter_->add(1);
+  }
+  void count_eq() {
+    ++eq_;
+    eq_counter_->add(1);
+  }
 
  private:
   std::size_t mq_ = 0;
   std::size_t eq_ = 0;
+  obs::Counter* mq_counter_ =
+      &obs::MetricsRegistry::global().counter("oracle.dfa_membership_queries");
+  obs::Counter* eq_counter_ =
+      &obs::MetricsRegistry::global().counter("oracle.dfa_equivalence_queries");
 };
 
 /// Exact teacher backed by a reference DFA (product-automaton equivalence,

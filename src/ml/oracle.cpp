@@ -40,6 +40,8 @@ std::optional<BitVec> SampledEquivalenceOracle::counterexample(
   count_call();
   PITFALLS_REQUIRE(hypothesis.num_vars() == target_->num_vars(),
                    "hypothesis arity mismatch");
+  auto& samples_counter =
+      obs::MetricsRegistry::global().counter("oracle.equivalence_samples");
   const std::size_t n = target_->num_vars();
   // Angluin's schedule: q_i = ceil((ln(1/delta) + i ln 2) / eps) for the
   // i-th call (1-based) keeps the total failure probability below delta.
@@ -50,6 +52,7 @@ std::optional<BitVec> SampledEquivalenceOracle::counterexample(
     BitVec x(n);
     for (std::size_t b = 0; b < n; ++b) x.set(b, rng_->coin());
     ++samples_used_;
+    samples_counter.add(1);
     if (target_->eval_pm(x) != hypothesis.eval_pm(x)) return x;
   }
   return std::nullopt;

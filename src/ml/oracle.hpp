@@ -10,9 +10,11 @@
 //     valid objection — the paper's Section IV point).
 #pragma once
 
+#include <limits>
 #include <optional>
 
 #include "boolfn/boolean_function.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace pitfalls::ml {
@@ -32,13 +34,32 @@ class MembershipOracle {
   /// F2 view of the same query: +1 -> 0, -1 -> 1.
   bool query_f2(const BitVec& x) { return query_pm(x) < 0; }
 
+  /// Queries since construction or the last reset_queries().
   std::size_t queries() const { return queries_; }
 
+  /// Queries since construction, unaffected by reset_queries().
+  std::size_t lifetime_queries() const { return lifetime_queries_; }
+
+  /// Start a fresh per-phase budget (multi-phase attacks reuse one oracle);
+  /// the lifetime count and the global "oracle.membership_queries" counter
+  /// keep running.
+  void reset_queries() { queries_ = 0; }
+
  protected:
-  void count() { ++queries_; }
+  /// Saturating (never wrapping) increments, mirrored into the process-wide
+  /// metrics registry.
+  void count() {
+    constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+    if (queries_ != kMax) ++queries_;
+    if (lifetime_queries_ != kMax) ++lifetime_queries_;
+    counter_->add(1);
+  }
 
  private:
   std::size_t queries_ = 0;
+  std::size_t lifetime_queries_ = 0;
+  obs::Counter* counter_ =
+      &obs::MetricsRegistry::global().counter("oracle.membership_queries");
 };
 
 /// Membership access to a concrete function (the unlocked-oracle setting of
@@ -70,11 +91,19 @@ class EquivalenceOracle {
 
   std::size_t calls() const { return calls_; }
 
+  /// Per-phase reset, mirroring MembershipOracle::reset_queries().
+  void reset_calls() { calls_ = 0; }
+
  protected:
-  void count_call() { ++calls_; }
+  void count_call() {
+    if (calls_ != std::numeric_limits<std::size_t>::max()) ++calls_;
+    counter_->add(1);
+  }
 
  private:
   std::size_t calls_ = 0;
+  obs::Counter* counter_ =
+      &obs::MetricsRegistry::global().counter("oracle.equivalence_calls");
 };
 
 /// Exact equivalence via exhaustive sweep — only for small arities; the

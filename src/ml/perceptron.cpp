@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::ml {
@@ -18,6 +19,9 @@ PerceptronResult Perceptron::fit(const std::vector<std::vector<double>>& X,
   for (auto label : y)
     PITFALLS_REQUIRE(label == +1 || label == -1, "labels must be +/-1");
   PITFALLS_REQUIRE(config_.max_epochs > 0, "need at least one epoch");
+
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "ml.perceptron.fit_seconds");
 
   std::vector<double> w(dim, 0.0);
   std::vector<double> w_sum(dim, 0.0);  // for the averaged variant
@@ -51,6 +55,10 @@ PerceptronResult Perceptron::fit(const std::vector<std::vector<double>>& X,
       break;
     }
   }
+
+  registry.counter("ml.perceptron.fits").add(1);
+  registry.counter("ml.perceptron.mistakes").add(total_mistakes);
+  registry.counter("ml.perceptron.epochs").add(epochs);
 
   PerceptronResult result;
   result.weights = config_.averaged ? w_sum : w;

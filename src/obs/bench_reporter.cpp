@@ -1,0 +1,115 @@
+#include "obs/bench_reporter.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pitfalls::obs {
+
+BenchReporter::BenchReporter(std::string name, int argc, char** argv)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  const std::string default_path = "BENCH_" + name_ + ".json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg == "--json") {
+      // Optional path operand; a following flag means "use the default".
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        json_path_ = argv[++i];
+      else
+        json_path_ = default_path;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path_ = arg.substr(7);
+      if (json_path_.empty()) json_path_ = default_path;
+    } else {
+      std::cerr << "bench_" << name_ << ": ignoring unknown argument '" << arg
+                << "' (known: --json [path], --json=path, --smoke)\n";
+    }
+  }
+}
+
+void BenchReporter::print(std::ostream& os, const support::Table& table,
+                          const std::string& title) {
+  tables_.push_back({title, table.headers(), table.data()});
+  table.print(os, title);
+}
+
+void BenchReporter::note(const std::string& name, const std::string& text) {
+  notes_.push_back({name, false, text, 0.0});
+}
+
+void BenchReporter::note(const std::string& name, double number) {
+  notes_.push_back({name, true, {}, number});
+}
+
+int BenchReporter::finish() {
+  if (json_path_.empty()) return 0;
+
+  // Pre-register the oracle query counters so every bench report exposes the
+  // same core key set even when a bench never touches an oracle.
+  auto& registry = MetricsRegistry::global();
+  registry.counter("oracle.membership_queries");
+  registry.counter("oracle.equivalence_calls");
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("bench").value(name_);
+  w.key("smoke").value(smoke_);
+  w.key("wall_seconds").value(wall_seconds);
+  w.key("notes").begin_object();
+  for (const Note& n : notes_) {
+    w.key(n.name);
+    if (n.numeric)
+      w.value(n.number);
+    else
+      w.value(n.text);
+  }
+  w.end_object();
+  w.key("tables").begin_array();
+  for (const RecordedTable& t : tables_) {
+    w.begin_object();
+    w.key("title").value(t.title);
+    w.key("headers").begin_array();
+    for (const auto& h : t.headers) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  registry.write_json(w);
+  w.key("trace");
+  Tracer::global().write_json(w);
+  w.end_object();
+
+  std::ofstream out(json_path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_" << name_ << ": cannot open '" << json_path_
+              << "' for writing\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  out.close();
+  if (!out) {
+    std::cerr << "bench_" << name_ << ": failed writing '" << json_path_
+              << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace pitfalls::obs

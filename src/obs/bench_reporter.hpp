@@ -1,0 +1,76 @@
+// Shared bench harness: every bench main constructs a BenchReporter from its
+// argv, routes table printing through print() (byte-identical ASCII — it
+// delegates to Table::print), and ends with `return reporter.finish();`.
+//
+// Flags understood (anything else warns on stderr and is ignored):
+//   --json [path]    also write a machine-readable BENCH_<name>.json
+//                    (default path BENCH_<name>.json in the CWD) holding the
+//                    table rows, a metrics-registry snapshot (wall-clock
+//                    histograms + oracle query counters), the trace-span
+//                    tree, and free-form notes.
+//   --json=path      same, explicit path.
+//   --smoke          the bench should substitute its tiny parameter set
+//                    (query via smoke()) — used by the bench_smoke ctest.
+//
+// JSON schema (schema_version 1):
+//   { "schema_version": 1, "bench": str, "smoke": bool,
+//     "wall_seconds": num, "notes": {str: str|num},
+//     "tables": [{"title": str, "headers": [str], "rows": [[str]]}],
+//     "metrics": {"counters": {str: num}, "gauges": {str: num},
+//                 "histograms": {str: {count,total,mean,min,p50,p95,max}}},
+//     "trace": [{name,id,parent,depth,start_seconds,duration_seconds}] }
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace pitfalls::obs {
+
+class BenchReporter {
+ public:
+  /// `name` is the bench's identity ("table1_bounds" for
+  /// bench_table1_bounds); it names the default output file.
+  BenchReporter(std::string name, int argc, char** argv);
+
+  bool smoke() const { return smoke_; }
+  bool json_enabled() const { return !json_path_.empty(); }
+
+  /// Print the table exactly as Table::print would, and record its cells
+  /// for the JSON report.
+  void print(std::ostream& os, const support::Table& table,
+             const std::string& title = "");
+
+  /// Attach a scalar to the report's "notes" object (insertion order).
+  void note(const std::string& name, const std::string& text);
+  void note(const std::string& name, double number);
+
+  /// Write the JSON report if --json was requested. Returns the bench's
+  /// exit code: 0, or 1 when the report could not be written.
+  int finish();
+
+ private:
+  struct RecordedTable {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Note {
+    std::string name;
+    bool numeric;
+    std::string text;
+    double number;
+  };
+
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<RecordedTable> tables_;
+  std::vector<Note> notes_;
+};
+
+}  // namespace pitfalls::obs

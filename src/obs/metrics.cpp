@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pitfalls::obs {
+
+void Histogram::observe(double sample) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(sample);
+}
+
+std::size_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+HistogramSummary Histogram::summary() const {
+  std::vector<double> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+  }
+  HistogramSummary s;
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  for (const double v : sorted) s.total += v;
+  s.mean = s.total / static_cast<double>(s.count);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const auto nearest_rank = [&sorted](double q) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+  };
+  s.p50 = nearest_rank(0.50);
+  s.p95 = nearest_rank(0.95);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(JsonWriter& writer) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writer.begin_object();
+  writer.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) writer.key(name).value(c->value());
+  writer.end_object();
+  writer.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) writer.key(name).value(g->value());
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSummary s = h->summary();
+    writer.key(name).begin_object();
+    writer.key("count").value(std::uint64_t{s.count});
+    writer.key("total").value(s.total);
+    writer.key("mean").value(s.mean);
+    writer.key("min").value(s.min);
+    writer.key("p50").value(s.p50);
+    writer.key("p95").value(s.p95);
+    writer.key("max").value(s.max);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  JsonWriter writer;
+  write_json(writer);
+  return writer.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace pitfalls::obs

@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include "support/require.hpp"
+
+namespace pitfalls::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::size_t Tracer::begin_span(std::string name) {
+  OpenSpan span;
+  span.name = std::move(name);
+  span.id = next_id_++;
+  span.parent = stack_.empty() ? -1 : static_cast<std::ptrdiff_t>(
+                                          stack_.back().id);
+  span.depth = stack_.size();
+  span.start = std::chrono::steady_clock::now();
+  stack_.push_back(std::move(span));
+  return stack_.back().id;
+}
+
+void Tracer::end_span(std::size_t id) {
+  PITFALLS_ENSURE(!stack_.empty() && stack_.back().id == id,
+                  "TraceSpan destruction out of LIFO order");
+  const OpenSpan span = std::move(stack_.back());
+  stack_.pop_back();
+
+  TraceEvent event;
+  event.name = span.name;
+  event.id = span.id;
+  event.parent = span.parent;
+  event.depth = span.depth;
+  event.start_seconds =
+      std::chrono::duration<double>(span.start - epoch_).count();
+  event.duration_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    span.start)
+          .count();
+  const std::lock_guard<std::mutex> lock(events_mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(events_mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  PITFALLS_REQUIRE(stack_.empty(), "cannot clear a tracer with open spans");
+  const std::lock_guard<std::mutex> lock(events_mutex_);
+  events_.clear();
+  next_id_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::write_json(JsonWriter& writer) const {
+  const std::lock_guard<std::mutex> lock(events_mutex_);
+  writer.begin_array();
+  for (const TraceEvent& event : events_) {
+    writer.begin_object();
+    writer.key("name").value(event.name);
+    writer.key("id").value(std::uint64_t{event.id});
+    writer.key("parent").value(std::int64_t{event.parent});
+    writer.key("depth").value(std::uint64_t{event.depth});
+    writer.key("start_seconds").value(event.start_seconds);
+    writer.key("duration_seconds").value(event.duration_seconds);
+    writer.end_object();
+  }
+  writer.end_array();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace pitfalls::obs

@@ -1,0 +1,120 @@
+// Hierarchical phase timing: RAII TraceSpan instances nest through a Tracer
+// (parent = innermost span still open at construction), and ScopedTimer
+// feeds a wall-clock Histogram on scope exit.
+//
+// Span nesting is strictly LIFO (scopes), so spans record their event on
+// destruction in completion order: children always precede their parent in
+// events(). Parent/child linkage uses creation-order ids, which are assigned
+// at span *start* and therefore valid before the parent completes.
+//
+// The Tracer's span stack is not synchronized — open/close spans from one
+// thread per Tracer (the experiment harness is single-threaded today);
+// completed events are mutex-guarded so snapshots are safe from anywhere.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace pitfalls::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::size_t id = 0;          // creation order, 0-based
+  std::ptrdiff_t parent = -1;  // id of the enclosing span, -1 for roots
+  std::size_t depth = 0;       // 0 for roots
+  double start_seconds = 0.0;  // offset from the tracer's epoch
+  double duration_seconds = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Completed spans, in completion order (children before parents).
+  std::vector<TraceEvent> events() const;
+
+  std::size_t open_spans() const { return stack_.size(); }
+
+  /// Drop recorded events and restart the epoch (no spans may be open).
+  void clear();
+
+  /// JSON array of event objects, completion order.
+  void write_json(JsonWriter& writer) const;
+
+  static Tracer& global();
+
+ private:
+  friend class TraceSpan;
+
+  struct OpenSpan {
+    std::string name;
+    std::size_t id;
+    std::ptrdiff_t parent;
+    std::size_t depth;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  std::size_t begin_span(std::string name);
+  void end_span(std::size_t id);
+
+  std::vector<OpenSpan> stack_;
+  std::size_t next_id_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex events_mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span; must be destroyed in reverse order of construction per Tracer.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, Tracer& tracer = Tracer::global())
+      : tracer_(&tracer), id_(tracer.begin_span(std::move(name))) {}
+  ~TraceSpan() { tracer_->end_span(id_); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  std::size_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  std::size_t id_;
+};
+
+/// RAII wall-clock timer; observes elapsed seconds into the histogram on
+/// destruction unless cancelled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(MetricsRegistry& registry, const std::string& histogram_name)
+      : ScopedTimer(registry.histogram(histogram_name)) {}
+  ~ScopedTimer() {
+    if (armed_) sink_->observe(elapsed_seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Do not record on destruction (e.g. the measured phase failed).
+  void cancel() { armed_ = false; }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_ = true;
+};
+
+}  // namespace pitfalls::obs

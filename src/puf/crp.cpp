@@ -1,5 +1,6 @@
 #include "puf/crp.hpp"
 
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -24,6 +25,7 @@ CrpSet::CrpSet(std::vector<BitVec> challenges, std::vector<int> responses)
 
 CrpSet CrpSet::collect_uniform(const Puf& puf, std::size_t m,
                                support::Rng& rng) {
+  obs::MetricsRegistry::global().counter("puf.crp.uniform_collected").add(m);
   CrpSet set;
   for (std::size_t i = 0; i < m; ++i) {
     BitVec c = uniform_challenge(puf.num_vars(), rng);
@@ -35,6 +37,7 @@ CrpSet CrpSet::collect_uniform(const Puf& puf, std::size_t m,
 
 CrpSet CrpSet::collect_noisy(const Puf& puf, std::size_t m,
                              support::Rng& rng) {
+  obs::MetricsRegistry::global().counter("puf.crp.noisy_collected").add(m);
   CrpSet set;
   for (std::size_t i = 0; i < m; ++i) {
     BitVec c = uniform_challenge(puf.num_vars(), rng);
@@ -47,6 +50,8 @@ CrpSet CrpSet::collect_noisy(const Puf& puf, std::size_t m,
 CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
                               std::size_t repeats, support::Rng& rng) {
   PITFALLS_REQUIRE(repeats >= 2, "stability needs at least two measurements");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(registry, "puf.crp.collect_stable_seconds");
   CrpSet set;
   std::size_t rejections = 0;
   while (set.size() < m) {
@@ -63,6 +68,8 @@ CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
       ++rejections;
     }
   }
+  registry.counter("puf.crp.stable_collected").add(m);
+  registry.counter("puf.crp.unstable_rejected").add(rejections);
   return set;
 }
 

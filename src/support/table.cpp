@@ -69,4 +69,28 @@ void Table::print(std::ostream& os, const std::string& title) const {
   os << render(title);
 }
 
+std::string Table::to_csv() const {
+  const auto cell = [](const std::string& raw) {
+    if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
+    std::string quoted = "\"";
+    for (const char c : raw) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto line = [&cell](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += cell(row[c]);
+    }
+    return out + "\n";
+  };
+  std::string out = line(headers_);
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
 }  // namespace pitfalls::support

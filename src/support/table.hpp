@@ -24,11 +24,19 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Render with a title, column separators and a header rule.
   std::string render(const std::string& title = "") const;
 
   /// Print render() to the stream.
   void print(std::ostream& os, const std::string& title = "") const;
+
+  /// RFC-4180-style CSV (header line + rows, '\n' line ends): cells
+  /// containing commas, quotes or newlines are quoted, quotes doubled —
+  /// so table renderings are exportable without re-parsing ASCII output.
+  std::string to_csv() const;
 
  private:
   std::vector<std::string> headers_;
