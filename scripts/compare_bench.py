@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files (schema v1) emitted by the BenchReporter.
+
+Compares the histograms the two runs share — per-histogram p50 delta, plus
+count/mean for context — and flags a regression when a p50 grows by more
+than --threshold (fractional; default 0.25 = 25%). Also reports numeric
+notes and wall_seconds, which are informational only (they never flag).
+
+Stdlib-only, so it runs anywhere the repo builds:
+
+    python3 scripts/compare_bench.py old/BENCH_micro_kernels.json \
+        new/BENCH_micro_kernels.json --threshold 0.3
+
+Exit status: 0 = no regression, 1 = at least one histogram regressed,
+2 = usage/parse error. Histograms absent from either file are listed but
+never treated as regressions (benches add and retire instrumentation).
+Timings below --min-seconds (default 1ms) are ignored: at microsecond
+scale, scheduler noise swamps any real signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"compare_bench: cannot read {path}: {exc}")
+    if doc.get("schema_version") != 1:
+        sys.exit(f"compare_bench: {path}: expected schema_version 1, "
+                 f"got {doc.get('schema_version')!r}")
+    return doc
+
+
+def histograms(doc):
+    return doc.get("metrics", {}).get("histograms", {}) or {}
+
+
+def fmt_delta(old, new):
+    if old == 0:
+        return "n/a" if new == 0 else "+inf"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two schema-v1 BENCH_*.json files by histogram p50.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fractional p50 growth that counts as a regression "
+             "(default: 0.25)")
+    parser.add_argument(
+        "--min-seconds", type=float, default=1e-3,
+        help="ignore histograms whose baseline p50 is below this many "
+             "seconds (default: 1e-3)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    if old_doc.get("bench") != new_doc.get("bench"):
+        print(f"compare_bench: note: comparing different benches "
+              f"({old_doc.get('bench')!r} vs {new_doc.get('bench')!r})")
+    if old_doc.get("smoke") != new_doc.get("smoke"):
+        print("compare_bench: note: smoke flags differ; timings are not "
+              "comparable like-for-like")
+
+    old_hists, new_hists = histograms(old_doc), histograms(new_doc)
+    shared = sorted(set(old_hists) & set(new_hists))
+    only_old = sorted(set(old_hists) - set(new_hists))
+    only_new = sorted(set(new_hists) - set(old_hists))
+
+    regressions = []
+    width = max([len(name) for name in shared] or [9])
+    print(f"{'histogram':<{width}}  {'old p50':>12}  {'new p50':>12}  "
+          f"{'delta':>8}  verdict")
+    for name in shared:
+        old_p50 = float(old_hists[name].get("p50", 0.0))
+        new_p50 = float(new_hists[name].get("p50", 0.0))
+        delta = fmt_delta(old_p50, new_p50)
+        if old_p50 < args.min_seconds:
+            verdict = "skipped (below --min-seconds)"
+        elif new_p50 > old_p50 * (1.0 + args.threshold):
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif new_p50 < old_p50:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {old_p50:>12.6f}  {new_p50:>12.6f}  "
+              f"{delta:>8}  {verdict}")
+
+    for name in only_old:
+        print(f"{name}: only in {args.old} (retired?)")
+    for name in only_new:
+        print(f"{name}: only in {args.new} (new instrumentation)")
+
+    old_notes = old_doc.get("notes", {}) or {}
+    new_notes = new_doc.get("notes", {}) or {}
+    numeric = sorted(
+        k for k in set(old_notes) & set(new_notes)
+        if isinstance(old_notes[k], (int, float))
+        and isinstance(new_notes[k], (int, float)))
+    if numeric:
+        print("\nnotes (informational):")
+        for key in numeric:
+            print(f"  {key}: {old_notes[key]:g} -> {new_notes[key]:g} "
+                  f"({fmt_delta(old_notes[key], new_notes[key])})")
+    ow, nw = old_doc.get("wall_seconds"), new_doc.get("wall_seconds")
+    if isinstance(ow, (int, float)) and isinstance(nw, (int, float)):
+        print(f"\nwall_seconds: {ow:.3f} -> {nw:.3f} ({fmt_delta(ow, nw)})")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} regression(s) above "
+              f"{100 * args.threshold:.0f}%: {', '.join(regressions)}")
+        return 1
+    print("\ncompare_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

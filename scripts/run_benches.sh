@@ -22,7 +22,7 @@ out_dir=${3:-bench_json}
 mkdir -p "$out_dir"
 
 BENCHES="table1_bounds table2_chow table3_halfspace lmn_xorpuf \
-mq_learnpoly lstar_fsm online_to_pac feasibility"
+mq_learnpoly lstar_fsm online_to_pac feasibility micro_kernels"
 
 status=0
 json_files=""

@@ -58,13 +58,21 @@ double estimate_coefficient(const BooleanFunction& f, const BitVec& subset,
                             std::size_t m, support::Rng& rng);
 
 /// Estimate fhat(S) for every S in `subsets` from one shared uniform sample
-/// of size m (the LMN query pattern: one sample, many coefficients).
+/// of size m (the LMN query pattern: one sample, many coefficients). The
+/// sample is generated in deterministic per-chunk streams and may be drawn
+/// from several threads at once, so f.eval_pm must be safe to call
+/// concurrently (true for every BooleanFunction in this library — eval is
+/// pure). rng advances by exactly one draw.
 std::vector<double> estimate_coefficients(
     const BooleanFunction& f, const std::vector<BitVec>& subsets,
     std::size_t m, support::Rng& rng);
 
 /// Estimate fhat(S) for every S in `subsets` from a fixed labelled CRP set
-/// (challenges[i] with +/-1 response responses[i]).
+/// (challenges[i] with +/-1 response responses[i]). Backed by a bit-sliced
+/// per-sample parity cache (one XOR+popcount sweep per subset instead of m
+/// masked_parity calls) and parallelized over subsets; the sums are exact
+/// integer arithmetic, so results are identical to the naive loop for any
+/// thread count.
 std::vector<double> estimate_coefficients_from_data(
     const std::vector<BitVec>& challenges, const std::vector<int>& responses,
     const std::vector<BitVec>& subsets);

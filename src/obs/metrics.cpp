@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/parallel.hpp"
+
 namespace pitfalls::obs {
 
 void Histogram::observe(double sample) {
@@ -105,7 +107,29 @@ std::string MetricsRegistry::snapshot_json() const {
 }
 
 MetricsRegistry& MetricsRegistry::global() {
+  // The support-layer thread pool cannot link obs, so the global registry
+  // installs runtime hooks on first use: pool size as a gauge, chunks
+  // scheduled as a counter, per-callsite region wall-clock as histograms.
+  // Hook values never feed back into results, so they do not affect the
+  // byte-identical-across-thread-counts contract.
   static MetricsRegistry registry;
+  static const bool hooks_installed = [] {
+    support::PoolHooks hooks;
+    hooks.on_pool_configured = [](std::size_t threads) {
+      registry.gauge("support.pool.threads")
+          .set(static_cast<double>(threads));
+    };
+    hooks.on_tasks_scheduled = [](std::size_t chunks) {
+      registry.counter("support.pool.tasks").add(chunks);
+    };
+    hooks.on_region_seconds = [](const char* callsite, double seconds) {
+      registry.histogram(std::string(callsite) + ".parallel_seconds")
+          .observe(seconds);
+    };
+    support::set_pool_hooks(std::move(hooks));
+    return true;
+  }();
+  (void)hooks_installed;
   return registry;
 }
 

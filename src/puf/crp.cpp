@@ -1,6 +1,7 @@
 #include "puf/crp.hpp"
 
 #include "obs/trace.hpp"
+#include "support/parallel.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -23,28 +24,50 @@ CrpSet::CrpSet(std::vector<BitVec> challenges, std::vector<int> responses)
     PITFALLS_REQUIRE(r == +1 || r == -1, "responses must be +/-1");
 }
 
+// Collection is chunked (support/parallel.hpp): the caller's rng yields one
+// seed, chunk c generates and evaluates its slice with rng_for_chunk(seed, c),
+// and slices land at fixed offsets — so the collected set is byte-identical
+// for every PITFALLS_THREADS value and the caller's rng advances by exactly
+// one draw. Requires puf.eval_* to be const-thread-safe (all simulators are:
+// evaluation is pure; noise draws come from the chunk's own stream).
 CrpSet CrpSet::collect_uniform(const Puf& puf, std::size_t m,
                                support::Rng& rng) {
   obs::MetricsRegistry::global().counter("puf.crp.uniform_collected").add(m);
-  CrpSet set;
-  for (std::size_t i = 0; i < m; ++i) {
-    BitVec c = uniform_challenge(puf.num_vars(), rng);
-    const int r = puf.eval_pm(c);
-    set.add(std::move(c), r);
-  }
-  return set;
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  std::vector<BitVec> challenges(m);
+  std::vector<int> responses(m);
+  support::parallel_for_chunks(
+      m,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          challenges[i] = uniform_challenge(n, chunk_rng);
+          responses[i] = puf.eval_pm(challenges[i]);
+        }
+      },
+      "puf.crp.collect");
+  return CrpSet(std::move(challenges), std::move(responses));
 }
 
 CrpSet CrpSet::collect_noisy(const Puf& puf, std::size_t m,
                              support::Rng& rng) {
   obs::MetricsRegistry::global().counter("puf.crp.noisy_collected").add(m);
-  CrpSet set;
-  for (std::size_t i = 0; i < m; ++i) {
-    BitVec c = uniform_challenge(puf.num_vars(), rng);
-    const int r = puf.eval_noisy(c, rng);
-    set.add(std::move(c), r);
-  }
-  return set;
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  std::vector<BitVec> challenges(m);
+  std::vector<int> responses(m);
+  support::parallel_for_chunks(
+      m,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          challenges[i] = uniform_challenge(n, chunk_rng);
+          responses[i] = puf.eval_noisy(challenges[i], chunk_rng);
+        }
+      },
+      "puf.crp.collect");
+  return CrpSet(std::move(challenges), std::move(responses));
 }
 
 CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
@@ -52,25 +75,47 @@ CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
   PITFALLS_REQUIRE(repeats >= 2, "stability needs at least two measurements");
   auto& registry = obs::MetricsRegistry::global();
   obs::ScopedTimer timer(registry, "puf.crp.collect_stable_seconds");
-  CrpSet set;
-  std::size_t rejections = 0;
-  while (set.size() < m) {
-    PITFALLS_REQUIRE(rejections < 1000 * (m + 1),
-                     "PUF too noisy: no stable challenges found");
-    BitVec c = uniform_challenge(puf.num_vars(), rng);
-    const int first = puf.eval_noisy(c, rng);
-    bool stable = true;
-    for (std::size_t t = 1; t < repeats && stable; ++t)
-      stable = puf.eval_noisy(c, rng) == first;
-    if (stable) {
-      set.add(std::move(c), first);
-    } else {
-      ++rejections;
-    }
-  }
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  // Each chunk fills its own quota by rejection sampling from its own
+  // stream, so the rejection accounting (and the too-noisy guard, applied
+  // per chunk at the same 1000x-quota rate as the old global guard) is as
+  // deterministic as the accepted challenges themselves.
+  const support::ChunkPlan plan = support::plan_chunks(m);
+  std::vector<BitVec> challenges(m);
+  std::vector<int> responses(m);
+  std::vector<std::size_t> chunk_rejections(plan.count, 0);
+  support::parallel_for_chunks(
+      m,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        const std::size_t quota = end - begin;
+        std::size_t rejections = 0;
+        std::size_t filled = 0;
+        while (filled < quota) {
+          PITFALLS_REQUIRE(rejections < 1000 * (quota + 1),
+                           "PUF too noisy: no stable challenges found");
+          BitVec c = uniform_challenge(n, chunk_rng);
+          const int first = puf.eval_noisy(c, chunk_rng);
+          bool stable = true;
+          for (std::size_t t = 1; t < repeats && stable; ++t)
+            stable = puf.eval_noisy(c, chunk_rng) == first;
+          if (stable) {
+            challenges[begin + filled] = std::move(c);
+            responses[begin + filled] = first;
+            ++filled;
+          } else {
+            ++rejections;
+          }
+        }
+        chunk_rejections[chunk] = rejections;
+      },
+      "puf.crp.collect");
+  std::size_t total_rejections = 0;
+  for (const auto r : chunk_rejections) total_rejections += r;
   registry.counter("puf.crp.stable_collected").add(m);
-  registry.counter("puf.crp.unstable_rejected").add(rejections);
-  return set;
+  registry.counter("puf.crp.unstable_rejected").add(total_rejections);
+  return CrpSet(std::move(challenges), std::move(responses));
 }
 
 void CrpSet::add(BitVec challenge, int response) {
@@ -124,9 +169,21 @@ double CrpSet::accuracy_of(const boolfn::BooleanFunction& f) const {
 double CrpSet::accuracy_of(
     const std::function<int(const BitVec&)>& predictor) const {
   PITFALLS_REQUIRE(!empty(), "accuracy over an empty CRP set");
-  std::size_t agree = 0;
-  for (std::size_t i = 0; i < size(); ++i)
-    if (predictor(challenges_[i]) == responses_[i]) ++agree;
+  // The held-out accuracy pass of core::evaluate funnels through here, so
+  // fan the agreement count out over examples. Integer reduction combined in
+  // chunk order: exact for any thread count. The predictor is invoked
+  // concurrently and must be const-thread-safe (every hypothesis class in
+  // the library has a pure eval).
+  const std::size_t agree = support::parallel_reduce(
+      size(), std::size_t{0},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::size_t local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          if (predictor(challenges_[i]) == responses_[i]) ++local;
+        return local;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; },
+      "puf.crp.accuracy");
   return static_cast<double>(agree) / static_cast<double>(size());
 }
 

@@ -21,17 +21,23 @@ class CrpSet {
   CrpSet(std::vector<BitVec> challenges, std::vector<int> responses);
 
   /// m uniform challenges labelled with ideal (noise-free) responses.
+  /// Collection is chunk-parallel with deterministic per-chunk streams
+  /// (support/parallel.hpp): the result is byte-identical for every
+  /// PITFALLS_THREADS value, and `rng` advances by exactly one draw.
   static CrpSet collect_uniform(const Puf& puf, std::size_t m,
                                 support::Rng& rng);
 
   /// m uniform challenges labelled with one noisy measurement each.
+  /// Same chunked determinism contract as collect_uniform.
   static CrpSet collect_noisy(const Puf& puf, std::size_t m,
                               support::Rng& rng);
 
   /// m uniform challenges that are *stable*: all `repeats` noisy
   /// measurements agree (unstable challenges are discarded and resampled).
   /// Requires noise low enough that stable challenges exist; a guard trips
-  /// after 1000*m consecutive rejections.
+  /// once any chunk sees 1000x its quota in rejections. Same chunked
+  /// determinism contract as collect_uniform, including the rejection
+  /// accounting in `puf.crp.unstable_rejected`.
   static CrpSet collect_stable(const Puf& puf, std::size_t m,
                                std::size_t repeats, support::Rng& rng);
 

@@ -1,5 +1,6 @@
 #include "puf/metrics.hpp"
 
+#include "support/parallel.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -14,24 +15,49 @@ BitVec uniform_challenge(std::size_t n, support::Rng& rng) {
 
 }  // namespace
 
+// All four sweeps fan out over challenges with the chunked-stream scheme of
+// support/parallel.hpp (chunk c draws from rng_for_chunk(seed, c); integer
+// tallies combine in chunk order), so every statistic is byte-identical for
+// any PITFALLS_THREADS and the caller's rng advances by exactly one draw.
+
 double uniformity(const Puf& puf, std::size_t m, support::Rng& rng) {
   PITFALLS_REQUIRE(m > 0, "need at least one challenge");
-  std::size_t ones = 0;
-  for (std::size_t i = 0; i < m; ++i)
-    if (puf.eval_pm(uniform_challenge(puf.num_vars(), rng)) < 0) ++ones;
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  const std::size_t ones = support::parallel_reduce(
+      m, std::size_t{0},
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        std::size_t local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          if (puf.eval_pm(uniform_challenge(n, chunk_rng)) < 0) ++local;
+        return local;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; },
+      "puf.metrics");
   return static_cast<double>(ones) / static_cast<double>(m);
 }
 
 double reliability(const Puf& puf, std::size_t m, std::size_t repeats,
                    support::Rng& rng) {
   PITFALLS_REQUIRE(m > 0 && repeats > 0, "need challenges and repeats");
-  std::size_t agreements = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const BitVec c = uniform_challenge(puf.num_vars(), rng);
-    const int ideal = puf.eval_pm(c);
-    for (std::size_t t = 0; t < repeats; ++t)
-      if (puf.eval_noisy(c, rng) == ideal) ++agreements;
-  }
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  const std::size_t agreements = support::parallel_reduce(
+      m, std::size_t{0},
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        std::size_t local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const BitVec c = uniform_challenge(n, chunk_rng);
+          const int ideal = puf.eval_pm(c);
+          for (std::size_t t = 0; t < repeats; ++t)
+            if (puf.eval_noisy(c, chunk_rng) == ideal) ++local;
+        }
+        return local;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; },
+      "puf.metrics");
   return static_cast<double>(agreements) / static_cast<double>(m * repeats);
 }
 
@@ -44,29 +70,47 @@ double uniqueness(const std::vector<const Puf*>& instances, std::size_t m,
     PITFALLS_REQUIRE(p != nullptr, "null PUF instance");
     PITFALLS_REQUIRE(p->num_vars() == n, "instances must share the arity");
   }
-  std::size_t diffs = 0;
-  std::size_t pairs = 0;
-  for (std::size_t s = 0; s < m; ++s) {
-    const BitVec c = uniform_challenge(n, rng);
-    std::vector<int> responses;
-    responses.reserve(instances.size());
-    for (const auto* p : instances) responses.push_back(p->eval_pm(c));
-    for (std::size_t a = 0; a < responses.size(); ++a)
-      for (std::size_t b = a + 1; b < responses.size(); ++b) {
-        if (responses[a] != responses[b]) ++diffs;
-        ++pairs;
-      }
-  }
+  const std::uint64_t seed = rng();
+  const std::size_t diffs = support::parallel_reduce(
+      m, std::size_t{0},
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        std::size_t local = 0;
+        std::vector<int> responses(instances.size());
+        for (std::size_t s = begin; s < end; ++s) {
+          const BitVec c = uniform_challenge(n, chunk_rng);
+          for (std::size_t p = 0; p < instances.size(); ++p)
+            responses[p] = instances[p]->eval_pm(c);
+          for (std::size_t a = 0; a < responses.size(); ++a)
+            for (std::size_t b = a + 1; b < responses.size(); ++b)
+              if (responses[a] != responses[b]) ++local;
+        }
+        return local;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; },
+      "puf.metrics");
+  const std::size_t pairs =
+      m * (instances.size() * (instances.size() - 1) / 2);
   return static_cast<double>(diffs) / static_cast<double>(pairs);
 }
 
 double expected_bias(const Puf& puf, std::size_t m, support::Rng& rng) {
   PITFALLS_REQUIRE(m > 0, "need at least one challenge");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < m; ++i)
-    sum += static_cast<double>(
-        puf.eval_noisy(uniform_challenge(puf.num_vars(), rng), rng));
-  return sum / static_cast<double>(m);
+  const std::uint64_t seed = rng();
+  const std::size_t n = puf.num_vars();
+  // +/-1 responses tally exactly in integers; the division happens once.
+  const std::int64_t sum = support::parallel_reduce(
+      m, std::int64_t{0},
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        std::int64_t local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          local += puf.eval_noisy(uniform_challenge(n, chunk_rng), chunk_rng);
+        return local;
+      },
+      [](std::int64_t acc, std::int64_t part) { return acc + part; },
+      "puf.metrics");
+  return static_cast<double>(sum) / static_cast<double>(m);
 }
 
 }  // namespace pitfalls::puf

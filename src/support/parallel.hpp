@@ -1,0 +1,118 @@
+// Deterministic parallel execution for the query/Fourier hot paths.
+//
+// The repo's reproducibility contract (DESIGN.md §6/§8) is bit-for-bit:
+// a seeded experiment must produce identical bytes on every machine. Naive
+// `std::async` parallelism breaks that the moment a shared Rng is consumed
+// from more than one thread, so this layer never shares an Rng. Instead a
+// range is split by a FIXED chunk policy (plan_chunks — a function of the
+// range length only, never of the thread count), each chunk derives its own
+// Rng stream via SplitMix64 from (caller seed, chunk index), and reductions
+// combine partial results in chunk order. The result is byte-identical for
+// any PITFALLS_THREADS, including fully inline execution — the chunked
+// algorithm IS the specification; threads only decide who runs which chunk.
+//
+// Execution model: a lazily-started global thread pool, sized from the
+// PITFALLS_THREADS environment variable (default: hardware_concurrency,
+// `1` = fully inline). The calling thread always participates in its own
+// region, so a pool of size 1 degenerates to a plain loop. Regions entered
+// from inside a worker (nested parallelism) run inline on that worker —
+// no new tasks, no deadlock. The first exception thrown by any chunk is
+// captured and rethrown on the calling thread after the region completes.
+//
+// Observability: the pool itself cannot depend on src/obs (obs links
+// support), so it exposes PoolHooks; obs::MetricsRegistry::global()
+// installs hooks that mirror the pool into `support.pool.threads` /
+// `support.pool.tasks` and per-callsite `<callsite>.parallel_seconds`
+// histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pitfalls::support {
+
+/// Static chunking of a range [0, n). The policy is part of the
+/// reproducibility contract: it depends only on n (target 64 chunks, at
+/// least 64 items per chunk), NEVER on the thread count, so the chunk an
+/// item lands in — and therefore the Rng stream that produced it — is the
+/// same for every PITFALLS_THREADS value.
+struct ChunkPlan {
+  std::size_t count = 0;  // number of chunks (0 for an empty range)
+  std::size_t size = 0;   // items per chunk; the last chunk may be short
+};
+ChunkPlan plan_chunks(std::size_t n);
+
+/// The Rng stream for one chunk of a parallel region: SplitMix64-mixed from
+/// (caller seed, chunk index), then expanded into xoshiro256** state. The
+/// caller draws `seed` once from its own Rng, so the caller's stream
+/// advances by exactly one draw regardless of n or thread count.
+Rng rng_for_chunk(std::uint64_t seed, std::size_t chunk_index);
+
+/// Runtime hooks the pool reports through (installed by src/obs).
+struct PoolHooks {
+  std::function<void(std::size_t)> on_pool_configured;  // thread count
+  std::function<void(std::size_t)> on_tasks_scheduled;  // chunks per region
+  std::function<void(const char*, double)> on_region_seconds;  // callsite
+};
+void set_pool_hooks(PoolHooks hooks);
+
+/// Resolved pool size (threads, including the caller): PITFALLS_THREADS if
+/// set and valid, else hardware_concurrency. Always >= 1.
+std::size_t pool_thread_count();
+
+/// Override the pool size at runtime (tests/benches compare thread counts
+/// in-process). Joins any running workers first; must not be called while a
+/// parallel region is executing. The override also wins over the
+/// environment for the rest of the process.
+void set_pool_thread_count(std::size_t threads);
+
+/// True while the current thread is executing inside a parallel region
+/// (worker or participating caller); such regions run nested calls inline.
+bool in_parallel_region();
+
+/// Run fn(chunk_index, begin, end) over every chunk of [0, n), possibly on
+/// the pool. Blocks until all chunks are done; rethrows the first chunk
+/// exception. `callsite` (optional, static string) names the
+/// `<callsite>.parallel_seconds` histogram the region reports into.
+void parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const char* callsite = nullptr);
+
+/// Element-wise parallel loop: fn(i) for i in [0, n). fn must not share
+/// mutable state across iterations (distinct output slots are fine).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, const char* callsite = nullptr) {
+  parallel_for_chunks(
+      n,
+      [&fn](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      callsite);
+}
+
+/// Chunked map/reduce: map(chunk_index, begin, end) -> T per chunk, then
+/// combine(acc, partial) strictly in chunk order — deterministic even for
+/// non-associative combines (floating-point sums).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine,
+                  const char* callsite = nullptr) {
+  const ChunkPlan plan = plan_chunks(n);
+  std::vector<T> partial(plan.count, identity);
+  parallel_for_chunks(
+      n,
+      [&map, &partial](std::size_t chunk, std::size_t begin, std::size_t end) {
+        partial[chunk] = map(chunk, begin, end);
+      },
+      callsite);
+  T acc = std::move(identity);
+  for (auto& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace pitfalls::support

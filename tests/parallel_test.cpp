@@ -1,0 +1,332 @@
+// The deterministic parallel execution layer (support/parallel): the chunk
+// policy, per-chunk RNG streams, the pool's execution semantics (inline
+// degeneration, nested regions, exception propagation) and — the actual
+// contract — byte-identical results for every thread count from every
+// parallelised hot path: CRP collection, the pooled WHT, coefficient
+// estimation, accuracy and the PUF metric sweeps.
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boolfn/fourier.hpp"
+#include "boolfn/truth_table.hpp"
+#include "puf/arbiter.hpp"
+#include "puf/crp.hpp"
+#include "puf/metrics.hpp"
+#include "puf/xor_arbiter.hpp"
+#include "support/combinatorics.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using support::BitVec;
+using support::ChunkPlan;
+using support::Rng;
+
+// Restores the ambient pool size when a test that resizes it exits, so test
+// order never leaks thread-count state.
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : saved_(support::pool_thread_count()) {}
+  ~PoolSizeGuard() { support::set_pool_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+// Runs `make()` under each thread count and asserts every result is
+// byte-identical to the single-threaded one.
+template <typename Make>
+void expect_identical_across_thread_counts(Make&& make) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(1);
+  const auto reference = make();
+  for (const std::size_t threads : {2, 4, 8}) {
+    support::set_pool_thread_count(threads);
+    EXPECT_EQ(make(), reference) << "threads=" << threads;
+  }
+}
+
+// --------------------------------------------------------------- chunk plan
+
+TEST(ChunkPlanTest, EmptyRangeHasNoChunks) {
+  const ChunkPlan plan = support::plan_chunks(0);
+  EXPECT_EQ(plan.count, 0u);
+}
+
+TEST(ChunkPlanTest, CoversRangeExactlyWithoutOverlap) {
+  for (const std::size_t n :
+       {1ul, 2ul, 63ul, 64ul, 65ul, 1000ul, 4096ul, 4097ul, 100000ul}) {
+    const ChunkPlan plan = support::plan_chunks(n);
+    ASSERT_GT(plan.count, 0u) << "n=" << n;
+    ASSERT_GT(plan.size, 0u) << "n=" << n;
+    // Chunk c is [c*size, min(n, (c+1)*size)): contiguous, disjoint, total n.
+    EXPECT_GE(plan.count * plan.size, n) << "n=" << n;
+    EXPECT_LT((plan.count - 1) * plan.size, n) << "n=" << n;
+  }
+}
+
+TEST(ChunkPlanTest, SmallRangesStaySingleChunk) {
+  // At least 64 items per chunk, so n <= 64 is one chunk — tiny ranges never
+  // pay pool overhead.
+  for (const std::size_t n : {1ul, 7ul, 64ul}) {
+    EXPECT_EQ(support::plan_chunks(n).count, 1u) << "n=" << n;
+  }
+}
+
+TEST(ChunkPlanTest, DependsOnlyOnRangeLength) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(1);
+  const ChunkPlan at_one = support::plan_chunks(100000);
+  support::set_pool_thread_count(8);
+  const ChunkPlan at_eight = support::plan_chunks(100000);
+  EXPECT_EQ(at_one.count, at_eight.count);
+  EXPECT_EQ(at_one.size, at_eight.size);
+}
+
+// --------------------------------------------------------- per-chunk streams
+
+TEST(RngForChunkTest, StreamsAreDeterministicAndDistinct) {
+  Rng a = support::rng_for_chunk(42, 0);
+  Rng a2 = support::rng_for_chunk(42, 0);
+  Rng b = support::rng_for_chunk(42, 1);
+  Rng c = support::rng_for_chunk(43, 0);
+  const std::uint64_t a_first = a();
+  EXPECT_EQ(a_first, a2());
+  EXPECT_NE(a_first, b());
+  EXPECT_NE(a_first, c());
+}
+
+// ------------------------------------------------------------ pool mechanics
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  std::atomic<int> calls{0};
+  support::parallel_for_chunks(
+      0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, OneElementRangeRunsInlineOnce) {
+  std::atomic<int> calls{0};
+  support::parallel_for_chunks(1,
+                               [&](std::size_t chunk, std::size_t begin,
+                                   std::size_t end) {
+                                 ++calls;
+                                 EXPECT_EQ(chunk, 0u);
+                                 EXPECT_EQ(begin, 0u);
+                                 EXPECT_EQ(end, 1u);
+                                 EXPECT_TRUE(support::in_parallel_region());
+                               });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_FALSE(support::in_parallel_region());
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(4);
+  const std::size_t n = 50000;
+  std::vector<std::atomic<int>> visits(n);
+  support::parallel_for(n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(visits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(4);
+  std::atomic<int> inner_calls{0};
+  support::parallel_for_chunks(
+      10000, [&](std::size_t, std::size_t begin, std::size_t end) {
+        EXPECT_TRUE(support::in_parallel_region());
+        // A nested region must degenerate to a plain loop on this thread —
+        // no new pool tasks, no deadlock.
+        support::parallel_for_chunks(
+            end - begin, [&](std::size_t, std::size_t b, std::size_t e) {
+              EXPECT_TRUE(support::in_parallel_region());
+              inner_calls += static_cast<int>(e - b);
+            });
+      });
+  EXPECT_EQ(inner_calls.load(), 10000);
+}
+
+TEST(ParallelForTest, FirstChunkExceptionPropagatesToCaller) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(4);
+  EXPECT_THROW(
+      support::parallel_for_chunks(
+          100000,
+          [&](std::size_t chunk, std::size_t, std::size_t) {
+            if (chunk % 2 == 1)
+              throw std::invalid_argument("chunk failure " +
+                                          std::to_string(chunk));
+          }),
+      std::invalid_argument);
+  // The pool survives an exceptional region.
+  std::atomic<int> calls{0};
+  support::parallel_for(1000, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1000);
+}
+
+TEST(ParallelReduceTest, CombinesInChunkOrder) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(4);
+  // Concatenation is non-commutative, so any out-of-order combine changes
+  // the string.
+  const std::string combined = support::parallel_reduce<std::string>(
+      10000, std::string(),
+      [](std::size_t chunk, std::size_t, std::size_t) {
+        return std::to_string(chunk) + ";";
+      },
+      [](std::string acc, std::string part) { return acc + part; });
+  const ChunkPlan plan = support::plan_chunks(10000);
+  std::string expected;
+  for (std::size_t c = 0; c < plan.count; ++c)
+    expected += std::to_string(c) + ";";
+  EXPECT_EQ(combined, expected);
+}
+
+TEST(ParallelReduceTest, IntegerSumMatchesSerial) {
+  PoolSizeGuard guard;
+  support::set_pool_thread_count(8);
+  const std::size_t n = 123457;
+  const std::uint64_t sum = support::parallel_reduce<std::uint64_t>(
+      n, 0ull,
+      [](std::size_t, std::size_t begin, std::size_t end) {
+        std::uint64_t s = 0;
+        for (std::size_t i = begin; i < end; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t acc, std::uint64_t p) { return acc + p; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+// ------------------------------------------- thread-count invariance: paths
+
+TEST(ThreadInvarianceTest, CollectUniformIsByteIdentical) {
+  Rng setup(7);
+  const puf::XorArbiterPuf puf =
+      puf::XorArbiterPuf::independent(32, 3, 0.0, setup);
+  expect_identical_across_thread_counts([&] {
+    Rng rng(123);
+    const puf::CrpSet set = puf::CrpSet::collect_uniform(puf, 20000, rng);
+    return std::make_pair(set.challenges(), set.responses());
+  });
+}
+
+TEST(ThreadInvarianceTest, CollectNoisyIsByteIdentical) {
+  Rng setup(7);
+  const puf::ArbiterPuf puf(32, 0.05, setup);
+  expect_identical_across_thread_counts([&] {
+    Rng rng(321);
+    const puf::CrpSet set = puf::CrpSet::collect_noisy(puf, 20000, rng);
+    return std::make_pair(set.challenges(), set.responses());
+  });
+}
+
+TEST(ThreadInvarianceTest, CollectStableIsByteIdentical) {
+  Rng setup(7);
+  const puf::ArbiterPuf puf(32, 0.08, setup);
+  expect_identical_across_thread_counts([&] {
+    Rng rng(55);
+    const puf::CrpSet set = puf::CrpSet::collect_stable(puf, 5000, 5, rng);
+    return std::make_pair(set.challenges(), set.responses());
+  });
+}
+
+TEST(ThreadInvarianceTest, CallerRngAdvancesExactlyOneDraw) {
+  Rng setup(7);
+  const puf::ArbiterPuf puf(16, 0.0, setup);
+  Rng expected(99);
+  (void)expected();  // the one seed draw the collector takes
+  Rng rng(99);
+  (void)puf::CrpSet::collect_uniform(puf, 10000, rng);
+  EXPECT_EQ(rng(), expected());
+}
+
+TEST(ThreadInvarianceTest, PooledWhtIsByteIdentical) {
+  // n = 14 crosses the pooled-WHT row threshold (2^14 rows).
+  Rng rng(5);
+  boolfn::TruthTable tt(14);
+  for (std::uint64_t row = 0; row < tt.num_rows(); ++row)
+    tt.set(row, rng.coin() ? 1 : -1);
+  expect_identical_across_thread_counts(
+      [&] { return boolfn::FourierSpectrum::of(tt).coefficients(); });
+}
+
+TEST(ThreadInvarianceTest, TruncatedSignIsByteIdentical) {
+  Rng rng(6);
+  boolfn::TruthTable tt(14);
+  for (std::uint64_t row = 0; row < tt.num_rows(); ++row)
+    tt.set(row, rng.coin() ? 1 : -1);
+  const auto spectrum = boolfn::FourierSpectrum::of(tt);
+  expect_identical_across_thread_counts([&] {
+    const boolfn::TruthTable truncated = spectrum.truncated_sign(2);
+    std::vector<int> values(truncated.num_rows());
+    for (std::uint64_t row = 0; row < truncated.num_rows(); ++row)
+      values[row] = truncated.at(row);
+    return values;
+  });
+}
+
+TEST(ThreadInvarianceTest, EstimateCoefficientsIsByteIdentical) {
+  Rng setup(8);
+  const puf::ArbiterPuf puf(16, 0.0, setup);
+  std::vector<BitVec> subsets;
+  for (const auto& s : support::subsets_up_to_size(16, 2))
+    subsets.push_back(support::subset_mask(16, s));
+  expect_identical_across_thread_counts([&] {
+    Rng rng(77);
+    return boolfn::estimate_coefficients(puf, subsets, 20000, rng);
+  });
+}
+
+TEST(ThreadInvarianceTest, EstimateFromDataIsByteIdentical) {
+  Rng setup(8);
+  const puf::ArbiterPuf puf(16, 0.0, setup);
+  Rng rng(78);
+  const puf::CrpSet crps = puf::CrpSet::collect_uniform(puf, 20000, rng);
+  std::vector<BitVec> subsets;
+  for (const auto& s : support::subsets_up_to_size(16, 2))
+    subsets.push_back(support::subset_mask(16, s));
+  expect_identical_across_thread_counts([&] {
+    return boolfn::estimate_coefficients_from_data(crps.challenges(),
+                                                   crps.responses(), subsets);
+  });
+}
+
+TEST(ThreadInvarianceTest, AccuracyIsByteIdentical) {
+  Rng setup(9);
+  const puf::ArbiterPuf puf(32, 0.0, setup);
+  Rng noisy_setup(10);
+  const puf::ArbiterPuf other(32, 0.0, noisy_setup);
+  Rng rng(11);
+  const puf::CrpSet set = puf::CrpSet::collect_uniform(puf, 50000, rng);
+  expect_identical_across_thread_counts(
+      [&] { return set.accuracy_of(other); });
+}
+
+TEST(ThreadInvarianceTest, PufMetricsAreByteIdentical) {
+  Rng setup(12);
+  const puf::ArbiterPuf a(32, 0.05, setup);
+  const puf::ArbiterPuf b(32, 0.05, setup);
+  const puf::ArbiterPuf c(32, 0.05, setup);
+  const std::vector<const puf::Puf*> instances{&a, &b, &c};
+  expect_identical_across_thread_counts([&] {
+    Rng rng(13);
+    std::vector<double> out;
+    out.push_back(puf::uniformity(a, 20000, rng));
+    out.push_back(puf::reliability(a, 5000, 5, rng));
+    out.push_back(puf::uniqueness(instances, 10000, rng));
+    out.push_back(puf::expected_bias(a, 20000, rng));
+    return out;
+  });
+}
+
+}  // namespace
