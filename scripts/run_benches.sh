@@ -8,6 +8,13 @@
 # validator rejects. Used by the `bench_smoke` ctest target; also runnable
 # by hand, e.g.:
 #   sh scripts/run_benches.sh build/bench build/bench/check_bench_json /tmp/bj
+#
+# Baseline comparison: when PITFALLS_BENCH_BASELINE names a directory
+# holding BENCH_<name>.json files from an earlier run, every matching bench
+# is additionally diffed with scripts/compare_bench.py and a p50 regression
+# beyond PITFALLS_BENCH_THRESHOLD (default 0.5 — smoke runs are noisy)
+# fails the script. Absent baseline files and a missing python3 are skipped
+# with a notice, never an error.
 set -eu
 
 if [ "$#" -lt 2 ]; then
@@ -22,7 +29,12 @@ out_dir=${3:-bench_json}
 mkdir -p "$out_dir"
 
 BENCHES="table1_bounds table2_chow table3_halfspace lmn_xorpuf \
-mq_learnpoly lstar_fsm online_to_pac feasibility micro_kernels"
+mq_learnpoly lstar_fsm online_to_pac feasibility micro_kernels \
+noise_tolerance pitfall_audit"
+
+script_dir=$(dirname "$0")
+baseline_dir=${PITFALLS_BENCH_BASELINE:-}
+threshold=${PITFALLS_BENCH_THRESHOLD:-0.5}
 
 status=0
 json_files=""
@@ -47,6 +59,20 @@ for name in $BENCHES; do
     continue
   fi
   json_files="$json_files $json"
+
+  # Satellite regression gate: diff against the baseline run if one exists.
+  if [ -n "$baseline_dir" ]; then
+    baseline="$baseline_dir/BENCH_$name.json"
+    if [ ! -f "$baseline" ]; then
+      echo "run_benches: no baseline for bench_$name (skipping compare)"
+    elif ! command -v python3 > /dev/null 2>&1; then
+      echo "run_benches: python3 unavailable, skipping baseline compare"
+    elif ! python3 "$script_dir/compare_bench.py" "$baseline" "$json" \
+        --threshold "$threshold"; then
+      echo "run_benches: bench_$name regressed vs $baseline" >&2
+      status=1
+    fi
+  fi
 done
 
 if [ -n "$json_files" ]; then

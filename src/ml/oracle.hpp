@@ -91,17 +91,24 @@ class EquivalenceOracle {
 
   std::size_t calls() const { return calls_; }
 
+  /// Calls since construction, unaffected by reset_calls() — the reset
+  /// symmetry with MembershipOracle::lifetime_queries().
+  std::size_t lifetime_calls() const { return lifetime_calls_; }
+
   /// Per-phase reset, mirroring MembershipOracle::reset_queries().
   void reset_calls() { calls_ = 0; }
 
  protected:
   void count_call() {
-    if (calls_ != std::numeric_limits<std::size_t>::max()) ++calls_;
+    constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+    if (calls_ != kMax) ++calls_;
+    if (lifetime_calls_ != kMax) ++lifetime_calls_;
     counter_->add(1);
   }
 
  private:
   std::size_t calls_ = 0;
+  std::size_t lifetime_calls_ = 0;
   obs::Counter* counter_ =
       &obs::MetricsRegistry::global().counter("oracle.equivalence_calls");
 };

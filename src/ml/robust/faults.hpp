@@ -1,0 +1,123 @@
+// Fault-injection layer for oracle access — the realistic hardware channel
+// of Sections IV–V made explicit. Every learner in src/ml was written
+// against a perfect, unlimited MembershipOracle; real CRP interfaces are
+// noisy (footnote 1's metastability/aging/measurement noise), lossy
+// (transient non-responses) and throttled (lockdown-style lifetime budgets,
+// src/puf/lockdown.hpp). FaultyMembershipOracle decorates any
+// MembershipOracle with exactly those defects so the query-complexity
+// numbers the paper trades in can be measured under the adversary model the
+// hardware actually presents.
+//
+// Determinism contract (DESIGN.md §9): every injected fault is a pure
+// function of (seed, raw query index, challenge), derived through the same
+// SplitMix64 stream construction the parallel layer uses
+// (support::rng_for_chunk). Oracle queries are serial — learners consume
+// answers one at a time — so the fault sequence is byte-identical for every
+// PITFALLS_THREADS value, and identical seeds replay identical fault
+// sequences regardless of what the surrounding code does with the pool.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/oracle.hpp"
+
+namespace pitfalls::ml::robust {
+
+/// Base class for everything the faulty channel can signal.
+class OracleFaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The interface produced no response this round (metastable read-out,
+/// dropped authentication frame). The round still consumed budget; retrying
+/// the same challenge may succeed.
+class TransientFaultError final : public OracleFaultError {
+ public:
+  using OracleFaultError::OracleFaultError;
+};
+
+/// The lifetime query budget is spent — the lockdown tripped. No further
+/// query will ever be answered.
+class QueryBudgetExhaustedError final : public OracleFaultError {
+ public:
+  using OracleFaultError::OracleFaultError;
+};
+
+/// A wall-clock deadline expired mid-learning (thrown by the robust teacher
+/// wrappers, never by FaultyMembershipOracle itself).
+class DeadlineExceededError final : public OracleFaultError {
+ public:
+  using OracleFaultError::OracleFaultError;
+};
+
+struct FaultConfig {
+  /// i.i.d. classification-noise rate η: each answered query flips with
+  /// this probability, independently of everything else.
+  double flip_rate = 0.0;
+
+  /// Probability (per answered query) that a burst fault starts; for the
+  /// next `burst_length` queries every response is flipped — the correlated
+  /// error pattern of supply glitches / temperature steps.
+  double burst_rate = 0.0;
+  std::size_t burst_length = 8;
+
+  /// Challenge-correlated metastability, reusing the PUF noise-channel
+  /// semantics of src/puf/puf.hpp: each challenge carries a fixed latent
+  /// margin |N(0,1)| (derived from its hash), each measurement adds
+  /// N(0, metastable_sigma) noise, and the response flips when the noise
+  /// crosses the margin. Small-margin challenges are persistently
+  /// unstable; large-margin ones are rock solid — unlike flip_rate, the
+  /// error probability is attached to the challenge, not the query.
+  double metastable_sigma = 0.0;
+
+  /// Probability that a query yields no response at all (the round is
+  /// consumed, TransientFaultError is thrown).
+  double drop_rate = 0.0;
+
+  /// Hard lifetime budget on physical queries (lockdown interface). Once
+  /// spent, every query throws QueryBudgetExhaustedError.
+  std::size_t query_budget = std::numeric_limits<std::size_t>::max();
+};
+
+/// Decorator injecting the FaultConfig defects into any MembershipOracle.
+/// All fault events are mirrored into the `robust.faults.*` metrics.
+class FaultyMembershipOracle final : public MembershipOracle {
+ public:
+  FaultyMembershipOracle(MembershipOracle& inner, const FaultConfig& config,
+                         std::uint64_t seed);
+
+  std::size_t num_vars() const override;
+  int query_pm(const BitVec& x) override;
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Physical queries still answerable before the lockdown trips.
+  std::size_t remaining_budget() const;
+
+  /// Raw (attempted) physical queries, including dropped responses.
+  std::size_t raw_queries() const { return raw_queries_; }
+
+  /// Responses flipped by any channel (iid + burst + metastable).
+  std::size_t faults_injected() const { return flips_; }
+  std::size_t responses_dropped() const { return drops_; }
+
+ private:
+  MembershipOracle* inner_;
+  FaultConfig config_;
+  std::uint64_t seed_;
+  std::uint64_t margin_seed_;
+  std::size_t raw_queries_ = 0;
+  std::size_t burst_remaining_ = 0;
+  std::size_t flips_ = 0;
+  std::size_t drops_ = 0;
+  obs::Counter* flip_counter_;
+  obs::Counter* burst_counter_;
+  obs::Counter* metastable_counter_;
+  obs::Counter* drop_counter_;
+  obs::Counter* budget_counter_;
+};
+
+}  // namespace pitfalls::ml::robust

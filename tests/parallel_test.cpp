@@ -15,6 +15,7 @@
 
 #include "boolfn/fourier.hpp"
 #include "boolfn/truth_table.hpp"
+#include "obs/metrics.hpp"
 #include "puf/arbiter.hpp"
 #include "puf/crp.hpp"
 #include "puf/metrics.hpp"
@@ -238,6 +239,39 @@ TEST(ThreadInvarianceTest, CollectStableIsByteIdentical) {
     const puf::CrpSet set = puf::CrpSet::collect_stable(puf, 5000, 5, rng);
     return std::make_pair(set.challenges(), set.responses());
   });
+}
+
+TEST(ThreadInvarianceTest, CollectStableRejectionAccountingIsByteIdentical) {
+  // The unstable-challenge rejection tally feeds the global
+  // "puf.crp.unstable_rejected" counter from inside pooled chunks; the delta
+  // booked per collection must not depend on the thread count.
+  Rng setup(7);
+  const puf::ArbiterPuf puf(32, 0.3, setup);
+  auto& counter =
+      obs::MetricsRegistry::global().counter("puf.crp.unstable_rejected");
+  expect_identical_across_thread_counts([&] {
+    Rng rng(77);
+    const std::uint64_t before = counter.value();
+    const puf::CrpSet set = puf::CrpSet::collect_stable(puf, 500, 9, rng);
+    const std::uint64_t rejected = counter.value() - before;
+    EXPECT_GT(rejected, 0u);  // sigma 0.3 must reject some challenges
+    return std::make_pair(rejected, set.challenges());
+  });
+}
+
+TEST(ThreadInvarianceTest, CollectStableGuardTripsUnderThePool) {
+  // Hopeless noise (tiny weights, huge sigma): the collector's progress
+  // guard must trip with the configuration error, not hang or deadlock,
+  // even when the rejection loop runs across pooled chunks.
+  const puf::ArbiterPuf puf({1e-9, 1e-9, 1e-9}, 100.0);
+  PoolSizeGuard guard;
+  for (const std::size_t threads : {1, 4, 8}) {
+    support::set_pool_thread_count(threads);
+    Rng rng(13);
+    EXPECT_THROW((void)puf::CrpSet::collect_stable(puf, 100, 25, rng),
+                 std::invalid_argument)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ThreadInvarianceTest, CallerRngAdvancesExactlyOneDraw) {
