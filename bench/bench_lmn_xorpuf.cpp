@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
         total += lmn_accuracy(puf, 2, samples, learn);
       }
       table.add_row({std::to_string(k), "2", std::to_string(samples),
-                     Table::fmt(100.0 * total / repeats, 1)});
+                     Table::fmt(100.0 * total / static_cast<double>(repeats), 1)});
     }
     reporter.print(
         std::cout, table,
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
         total += lmn_accuracy(puf, 2, samples, learn);
       }
       table.add_row({std::to_string(k), "2", std::to_string(samples),
-                     Table::fmt(100.0 * total / repeats, 1)});
+                     Table::fmt(100.0 * total / static_cast<double>(repeats), 1)});
     }
     reporter.print(
         std::cout, table,

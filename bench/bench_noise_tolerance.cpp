@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
           labels.push_back(noisy);
           challenges.push_back(std::move(x));
         }
-        label_err += static_cast<double>(mislabeled) / samples;
+        label_err += static_cast<double>(mislabeled) / static_cast<double>(samples);
 
         // LMN from the noisy data.
         const ml::LmnLearner lmn({.degree = 2, .prune_below = 0.0});
@@ -123,9 +123,9 @@ int main(int argc, char** argv) {
         perc_acc += ideal_accuracy(model, ideal);
       }
       table.add_row({Table::fmt(sigma, 2),
-                     Table::fmt(100.0 * label_err / repeats, 1),
-                     Table::fmt(100.0 * lmn_acc / repeats, 1),
-                     Table::fmt(100.0 * perc_acc / repeats, 1)});
+                     Table::fmt(100.0 * label_err / static_cast<double>(repeats), 1),
+                     Table::fmt(100.0 * lmn_acc / static_cast<double>(repeats), 1),
+                     Table::fmt(100.0 * perc_acc / static_cast<double>(repeats), 1)});
     }
     reporter.print(std::cout, table,
                    "-- attribute noise (one noisy measurement per label) --");

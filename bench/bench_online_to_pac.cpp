@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
         }
         table.add_row({std::to_string(n), std::to_string(r),
                        std::to_string(learner.mistakes()),
-                       Table::fmt(r * std::log2(static_cast<double>(n)), 1)});
+                       Table::fmt(static_cast<double>(r) * std::log2(static_cast<double>(n)), 1)});
       }
     }
     reporter.print(std::cout, table,

@@ -83,9 +83,9 @@ int main(int argc, char** argv) {
       agree_total += eval.accuracy_of(f_prime);
     }
     table.add_row({std::to_string(n), std::to_string(paper_crps(n)),
-                   Table::fmt(100.0 * far_total / repeats, 0),
+                   Table::fmt(100.0 * far_total / static_cast<double>(repeats), 0),
                    accepted_any ? "close to a halfspace" : "NOT a halfspace",
-                   Table::fmt(100.0 * agree_total / repeats, 1)});
+                   Table::fmt(100.0 * agree_total / static_cast<double>(repeats), 1)});
   }
   reporter.print(std::cout, table);
 

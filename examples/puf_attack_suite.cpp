@@ -96,7 +96,8 @@ int main() {
       if (result.polynomial.eval_pm(x) == target.eval_pm(x)) ++agree;
     }
     std::cout << "ANF interpolation with " << result.membership_queries
-              << " chosen challenges: " << 100.0 * agree / 5000.0
+              << " chosen challenges: "
+              << 100.0 * static_cast<double>(agree) / 5000.0
               << "% accuracy on a 3-XOR PUF.\n"
               << "Any analysis that assumed 'random CRPs only' missed this\n"
               << "attacker entirely (Corollary 2).\n\n";

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Build the whole tree under UndefinedBehaviorSanitizer and run the full
+# ctest suite. The build uses -fno-sanitize-recover=all, so ANY UB report
+# (signed overflow, bad shifts, misaligned loads, null deref, ...) aborts
+# the offending test — undefined behaviour cannot pass silently.
+#
+# Usage: check_ubsan.sh [<build-dir>]      (default: build-ubsan)
+#
+# Uses a dedicated build tree configured with -DPITFALLS_SANITIZE=undefined;
+# the regular `build/` tree is left untouched.
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$src_dir/build-ubsan"}
+
+echo "== configure ($build_dir, -DPITFALLS_SANITIZE=undefined) =="
+cmake -B "$build_dir" -S "$src_dir" -DPITFALLS_SANITIZE=undefined
+
+echo "== build =="
+cmake --build "$build_dir" -j
+
+export UBSAN_OPTIONS="print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+
+echo "== ctest (full suite, UBSan) =="
+if ctest --test-dir "$build_dir" --output-on-failure; then
+  echo "check_ubsan: full suite clean under UndefinedBehaviorSanitizer"
+else
+  echo "check_ubsan: FAILED — undefined behaviour or test failure" >&2
+  exit 1
+fi

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Build pitfalls-lint and run it over the determinism-critical trees (src/
+# and bench/). Exits 0 only when there are zero unsuppressed violations —
+# this is the static half of the bit-for-bit reproducibility contract
+# (DESIGN.md §10); check_tsan.sh / check_ubsan.sh are the dynamic half.
+#
+# Usage: run_lint.sh [<build-dir>] [<extra lint roots>...]
+#        (default build dir: build; default roots: src bench)
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$src_dir/build"}
+[ $# -gt 0 ] && shift
+
+echo "== configure + build pitfalls-lint ($build_dir) =="
+cmake -B "$build_dir" -S "$src_dir" >/dev/null
+cmake --build "$build_dir" -j --target pitfalls-lint >/dev/null
+
+if [ $# -gt 0 ]; then
+  roots=$*
+else
+  roots="$src_dir/src $src_dir/bench"
+fi
+
+echo "== pitfalls-lint $roots =="
+# shellcheck disable=SC2086  # roots is a deliberate word-split list
+"$build_dir/tools/lint/pitfalls-lint" $roots

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "support/bitvec.hpp"
+#include "support/require.hpp"
 
 namespace pitfalls::boolfn {
 
@@ -41,7 +42,9 @@ class FunctionView final : public BooleanFunction {
   using Fn = std::function<int(const BitVec&)>;
 
   FunctionView(std::size_t n, Fn fn, std::string name = "lambda")
-      : n_(n), fn_(std::move(fn)), name_(std::move(name)) {}
+      : n_(n), fn_(std::move(fn)), name_(std::move(name)) {
+    PITFALLS_REQUIRE(fn_ != nullptr, "FunctionView needs a callable");
+  }
 
   std::size_t num_vars() const override { return n_; }
   int eval_pm(const BitVec& x) const override { return fn_(x); }

@@ -50,18 +50,20 @@ std::vector<LearningCurvePoint> learning_curve(
 double mean_of(std::size_t repeats,
                const std::function<double(std::size_t)>& experiment);
 
-/// Wall-clock helper.
+/// Wall-clock helper for reported runtimes (table "seconds" columns and
+/// bench wall_seconds). Diagnostics only — no experiment result may branch
+/// on it, which is why these reads carry lint:wallclock-ok.
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}  // lint:wallclock-ok
   double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
+    return std::chrono::duration<double>(  // lint:wallclock-ok
+               std::chrono::steady_clock::now() - start_)  // lint:wallclock-ok
         .count();
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point start_;  // lint:wallclock-ok
 };
 
 }  // namespace pitfalls::core

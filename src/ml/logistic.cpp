@@ -32,11 +32,14 @@ LogisticResult LogisticRegression::fit(
   double loss = 0.0;
   std::size_t iter = 0;
   bool deadline_hit = false;
-  const auto fit_start = std::chrono::steady_clock::now();
+  // Wall-clock budget: max_seconds models the attacker's real time limit, so
+  // this read is intentionally nondeterministic (same contract as
+  // robust::Deadline).
+  const auto fit_start = std::chrono::steady_clock::now();  // lint:wallclock-ok
   for (; iter < config_.max_iters; ++iter) {
     if (config_.max_seconds != std::numeric_limits<double>::infinity() &&
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      fit_start)
+        std::chrono::duration<double>(  // lint:wallclock-ok
+            std::chrono::steady_clock::now() - fit_start)
                 .count() >= config_.max_seconds) {
       deadline_hit = true;
       break;

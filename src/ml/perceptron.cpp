@@ -34,12 +34,15 @@ PerceptronResult Perceptron::fit(const std::vector<std::vector<double>>& X,
   std::vector<std::size_t> order(X.size());
   std::iota(order.begin(), order.end(), 0);
 
-  const auto start = std::chrono::steady_clock::now();
+  // Wall-clock budget: max_seconds models the attacker's real time limit, so
+  // this read is intentionally nondeterministic (same contract as
+  // robust::Deadline).
+  const auto start = std::chrono::steady_clock::now();  // lint:wallclock-ok
   const auto past_deadline = [&] {
     return config_.max_seconds !=
                std::numeric_limits<double>::infinity() &&
-           std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
+           std::chrono::duration<double>(  // lint:wallclock-ok
+               std::chrono::steady_clock::now() - start)
                    .count() >= config_.max_seconds;
   };
 

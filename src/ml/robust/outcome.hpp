@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 
+#include "support/require.hpp"
+
 namespace pitfalls::ml::robust {
 
 enum class LearnStatus {
@@ -61,15 +63,23 @@ struct LearnOutcome {
 
 /// Wall-clock deadline with an "infinite" default. Also models iteration
 /// caps' sibling: robust wrappers check it at every loop boundary.
+///
+/// This is the one deliberate wall-clock dependency outside src/obs: a
+/// deadline_exceeded outcome is MEANT to depend on real time (the paper's
+/// realistic attacker has a time budget), so these reads carry
+/// lint:wallclock-ok rather than being routed through an injected clock.
 class Deadline {
  public:
   explicit Deadline(
       double seconds = std::numeric_limits<double>::infinity())
-      : seconds_(seconds), start_(std::chrono::steady_clock::now()) {}
+      : seconds_(seconds),
+        start_(std::chrono::steady_clock::now()) {  // lint:wallclock-ok
+    PITFALLS_REQUIRE(seconds_ >= 0.0, "deadline seconds must be >= 0");
+  }
 
   double elapsed_seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
+    return std::chrono::duration<double>(  // lint:wallclock-ok
+               std::chrono::steady_clock::now() - start_)  // lint:wallclock-ok
         .count();
   }
   bool expired() const {
@@ -86,7 +96,7 @@ class Deadline {
 
  private:
   double seconds_;
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point start_;  // lint:wallclock-ok
 };
 
 }  // namespace pitfalls::ml::robust

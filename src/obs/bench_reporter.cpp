@@ -5,11 +5,15 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/require.hpp"
 
 namespace pitfalls::obs {
 
 BenchReporter::BenchReporter(std::string name, int argc, char** argv)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  PITFALLS_REQUIRE(!name_.empty(), "bench reporter needs a bench name");
+  PITFALLS_REQUIRE(argc == 0 || argv != nullptr,
+                   "argv must be non-null when argc > 0");
   const std::string default_path = "BENCH_" + name_ + ".json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];

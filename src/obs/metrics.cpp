@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/require.hpp"
 
 namespace pitfalls::obs {
 
@@ -47,6 +48,7 @@ HistogramSummary Histogram::summary() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  PITFALLS_REQUIRE(!name.empty(), "metric name must be non-empty");
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -54,6 +56,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  PITFALLS_REQUIRE(!name.empty(), "metric name must be non-empty");
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -61,6 +64,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  PITFALLS_REQUIRE(!name.empty(), "metric name must be non-empty");
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();

@@ -121,7 +121,8 @@ TEST_P(FourierProperty, WhtMatchesNaiveDefinition) {
       const int chi = (std::popcount(row & mask) & 1) ? -1 : +1;
       sum += t.at(row) * chi;
     }
-    EXPECT_NEAR(spec.coefficient(mask), sum / t.num_rows(), 1e-12);
+    EXPECT_NEAR(spec.coefficient(mask),
+                sum / static_cast<double>(t.num_rows()), 1e-12);
   }
 }
 

@@ -154,7 +154,7 @@ TEST(Integration, MembershipQueriesLearnXorOfNearJuntaChains) {
     for (std::size_t b = 0; b < n; ++b) x.set(b, eval.coin());
     if (result.polynomial.eval_pm(x) == target.eval_pm(x)) ++agree;
   }
-  EXPECT_GT(agree / 4000.0, 0.95);
+  EXPECT_GT(static_cast<double>(agree) / 4000.0, 0.95);
   EXPECT_EQ(result.membership_queries,
             pitfalls::support::binomial_sum(n, 4));
 }

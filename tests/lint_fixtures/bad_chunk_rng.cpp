@@ -1,0 +1,19 @@
+// Fixture: one Rng& shared across parallel chunks — thread-count-dependent
+// draw order, the exact bug the chunk-rng rule exists to catch.
+#include <cstddef>
+#include <vector>
+
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+double noisy_sum(std::size_t n, pitfalls::support::Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  pitfalls::support::parallel_for_chunks(
+      n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        for (std::size_t i = begin; i < end; ++i) out[i] = rng.gaussian();
+      });
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  return sum;
+}

@@ -1,0 +1,9 @@
+// Fixture: public header with a parameterised API and no PITFALLS_REQUIRE
+// contract anywhere in the header or a sibling .cpp.
+#pragma once
+
+namespace fixture {
+
+double interpolate(double lo, double hi, double t);
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: hash-order iteration leaking into output.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+std::size_t total(const std::unordered_map<std::string, std::size_t>& counts) {
+  std::size_t sum = 0;
+  for (const auto& kv : counts) sum += kv.second;  // line 8: ordered violation
+  return sum;
+}

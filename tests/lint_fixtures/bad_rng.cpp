@@ -1,0 +1,10 @@
+// Fixture: raw standard-library RNG use outside src/support/rng.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;          // line 6: rng violation
+  std::mt19937 gen(rd());         // line 7: rng violation
+  srand(42);                      // line 8: rng violation
+  return rand() % 10;             // line 9: rng violation
+}

@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in result-affecting code outside src/obs.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t stamp() {
+  const auto now = std::chrono::steady_clock::now();  // line 6: wallclock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(  // line 7
+             now.time_since_epoch())
+      .count();
+}

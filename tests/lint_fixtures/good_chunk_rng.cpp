@@ -1,0 +1,19 @@
+// Fixture: each chunk derives its own stream with rng_for_chunk — draws are
+// a pure function of (seed, chunk), independent of PITFALLS_THREADS.
+#include <cstddef>
+#include <vector>
+
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+double noisy_sum(std::size_t n, std::uint64_t seed) {
+  std::vector<double> out(n, 0.0);
+  pitfalls::support::parallel_for_chunks(
+      n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto rng = pitfalls::support::rng_for_chunk(seed, chunk);
+        for (std::size_t i = begin; i < end; ++i) out[i] = rng.gaussian();
+      });
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  return sum;
+}

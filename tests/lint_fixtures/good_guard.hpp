@@ -1,0 +1,13 @@
+// Fixture: parameterised API guarded in the header itself.
+#pragma once
+
+#include "support/require.hpp"
+
+namespace fixture {
+
+inline double clamp01(double t) {
+  PITFALLS_REQUIRE(t == t, "t must not be NaN");
+  return t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+}
+
+}  // namespace fixture

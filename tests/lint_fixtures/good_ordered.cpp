@@ -1,0 +1,9 @@
+// Fixture: unordered_map used for O(1) lookup only — no iteration, so the
+// hash order can never reach an output.
+#include <string>
+#include <unordered_map>
+
+bool contains(const std::unordered_map<std::string, int>& index,
+              const std::string& key) {
+  return index.find(key) != index.end();
+}

@@ -1,0 +1,7 @@
+// Fixture: clean randomness — everything flows through support::Rng, and
+// prose mentions of std::mt19937 or rand() live in comments/strings only.
+#include "support/rng.hpp"
+
+const char* kDoc = "never call rand() or std::random_device directly";
+
+double draw(pitfalls::support::Rng& rng) { return rng.uniform01(); }

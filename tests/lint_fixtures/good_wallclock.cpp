@@ -1,0 +1,2 @@
+// Fixture: no time dependence at all — pure arithmetic.
+int add(int a, int b) { return a + b; }

@@ -1,0 +1,14 @@
+// Fixture: sibling implementation carrying the PITFALLS_REQUIRE guard for
+// the API declared in sibling_guard.hpp.
+#include "sibling_guard.hpp"
+
+#include "support/require.hpp"
+
+namespace fixture {
+
+double scale(double value, double factor) {
+  PITFALLS_REQUIRE(factor > 0.0, "factor must be positive");
+  return value * factor;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: the declaration lives here, the contract lives in the sibling
+// .cpp — the require-guard rule must look across the file pair.
+#pragma once
+
+namespace fixture {
+
+double scale(double value, double factor);
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every would-be violation below carries an audited suppression —
+// the file must lint clean. Exercises both same-line and line-above tags.
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {  // lint:wallclock-ok
+  const auto now = std::chrono::steady_clock::now();  // lint:wallclock-ok
+  // lint:wallclock-ok — line-above form covers the next line.
+  return std::chrono::duration<double>(now - t0).count();
+}
+
+std::size_t total(const std::unordered_map<std::string, std::size_t>& counts) {
+  std::size_t sum = 0;
+  for (const auto& kv : counts) sum += kv.second;  // lint:ordered-ok
+  return sum;
+}

@@ -1,0 +1,239 @@
+// Tests for pitfalls-lint: the stripper, each rule against known-good and
+// known-bad fixtures under tests/lint_fixtures/, suppression handling, and
+// the cross-file behaviours (sibling guards, header-scoped container names).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+using pitfalls::lint::SourceFile;
+using pitfalls::lint::Violation;
+using pitfalls::lint::load_file;
+using pitfalls::lint::run_lint;
+using pitfalls::lint::strip_comments_and_strings;
+
+std::string fixture(const std::string& name) {
+  return std::string(LINT_FIXTURES_DIR) + "/" + name;
+}
+
+std::vector<Violation> lint_fixture(const std::string& name) {
+  return run_lint({load_file(fixture(name))});
+}
+
+std::vector<std::size_t> lines_of(const std::vector<Violation>& vs,
+                                  const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const auto& v : vs)
+    if (v.rule == rule) lines.push_back(v.line);
+  return lines;
+}
+
+// ------------------------------------------------------------- stripper
+
+TEST(LintStrip, RemovesLineAndBlockComments) {
+  const std::string out = strip_comments_and_strings(
+      "int a; // std::mt19937 here\nint b; /* rand() */ int c;\n");
+  EXPECT_EQ(out.find("mt19937"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(LintStrip, PreservesLineStructure) {
+  const std::string src = "a /* multi\nline\ncomment */ b\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));
+}
+
+TEST(LintStrip, BlanksStringAndCharLiterals) {
+  const std::string out = strip_comments_and_strings(
+      "const char* s = \"std::chrono inside\"; char c = 'x';\n");
+  EXPECT_EQ(out.find("chrono"), std::string::npos);
+  EXPECT_EQ(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("const char* s ="), std::string::npos);
+}
+
+TEST(LintStrip, HandlesEscapesAndRawStrings) {
+  EXPECT_EQ(strip_comments_and_strings("auto s = \"a\\\"rand()\\\"b\";\n")
+                .find("rand"),
+            std::string::npos);
+  EXPECT_EQ(strip_comments_and_strings("auto r = R\"(std::mt19937 \" ')\";\n")
+                .find("mt19937"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(LintRng, FlagsEveryRawPrimitive) {
+  EXPECT_EQ(lines_of(lint_fixture("bad_rng.cpp"), "rng"),
+            (std::vector<std::size_t>{6, 7, 8, 9}));
+}
+
+TEST(LintRng, CleanFileWithProseOnlyMentionsPasses) {
+  EXPECT_TRUE(lint_fixture("good_rng.cpp").empty());
+}
+
+TEST(LintRng, ExemptsTheRngWrapperItself) {
+  const SourceFile f{"src/support/rng.hpp",
+                     "#include <random>\nstd::mt19937_64 engine_;\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+// ------------------------------------------------------------ wallclock
+
+TEST(LintWallclock, FlagsChronoReads) {
+  EXPECT_EQ(lines_of(lint_fixture("bad_wallclock.cpp"), "wallclock"),
+            (std::vector<std::size_t>{6, 7}));
+}
+
+TEST(LintWallclock, CleanFilePasses) {
+  EXPECT_TRUE(lint_fixture("good_wallclock.cpp").empty());
+}
+
+TEST(LintWallclock, ExemptsObsLayer) {
+  const SourceFile f{"src/obs/timer.cpp",
+                     "#include <chrono>\nauto t = "
+                     "std::chrono::steady_clock::now();\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+// -------------------------------------------------------------- ordered
+
+TEST(LintOrdered, FlagsRangeForOverUnorderedContainer) {
+  EXPECT_EQ(lines_of(lint_fixture("bad_ordered.cpp"), "ordered"),
+            (std::vector<std::size_t>{8}));
+}
+
+TEST(LintOrdered, LookupOnlyUsePasses) {
+  EXPECT_TRUE(lint_fixture("good_ordered.cpp").empty());
+}
+
+TEST(LintOrdered, HeaderDeclaredNamesAreVisibleAcrossFiles) {
+  // The member is declared unordered in the header; a .cpp iterating over it
+  // must still be flagged even though the .cpp never names the type.
+  const SourceFile hdr{"src/x/reg.hpp",
+                       "#include <unordered_map>\n"
+                       "struct Reg {\n"
+                       "  std::unordered_map<int, int> table_;\n"
+                       "};\n"};
+  const SourceFile cpp{"src/x/reg.cpp",
+                       "#include \"reg.hpp\"\n"
+                       "int f(Reg& r) {\n"
+                       "  int s = 0;\n"
+                       "  for (auto& kv : r.table_) s += kv.second;\n"
+                       "  return s;\n"
+                       "}\n"};
+  const auto vs = run_lint({hdr, cpp});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "ordered");
+  EXPECT_EQ(vs[0].file, "src/x/reg.cpp");
+  EXPECT_EQ(vs[0].line, 4u);
+}
+
+// ------------------------------------------------------------ chunk-rng
+
+TEST(LintChunkRng, FlagsSharedRngAcrossChunks) {
+  const auto lines = lines_of(lint_fixture("bad_chunk_rng.cpp"), "chunk-rng");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 11u);  // the parallel_for_chunks callsite
+}
+
+TEST(LintChunkRng, PerChunkStreamPasses) {
+  EXPECT_TRUE(lint_fixture("good_chunk_rng.cpp").empty());
+}
+
+TEST(LintChunkRng, ParallelRegionWithoutRandomnessPasses) {
+  const SourceFile f{"src/x/sum.cpp",
+                     "double f(std::size_t n) {\n"
+                     "  return pitfalls::support::parallel_reduce(\n"
+                     "      n, 0.0, [](std::size_t i) { return double(i); },\n"
+                     "      [](double a, double b) { return a + b; });\n"
+                     "}\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+// -------------------------------------------------------- require-guard
+
+TEST(LintGuard, FlagsUnguardedPublicHeader) {
+  const auto vs = lint_fixture("bad_guard.hpp");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "require-guard");
+  EXPECT_EQ(vs[0].line, 7u);  // the interpolate() declaration
+}
+
+TEST(LintGuard, GuardInHeaderPasses) {
+  EXPECT_TRUE(lint_fixture("good_guard.hpp").empty());
+}
+
+TEST(LintGuard, GuardInSiblingCppPasses) {
+  // Scanned together, the .cpp's PITFALLS_REQUIRE covers the header.
+  const auto vs = run_lint({load_file(fixture("sibling_guard.hpp")),
+                            load_file(fixture("sibling_guard.cpp"))});
+  EXPECT_TRUE(vs.empty());
+  // Scanned alone, the header is unguarded and must be flagged.
+  EXPECT_EQ(lines_of(lint_fixture("sibling_guard.hpp"), "require-guard"),
+            (std::vector<std::size_t>{7}));
+}
+
+// ---------------------------------------------------------- suppression
+
+TEST(LintSuppression, SameLineAndLineAboveTagsSilenceRules) {
+  EXPECT_TRUE(lint_fixture("suppressed.cpp").empty());
+}
+
+TEST(LintSuppression, TagIsPerRule) {
+  // An ordered-ok tag must NOT silence a wallclock finding on the same line.
+  const SourceFile f{"src/x/t.cpp",
+                     "#include <chrono>\n"
+                     "auto t = std::chrono::steady_clock::now();"
+                     "  // lint:ordered-ok\n"};
+  const auto vs = run_lint({f});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "wallclock");
+}
+
+TEST(LintSuppression, TagTwoLinesAboveDoesNotApply) {
+  const SourceFile f{"src/x/t.cpp",
+                     "// lint:wallclock-ok\n"
+                     "int unrelated;\n"
+                     "#include <chrono>\n"
+                     "auto t = std::chrono::steady_clock::now();\n"};
+  const auto vs = run_lint({f});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 4u);
+}
+
+// ------------------------------------------------------------ machinery
+
+TEST(LintApi, ViolationsAreSortedAndRulesEnumerated) {
+  const auto vs = run_lint({load_file(fixture("bad_wallclock.cpp")),
+                            load_file(fixture("bad_rng.cpp"))});
+  ASSERT_GE(vs.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(vs.begin(), vs.end(),
+                             [](const Violation& a, const Violation& b) {
+                               return std::tie(a.file, a.line, a.rule) <
+                                      std::tie(b.file, b.line, b.rule);
+                             }));
+  const auto names = pitfalls::lint::rule_names();
+  for (const char* r :
+       {"rng", "wallclock", "ordered", "chunk-rng", "require-guard"})
+    EXPECT_NE(std::find(names.begin(), names.end(), r), names.end())
+        << "missing rule " << r;
+}
+
+TEST(LintApi, CollectSourcesFindsAllFixtures) {
+  const auto paths =
+      pitfalls::lint::collect_sources({std::string(LINT_FIXTURES_DIR)});
+  EXPECT_GE(paths.size(), 13u);
+  EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+}
+
+}  // namespace

@@ -193,7 +193,7 @@ TEST(SparsePolyLearner, ApproximateWithSampledEq) {
     for (std::size_t b = 0; b < 16; ++b) x.set(b, rng.coin());
     if (target.eval_f2(x) == result.hypothesis.eval_f2(x)) ++agree;
   }
-  EXPECT_GT(agree / 4000.0, 0.97);
+  EXPECT_GT(static_cast<double>(agree) / 4000.0, 0.97);
 }
 
 TEST(SparsePolyLearner, RefusesOversizedMinimalPoints) {
@@ -308,7 +308,7 @@ TEST(JuntaLearner, NearJuntaLtfChainsAreLearnable) {
     for (std::size_t b = 0; b < 16; ++b) x.set(b, rng.coin());
     if (h.eval_pm(x) == near_junta.eval_pm(x)) ++agree;
   }
-  EXPECT_GT(agree / 4000.0, 0.9);
+  EXPECT_GT(static_cast<double>(agree) / 4000.0, 0.9);
 }
 
 }  // namespace

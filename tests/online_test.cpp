@@ -57,7 +57,7 @@ TEST(Winnow, LearnsSparseDisjunctionWithFewMistakes) {
     for (std::size_t b = 0; b < n; ++b) x.set(b, rng.bernoulli(0.1));
     if (hypothesis->eval_pm(x) == target.eval_pm(x)) ++agree;
   }
-  EXPECT_GT(agree / 2000.0, 0.97);
+  EXPECT_GT(static_cast<double>(agree) / 2000.0, 0.97);
 }
 
 TEST(Winnow, MistakesScaleWithSparsityNotDimension) {

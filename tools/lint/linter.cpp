@@ -1,0 +1,553 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace pitfalls::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Text plumbing
+// ---------------------------------------------------------------------------
+
+std::string normalize_path(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+// One file prepared for rule matching: stripped lines for the regexes, plus
+// the per-line `lint:<rule>-ok` tags harvested from the raw comments.
+struct FileView {
+  std::string path;  // normalized
+  std::vector<std::string> lines;
+  std::vector<std::set<std::string>> ok_tags;
+  std::string stripped;  // whole stripped text, for cross-line scans
+  bool is_header = false;
+
+  bool suppressed(std::size_t line_index, const std::string& rule) const {
+    if (line_index < ok_tags.size() && ok_tags[line_index].count(rule) != 0)
+      return true;
+    return line_index > 0 && line_index - 1 < ok_tags.size() &&
+           ok_tags[line_index - 1].count(rule) != 0;
+  }
+};
+
+std::vector<std::set<std::string>> harvest_suppressions(
+    const std::vector<std::string>& raw_lines) {
+  static const std::regex kTag("lint:([a-z][a-z-]*)-ok");
+  std::vector<std::set<std::string>> tags(raw_lines.size());
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    auto begin = std::sregex_iterator(raw_lines[i].begin(), raw_lines[i].end(),
+                                      kTag);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+      tags[i].insert((*it)[1].str());
+  }
+  return tags;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Context shared by the rules
+// ---------------------------------------------------------------------------
+
+struct LintContext {
+  std::vector<FileView> files;
+  // Names declared as unordered containers: header declarations are visible
+  // everywhere (members iterated from sibling .cpp files), .cpp declarations
+  // stay file-local so a short name in one TU cannot taint another.
+  std::set<std::string> global_unordered;
+  std::map<std::string, std::set<std::string>> local_unordered;
+  // Normalized paths of files that contain a PITFALLS_REQUIRE/ENSURE.
+  std::set<std::string> guarded_files;
+};
+
+void emit(const FileView& view, std::size_t line_index, const std::string& rule,
+          const std::string& message, std::vector<Violation>& out) {
+  if (view.suppressed(line_index, rule)) return;
+  out.push_back(Violation{view.path, line_index + 1, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: rng — raw RNG primitives outside src/support/rng
+// ---------------------------------------------------------------------------
+
+void check_raw_rng(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/support/rng")) return;
+  static const std::regex kRawRng(
+      "\\b(mt19937(_64)?|random_device|minstd_rand0?|default_random_engine)\\b"
+      "|\\bs?rand\\s*\\(");
+  for (std::size_t i = 0; i < view.lines.size(); ++i) {
+    if (std::regex_search(view.lines[i], kRawRng))
+      emit(view, i, "rng",
+           "raw RNG primitive; every stochastic draw must flow through "
+           "support::Rng (src/support/rng) so experiments replay "
+           "bit-for-bit",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wallclock — time-derived values outside src/obs
+// ---------------------------------------------------------------------------
+
+void check_wallclock(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/obs/")) return;
+  static const std::regex kWallclock(
+      "\\bstd\\s*::\\s*chrono\\b|\\bsteady_clock\\b|\\bsystem_clock\\b"
+      "|\\bhigh_resolution_clock\\b|\\bclock_gettime\\b|\\bgettimeofday\\b"
+      "|\\btimespec_get\\b|\\bstd\\s*::\\s*time\\b|\\bstd\\s*::\\s*clock\\b");
+  for (std::size_t i = 0; i < view.lines.size(); ++i) {
+    if (std::regex_search(view.lines[i], kWallclock))
+      emit(view, i, "wallclock",
+           "wall-clock read outside src/obs; time must never influence a "
+           "result (annotate diagnostics-only timing with "
+           "// lint:wallclock-ok)",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: ordered — iteration over unordered containers
+// ---------------------------------------------------------------------------
+
+// Find the index just past the '>' matching the '<' at `open`. Returns
+// std::string::npos when the angle brackets are unbalanced or interrupted.
+std::size_t match_angle(const std::string& text, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (depth == 0) return std::string::npos;
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{' || c == '}') {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+// Variable (or member) names declared with an unordered container type in
+// this file, including single-line `using X = std::unordered_map<...>`
+// aliases and variables later declared with such an alias.
+std::set<std::string> collect_unordered_names(const std::string& stripped) {
+  std::set<std::string> names;
+  std::set<std::string> alias_types;
+
+  static const std::regex kDecl("\\bunordered_(?:multi)?(?:map|set)\\s*<");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    // `using Alias = std::unordered_map<...>` registers the alias type.
+    {
+      const std::size_t line_start =
+          stripped.rfind('\n', static_cast<std::size_t>(it->position()));
+      const std::size_t from = line_start == std::string::npos ? 0
+                                                               : line_start + 1;
+      const std::string before(stripped, from,
+                               static_cast<std::size_t>(it->position()) - from);
+      static const std::regex kUsing("\\busing\\s+([A-Za-z_]\\w*)\\s*=");
+      std::smatch m;
+      if (std::regex_search(before, m, kUsing)) {
+        alias_types.insert(m[1].str());
+        continue;
+      }
+    }
+    std::size_t pos = match_angle(stripped, open);
+    if (pos == std::string::npos) continue;
+    while (pos < stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(stripped[pos])) != 0 ||
+            stripped[pos] == '&' || stripped[pos] == '*'))
+      ++pos;
+    std::size_t end = pos;
+    while (end < stripped.size() && is_ident_char(stripped[end])) ++end;
+    if (end == pos) continue;
+    // Skip function declarations returning the container.
+    std::size_t after = end;
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after])) != 0)
+      ++after;
+    if (after < stripped.size() && stripped[after] == '(') continue;
+    names.insert(stripped.substr(pos, end - pos));
+  }
+
+  for (const auto& alias : alias_types) {
+    const std::regex var_decl("\\b" + alias + "\\s*[&*]?\\s+([A-Za-z_]\\w*)");
+    auto vb = std::sregex_iterator(stripped.begin(), stripped.end(), var_decl);
+    for (auto it = vb; it != std::sregex_iterator(); ++it)
+      names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+void check_ordered(const LintContext& ctx, const FileView& view,
+                   std::vector<Violation>& out) {
+  std::set<std::string> names = ctx.global_unordered;
+  const auto local = ctx.local_unordered.find(view.path);
+  if (local != ctx.local_unordered.end())
+    names.insert(local->second.begin(), local->second.end());
+  if (names.empty()) return;
+
+  for (const auto& name : names) {
+    const std::regex range_for(
+        "for\\s*\\([^;{}()]*:\\s*[*&]?\\s*(?:[A-Za-z_]\\w*\\s*(?:\\.|->)"
+        "\\s*)*" +
+        name + "\\s*\\)");
+    const std::regex begin_call("\\b" + name +
+                                "\\s*\\.\\s*c?r?begin\\s*\\(");
+    for (std::size_t i = 0; i < view.lines.size(); ++i) {
+      if (std::regex_search(view.lines[i], range_for) ||
+          std::regex_search(view.lines[i], begin_call))
+        emit(view, i, "ordered",
+             "iteration over unordered container '" + name +
+                 "' — hash order is not deterministic across platforms; "
+                 "use an ordered container, sort first, or annotate an "
+                 "order-insensitive use with // lint:ordered-ok",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: chunk-rng — parallel regions must use per-chunk RNG streams
+// ---------------------------------------------------------------------------
+
+// Index just past the ')' matching the '(' at `open`, or npos.
+std::size_t match_paren(const std::string& text, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+void check_chunk_rng(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/support/parallel")) return;
+  static const std::regex kCall(
+      "\\bparallel_(?:for_chunks|reduce|for)\\b");
+  auto begin = std::sregex_iterator(view.stripped.begin(),
+                                    view.stripped.end(), kCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    while (pos < view.stripped.size() &&
+           std::isspace(static_cast<unsigned char>(view.stripped[pos])) != 0)
+      ++pos;
+    if (pos < view.stripped.size() && view.stripped[pos] == '<') {
+      pos = match_angle(view.stripped, pos);
+      if (pos == std::string::npos) continue;
+      while (pos < view.stripped.size() &&
+             std::isspace(static_cast<unsigned char>(view.stripped[pos])) != 0)
+        ++pos;
+    }
+    if (pos >= view.stripped.size() || view.stripped[pos] != '(') continue;
+    const std::size_t close = match_paren(view.stripped, pos);
+    if (close == std::string::npos) continue;
+    const std::string span = view.stripped.substr(pos, close - pos);
+
+    bool uses_rng = false;
+    bool derives_per_chunk = false;
+    static const std::regex kIdent("[A-Za-z_]\\w*");
+    auto tb = std::sregex_iterator(span.begin(), span.end(), kIdent);
+    for (auto tok = tb; tok != std::sregex_iterator(); ++tok) {
+      std::string word = tok->str();
+      if (word == "rng_for_chunk") {
+        derives_per_chunk = true;
+        continue;
+      }
+      std::transform(word.begin(), word.end(), word.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      });
+      if (word.find("rng") != std::string::npos) uses_rng = true;
+    }
+    if (uses_rng && !derives_per_chunk) {
+      const std::size_t line_index = static_cast<std::size_t>(
+          std::count(view.stripped.begin(),
+                     view.stripped.begin() + static_cast<std::ptrdiff_t>(
+                                                 it->position()),
+                     '\n'));
+      emit(view, line_index, "chunk-rng",
+           "parallel region consumes an Rng without deriving a per-chunk "
+           "stream via support::rng_for_chunk(seed, chunk); sharing one "
+           "Rng& across chunks makes results depend on PITFALLS_THREADS",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: require-guard — parameterised public headers carry contracts
+// ---------------------------------------------------------------------------
+
+bool has_parameterised_api(const FileView& view, std::size_t& decl_line) {
+  // A declaration whose parameter list names a fundamental/value type. The
+  // scan runs over the whole stripped text so multi-line declarations count;
+  // [^()]* cannot cross a parenthesis, so a match can never span statements.
+  static const std::regex kDecl(
+      "([A-Za-z_]\\w*)\\s*\\(\\s*[^()]*\\b(?:double|float|bool|int|long|"
+      "unsigned|short|size_t|u?int(?:8|16|32|64)_t|std\\s*::\\s*(?:size_t|"
+      "u?int(?:8|16|32|64)_t|string|vector|function|span|optional))\\b"
+      "[^()]*\\)");
+  static const std::set<std::string> kNotFunctions = {
+      "if",     "while",  "for",           "switch",  "return",
+      "sizeof", "catch",  "alignof",       "decltype", "static_assert",
+      "assert", "define", "static_cast",   "alignas"};
+  auto begin = std::sregex_iterator(view.stripped.begin(),
+                                    view.stripped.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    if (kNotFunctions.count((*it)[1].str()) != 0) continue;
+    decl_line = static_cast<std::size_t>(
+        std::count(view.stripped.begin(),
+                   view.stripped.begin() +
+                       static_cast<std::ptrdiff_t>(it->position()),
+                   '\n'));
+    return true;
+  }
+  return false;
+}
+
+void check_require_guard(const LintContext& ctx, const FileView& view,
+                         std::vector<Violation>& out) {
+  if (!view.is_header) return;
+  if (path_contains(view.path, "detail")) return;
+  if (ctx.guarded_files.count(view.path) != 0) return;
+  // A sibling .cpp (same stem) holding the contracts satisfies the rule.
+  for (const char* ext : {".cpp", ".cc"}) {
+    const std::size_t dot = view.path.rfind('.');
+    if (dot != std::string::npos &&
+        ctx.guarded_files.count(view.path.substr(0, dot) + ext) != 0)
+      return;
+  }
+  std::size_t decl_line = 0;
+  if (!has_parameterised_api(view, decl_line)) return;
+  emit(view, decl_line, "require-guard",
+       "public header declares a parameterised API but neither it nor its "
+       "sibling .cpp contains a PITFALLS_REQUIRE/PITFALLS_ENSURE contract; "
+       "guard the entry points (src/support/require.hpp)",
+       out);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // for raw strings: ")delim\""
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < text.size() && text[p] != '(') delim += text[p++];
+          raw_delim = ")" + delim + "\"";
+          state = State::Raw;
+          out += "  ";
+          for (std::size_t k = i + 2; k <= p && k < text.size(); ++k)
+            out += ' ';
+          i = p;
+        } else if (c == '"') {
+          state = State::String;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::Char;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::String:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::Raw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> rule_names() {
+  return {"rng", "wallclock", "ordered", "chunk-rng", "require-guard"};
+}
+
+bool is_source_file(const std::string& path) {
+  for (const char* ext : {".cpp", ".cc", ".hpp", ".h"}) {
+    const std::string e(ext);
+    if (path.size() > e.size() &&
+        path.compare(path.size() - e.size(), e.size(), e) == 0)
+      return true;
+  }
+  return false;
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::set<std::string> paths;
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && is_source_file(entry.path().string()))
+          paths.insert(entry.path().string());
+      }
+    } else if (fs::is_regular_file(root)) {
+      paths.insert(root);
+    } else {
+      throw std::runtime_error("pitfalls-lint: no such file or directory: " +
+                               root);
+    }
+  }
+  return std::vector<std::string>(paths.begin(), paths.end());
+}
+
+SourceFile load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pitfalls-lint: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SourceFile{path, buffer.str()};
+}
+
+std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
+  LintContext ctx;
+  ctx.files.reserve(files.size());
+  for (const auto& file : files) {
+    FileView view;
+    view.path = normalize_path(file.path);
+    view.stripped = strip_comments_and_strings(file.text);
+    view.lines = split_lines(view.stripped);
+    view.ok_tags = harvest_suppressions(split_lines(file.text));
+    view.is_header =
+        view.path.size() > 2 &&
+        (view.path.rfind(".hpp") == view.path.size() - 4 ||
+         view.path.rfind(".h") == view.path.size() - 2);
+    if (view.stripped.find("PITFALLS_REQUIRE") != std::string::npos ||
+        view.stripped.find("PITFALLS_ENSURE") != std::string::npos)
+      ctx.guarded_files.insert(view.path);
+    auto names = collect_unordered_names(view.stripped);
+    if (!names.empty()) {
+      if (view.is_header)
+        ctx.global_unordered.insert(names.begin(), names.end());
+      else
+        ctx.local_unordered[view.path] = std::move(names);
+    }
+    ctx.files.push_back(std::move(view));
+  }
+  std::sort(ctx.files.begin(), ctx.files.end(),
+            [](const FileView& a, const FileView& b) { return a.path < b.path; });
+
+  std::vector<Violation> out;
+  for (const auto& view : ctx.files) {
+    check_raw_rng(view, out);
+    check_wallclock(view, out);
+    check_ordered(ctx, view, out);
+    check_chunk_rng(view, out);
+    check_require_guard(ctx, view, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+}  // namespace pitfalls::lint

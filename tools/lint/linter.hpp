@@ -1,0 +1,77 @@
+// pitfalls-lint — project-specific determinism lint pass.
+//
+// The library's reproducibility contract (DESIGN.md §6/§8/§9) is bit-for-bit:
+// a seeded experiment must emit identical bytes for every PITFALLS_THREADS
+// value, on every machine. Runtime tests can only sample that contract; a
+// single stray std::random_device, a time-seeded draw, or an unordered-map
+// iteration feeding a metric silently invalidates the Table I/II verdicts
+// without failing anything. pitfalls-lint closes that hole statically: it
+// scans the source text (comments and string literals stripped) and enforces
+// the codebase-aware rules below at CI time.
+//
+// Rules (DESIGN.md §10 documents the rationale for each):
+//   rng           no rand()/srand()/std::random_device/std::mt19937 outside
+//                 src/support/rng — all randomness flows through support::Rng.
+//   wallclock     no std::chrono / wall-clock reads outside src/obs; timing
+//                 that only feeds diagnostics carries `// lint:wallclock-ok`.
+//   ordered       no iteration over std::unordered_map/std::unordered_set —
+//                 hash-order leaks into outputs; `// lint:ordered-ok` marks
+//                 the audited exceptions.
+//   chunk-rng     every parallel_for/parallel_for_chunks/parallel_reduce
+//                 region that consumes randomness must derive it with
+//                 support::rng_for_chunk, never share one Rng& across chunks.
+//   require-guard public headers must back their parameterised API with
+//                 PITFALLS_REQUIRE/PITFALLS_ENSURE contracts (in the header
+//                 or its sibling .cpp).
+//
+// Suppression: `// lint:<rule>-ok` on the flagged line or the line directly
+// above acknowledges an audited exception. Suppressions are per-rule; there
+// is deliberately no blanket opt-out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pitfalls::lint {
+
+/// One rule violation, anchored to a 1-based source line.
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A source file handed to the linter (path is used for rule scoping, e.g.
+/// the src/obs exemption, and need not exist on disk for in-memory runs).
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Replace comments, string literals and char literals with spaces while
+/// preserving line structure, so rule regexes never fire on prose. Raw
+/// string literals (R"( ... )") are handled.
+std::string strip_comments_and_strings(const std::string& text);
+
+/// Run every rule over the file set. Cross-file state (unordered-container
+/// names for `ordered`, sibling-guard lookup for `require-guard`) is built
+/// from exactly this set, so results are a pure function of the input.
+/// Violations come back sorted by (file, line, rule).
+std::vector<Violation> run_lint(const std::vector<SourceFile>& files);
+
+/// True for the extensions the linter understands (.hpp/.cpp/.h/.cc).
+bool is_source_file(const std::string& path);
+
+/// Expand files/directories into a sorted list of source paths. Directories
+/// are walked recursively; order is lexicographic so output is stable.
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots);
+
+/// Read one file from disk (throws std::runtime_error on failure).
+SourceFile load_file(const std::string& path);
+
+/// Identifiers of every implemented rule, in report order.
+std::vector<std::string> rule_names();
+
+}  // namespace pitfalls::lint

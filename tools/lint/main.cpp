@@ -1,0 +1,61 @@
+// pitfalls-lint CLI. Usage:
+//   pitfalls-lint [--list-rules] <file-or-dir>...
+//
+// Scans every .cpp/.cc/.hpp/.h under the given roots and reports one line
+// per violation as `file:line: [rule] message`. Exit status: 0 when clean,
+// 1 when violations were found, 2 on usage or I/O errors. The `lint` CMake
+// target and the `lint_repo_clean` ctest run this over src/ and bench/.
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pitfalls::lint;
+
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : rule_names()) std::cout << rule << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pitfalls-lint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pitfalls-lint: unknown option " << arg << "\n";
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: pitfalls-lint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  try {
+    std::vector<SourceFile> files;
+    for (const auto& path : collect_sources(roots))
+      files.push_back(load_file(path));
+    const std::vector<Violation> violations = run_lint(files);
+    for (const auto& v : violations)
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    if (violations.empty()) {
+      std::cout << "pitfalls-lint: " << files.size()
+                << " files clean (no unsuppressed violations)\n";
+      return 0;
+    }
+    std::cout << "pitfalls-lint: " << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
