@@ -76,8 +76,13 @@ int main(int argc, char** argv) {
                    Table::fmt(report.degree_cutoff, 1),
                    Table::fmt_or_inf(report.sample_bound, 0),
                    report.feasible_at_budget ? "yes" : "no"});
+    reporter.note("effective_k(" + probe.name + ")", report.effective_k);
+    reporter.note("feasible(" + probe.name + ")",
+                  report.feasible_at_budget ? 1.0 : 0.0);
   }
   reporter.print(std::cout, table);
+  reporter.note("attack_eps", 0.45);
+  reporter.note("budget", 1000000.0);
 
   std::cout
       << "\nReading guide: effective k (the KOS constant NS/sqrt(eps))\n"

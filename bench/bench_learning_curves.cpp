@@ -16,6 +16,7 @@
 #include "ml/features.hpp"
 #include "ml/logistic.hpp"
 #include "ml/xor_model.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/crp.hpp"
 #include "puf/feed_forward.hpp"
 #include "puf/interpose.hpp"
@@ -33,14 +34,15 @@ using support::Table;
 /// Modeling-attack accuracy with a k-chain product model (k=1 is ordinary
 /// logistic-style regression; k>1 is the Ruehrmair XOR attack [8]).
 double attack_accuracy(const puf::Puf& target, std::size_t chains,
-                       std::size_t budget, std::size_t seed) {
+                       std::size_t budget, std::size_t seed,
+                       std::size_t restarts, std::size_t test_size) {
   Rng collect(seed);
   const CrpSet train = CrpSet::collect_uniform(target, budget, collect);
-  const CrpSet test = CrpSet::collect_uniform(target, 3000, collect);
+  const CrpSet test = CrpSet::collect_uniform(target, test_size, collect);
   Rng train_rng(seed + 1);
   ml::XorModelConfig config;
   config.chains = chains;
-  config.restarts = 4;
+  config.restarts = restarts;
   const ml::XorChainModel model =
       ml::XorModelAttack(config).fit(train.challenges(), train.responses(),
                                      ml::parity_with_bias, train_rng);
@@ -49,12 +51,18 @@ double attack_accuracy(const puf::Puf& target, std::size_t chains,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("learning_curves", argc, argv);
+  const bool smoke = reporter.smoke();
   std::cout << "== Modeling-attack learning curves (Ruehrmair product-of-"
                "LTFs model [8], parity features, n = 64) ==\n\n";
 
-  const std::vector<std::size_t> budgets{250, 500, 1000, 2000, 4000, 8000,
-                                         16000};
+  const std::vector<std::size_t> budgets =
+      smoke ? std::vector<std::size_t>{250, 1000, 4000}
+            : std::vector<std::size_t>{250, 500,  1000, 2000,
+                                       4000, 8000, 16000};
+  const std::size_t restarts = smoke ? 1 : 4;
+  const std::size_t test_size = smoke ? 500 : 3000;
 
   Rng rng(1);
   const puf::XorArbiterPuf chain1 =
@@ -69,23 +77,40 @@ int main() {
   Table table({"# CRPs", "arbiter (k=1)", "2-XOR (2-chain model)",
                "3-XOR (3-chain model)", "feed-forward (1-chain model)",
                "(1,1)-iPUF (2-chain model)"});
+  double final_k1 = 0.0, final_k2 = 0.0, final_k3 = 0.0;
   for (const auto budget : budgets) {
+    const double k1 =
+        attack_accuracy(chain1, 1, budget, 10, restarts, test_size);
+    const double k2 =
+        attack_accuracy(chain2, 2, budget, 20, restarts, test_size);
+    const double k3 =
+        attack_accuracy(chain3, 3, budget, 30, restarts, test_size);
     table.add_row(
-        {std::to_string(budget),
-         Table::fmt(100.0 * attack_accuracy(chain1, 1, budget, 10), 1),
-         Table::fmt(100.0 * attack_accuracy(chain2, 2, budget, 20), 1),
-         Table::fmt(100.0 * attack_accuracy(chain3, 3, budget, 30), 1),
-         Table::fmt(100.0 * attack_accuracy(ff, 1, budget, 40), 1),
-         Table::fmt(100.0 * attack_accuracy(ipuf, 2, budget, 50), 1)});
+        {std::to_string(budget), Table::fmt(100.0 * k1, 1),
+         Table::fmt(100.0 * k2, 1), Table::fmt(100.0 * k3, 1),
+         Table::fmt(
+             100.0 * attack_accuracy(ff, 1, budget, 40, restarts, test_size),
+             1),
+         Table::fmt(
+             100.0 * attack_accuracy(ipuf, 2, budget, 50, restarts, test_size),
+             1)});
+    final_k1 = k1;
+    final_k2 = k2;
+    final_k3 = k3;
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
+  reporter.note("budget.max", static_cast<double>(budgets.back()));
+  reporter.note("accuracy.arbiter.final", final_k1);
+  reporter.note("accuracy.2xor.final", final_k2);
+  reporter.note("accuracy.3xor.final", final_k3);
 
   std::cout << "\nAnalytic anchors (general uniform bound, eps=0.05, "
                "delta=0.01):\n";
   for (const std::size_t k : {1u, 2u, 3u}) {
-    std::cout << "  k=" << k << ": "
-              << Table::fmt_or_inf(core::general_crp_bound(64, k, 0.05, 0.01), 0)
+    const double bound = core::general_crp_bound(64, k, 0.05, 0.01);
+    std::cout << "  k=" << k << ": " << Table::fmt_or_inf(bound, 0)
               << " CRPs sufficient\n";
+    reporter.note("general_crp_bound.k" + std::to_string(k), bound);
   }
   std::cout
       << "\nShapes to observe: (a) the k=1 curve saturates with ~20x fewer\n"
@@ -96,5 +121,5 @@ int main() {
       << "(c) the feed-forward curve saturates far below 100% under the\n"
       << "1-chain model: a representation mismatch, not a sample-size\n"
       << "effect — more CRPs cannot fix it (Section V-A).\n";
-  return 0;
+  return reporter.finish();
 }

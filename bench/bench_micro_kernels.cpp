@@ -244,6 +244,55 @@ int main(int argc, char** argv) {
              true});
   }
 
+  // Batched PUF evaluation: the bit-sliced eval_pm_batch kernel vs the
+  // per-element scalar loop, single batch (no parallel layer) so the row
+  // isolates the batch plane itself. Contractually bit-identical.
+  {
+    const std::size_t m = smoke ? 5000 : 100000;
+    Rng rng(6);
+    const puf::ArbiterPuf puf(64, 0.0, rng);
+    Rng gen(7);
+    std::vector<BitVec> challenges;
+    challenges.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      BitVec c(64);
+      for (std::size_t b = 0; b < c.size(); ++b) c.set(b, gen.coin());
+      challenges.push_back(std::move(c));
+    }
+    std::vector<int> scalar(m), batch(m);
+    const double base = best_seconds(reps, [&] {
+      for (std::size_t i = 0; i < m; ++i) scalar[i] = puf.eval_pm(challenges[i]);
+    });
+    const double opt =
+        best_seconds(reps, [&] { puf.eval_pm_batch(challenges, batch); });
+    add_row(table, reporter,
+            {"arbiter_batch", "n=64,m=" + std::to_string(m), base, opt,
+             scalar == batch});
+  }
+  {
+    const std::size_t m = smoke ? 5000 : 100000;
+    Rng rng(8);
+    const puf::XorArbiterPuf puf =
+        puf::XorArbiterPuf::independent(64, 4, 0.0, rng);
+    Rng gen(10);
+    std::vector<BitVec> challenges;
+    challenges.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      BitVec c(64);
+      for (std::size_t b = 0; b < c.size(); ++b) c.set(b, gen.coin());
+      challenges.push_back(std::move(c));
+    }
+    std::vector<int> scalar(m), batch(m);
+    const double base = best_seconds(reps, [&] {
+      for (std::size_t i = 0; i < m; ++i) scalar[i] = puf.eval_pm(challenges[i]);
+    });
+    const double opt =
+        best_seconds(reps, [&] { puf.eval_pm_batch(challenges, batch); });
+    add_row(table, reporter,
+            {"xor_batch", "n=64,k=4,m=" + std::to_string(m), base, opt,
+             scalar == batch});
+  }
+
   // Held-out accuracy pass (the core::evaluate test phase).
   {
     const std::size_t m = smoke ? 5000 : 100000;

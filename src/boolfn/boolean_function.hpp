@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "support/bitvec.hpp"
@@ -31,6 +32,19 @@ class BooleanFunction {
 
   /// Evaluate in the {0,1} range: +1 -> 0, -1 -> 1 (consistent with chi).
   bool eval_bit(const BitVec& x) const { return eval_pm(x) < 0; }
+
+  /// Batch evaluation: out[i] = eval_pm(xs[i]) for every i, and the spans
+  /// must have equal length. The contract is *exact* element-wise equality
+  /// with the scalar path — overrides may bit-slice the arithmetic but must
+  /// keep the per-element floating-point accumulation order, so callers can
+  /// switch between the scalar and batch planes without changing a single
+  /// output bit. The base implementation is the scalar loop.
+  virtual void eval_pm_batch(std::span<const BitVec> xs,
+                             std::span<int> out) const {
+    PITFALLS_REQUIRE(xs.size() == out.size(),
+                     "batch spans must have equal length");
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = eval_pm(xs[i]);
+  }
 
   /// Human-readable description used in experiment logs.
   virtual std::string describe() const { return "boolean function"; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <span>
 
 #include "support/parallel.hpp"
 #include "support/require.hpp"
@@ -288,10 +289,13 @@ std::vector<double> estimate_coefficients(
       m,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
-        for (std::size_t i = begin; i < end; ++i) {
+        // One batch per chunk; eval_pm draws nothing, so batching after
+        // generation is byte-identical to the old interleaved loop.
+        for (std::size_t i = begin; i < end; ++i)
           challenges[i] = uniform_input(n, chunk_rng);
-          responses[i] = f.eval_pm(challenges[i]);
-        }
+        f.eval_pm_batch(
+            std::span<const BitVec>(challenges.data() + begin, end - begin),
+            std::span<int>(responses.data() + begin, end - begin));
       },
       "boolfn.estimate.sample");
   return estimate_coefficients_from_data(challenges, responses, subsets);

@@ -91,9 +91,8 @@ boolfn::Ltf reconstruct_ltf(const ChowParameters& target,
   // current hypothesis', measured on the provided challenge sample.
   for (std::size_t round = 0; round < config.correction_rounds; ++round) {
     boolfn::Ltf current(w, theta);
-    std::vector<int> labels;
-    labels.reserve(challenges.size());
-    for (const auto& c : challenges) labels.push_back(current.eval_pm(c));
+    std::vector<int> labels(challenges.size());
+    current.eval_pm_batch(challenges, labels);
     const ChowParameters own = estimate_chow(challenges, labels);
 
     for (std::size_t i = 0; i < w.size(); ++i)

@@ -48,16 +48,17 @@ HalfspaceTestReport HalfspaceTester::test(const BooleanFunction& f,
                                           std::size_t m,
                                           support::Rng& rng) const {
   PITFALLS_REQUIRE(m >= 2, "need at least two queries");
+  // Generate first, evaluate as one batch: eval_pm draws nothing, so the
+  // rng stream (and thus the sample) is unchanged from the scalar loop.
   std::vector<BitVec> challenges;
-  std::vector<int> responses;
   challenges.reserve(m);
-  responses.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
     BitVec x(f.num_vars());
     for (std::size_t b = 0; b < x.size(); ++b) x.set(b, rng.coin());
-    responses.push_back(f.eval_pm(x));
     challenges.push_back(std::move(x));
   }
+  std::vector<int> responses(m);
+  f.eval_pm_batch(challenges, responses);
   return test(challenges, responses);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "support/require.hpp"
 
@@ -107,14 +108,22 @@ JuntaHypothesis JuntaLearner::learn(MembershipOracle& oracle,
   std::sort(relevant.begin(), relevant.end());
 
   // Interpolate the table: for a true junta any completion of the
-  // irrelevant variables works; use all-zeros.
+  // irrelevant variables works; use all-zeros. The row points are known up
+  // front (non-adaptive), so issue them as one batch query — the counting
+  // is identical to the old per-row loop.
   boolfn::TruthTable table(relevant.size());
+  std::vector<BitVec> rows;
+  rows.reserve(static_cast<std::size_t>(table.num_rows()));
   for (std::uint64_t row = 0; row < table.num_rows(); ++row) {
     BitVec x(n);
     for (std::size_t j = 0; j < relevant.size(); ++j)
       x.set(relevant[j], (row >> j) & 1ULL);
-    table.set(row, oracle.query_pm(x));
+    rows.push_back(std::move(x));
   }
+  std::vector<int> values(rows.size());
+  oracle.query_pm_batch(rows, values);
+  for (std::uint64_t row = 0; row < table.num_rows(); ++row)
+    table.set(row, values[static_cast<std::size_t>(row)]);
 
   if (stats != nullptr) {
     stats->relevant = relevant;

@@ -12,6 +12,7 @@
 
 #include <limits>
 #include <optional>
+#include <span>
 
 #include "boolfn/boolean_function.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +35,20 @@ class MembershipOracle {
   /// F2 view of the same query: +1 -> 0, -1 -> 1.
   bool query_f2(const BitVec& x) { return query_pm(x) < 0; }
 
+  /// Batched chosen-input queries: out[i] = query_pm(xs[i]) element-wise,
+  /// spans of equal length. Every element is counted exactly once
+  /// (saturating, mirrored into "oracle.membership_queries"), and one batch
+  /// call is booked into the oracle.batch.* metrics. Overrides may route the
+  /// batch to a bit-sliced target but must stay element-wise identical to
+  /// the scalar loop. The base implementation is the scalar loop.
+  virtual void query_pm_batch(std::span<const BitVec> xs, std::span<int> out) {
+    PITFALLS_REQUIRE(xs.size() == out.size(),
+                     "batch spans must have equal length");
+    if (xs.empty()) return;
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = query_pm(xs[i]);
+    record_batch(xs.size());
+  }
+
   /// Queries since construction or the last reset_queries().
   std::size_t queries() const { return queries_; }
 
@@ -55,11 +70,36 @@ class MembershipOracle {
     counter_->add(1);
   }
 
+  /// Bulk count() for batch overrides: k elements, each counted once, with
+  /// the same saturation and metrics mirroring as k scalar count() calls.
+  void count(std::size_t k) {
+    constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+    queries_ = k > kMax - queries_ ? kMax : queries_ + k;
+    lifetime_queries_ =
+        k > kMax - lifetime_queries_ ? kMax : lifetime_queries_ + k;
+    counter_->add(k);
+  }
+
+  /// Book one batch call of `k` elements into the oracle.batch.* metrics
+  /// (calls/elements counters plus the batch-size histogram). Counting of
+  /// the elements themselves stays with count()/count(k).
+  void record_batch(std::size_t k) {
+    batch_calls_->add(1);
+    batch_elements_->add(k);
+    batch_size_->observe(static_cast<double>(k));
+  }
+
  private:
   std::size_t queries_ = 0;
   std::size_t lifetime_queries_ = 0;
   obs::Counter* counter_ =
       &obs::MetricsRegistry::global().counter("oracle.membership_queries");
+  obs::Counter* batch_calls_ =
+      &obs::MetricsRegistry::global().counter("oracle.batch.calls");
+  obs::Counter* batch_elements_ =
+      &obs::MetricsRegistry::global().counter("oracle.batch.elements");
+  obs::Histogram* batch_size_ =
+      &obs::MetricsRegistry::global().histogram("oracle.batch.size");
 };
 
 /// Membership access to a concrete function (the unlocked-oracle setting of
@@ -74,6 +114,18 @@ class FunctionMembershipOracle final : public MembershipOracle {
   int query_pm(const BitVec& x) override {
     count();
     return f_->eval_pm(x);
+  }
+
+  /// Routes the whole batch to the function's (possibly bit-sliced)
+  /// eval_pm_batch; counting is identical to xs.size() scalar queries.
+  void query_pm_batch(std::span<const BitVec> xs,
+                      std::span<int> out) override {
+    PITFALLS_REQUIRE(xs.size() == out.size(),
+                     "batch spans must have equal length");
+    if (xs.empty()) return;
+    count(xs.size());
+    record_batch(xs.size());
+    f_->eval_pm_batch(xs, out);
   }
 
  private:

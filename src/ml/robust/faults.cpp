@@ -1,6 +1,7 @@
 #include "ml/robust/faults.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "support/parallel.hpp"
 #include "support/require.hpp"
@@ -104,6 +105,82 @@ int FaultyMembershipOracle::query_pm(const BitVec& x) {
   }
 
   return response;
+}
+
+void FaultyMembershipOracle::query_pm_batch(std::span<const BitVec> xs,
+                                            std::span<int> out) {
+  PITFALLS_REQUIRE(xs.size() == out.size(),
+                   "batch spans must have equal length");
+  // Phase 1 — fault plan. Walk the elements in order, drawing each one's
+  // per-query stream exactly as query_pm does (drop, burst, flip,
+  // metastable). The coins never read the inner response, so deferring the
+  // inner queries to one batch call cannot change a single draw. A budget
+  // stop or drop ends the plan at that element, matching the scalar loop.
+  enum class Stop { kNone, kBudget, kDrop };
+  Stop stop = Stop::kNone;
+  std::vector<char> flip(xs.size(), 0);
+  std::size_t ready = 0;
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    if (raw_queries_ >= config_.query_budget) {
+      budget_counter_->add(1);
+      stop = Stop::kBudget;
+      break;
+    }
+    support::Rng q = support::rng_for_chunk(seed_, raw_queries_);
+    ++raw_queries_;
+    count();
+
+    if (config_.drop_rate > 0.0 && q.bernoulli(config_.drop_rate)) {
+      ++drops_;
+      drop_counter_->add(1);
+      stop = Stop::kDrop;
+      break;
+    }
+
+    bool flipped = false;
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      flipped = !flipped;
+      ++flips_;
+      burst_counter_->add(1);
+    } else if (config_.burst_rate > 0.0 && q.bernoulli(config_.burst_rate)) {
+      burst_remaining_ = config_.burst_length - 1;
+      flipped = !flipped;
+      ++flips_;
+      burst_counter_->add(1);
+    }
+
+    if (config_.flip_rate > 0.0 && q.bernoulli(config_.flip_rate)) {
+      flipped = !flipped;
+      ++flips_;
+      flip_counter_->add(1);
+    }
+
+    if (config_.metastable_sigma > 0.0) {
+      support::Rng margin_rng =
+          support::rng_for_chunk(margin_seed_, xs[j].hash());
+      const double margin = std::abs(margin_rng.gaussian());
+      if (q.gaussian(0.0, config_.metastable_sigma) < -margin) {
+        flipped = !flipped;
+        ++flips_;
+        metastable_counter_->add(1);
+      }
+    }
+
+    flip[j] = flipped ? 1 : 0;
+    ready = j + 1;
+  }
+
+  // Phase 2 — one inner batch for the clean prefix, then apply the planned
+  // flips and re-raise the fault (if any) the scalar loop would have thrown.
+  inner_->query_pm_batch(xs.first(ready), out.first(ready));
+  for (std::size_t j = 0; j < ready; ++j)
+    if (flip[j] != 0) out[j] = -out[j];
+  if (!xs.empty()) record_batch(ready);
+  if (stop == Stop::kBudget)
+    throw QueryBudgetExhaustedError("oracle query budget exhausted (lockdown)");
+  if (stop == Stop::kDrop)
+    throw TransientFaultError("oracle gave no response (transient fault)");
 }
 
 }  // namespace pitfalls::ml::robust

@@ -92,6 +92,16 @@ class FaultyMembershipOracle final : public MembershipOracle {
   std::size_t num_vars() const override;
   int query_pm(const BitVec& x) override;
 
+  /// Batched queries with the *exact* scalar fault sequence: fault coins are
+  /// a pure function of (seed, raw query index, challenge) and never depend
+  /// on the inner response, so the batch splits into a sequential fault-plan
+  /// pass (drawing each element's per-query stream in scalar order) followed
+  /// by one inner batch query for the clean prefix. Drop faults and budget
+  /// exhaustion throw exactly as the scalar loop would — elements before the
+  /// faulting one are answered into `out` first, elements after it are not
+  /// queried at all.
+  void query_pm_batch(std::span<const BitVec> xs, std::span<int> out) override;
+
   const FaultConfig& config() const { return config_; }
 
   /// Physical queries still answerable before the lockdown trips.

@@ -1,6 +1,7 @@
 #include "ml/robust/learners.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "ml/chow.hpp"
 #include "ml/logistic.hpp"
@@ -66,10 +67,14 @@ LearnOutcome<H> assemble(std::optional<H> hypothesis, bool budget_hit,
   out.queries_spent = queries_spent;
   double heldout = -1.0;
   if (hypothesis.has_value() && !holdout.challenges.empty()) {
+    // Every hypothesis class here is a BooleanFunction, so score the
+    // held-out set through the batch plane in one call.
+    std::vector<int> predicted(holdout.challenges.size());
+    hypothesis->eval_pm_batch(holdout.challenges, predicted);
+    obs::observe_batch("robust.holdout", holdout.challenges.size());
     std::size_t agree = 0;
     for (std::size_t i = 0; i < holdout.challenges.size(); ++i)
-      if (hypothesis->eval_pm(holdout.challenges[i]) == holdout.responses[i])
-        ++agree;
+      if (predicted[i] == holdout.responses[i]) ++agree;
     heldout = static_cast<double>(agree) /
               static_cast<double>(holdout.challenges.size());
     diagnostics["heldout_accuracy"] = heldout;

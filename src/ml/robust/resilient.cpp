@@ -79,4 +79,16 @@ int MajorityVoteOracle::query_pm(const BitVec& x) {
   return plus >= majority ? +1 : -1;
 }
 
+void MajorityVoteOracle::query_pm_batch(std::span<const BitVec> xs,
+                                        std::span<int> out) {
+  PITFALLS_REQUIRE(xs.size() == out.size(),
+                   "batch spans must have equal length");
+  if (xs.empty()) return;
+  // Scalar per logical query on purpose — see the header comment: early
+  // stopping and index-keyed inner fault streams make any vote batching
+  // observable. Faults propagate exactly as in a caller-side scalar loop.
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = query_pm(xs[i]);
+  record_batch(xs.size());
+}
+
 }  // namespace pitfalls::ml::robust

@@ -60,6 +60,13 @@ class MajorityVoteOracle final : public MembershipOracle {
   std::size_t num_vars() const override;
   int query_pm(const BitVec& x) override;
 
+  /// Deliberately the scalar loop: votes stop early per logical query and
+  /// the inner fault streams are keyed by raw query index, so batching the
+  /// votes would change both votes_cast and every downstream fault. The
+  /// override exists to book oracle.batch.* accounting and to make that
+  /// byte-identity decision explicit.
+  void query_pm_batch(std::span<const BitVec> xs, std::span<int> out) override;
+
   /// The Chernoff-sized per-query vote budget in force.
   std::size_t votes_per_query() const { return votes_per_query_; }
   /// Physical votes actually cast (early stopping keeps this below

@@ -137,4 +137,10 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+void observe_batch(const char* callsite, std::size_t elements) {
+  MetricsRegistry::global()
+      .histogram(std::string(callsite) + ".batch_size")
+      .observe(static_cast<double>(elements));
+}
+
 }  // namespace pitfalls::obs

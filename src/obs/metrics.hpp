@@ -100,4 +100,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Book one batched query-plane call at a named callsite: observes
+/// `elements` into the global "<callsite>.batch_size" histogram. Callsites
+/// use the same dotted names as their *.parallel_seconds timings (e.g.
+/// "puf.crp.collect"), so batch-size distributions line up with the chunk
+/// timings per hot path. The oracle-level oracle.batch.* aggregates are
+/// booked separately by MembershipOracle::record_batch.
+void observe_batch(const char* callsite, std::size_t elements);
+
 }  // namespace pitfalls::obs

@@ -1,7 +1,11 @@
 #include "puf/arbiter.hpp"
 
+#include <algorithm>
+#include <array>
 #include <sstream>
+#include <vector>
 
+#include "puf/bitslice_detail.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -51,6 +55,57 @@ int ArbiterPuf::eval_pm(const BitVec& challenge) const {
 int ArbiterPuf::eval_noisy(const BitVec& challenge, support::Rng& rng) const {
   const double noisy = delay_difference(challenge) + rng.gaussian(0.0, noise_sigma_);
   return noisy < 0.0 ? -1 : +1;
+}
+
+void ArbiterPuf::delay_differences(std::span<const BitVec> challenges,
+                                   std::span<double> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<std::uint64_t> par(stages_);
+  for (std::size_t base = 0; base < challenges.size();
+       base += detail::kBatchBlock) {
+    const std::size_t block =
+        std::min(detail::kBatchBlock, challenges.size() - base);
+    for (std::size_t s = 0; s < block; ++s)
+      PITFALLS_REQUIRE(challenges[base + s].size() == stages_,
+                       "challenge arity mismatch");
+    // par[i] bit s starts as challenge bit i; the running XOR from the last
+    // stage down turns it into the suffix parity, so a set bit means
+    // Phi_i(challenge s) = -1.
+    detail::challenge_bit_planes(challenges, base, block, par);
+    std::uint64_t acc = 0;
+    for (std::size_t i = stages_; i-- > 0;) {
+      acc ^= par[i];
+      par[i] = acc;
+    }
+    std::array<double, detail::kBatchBlock> sums{};
+    detail::accumulate_weighted_signs(weights_.data(), par.data(), stages_,
+                                      sums.data());
+    const double bias = weights_[stages_];
+    for (std::size_t s = 0; s < block; ++s) out[base + s] = sums[s] + bias;
+  }
+}
+
+void ArbiterPuf::eval_pm_batch(std::span<const BitVec> challenges,
+                               std::span<int> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> delays(challenges.size());
+  delay_differences(challenges, delays);
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    out[i] = delays[i] < 0.0 ? -1 : +1;
+}
+
+void ArbiterPuf::eval_noisy_batch(std::span<const BitVec> challenges,
+                                  std::span<int> out,
+                                  support::Rng& rng) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> delays(challenges.size());
+  delay_differences(challenges, delays);
+  // One gaussian per challenge, in order — the scalar loop's draw sequence.
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    out[i] = delays[i] + rng.gaussian(0.0, noise_sigma_) < 0.0 ? -1 : +1;
 }
 
 boolfn::Ltf ArbiterPuf::as_feature_space_ltf() const {

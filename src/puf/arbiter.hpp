@@ -11,6 +11,7 @@
 // paper's footnote 1).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "boolfn/ltf.hpp"
@@ -33,6 +34,20 @@ class ArbiterPuf final : public Puf {
   int eval_pm(const BitVec& challenge) const override;
   int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
   std::string describe() const override;
+
+  /// Bit-sliced batch evaluation: 64 challenges per block share one plane
+  /// transposition, so the per-challenge feature-map allocation of the
+  /// scalar path disappears. Bit-identical to the scalar loop.
+  void eval_pm_batch(std::span<const BitVec> challenges,
+                     std::span<int> out) const override;
+  void eval_noisy_batch(std::span<const BitVec> challenges, std::span<int> out,
+                        support::Rng& rng) const override;
+
+  /// Batched delay differences (the bit-sliced kernel behind both batch
+  /// entry points). Same floating-point accumulation order per challenge as
+  /// delay_difference: stages ascending, bias last.
+  void delay_differences(std::span<const BitVec> challenges,
+                         std::span<double> out) const;
 
   /// The parity feature map Phi(c), size stages+1 (+/-1 entries, last = 1).
   static std::vector<int> feature_map(const BitVec& challenge);

@@ -1,10 +1,14 @@
 #include "puf/bistable_ring.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "puf/bitslice_detail.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -96,6 +100,59 @@ double BistableRingPuf::margin(const BitVec& challenge) const {
     sum += term.weight * static_cast<double>(prod);
   }
   return sum;
+}
+
+void BistableRingPuf::margins(std::span<const BitVec> challenges,
+                              std::span<double> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<std::uint64_t> planes(config_.bits);
+  for (std::size_t base = 0; base < challenges.size();
+       base += detail::kBatchBlock) {
+    const std::size_t block =
+        std::min(detail::kBatchBlock, challenges.size() - base);
+    for (std::size_t s = 0; s < block; ++s)
+      PITFALLS_REQUIRE(challenges[base + s].size() == config_.bits,
+                       "challenge arity mismatch");
+    detail::challenge_bit_planes(challenges, base, block, planes);
+    std::array<double, detail::kBatchBlock> sums{};
+    for (std::size_t i = 0; i < linear_.size(); ++i) {
+      const std::uint64_t neg = planes[i];
+      const double w = linear_[i];
+      for (std::size_t s = 0; s < block; ++s)
+        sums[s] += detail::flip_sign_if(w, (neg >> s) & 1);
+    }
+    for (const auto& term : interactions_) {
+      // Bit s of neg is the parity of challenge s over the term's support,
+      // i.e. whether the +/-1 product of the selected bits is -1.
+      std::uint64_t neg = 0;
+      for (auto v : term.vars) neg ^= planes[v];
+      const double w = term.weight;
+      for (std::size_t s = 0; s < block; ++s)
+        sums[s] += detail::flip_sign_if(w, (neg >> s) & 1);
+    }
+    for (std::size_t s = 0; s < block; ++s) out[base + s] = sums[s];
+  }
+}
+
+void BistableRingPuf::eval_pm_batch(std::span<const BitVec> challenges,
+                                    std::span<int> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> m(challenges.size());
+  margins(challenges, m);
+  for (std::size_t i = 0; i < m.size(); ++i) out[i] = m[i] < 0.0 ? -1 : +1;
+}
+
+void BistableRingPuf::eval_noisy_batch(std::span<const BitVec> challenges,
+                                       std::span<int> out,
+                                       support::Rng& rng) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> m(challenges.size());
+  margins(challenges, m);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    out[i] = m[i] + rng.gaussian(0.0, config_.noise_sigma) < 0.0 ? -1 : +1;
 }
 
 int BistableRingPuf::eval_pm(const BitVec& challenge) const {

@@ -15,6 +15,7 @@
 // nonlinear_share.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "puf/puf.hpp"
@@ -47,8 +48,18 @@ class BistableRingPuf final : public Puf {
   int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
   std::string describe() const override;
 
+  /// Bit-sliced batch paths: per block, interaction-term parities become
+  /// XORs of challenge-bit planes. Bit-identical to the scalar loop.
+  void eval_pm_batch(std::span<const BitVec> challenges,
+                     std::span<int> out) const override;
+  void eval_noisy_batch(std::span<const BitVec> challenges, std::span<int> out,
+                        support::Rng& rng) const override;
+
   /// The real-valued settling margin (before the sign).
   double margin(const BitVec& challenge) const;
+
+  /// Batched margins, same accumulation order as the scalar margin().
+  void margins(std::span<const BitVec> challenges, std::span<double> out) const;
 
   const BistableRingConfig& config() const { return config_; }
 

@@ -1,0 +1,51 @@
+#include "puf/bitslice_detail.hpp"
+
+namespace pitfalls::puf::detail {
+
+namespace {
+
+// Portable kernel. The lane loop has a constant 64-iteration bound so the
+// compiler can unroll/vectorise it at the baseline ISA.
+void accumulate_portable(const double* weights, const std::uint64_t* negates,
+                         std::size_t stages, double* sums) {
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::uint64_t neg = negates[i];
+    const std::uint64_t w = std::bit_cast<std::uint64_t>(weights[i]);
+    for (std::size_t s = 0; s < kBatchBlock; ++s)
+      sums[s] += std::bit_cast<double>(w ^ (((neg >> s) & 1U) << 63));
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PITFALLS_HAVE_AVX2_KERNEL 1
+// Same loop compiled for AVX2 (vpsrlvq/vpxor/vaddpd): per (stage, lane) the
+// operation is the identical XOR-sign + IEEE add, only executed four lanes
+// at a time, so the result is byte-identical to the portable kernel.
+__attribute__((target("avx2"))) void accumulate_avx2(
+    const double* weights, const std::uint64_t* negates, std::size_t stages,
+    double* sums) {
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::uint64_t neg = negates[i];
+    const std::uint64_t w = std::bit_cast<std::uint64_t>(weights[i]);
+    for (std::size_t s = 0; s < kBatchBlock; ++s)
+      sums[s] += std::bit_cast<double>(w ^ (((neg >> s) & 1U) << 63));
+  }
+}
+#endif
+
+}  // namespace
+
+void accumulate_weighted_signs(const double* weights,
+                               const std::uint64_t* negates,
+                               std::size_t stages, double* sums) {
+#if defined(PITFALLS_HAVE_AVX2_KERNEL)
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2") != 0;
+  if (kHasAvx2) {
+    accumulate_avx2(weights, negates, stages, sums);
+    return;
+  }
+#endif
+  accumulate_portable(weights, negates, stages, sums);
+}
+
+}  // namespace pitfalls::puf::detail

@@ -1,0 +1,88 @@
+// Internal helpers for the bit-sliced batch PUF evaluators.
+//
+// Batch overrides process challenges in blocks of up to 64 and transpose the
+// block into *planes*: plane[i] is a 64-bit word whose bit s is bit i of the
+// block's s-th challenge. Per-stage work then becomes word-parallel (e.g. the
+// suffix parities Phi_i of the arbiter model are a running XOR over planes),
+// while the floating-point accumulation stays per-challenge and in the exact
+// scalar order, so batch results are bit-identical to the scalar path.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace pitfalls::puf::detail {
+
+/// Challenges bit-sliced per block by the batch evaluators.
+inline constexpr std::size_t kBatchBlock = 64;
+
+/// In-place 64x64 bit-matrix transpose (the recursive block-swap scheme from
+/// Hacker's Delight 7-3). With this routine's bit convention the output obeys
+///   bit s of a_out[i]  ==  bit (63-i) of a_in[63-s],
+/// which callers compensate for by reversing the row order on load and the
+/// plane order on store.
+inline void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
+      a[k] ^= t;
+      a[k + j] ^= t << j;
+    }
+  }
+}
+
+/// Fill planes[i] (for i < planes.size()) so that bit s of planes[i] is bit i
+/// of challenges[base + s], for s < block <= 64. Challenges must have
+/// size() <= planes.size(). One transpose64 per 64-bit word column — ~6 word
+/// ops per challenge instead of a scatter over every set bit.
+inline void challenge_bit_planes(std::span<const support::BitVec> challenges,
+                                 std::size_t base, std::size_t block,
+                                 std::vector<std::uint64_t>& planes) {
+  const std::size_t words = (planes.size() + 63) / 64;
+  std::uint64_t rows[64];
+  for (std::size_t w = 0; w < words; ++w) {
+    std::fill(std::begin(rows), std::end(rows), 0);
+    for (std::size_t s = 0; s < block; ++s) {
+      const support::BitVec& c = challenges[base + s];
+      if (w < c.num_words()) rows[63 - s] = c.word(w);
+    }
+    transpose64(rows);
+    const std::size_t limit = std::min<std::size_t>(64, planes.size() - w * 64);
+    for (std::size_t b = 0; b < limit; ++b) planes[w * 64 + b] = rows[63 - b];
+  }
+}
+
+/// value with its sign flipped iff `negate_bit` (0 or 1) is set. For IEEE
+/// doubles this equals value * (negate_bit ? -1.0 : +1.0) *exactly*, so the
+/// bit-sliced accumulators reproduce the scalar products bit-for-bit.
+inline double flip_sign_if(double value, std::uint64_t negate_bit) {
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(value) ^
+                               (negate_bit << 63));
+}
+
+/// The bit-sliced linear accumulation shared by the arbiter-family batch
+/// kernels: for every lane s < kBatchBlock,
+///   sums[s] += sum over i < stages of flip_sign_if(weights[i], bit s of
+///   negates[i])
+/// with the stage additions applied in ascending i order per lane — the
+/// exact scalar accumulation order, so results are bit-identical to the
+/// per-challenge loop. All 64 lanes are always computed (padding lanes see
+/// zero negate bits); callers read only the lanes of their block.
+///
+/// Implemented out of line (bitslice_detail.cpp) with a runtime-dispatched
+/// AVX2 variant on x86-64: sign-flip-and-add is pure lane-wise integer XOR
+/// plus one IEEE add per (stage, lane), so the vectorised path performs the
+/// identical operation sequence per lane and stays byte-identical to the
+/// portable loop.
+void accumulate_weighted_signs(const double* weights,
+                               const std::uint64_t* negates,
+                               std::size_t stages,
+                               double* sums);
+
+}  // namespace pitfalls::puf::detail

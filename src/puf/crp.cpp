@@ -1,5 +1,9 @@
 #include "puf/crp.hpp"
 
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/parallel.hpp"
 #include "support/require.hpp"
@@ -41,10 +45,16 @@ CrpSet CrpSet::collect_uniform(const Puf& puf, std::size_t m,
       m,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
-        for (std::size_t i = begin; i < end; ++i) {
+        // One batch per chunk. eval_pm draws nothing, so generating the
+        // whole slice before evaluating consumes the chunk stream exactly
+        // as the old per-element loop — byte-identical, now on the
+        // bit-sliced path.
+        for (std::size_t i = begin; i < end; ++i)
           challenges[i] = uniform_challenge(n, chunk_rng);
-          responses[i] = puf.eval_pm(challenges[i]);
-        }
+        puf.eval_pm_batch(
+            std::span<const BitVec>(challenges.data() + begin, end - begin),
+            std::span<int>(responses.data() + begin, end - begin));
+        obs::observe_batch("puf.crp.collect", end - begin);
       },
       "puf.crp.collect");
   return CrpSet(std::move(challenges), std::move(responses));
@@ -61,10 +71,17 @@ CrpSet CrpSet::collect_noisy(const Puf& puf, std::size_t m,
       m,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
-        for (std::size_t i = begin; i < end; ++i) {
+        // Chunk stream order: all challenge coins first, then the noise
+        // draws in challenge order (eval_noisy_batch's contract). This
+        // de-interleaves the old per-element gen/measure pattern — still
+        // fully deterministic and thread-count invariant, but a different
+        // (documented) draw schedule than the pre-batch layout.
+        for (std::size_t i = begin; i < end; ++i)
           challenges[i] = uniform_challenge(n, chunk_rng);
-          responses[i] = puf.eval_noisy(challenges[i], chunk_rng);
-        }
+        puf.eval_noisy_batch(
+            std::span<const BitVec>(challenges.data() + begin, end - begin),
+            std::span<int>(responses.data() + begin, end - begin), chunk_rng);
+        obs::observe_batch("puf.crp.collect", end - begin);
       },
       "puf.crp.collect");
   return CrpSet(std::move(challenges), std::move(responses));
@@ -92,21 +109,50 @@ CrpSet CrpSet::collect_stable(const Puf& puf, std::size_t m,
         const std::size_t quota = end - begin;
         std::size_t rejections = 0;
         std::size_t filled = 0;
+        // Round-based rejection sampling on the batch plane: each round
+        // generates one candidate per unfilled slot, measures the whole
+        // block, then re-measures only the still-consistent survivors for
+        // the remaining repeats (the batch analogue of the old per-candidate
+        // early exit). Draw schedule: per round, all challenge coins, then
+        // one noise draw per live candidate per measurement pass —
+        // deterministic and thread-count invariant by construction.
+        std::vector<BitVec> candidates;
+        std::vector<BitVec> live_challenges;
+        std::vector<int> first(quota);
+        std::vector<int> measured;
+        std::vector<std::size_t> live;
         while (filled < quota) {
           PITFALLS_REQUIRE(rejections < 1000 * (quota + 1),
                            "PUF too noisy: no stable challenges found");
-          BitVec c = uniform_challenge(n, chunk_rng);
-          const int first = puf.eval_noisy(c, chunk_rng);
-          bool stable = true;
-          for (std::size_t t = 1; t < repeats && stable; ++t)
-            stable = puf.eval_noisy(c, chunk_rng) == first;
-          if (stable) {
-            challenges[begin + filled] = std::move(c);
-            responses[begin + filled] = first;
-            ++filled;
-          } else {
-            ++rejections;
+          const std::size_t block = quota - filled;
+          candidates.resize(block);
+          for (std::size_t b = 0; b < block; ++b)
+            candidates[b] = uniform_challenge(n, chunk_rng);
+          puf.eval_noisy_batch(
+              std::span<const BitVec>(candidates.data(), block),
+              std::span<int>(first.data(), block), chunk_rng);
+          live.resize(block);
+          for (std::size_t b = 0; b < block; ++b) live[b] = b;
+          for (std::size_t t = 1; t < repeats && !live.empty(); ++t) {
+            live_challenges.clear();
+            for (const std::size_t b : live)
+              live_challenges.push_back(candidates[b]);
+            measured.resize(live.size());
+            puf.eval_noisy_batch(live_challenges,
+                                 std::span<int>(measured.data(), live.size()),
+                                 chunk_rng);
+            std::size_t kept = 0;
+            for (std::size_t j = 0; j < live.size(); ++j)
+              if (measured[j] == first[live[j]]) live[kept++] = live[j];
+            live.resize(kept);
           }
+          rejections += block - live.size();
+          for (const std::size_t b : live) {
+            challenges[begin + filled] = std::move(candidates[b]);
+            responses[begin + filled] = first[b];
+            ++filled;
+          }
+          obs::observe_batch("puf.crp.collect", block);
         }
         chunk_rejections[chunk] = rejections;
       },
@@ -156,14 +202,33 @@ void CrpSet::shuffle(support::Rng& rng) {
 }
 
 CrpSet CrpSet::relabel(const boolfn::BooleanFunction& f) const {
-  CrpSet out;
-  for (std::size_t i = 0; i < size(); ++i)
-    out.add(challenges_[i], f.eval_pm(challenges_[i]));
-  return out;
+  std::vector<int> labels(size());
+  f.eval_pm_batch(challenges_, labels);
+  return CrpSet(challenges_, std::move(labels));
 }
 
 double CrpSet::accuracy_of(const boolfn::BooleanFunction& f) const {
-  return accuracy_of([&f](const BitVec& c) { return f.eval_pm(c); });
+  PITFALLS_REQUIRE(!empty(), "accuracy over an empty CRP set");
+  // Same chunk plan and chunk-order reduction as the predictor overload,
+  // but each chunk evaluates its slice through the batch plane so PUFs and
+  // other bit-sliced hypotheses skip per-element dispatch. eval_pm is pure,
+  // so batch == scalar element-wise and the count is unchanged.
+  const std::size_t agree = support::parallel_reduce(
+      size(), std::size_t{0},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<int> predicted(end - begin);
+        f.eval_pm_batch(
+            std::span<const BitVec>(challenges_.data() + begin, end - begin),
+            predicted);
+        obs::observe_batch("puf.crp.accuracy", end - begin);
+        std::size_t local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          if (predicted[i - begin] == responses_[i]) ++local;
+        return local;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; },
+      "puf.crp.accuracy");
+  return static_cast<double>(agree) / static_cast<double>(size());
 }
 
 double CrpSet::accuracy_of(

@@ -23,12 +23,16 @@ class CrpSet {
   /// m uniform challenges labelled with ideal (noise-free) responses.
   /// Collection is chunk-parallel with deterministic per-chunk streams
   /// (support/parallel.hpp): the result is byte-identical for every
-  /// PITFALLS_THREADS value, and `rng` advances by exactly one draw.
+  /// PITFALLS_THREADS value, and `rng` advances by exactly one draw. Each
+  /// chunk evaluates its slice as one eval_pm_batch call (bit-sliced for
+  /// the PUF simulators), which is byte-identical to per-element eval_pm.
   static CrpSet collect_uniform(const Puf& puf, std::size_t m,
                                 support::Rng& rng);
 
   /// m uniform challenges labelled with one noisy measurement each.
-  /// Same chunked determinism contract as collect_uniform.
+  /// Same chunked determinism contract as collect_uniform; per chunk the
+  /// draw schedule is all challenge coins first, then one noise draw per
+  /// challenge in order (eval_noisy_batch).
   static CrpSet collect_noisy(const Puf& puf, std::size_t m,
                               support::Rng& rng);
 
@@ -64,7 +68,9 @@ class CrpSet {
   /// by a hypothesis, as in Table II).
   CrpSet relabel(const boolfn::BooleanFunction& f) const;
 
-  /// Fraction of pairs where `f` agrees with the stored response.
+  /// Fraction of pairs where `f` agrees with the stored response. Chunked
+  /// like the predictor overload but evaluated through eval_pm_batch, so
+  /// bit-sliced hypotheses (PUF simulators) skip per-element dispatch.
   double accuracy_of(const boolfn::BooleanFunction& f) const;
 
   /// Fraction of pairs where the predictor agrees with the stored response.

@@ -1,9 +1,13 @@
 #include "puf/feed_forward.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "puf/bitslice_detail.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::puf {
@@ -74,6 +78,76 @@ double FeedForwardArbiterPuf::delay_difference(const BitVec& challenge) const {
     partial[i + 1] = d;
   }
   return d + weights_[stages_];  // final bias
+}
+
+void FeedForwardArbiterPuf::delay_differences(
+    std::span<const BitVec> challenges, std::span<double> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  // At most one loop targets each stage (targets are distinct) and loops_
+  // is sorted by `to`, so per-stage lookups reduce to two index maps.
+  std::vector<std::ptrdiff_t> loop_at(stages_, -1);  // to -> loop index
+  std::vector<std::vector<std::size_t>> taps_at(stages_);  // from -> loops
+  for (std::size_t l = 0; l < loops_.size(); ++l) {
+    loop_at[loops_[l].to] = static_cast<std::ptrdiff_t>(l);
+    taps_at[loops_[l].from].push_back(l);
+  }
+  std::vector<std::uint64_t> planes(stages_);
+  std::vector<double> taps(loops_.size() * detail::kBatchBlock);
+  for (std::size_t base = 0; base < challenges.size();
+       base += detail::kBatchBlock) {
+    const std::size_t block =
+        std::min(detail::kBatchBlock, challenges.size() - base);
+    for (std::size_t s = 0; s < block; ++s)
+      PITFALLS_REQUIRE(challenges[base + s].size() == stages_,
+                       "challenge arity mismatch");
+    detail::challenge_bit_planes(challenges, base, block, planes);
+    std::array<double, detail::kBatchBlock> d{};
+    for (std::size_t i = 0; i < stages_; ++i) {
+      // Bit s of sel_neg set <=> select = -1 for challenge s: either its
+      // challenge bit i, or (for a loop target) the sign of the tapped
+      // partial sum D_{from+1}.
+      std::uint64_t sel_neg = planes[i];
+      if (loop_at[i] >= 0) {
+        const double* tap =
+            taps.data() +
+            static_cast<std::size_t>(loop_at[i]) * detail::kBatchBlock;
+        sel_neg = 0;
+        for (std::size_t s = 0; s < block; ++s)
+          if (tap[s] < 0.0) sel_neg |= std::uint64_t{1} << s;
+      }
+      const double w = weights_[i];
+      for (std::size_t s = 0; s < block; ++s)
+        d[s] = detail::flip_sign_if(d[s], (sel_neg >> s) & 1) + w;
+      for (const std::size_t l : taps_at[i])
+        std::copy(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(block),
+                  taps.begin() + static_cast<std::ptrdiff_t>(
+                                     l * detail::kBatchBlock));
+    }
+    const double bias = weights_[stages_];
+    for (std::size_t s = 0; s < block; ++s) out[base + s] = d[s] + bias;
+  }
+}
+
+void FeedForwardArbiterPuf::eval_pm_batch(std::span<const BitVec> challenges,
+                                          std::span<int> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> delays(challenges.size());
+  delay_differences(challenges, delays);
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    out[i] = delays[i] < 0.0 ? -1 : +1;
+}
+
+void FeedForwardArbiterPuf::eval_noisy_batch(std::span<const BitVec> challenges,
+                                             std::span<int> out,
+                                             support::Rng& rng) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::vector<double> delays(challenges.size());
+  delay_differences(challenges, delays);
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    out[i] = delays[i] + rng.gaussian(0.0, noise_sigma_) < 0.0 ? -1 : +1;
 }
 
 int FeedForwardArbiterPuf::eval_pm(const BitVec& challenge) const {

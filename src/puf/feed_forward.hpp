@@ -15,6 +15,7 @@
 // s_to by sgn(D_from).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "puf/puf.hpp"
@@ -44,10 +45,24 @@ class FeedForwardArbiterPuf final : public Puf {
   int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
   std::string describe() const override;
 
+  /// Bit-sliced batch paths. The recursion stays per-stage but runs over a
+  /// 64-challenge block at a time; intermediate taps are saved per block so
+  /// loop overrides read exactly the scalar partial sums. Bit-identical to
+  /// the scalar loop.
+  void eval_pm_batch(std::span<const BitVec> challenges,
+                     std::span<int> out) const override;
+  void eval_noisy_batch(std::span<const BitVec> challenges, std::span<int> out,
+                        support::Rng& rng) const override;
+
   const std::vector<FeedForwardLoop>& loops() const { return loops_; }
 
   /// Accumulated delay difference D_n (before noise and sign).
   double delay_difference(const BitVec& challenge) const;
+
+  /// Batched delay differences, same accumulation order as the scalar
+  /// recursion per challenge.
+  void delay_differences(std::span<const BitVec> challenges,
+                         std::span<double> out) const;
 
  private:
   std::size_t stages_;

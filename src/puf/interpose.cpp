@@ -1,6 +1,8 @@
 #include "puf/interpose.hpp"
 
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "support/require.hpp"
 
@@ -33,6 +35,18 @@ BitVec InterposePuf::extend_challenge(const BitVec& challenge,
 int InterposePuf::eval_pm(const BitVec& challenge) const {
   const int upper_response = upper_.eval_pm(challenge);
   return lower_.eval_pm(extend_challenge(challenge, upper_response));
+}
+
+void InterposePuf::eval_pm_batch(std::span<const BitVec> challenges,
+                                 std::span<int> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  upper_.eval_pm_batch(challenges, out);  // out holds the upper responses
+  std::vector<BitVec> extended;
+  extended.reserve(challenges.size());
+  for (std::size_t i = 0; i < challenges.size(); ++i)
+    extended.push_back(extend_challenge(challenges[i], out[i]));
+  lower_.eval_pm_batch(extended, out);
 }
 
 int InterposePuf::eval_noisy(const BitVec& challenge,

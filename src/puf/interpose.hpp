@@ -27,6 +27,14 @@ class InterposePuf final : public Puf {
   int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
   std::string describe() const override;
 
+  /// Batch path: one bit-sliced upper pass produces the interposed bits,
+  /// then one bit-sliced lower pass over the extended challenges. The noisy
+  /// channel intentionally has NO batch override — each challenge's upper
+  /// noise draw feeds its lower challenge, so the scalar per-element loop
+  /// (the inherited default) is the only order that matches eval_noisy.
+  void eval_pm_batch(std::span<const BitVec> challenges,
+                     std::span<int> out) const override;
+
   const XorArbiterPuf& upper() const { return upper_; }
   const XorArbiterPuf& lower() const { return lower_; }
   std::size_t interpose_position() const { return position_; }

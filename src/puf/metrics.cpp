@@ -1,5 +1,8 @@
 #include "puf/metrics.hpp"
 
+#include <vector>
+
+#include "obs/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/require.hpp"
 
@@ -28,9 +31,16 @@ double uniformity(const Puf& puf, std::size_t m, support::Rng& rng) {
       m, std::size_t{0},
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        // eval_pm draws nothing, so batching after generation is
+        // byte-identical to the old interleaved loop.
+        std::vector<BitVec> challenges(end - begin);
+        for (auto& c : challenges) c = uniform_challenge(n, chunk_rng);
+        std::vector<int> out(challenges.size());
+        puf.eval_pm_batch(challenges, out);
+        obs::observe_batch("puf.metrics", challenges.size());
         std::size_t local = 0;
-        for (std::size_t i = begin; i < end; ++i)
-          if (puf.eval_pm(uniform_challenge(n, chunk_rng)) < 0) ++local;
+        for (const int r : out)
+          if (r < 0) ++local;
         return local;
       },
       [](std::size_t acc, std::size_t part) { return acc + part; },
@@ -47,12 +57,22 @@ double reliability(const Puf& puf, std::size_t m, std::size_t repeats,
       m, std::size_t{0},
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        // Batch layout: all challenge coins, the ideal batch (no draws),
+        // then `repeats` full noisy passes over the slice. The noise draws
+        // therefore come in pass order rather than the old per-challenge
+        // order — a different (documented) deterministic schedule; the
+        // statistic itself is a plain integer tally either way.
+        std::vector<BitVec> challenges(end - begin);
+        for (auto& c : challenges) c = uniform_challenge(n, chunk_rng);
+        std::vector<int> ideal(challenges.size());
+        puf.eval_pm_batch(challenges, ideal);
+        obs::observe_batch("puf.metrics", challenges.size());
         std::size_t local = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          const BitVec c = uniform_challenge(n, chunk_rng);
-          const int ideal = puf.eval_pm(c);
-          for (std::size_t t = 0; t < repeats; ++t)
-            if (puf.eval_noisy(c, chunk_rng) == ideal) ++local;
+        std::vector<int> measured(challenges.size());
+        for (std::size_t t = 0; t < repeats; ++t) {
+          puf.eval_noisy_batch(challenges, measured, chunk_rng);
+          for (std::size_t i = 0; i < challenges.size(); ++i)
+            if (measured[i] == ideal[i]) ++local;
         }
         return local;
       },
@@ -75,16 +95,21 @@ double uniqueness(const std::vector<const Puf*>& instances, std::size_t m,
       m, std::size_t{0},
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         support::Rng chunk_rng = support::rng_for_chunk(seed, chunk);
+        // One batch per instance per chunk (byte-identical: eval_pm draws
+        // nothing), then the pairwise tally per challenge.
+        const std::size_t count = end - begin;
+        std::vector<BitVec> challenges(count);
+        for (auto& c : challenges) c = uniform_challenge(n, chunk_rng);
+        std::vector<std::vector<int>> responses(instances.size(),
+                                                std::vector<int>(count));
+        for (std::size_t p = 0; p < instances.size(); ++p)
+          instances[p]->eval_pm_batch(challenges, responses[p]);
+        obs::observe_batch("puf.metrics", count);
         std::size_t local = 0;
-        std::vector<int> responses(instances.size());
-        for (std::size_t s = begin; s < end; ++s) {
-          const BitVec c = uniform_challenge(n, chunk_rng);
-          for (std::size_t p = 0; p < instances.size(); ++p)
-            responses[p] = instances[p]->eval_pm(c);
-          for (std::size_t a = 0; a < responses.size(); ++a)
-            for (std::size_t b = a + 1; b < responses.size(); ++b)
-              if (responses[a] != responses[b]) ++local;
-        }
+        for (std::size_t s = 0; s < count; ++s)
+          for (std::size_t a = 0; a < instances.size(); ++a)
+            for (std::size_t b = a + 1; b < instances.size(); ++b)
+              if (responses[a][s] != responses[b][s]) ++local;
         return local;
       },
       [](std::size_t acc, std::size_t part) { return acc + part; },

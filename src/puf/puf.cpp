@@ -4,6 +4,14 @@
 
 namespace pitfalls::puf {
 
+void Puf::eval_noisy_batch(std::span<const BitVec> challenges,
+                           std::span<int> out, support::Rng& rng) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  for (std::size_t i = 0; i < challenges.size(); ++i)
+    out[i] = eval_noisy(challenges[i], rng);
+}
+
 int Puf::eval_majority(const BitVec& challenge, std::size_t votes,
                        support::Rng& rng) const {
   PITFALLS_REQUIRE(votes % 2 == 1, "majority vote needs an odd vote count");

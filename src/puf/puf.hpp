@@ -7,6 +7,8 @@
 // Section V) or the noisy channel, depending on the experiment.
 #pragma once
 
+#include <span>
+
 #include "boolfn/boolean_function.hpp"
 #include "support/rng.hpp"
 
@@ -19,6 +21,15 @@ class Puf : public BooleanFunction {
  public:
   /// One noisy measurement of the response to `challenge`.
   virtual int eval_noisy(const BitVec& challenge, support::Rng& rng) const = 0;
+
+  /// One noisy measurement per challenge. The contract mirrors
+  /// eval_pm_batch: out[i] must equal what the scalar loop
+  ///   for i: out[i] = eval_noisy(challenges[i], rng)
+  /// produces, *including the rng draw sequence* — overrides may vectorize
+  /// the delay arithmetic but must consume `rng` in exactly the per-element
+  /// scalar order so scalar and batch paths stay byte-identical.
+  virtual void eval_noisy_batch(std::span<const BitVec> challenges,
+                                std::span<int> out, support::Rng& rng) const;
 
   /// Majority vote over `votes` noisy measurements (votes must be odd) —
   /// the standard way real CRP sets are stabilised before an attack.

@@ -1,7 +1,9 @@
 #include "puf/xor_arbiter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "support/require.hpp"
 
@@ -60,6 +62,42 @@ int XorArbiterPuf::eval_noisy(const BitVec& challenge,
   int product = 1;
   for (const auto& c : chains_) product *= c.eval_noisy(challenge, rng);
   return product;
+}
+
+void XorArbiterPuf::eval_pm_batch(std::span<const BitVec> challenges,
+                                  std::span<int> out) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  std::fill(out.begin(), out.end(), 1);
+  std::vector<int> chain_out(challenges.size());
+  for (const auto& c : chains_) {
+    c.eval_pm_batch(challenges, chain_out);
+    for (std::size_t i = 0; i < challenges.size(); ++i)
+      out[i] *= chain_out[i];
+  }
+}
+
+void XorArbiterPuf::eval_noisy_batch(std::span<const BitVec> challenges,
+                                     std::span<int> out,
+                                     support::Rng& rng) const {
+  PITFALLS_REQUIRE(challenges.size() == out.size(),
+                   "batch spans must have equal length");
+  const std::size_t m = challenges.size();
+  // Bit-slice the delay sums per chain up front; the noise draws then run in
+  // the scalar order (per challenge, one gaussian per chain in chain order).
+  std::vector<double> delays(chains_.size() * m);
+  for (std::size_t k = 0; k < chains_.size(); ++k)
+    chains_[k].delay_differences(challenges,
+                                 std::span<double>(delays).subspan(k * m, m));
+  for (std::size_t i = 0; i < m; ++i) {
+    int product = 1;
+    for (std::size_t k = 0; k < chains_.size(); ++k) {
+      const double noisy =
+          delays[k * m + i] + rng.gaussian(0.0, chains_[k].noise_sigma());
+      product *= noisy < 0.0 ? -1 : +1;
+    }
+    out[i] = product;
+  }
 }
 
 const ArbiterPuf& XorArbiterPuf::chain(std::size_t i) const {

@@ -39,6 +39,14 @@ class XorArbiterPuf final : public Puf {
   int eval_noisy(const BitVec& challenge, support::Rng& rng) const override;
   std::string describe() const override;
 
+  /// Batch paths: chain-by-chain bit-sliced evaluation, products taken in
+  /// chain order. eval_noisy_batch keeps the scalar draw sequence (per
+  /// challenge, one gaussian per chain in chain order).
+  void eval_pm_batch(std::span<const BitVec> challenges,
+                     std::span<int> out) const override;
+  void eval_noisy_batch(std::span<const BitVec> challenges, std::span<int> out,
+                        support::Rng& rng) const override;
+
   std::size_t num_chains() const { return chains_.size(); }
   const ArbiterPuf& chain(std::size_t i) const;
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "support/require.hpp"
+
 namespace pitfalls::support {
 
 class BitVec {
@@ -75,6 +77,17 @@ class BitVec {
 
   /// FNV-style hash over the payload words.
   std::size_t hash() const;
+
+  /// Number of 64-bit payload words ((size + 63) / 64).
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Raw payload word `w` (bits [64w, 64w+63]; padding bits past size() are
+  /// always zero). Fast path for bit-sliced batch evaluation — unlike get(),
+  /// this stays inline so plane construction avoids a call per bit.
+  std::uint64_t word(std::size_t w) const {
+    PITFALLS_REQUIRE(w < words_.size(), "word index out of range");
+    return words_[w];
+  }
 
  private:
   void check_index(std::size_t i) const;

@@ -24,6 +24,14 @@
 // installs hooks that mirror the pool into `support.pool.threads` /
 // `support.pool.tasks` and per-callsite `<callsite>.parallel_seconds`
 // histograms.
+//
+// Batch composition (DESIGN.md §11): chunk boundaries double as batch
+// boundaries for the batched query plane — chunk bodies issue one
+// eval_pm_batch/query_pm_batch call over their slice instead of a
+// per-element loop (enforced by the scalar-query lint rule under src/ml
+// and src/puf). Because plan_chunks depends only on n and batch results
+// are contractually bit-identical to scalar evaluation, batching changes
+// neither the thread-count invariance nor a single output byte.
 #pragma once
 
 #include <cstddef>

@@ -183,6 +183,67 @@ TEST(LintGuard, GuardInSiblingCppPasses) {
             (std::vector<std::size_t>{7}));
 }
 
+// --------------------------------------------------------- scalar-query
+
+// The fixtures live under tests/lint_fixtures/ on disk; scalar-query is
+// scoped to src/ml and src/puf, so present them under an in-scope path.
+std::vector<Violation> lint_fixture_as(const std::string& name,
+                                       const std::string& path) {
+  SourceFile f = load_file(fixture(name));
+  f.path = path;
+  return run_lint({f});
+}
+
+TEST(LintScalarQuery, FlagsPerElementQueriesInParallelChunkBody) {
+  const auto vs = lint_fixture_as("bad_scalar_query.cpp", "src/ml/agree.cpp");
+  EXPECT_EQ(lines_of(vs, "scalar-query"), (std::vector<std::size_t>{20, 21}));
+}
+
+TEST(LintScalarQuery, AppliesUnderPufToo) {
+  const auto vs =
+      lint_fixture_as("bad_scalar_query.cpp", "src/puf/agree.cpp");
+  EXPECT_EQ(lines_of(vs, "scalar-query").size(), 2u);
+}
+
+TEST(LintScalarQuery, BatchCallsPerChunkPass) {
+  EXPECT_TRUE(
+      lint_fixture_as("good_scalar_query.cpp", "src/ml/agree.cpp").empty());
+}
+
+TEST(LintScalarQuery, OutOfScopePathsAreExempt) {
+  // The same scalar pattern outside src/ml and src/puf (benches, tests,
+  // other layers) is allowed — only the query plane's own layers must batch.
+  EXPECT_TRUE(lint_fixture("bad_scalar_query.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture_as("bad_scalar_query.cpp", "bench/bench_micro.cpp")
+          .empty());
+}
+
+TEST(LintScalarQuery, ScalarQueryOutsideParallelRegionPasses) {
+  const SourceFile f{"src/ml/serial.cpp",
+                     "int probe(pitfalls::ml::MembershipOracle& o,\n"
+                     "          const pitfalls::BitVec& x) {\n"
+                     "  return o.query_pm(x);\n"
+                     "}\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+TEST(LintScalarQuery, SuppressionTagSilencesTheRule) {
+  const SourceFile f{
+      "src/ml/agree.cpp",
+      "void f(pitfalls::ml::MembershipOracle& o,\n"
+      "       const std::vector<pitfalls::BitVec>& xs,\n"
+      "       std::vector<int>& out) {\n"
+      "  pitfalls::support::parallel_for_chunks(\n"
+      "      xs.size(), [&](std::size_t c, std::size_t b, std::size_t e) {\n"
+      "        (void)c;\n"
+      "        for (std::size_t i = b; i < e; ++i)\n"
+      "          out[i] = o.query_pm(xs[i]);  // lint:scalar-query-ok\n"
+      "      });\n"
+      "}\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
 // ---------------------------------------------------------- suppression
 
 TEST(LintSuppression, SameLineAndLineAboveTagsSilenceRules) {
@@ -223,8 +284,8 @@ TEST(LintApi, ViolationsAreSortedAndRulesEnumerated) {
                                       std::tie(b.file, b.line, b.rule);
                              }));
   const auto names = pitfalls::lint::rule_names();
-  for (const char* r :
-       {"rng", "wallclock", "ordered", "chunk-rng", "require-guard"})
+  for (const char* r : {"rng", "wallclock", "ordered", "chunk-rng",
+                        "require-guard", "scalar-query"})
     EXPECT_NE(std::find(names.begin(), names.end(), r), names.end())
         << "missing rule " << r;
 }
@@ -232,7 +293,7 @@ TEST(LintApi, ViolationsAreSortedAndRulesEnumerated) {
 TEST(LintApi, CollectSourcesFindsAllFixtures) {
   const auto paths =
       pitfalls::lint::collect_sources({std::string(LINT_FIXTURES_DIR)});
-  EXPECT_GE(paths.size(), 13u);
+  EXPECT_GE(paths.size(), 15u);
   EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
 }
 

@@ -312,6 +312,59 @@ void check_chunk_rng(const FileView& view, std::vector<Violation>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: scalar-query — per-element oracle/PUF queries inside parallel chunk
+// bodies must use the batch query plane
+// ---------------------------------------------------------------------------
+
+void check_scalar_query(const FileView& view, std::vector<Violation>& out) {
+  // Scoped to the layers that own the batch plane: learners/oracles and the
+  // PUF simulators. Other layers may legitimately evaluate one-at-a-time.
+  if (!path_contains(view.path, "src/ml") &&
+      !path_contains(view.path, "src/puf"))
+    return;
+  static const std::regex kCall(
+      "\\bparallel_(?:for_chunks|reduce|for)\\b");
+  // query_pm/eval_pm followed by '(' — the batch entry points end in
+  // "_batch(", so they never match.
+  static const std::regex kScalarCall("\\b(?:query_pm|eval_pm)\\s*\\(");
+  auto begin = std::sregex_iterator(view.stripped.begin(),
+                                    view.stripped.end(), kCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    while (pos < view.stripped.size() &&
+           std::isspace(static_cast<unsigned char>(view.stripped[pos])) != 0)
+      ++pos;
+    if (pos < view.stripped.size() && view.stripped[pos] == '<') {
+      pos = match_angle(view.stripped, pos);
+      if (pos == std::string::npos) continue;
+      while (pos < view.stripped.size() &&
+             std::isspace(static_cast<unsigned char>(view.stripped[pos])) != 0)
+        ++pos;
+    }
+    if (pos >= view.stripped.size() || view.stripped[pos] != '(') continue;
+    const std::size_t close = match_paren(view.stripped, pos);
+    if (close == std::string::npos) continue;
+    const std::string span = view.stripped.substr(pos, close - pos);
+
+    auto sb = std::sregex_iterator(span.begin(), span.end(), kScalarCall);
+    for (auto call = sb; call != std::sregex_iterator(); ++call) {
+      const std::size_t offset =
+          pos + static_cast<std::size_t>(call->position());
+      const std::size_t line_index = static_cast<std::size_t>(std::count(
+          view.stripped.begin(),
+          view.stripped.begin() + static_cast<std::ptrdiff_t>(offset), '\n'));
+      emit(view, line_index, "scalar-query",
+           "per-element query_pm/eval_pm inside a parallel chunk body pays "
+           "per-challenge dispatch and skips the bit-sliced PUF kernels; "
+           "issue one query_pm_batch/eval_pm_batch per chunk instead (or "
+           "annotate an audited exception with // lint:scalar-query-ok)",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: require-guard — parameterised public headers carry contracts
 // ---------------------------------------------------------------------------
 
@@ -464,7 +517,8 @@ std::string strip_comments_and_strings(const std::string& text) {
 }
 
 std::vector<std::string> rule_names() {
-  return {"rng", "wallclock", "ordered", "chunk-rng", "require-guard"};
+  return {"rng",       "wallclock",     "ordered",
+          "chunk-rng", "require-guard", "scalar-query"};
 }
 
 bool is_source_file(const std::string& path) {
@@ -540,6 +594,7 @@ std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
     check_ordered(ctx, view, out);
     check_chunk_rng(view, out);
     check_require_guard(ctx, view, out);
+    check_scalar_query(view, out);
   }
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {

@@ -23,6 +23,10 @@
 //   require-guard public headers must back their parameterised API with
 //                 PITFALLS_REQUIRE/PITFALLS_ENSURE contracts (in the header
 //                 or its sibling .cpp).
+//   scalar-query  under src/ml and src/puf, parallel chunk bodies must not
+//                 issue per-element query_pm/eval_pm calls — use the batch
+//                 query plane (query_pm_batch/eval_pm_batch) once per chunk;
+//                 `// lint:scalar-query-ok` marks audited exceptions.
 //
 // Suppression: `// lint:<rule>-ok` on the flagged line or the line directly
 // above acknowledges an audited exception. Suppressions are per-rule; there
