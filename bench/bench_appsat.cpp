@@ -13,6 +13,7 @@
 #include "circuit/generator.hpp"
 #include "core/experiment.hpp"
 #include "lock/combinational.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -28,7 +29,9 @@ using support::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("appsat", argc, argv);
+
   std::cout << "== AppSAT (approximate) vs SAT attack (exact) ==\n\n";
 
   struct Workload {
@@ -37,14 +40,14 @@ int main() {
   };
   Rng gen_rng(11);
   std::vector<Workload> workloads;
-  {
+  if (!reporter.smoke()) {
     circuit::RandomCircuitConfig config;
     config.inputs = 12;
     config.gates = 100;
     config.outputs = 3;
     workloads.push_back({"rand12x100", circuit::random_circuit(config, gen_rng)});
+    workloads.push_back({"comparator10", circuit::equality_comparator(10)});
   }
-  workloads.push_back({"comparator10", circuit::equality_comparator(10)});
   workloads.push_back({"adder6", circuit::ripple_carry_adder(6)});
 
   Table table({"circuit", "key bits", "attack", "DIPs", "oracle queries",
@@ -94,7 +97,8 @@ int main() {
                                           : "budget")});
     }
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
+  reporter.note("workloads", static_cast<double>(workloads.size()));
 
   std::cout
       << "\nReading guide: 'exact-inference resilience' (the comparator's\n"
@@ -104,5 +108,5 @@ int main() {
       << "SAT attack converts approximate learning into exact recovery,\n"
       << "which is the paper's Section IV-A argument against [4]'s\n"
       << "impossibility framing.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -14,13 +14,16 @@
 #include "core/experiment.hpp"
 #include "lock/antisat.hpp"
 #include "lock/sarlock.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pitfalls;
   using support::Rng;
   using support::Table;
+
+  obs::BenchReporter reporter("sarlock", argc, argv);
 
   std::cout << "== SARLock vs XOR locking under exact and approximate "
                "attacks ==\n\n";
@@ -30,7 +33,10 @@ int main() {
   Table table({"scheme", "key bits", "attack", "DIPs", "oracle queries",
                "time [s]", "key accuracy [%]"});
 
-  for (const std::size_t bits : {4u, 6u, 8u}) {
+  const std::vector<std::size_t> bit_sweep =
+      reporter.smoke() ? std::vector<std::size_t>{4}
+                       : std::vector<std::size_t>{4, 6, 8};
+  for (const std::size_t bits : bit_sweep) {
     for (const int scheme_id : {0, 1, 2}) {
       Rng lock_rng(100 + bits);
       const lock::LockedCircuit locked =
@@ -78,7 +84,9 @@ int main() {
       }
     }
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
+  reporter.note("schemes", 3.0);
+  reporter.note("key_widths", static_cast<double>(bit_sweep.size()));
 
   std::cout
       << "\nShape to observe: SAT-attack DIPs grow ~2^bits on SARLock but\n"
@@ -86,5 +94,5 @@ int main() {
       << "rounds on both and returns keys >98% accurate — wrong on (at\n"
       << "most) the protected pattern. Security against exact inference,\n"
       << "insecurity against approximation: Rivest's distinction, measured.\n";
-  return 0;
+  return reporter.finish();
 }

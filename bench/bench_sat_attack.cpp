@@ -12,6 +12,7 @@
 #include "circuit/generator.hpp"
 #include "core/experiment.hpp"
 #include "lock/combinational.hpp"
+#include "obs/bench_reporter.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -31,36 +32,46 @@ struct Workload {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitfalls::obs::BenchReporter reporter("sat_attack", argc, argv);
+
   std::cout << "== SAT attack on XOR/XNOR-locked circuits ==\n\n";
 
   Rng gen_rng(7);
   std::vector<Workload> workloads;
   workloads.push_back({"c17", circuit::c17()});
   workloads.push_back({"adder8 (ripple)", circuit::ripple_carry_adder(8)});
-  workloads.push_back({"comparator8", circuit::equality_comparator(8)});
-  {
-    circuit::RandomCircuitConfig config;
-    config.inputs = 12;
-    config.gates = 120;
-    config.outputs = 4;
-    workloads.push_back({"rand12x120", circuit::random_circuit(config, gen_rng)});
+  if (!reporter.smoke()) {
+    workloads.push_back({"comparator8", circuit::equality_comparator(8)});
+    {
+      circuit::RandomCircuitConfig config;
+      config.inputs = 12;
+      config.gates = 120;
+      config.outputs = 4;
+      workloads.push_back(
+          {"rand12x120", circuit::random_circuit(config, gen_rng)});
+    }
+    {
+      circuit::RandomCircuitConfig config;
+      config.inputs = 16;
+      config.gates = 250;
+      config.outputs = 6;
+      workloads.push_back(
+          {"rand16x250", circuit::random_circuit(config, gen_rng)});
+    }
   }
-  {
-    circuit::RandomCircuitConfig config;
-    config.inputs = 16;
-    config.gates = 250;
-    config.outputs = 6;
-    workloads.push_back({"rand16x250", circuit::random_circuit(config, gen_rng)});
-  }
+  const std::vector<std::size_t> key_sweep =
+      reporter.smoke() ? std::vector<std::size_t>{4, 8}
+                       : std::vector<std::size_t>{4, 8, 16, 32};
 
+  std::size_t total_dips = 0;
   Table table({"circuit", "inputs", "gates", "key bits", "DIPs",
                "oracle queries", "solver conflicts", "time [s]",
                "exact?"});
   for (const auto& workload : workloads) {
     const std::size_t max_key =
         std::min<std::size_t>(pitfalls::lock::lockable_gate_count(workload.netlist), 32);
-    for (std::size_t key_bits : {4u, 8u, 16u, 32u}) {
+    for (std::size_t key_bits : key_sweep) {
       if (key_bits > max_key) continue;
       Rng lock_rng(1000 + key_bits);
       const LockedCircuit locked =
@@ -74,6 +85,7 @@ int main() {
       const bool exact =
           result.success &&
           attack::keys_equivalent(workload.netlist, locked, result.key);
+      total_dips += result.dip_iterations;
       table.add_row({workload.name,
                      std::to_string(workload.netlist.num_inputs()),
                      std::to_string(workload.netlist.logic_gate_count()),
@@ -84,7 +96,9 @@ int main() {
                      Table::fmt(seconds, 3), exact ? "yes" : "NO"});
     }
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
+  reporter.note("workloads", static_cast<double>(workloads.size()));
+  reporter.note("total_dips", static_cast<double>(total_dips));
 
   std::cout
       << "\nObservations to compare with the literature: DIP counts stay\n"
@@ -93,5 +107,5 @@ int main() {
       << "function — needs disproportionately many DIPs for its size,\n"
       << "which is precisely the weakness AppSAT [5] exploits (see\n"
       << "bench_appsat).\n";
-  return 0;
+  return reporter.finish();
 }

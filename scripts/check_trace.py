@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate TRACE_*.json files as loadable Chrome Trace Event JSON.
+
+Checks what chrome://tracing / ui.perfetto.dev actually need: the file
+parses with json.load, has an object root with a "traceEvents" list, and
+every event carries name/ph/pid (plus ts/tid for non-metadata phases, dur
+for complete events, a numeric args.value for counter events). Stdlib-only.
+
+    python3 scripts/check_trace.py TRACE_sat_attack.json [more.json ...]
+
+Exit status: 0 = all files valid, 1 = at least one invalid, 2 = usage.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"M", "X", "i", "C"}
+
+
+def check(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load: {exc}"]
+
+    errors = []
+    if not isinstance(doc, dict):
+        return ["root is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    if not events:
+        errors.append("traceEvents is empty")
+
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for key in ("ts", "tid"):
+            if not isinstance(event.get(key), (int, float)):
+                errors.append(f"{where}: missing numeric {key!r}")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: complete event missing numeric 'dur'")
+        if ph == "C":
+            args = event.get("args")
+            if not (isinstance(args, dict)
+                    and isinstance(args.get("value"), (int, float))):
+                errors.append(f"{where}: counter missing numeric args.value")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in sys.argv[1:]:
+        errors = check(path)
+        if errors:
+            status = 1
+            for error in errors[:20]:
+                print(f"check_trace: {path}: {error}", file=sys.stderr)
+        else:
+            print(f"check_trace: {path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json files (schema v1) emitted by the BenchReporter.
+"""Diff or trend BENCH_*.json files (schema v1) emitted by the BenchReporter.
 
-Compares the histograms the two runs share — per-histogram p50 delta, plus
-count/mean for context — and flags a regression when a p50 grows by more
-than --threshold (fractional; default 0.25 = 25%). Also reports numeric
-notes and wall_seconds, which are informational only (they never flag).
+Two-file mode (default) compares the histograms the two runs share — per-
+histogram p50 delta, plus count/mean for context — and flags a regression
+when a p50 grows by more than --threshold (fractional; default 0.25 = 25%).
+Also reports numeric notes and wall_seconds, which are informational only
+(they never flag).
+
+Trend mode (--trend) accepts N historical JSONs in chronological order and
+prints per-bench p50 trajectories: one line per (bench, histogram) pair
+showing the p50 at each snapshot plus the overall first-to-last delta.
+Files from different benches may be mixed; they are grouped by the "bench"
+field. Trend mode is informational and always exits 0 on parseable input.
 
 Stdlib-only, so it runs anywhere the repo builds:
 
     python3 scripts/compare_bench.py old/BENCH_micro_kernels.json \
         new/BENCH_micro_kernels.json --threshold 0.3
+    python3 scripts/compare_bench.py --trend run1/*.json run2/*.json \
+        run3/*.json
 
 Exit status: 0 = no regression, 1 = at least one histogram regressed,
 2 = usage/parse error. Histograms absent from either file are listed but
@@ -45,11 +54,55 @@ def fmt_delta(old, new):
     return f"{100.0 * (new - old) / old:+.1f}%"
 
 
+def trend(paths):
+    """Print per-bench p50 trajectories over N chronological snapshots."""
+    docs = [load(path) for path in paths]
+    # Group snapshot histograms by bench name, preserving file order.
+    by_bench = {}
+    for path, doc in zip(paths, docs):
+        by_bench.setdefault(doc.get("bench", "?"), []).append(
+            (path, histograms(doc), doc.get("wall_seconds")))
+
+    for bench in sorted(by_bench):
+        snapshots = by_bench[bench]
+        names = sorted({name for _, hists, _ in snapshots for name in hists})
+        print(f"== {bench} ({len(snapshots)} snapshot(s)) ==")
+        if not names:
+            print("  (no histograms)")
+            continue
+        width = max(len(name) for name in names)
+        for name in names:
+            p50s = [
+                float(hists[name]["p50"]) if name in hists else None
+                for _, hists, _ in snapshots
+            ]
+            cells = "  ".join(
+                f"{p:>10.6f}" if p is not None else f"{'-':>10}"
+                for p in p50s)
+            present = [p for p in p50s if p is not None]
+            overall = (fmt_delta(present[0], present[-1])
+                       if len(present) >= 2 else "n/a")
+            print(f"  {name:<{width}}  {cells}  [{overall}]")
+        walls = [w for _, _, w in snapshots if isinstance(w, (int, float))]
+        if len(walls) == len(snapshots):
+            cells = "  ".join(f"{w:>10.3f}" for w in walls)
+            print(f"  {'wall_seconds':<{width}}  {cells}  "
+                  f"[{fmt_delta(walls[0], walls[-1])}]")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Diff two schema-v1 BENCH_*.json files by histogram p50.")
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
+        description="Diff two schema-v1 BENCH_*.json files by histogram p50, "
+                    "or trend N of them chronologically.")
+    parser.add_argument(
+        "files", nargs="+",
+        help="BENCH_*.json files: exactly two (baseline, candidate) in diff "
+             "mode, one or more chronological snapshots with --trend")
+    parser.add_argument(
+        "--trend", action="store_true",
+        help="print per-bench p50 trajectories across all given files "
+             "instead of diffing a pair")
     parser.add_argument(
         "--threshold", type=float, default=0.25,
         help="fractional p50 growth that counts as a regression "
@@ -61,6 +114,12 @@ def main():
     args = parser.parse_args()
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
+    if args.trend:
+        return trend(args.files)
+    if len(args.files) != 2:
+        parser.error("diff mode takes exactly two files (old, new); "
+                     "use --trend for N-file trajectories")
+    args.old, args.new = args.files
 
     old_doc, new_doc = load(args.old), load(args.new)
     if old_doc.get("bench") != new_doc.get("bench"):

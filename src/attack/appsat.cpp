@@ -1,6 +1,7 @@
 #include "attack/appsat.hpp"
 
 #include "attack/detail.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::attack {
@@ -22,6 +23,8 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
                        config.error_threshold < 1.0,
                    "error threshold must be in [0,1)");
 
+  const obs::TraceSpan attack_span("attack.appsat");
+  detail::AttackMetrics& metrics = detail::AttackMetrics::get();
   const std::size_t num_data = locked.num_data_inputs();
   const std::size_t num_key = locked.num_key_inputs();
   const std::size_t start_queries = oracle.queries();
@@ -35,6 +38,7 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
   const CircuitEncoding enc2 =
       sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k2));
   sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+  metrics.miter_clauses.add(main.num_clauses());
 
   Solver key_solver;
   const std::vector<Var> key_vars = fresh_vars(key_solver, num_key);
@@ -59,31 +63,38 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
   result.key = BitVec(num_key);
 
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    const obs::TraceSpan round_span("attack.appsat.round");
     ++result.rounds;
 
     // DIP phase.
     bool unsat = false;
-    for (std::size_t d = 0; d < config.dips_per_round; ++d) {
-      if (main.solve() == SolveResult::kUnsat) {
-        unsat = true;
-        break;
+    {
+      const obs::TraceSpan dip_span("attack.appsat.dip_phase");
+      for (std::size_t d = 0; d < config.dips_per_round; ++d) {
+        if (main.solve() == SolveResult::kUnsat) {
+          unsat = true;
+          break;
+        }
+        ++result.dip_iterations;
+        BitVec dip(num_data);
+        for (std::size_t i = 0; i < num_data; ++i)
+          dip.set(i, main.model_value(x_vars[i]));
+        record_observation(dip, oracle.query(dip));
+        metrics.dips.add(1);
       }
-      ++result.dip_iterations;
-      BitVec dip(num_data);
-      for (std::size_t i = 0; i < num_data; ++i)
-        dip.set(i, main.model_value(x_vars[i]));
-      record_observation(dip, oracle.query(dip));
     }
     if (unsat) {
       result.key = extract_key();
       result.exact = true;
       result.estimated_error = 0.0;
       result.oracle_queries = oracle.queries() - start_queries;
+      metrics.key_bits_fixed.add(num_key);
       return result;
     }
 
     // Settle phase: estimate the candidate key's error with random queries;
     // every observed mismatch is recycled as a constraint.
+    const obs::TraceSpan settle_span("attack.appsat.settle_phase");
     const BitVec candidate = extract_key();
     std::size_t mismatches = 0;
     for (std::size_t q = 0; q < config.random_queries; ++q) {
@@ -101,6 +112,7 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
     if (result.estimated_error <= config.error_threshold) {
       result.settled = true;
       result.oracle_queries = oracle.queries() - start_queries;
+      metrics.key_bits_fixed.add(num_key);
       return result;
     }
   }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "lock/combinational.hpp"
+#include "obs/metrics.hpp"
 #include "sat/encoder.hpp"
 #include "support/require.hpp"
 
@@ -12,6 +13,18 @@ using lock::LockedCircuit;
 using sat::Solver;
 using sat::Var;
 using support::BitVec;
+
+/// Global `attack.*` counters shared by the oracle-guided attacks:
+/// dips = distinguishing inputs consumed (SAT attack + AppSAT), miter
+/// clauses = attached clauses in the miter solver right after encoding,
+/// key_bits_fixed = key bits pinned by successfully extracted keys.
+/// Resolved once; defined in sat_attack.cpp.
+struct AttackMetrics {
+  obs::Counter& dips;
+  obs::Counter& miter_clauses;
+  obs::Counter& key_bits_fixed;
+  static AttackMetrics& get();
+};
 
 /// Shared-input vector for one locked-circuit copy: data inputs from
 /// `data_vars`, key inputs from `key_vars`, respecting netlist input order.

@@ -1,6 +1,8 @@
 #include "attack/fsm_bmc.hpp"
 
 #include "circuit/fsm_synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/encoder.hpp"
 #include "sat/solver.hpp"
 #include "support/require.hpp"
@@ -33,6 +35,7 @@ BmcResult bmc_reach(const circuit::MealyMachine& machine,
   for (auto t : targets)
     PITFALLS_REQUIRE(t < machine.num_states(), "target state out of range");
 
+  const obs::TraceSpan attack_span("attack.bmc_reach");
   BmcResult result;
   if (targets.contains(machine.reset_state())) {
     result.found = true;  // the empty word suffices
@@ -42,9 +45,13 @@ BmcResult bmc_reach(const circuit::MealyMachine& machine,
   const SynthesizedFsm synth = circuit::synthesize_fsm(machine);
   const std::size_t sbits = synth.state_bits;
   const std::size_t ibits = synth.input_bits;
+  auto& frames_counter =
+      obs::MetricsRegistry::global().counter("attack.bmc.frames");
 
   for (std::size_t bound = 1; bound <= max_bound; ++bound) {
+    const obs::TraceSpan frame_span("attack.bmc_reach.frame");
     ++result.frames_solved;
+    frames_counter.add(1);
     Solver solver;
 
     // Frame-0 state: the reset constant.

@@ -1,6 +1,8 @@
 #include "attack/sat_attack.hpp"
 
 #include "attack/detail.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/encoder.hpp"
 #include "support/require.hpp"
 
@@ -14,6 +16,18 @@ using sat::Solver;
 using sat::SolveResult;
 using sat::Var;
 
+namespace detail {
+
+AttackMetrics& AttackMetrics::get() {
+  static auto& registry = obs::MetricsRegistry::global();
+  static AttackMetrics metrics{registry.counter("attack.dips"),
+                               registry.counter("attack.miter_clauses"),
+                               registry.counter("attack.key_bits_fixed")};
+  return metrics;
+}
+
+}  // namespace detail
+
 CircuitOracle CircuitOracle::from_netlist(const circuit::Netlist& original) {
   return CircuitOracle(
       [&original](const BitVec& data) { return original.evaluate(data); });
@@ -21,20 +35,29 @@ CircuitOracle CircuitOracle::from_netlist(const circuit::Netlist& original) {
 
 SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
                            const SatAttackConfig& config) {
+  const obs::TraceSpan attack_span("attack.sat_attack");
+  detail::AttackMetrics& metrics = detail::AttackMetrics::get();
   const std::size_t num_data = locked.num_data_inputs();
   const std::size_t num_key = locked.num_key_inputs();
   const std::size_t start_queries = oracle.queries();
 
   // Main solver: two key copies over shared data inputs, miter on outputs.
   Solver main;
-  const std::vector<Var> x_vars = fresh_vars(main, num_data);
-  const std::vector<Var> k1 = fresh_vars(main, num_key);
-  const std::vector<Var> k2 = fresh_vars(main, num_key);
-  const CircuitEncoding enc1 =
-      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k1));
-  const CircuitEncoding enc2 =
-      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k2));
-  sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+  std::vector<Var> x_vars;
+  std::vector<Var> k1;
+  std::vector<Var> k2;
+  {
+    const obs::TraceSpan encode_span("attack.sat_attack.encode_miter");
+    x_vars = fresh_vars(main, num_data);
+    k1 = fresh_vars(main, num_key);
+    k2 = fresh_vars(main, num_key);
+    const CircuitEncoding enc1 = sat::encode_netlist(
+        main, locked.netlist, mix_inputs(locked, x_vars, k1));
+    const CircuitEncoding enc2 = sat::encode_netlist(
+        main, locked.netlist, mix_inputs(locked, x_vars, k2));
+    sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+  }
+  metrics.miter_clauses.add(main.num_clauses());
 
   // Key solver: accumulates the observations only.
   Solver key_solver;
@@ -43,7 +66,9 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
   SatAttackResult result;
   result.key = BitVec(num_key);
 
-  while (main.solve() == SolveResult::kSat) {
+  for (;;) {
+    const obs::TraceSpan dip_span("attack.sat_attack.dip");
+    if (main.solve() != SolveResult::kSat) break;
     ++result.dip_iterations;
     if (config.max_iterations != 0 &&
         result.dip_iterations > config.max_iterations) {
@@ -55,6 +80,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
     for (std::size_t i = 0; i < num_data; ++i)
       dip.set(i, main.model_value(x_vars[i]));
     const BitVec response = oracle.query(dip);
+    metrics.dips.add(1);
 
     // Both key copies must agree with the oracle on this DIP.
     add_io_constraint(main, locked, k1, dip, response);
@@ -64,12 +90,14 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
 
   // No DIP remains: every key satisfying the observations is functionally
   // equivalent to the oracle. Extract one.
+  const obs::TraceSpan extract_span("attack.sat_attack.extract_key");
   const SolveResult kr = key_solver.solve();
   PITFALLS_ENSURE(kr == SolveResult::kSat,
                   "correct key must satisfy all observations");
   for (std::size_t i = 0; i < num_key; ++i)
     result.key.set(i, key_solver.model_value(key_vars[i]));
   result.success = true;
+  metrics.key_bits_fixed.add(num_key);
   result.solver_stats = main.stats();
   result.oracle_queries = oracle.queries() - start_queries;
   return result;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::circuit {
@@ -40,6 +42,7 @@ std::vector<bool> output_cone(const Netlist& netlist) {
 }
 
 NetlistStats analyze(const Netlist& netlist) {
+  const obs::TraceSpan span("circuit.analyze");
   NetlistStats stats;
   stats.inputs = netlist.num_inputs();
   stats.outputs = netlist.num_outputs();
@@ -59,6 +62,12 @@ NetlistStats analyze(const Netlist& netlist) {
         t != GateType::kConst1)
       ++stats.dead_gates;
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("circuit.analyze.calls").add(1);
+  registry.histogram("circuit.netlist.logic_gates")
+      .observe(static_cast<double>(stats.logic_gates));
+  registry.histogram("circuit.netlist.depth")
+      .observe(static_cast<double>(stats.depth));
   return stats;
 }
 
@@ -248,7 +257,16 @@ class Simplifier {
 
 }  // namespace
 
-Netlist simplify(const Netlist& netlist) { return Simplifier(netlist).run(); }
+Netlist simplify(const Netlist& netlist) {
+  const obs::TraceSpan span("circuit.simplify");
+  Netlist out = Simplifier(netlist).run();
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("circuit.simplify.calls").add(1);
+  if (netlist.num_gates() >= out.num_gates())
+    registry.counter("circuit.simplify.gates_removed")
+        .add(netlist.num_gates() - out.num_gates());
+  return out;
+}
 
 Netlist specialize(const Netlist& netlist,
                    const std::vector<std::pair<std::size_t, bool>>& pins) {

@@ -1,5 +1,7 @@
 #include "lock/antisat.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::lock {
@@ -14,6 +16,7 @@ LockedCircuit lock_antisat(const Netlist& original, std::size_t width,
                    "Anti-SAT width exceeds the data inputs");
   PITFALLS_REQUIRE(original.num_outputs() >= 1, "need an output to protect");
 
+  const obs::TraceSpan lock_span("lock.antisat");
   LockedCircuit out;
   std::vector<std::size_t> remap(original.num_gates());
   for (std::size_t id = 0; id < original.num_gates(); ++id) {
@@ -72,6 +75,9 @@ LockedCircuit lock_antisat(const Netlist& original, std::size_t width,
   out.netlist.mark_output(protected_out);
   for (std::size_t o = 1; o < base_outputs.size(); ++o)
     out.netlist.mark_output(remap[base_outputs[o]]);
+  obs::MetricsRegistry::global()
+      .counter("lock.antisat.block_gates")
+      .add(out.netlist.num_gates() - original.num_gates() - 2 * width);
   return out;
 }
 

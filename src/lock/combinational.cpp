@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::lock {
@@ -65,6 +67,7 @@ std::size_t lockable_gate_count(const Netlist& netlist) {
 LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
                               support::Rng& rng) {
   PITFALLS_REQUIRE(key_bits >= 1, "need at least one key bit");
+  const obs::TraceSpan lock_span("lock.random_xor");
   std::vector<std::size_t> lockable = lockable_gates(original);
   PITFALLS_REQUIRE(lockable.size() >= key_bits,
                    "not enough logic gates to lock");
@@ -106,6 +109,7 @@ LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
   for (auto output : original.outputs())
     out.netlist.mark_output(remap[output]);
   PITFALLS_ENSURE(key_index == key_bits, "key bit accounting error");
+  obs::MetricsRegistry::global().counter("lock.xor.key_gates").add(key_bits);
   return out;
 }
 

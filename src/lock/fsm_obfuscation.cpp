@@ -1,5 +1,7 @@
 #include "lock/fsm_obfuscation.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::lock {
@@ -12,6 +14,7 @@ ObfuscatedFsm obfuscate_fsm(const MealyMachine& functional,
   PITFALLS_REQUIRE(inputs >= 2,
                    "need at least two input symbols for a wrong branch");
 
+  const obs::TraceSpan lock_span("lock.obfuscate_fsm");
   const std::size_t obf = unlock_length;  // obfuscation states 0..obf-1
   const std::size_t total = obf + functional.num_states();
   // Functional state s maps to obf + s; reset is the chain head.
@@ -45,6 +48,7 @@ ObfuscatedFsm obfuscate_fsm(const MealyMachine& functional,
                                     obf + functional.next_state(s, symbol),
                                     functional.output(s, symbol));
   }
+  obs::MetricsRegistry::global().counter("lock.fsm.obf_states").add(obf);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "lock/sarlock.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::lock {
@@ -40,6 +42,7 @@ LockedCircuit add_sarlock_layer(const LockedCircuit& base,
   PITFALLS_REQUIRE(base.netlist.num_outputs() >= 1,
                    "need an output to protect");
 
+  const obs::TraceSpan lock_span("lock.sarlock.layer");
   LockedCircuit out;
   // Copy the base netlist verbatim (ids are preserved: same insertion
   // order), then append the comparator block.
@@ -111,6 +114,9 @@ LockedCircuit add_sarlock_layer(const LockedCircuit& base,
     out.correct_key.set(i, base.correct_key.get(i));
   for (std::size_t i = 0; i < sar_bits; ++i)
     out.correct_key.set(base.correct_key.size() + i, secret.get(i));
+  obs::MetricsRegistry::global()
+      .counter("lock.sarlock.comparator_gates")
+      .add(out.netlist.num_gates() - base.netlist.num_gates() - sar_bits);
   return out;
 }
 

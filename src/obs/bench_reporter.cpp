@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/require.hpp"
@@ -15,6 +16,7 @@ BenchReporter::BenchReporter(std::string name, int argc, char** argv)
   PITFALLS_REQUIRE(argc == 0 || argv != nullptr,
                    "argv must be non-null when argc > 0");
   const std::string default_path = "BENCH_" + name_ + ".json";
+  const std::string default_trace_path = "TRACE_" + name_ + ".json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
@@ -28,9 +30,18 @@ BenchReporter::BenchReporter(std::string name, int argc, char** argv)
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path_ = arg.substr(7);
       if (json_path_.empty()) json_path_ = default_path;
+    } else if (arg == "--trace") {
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        trace_path_ = argv[++i];
+      else
+        trace_path_ = default_trace_path;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path_ = arg.substr(8);
+      if (trace_path_.empty()) trace_path_ = default_trace_path;
     } else {
       std::cerr << "bench_" << name_ << ": ignoring unknown argument '" << arg
-                << "' (known: --json [path], --json=path, --smoke)\n";
+                << "' (known: --json [path], --json=path, --trace [path], "
+                   "--trace=path, --smoke)\n";
     }
   }
 }
@@ -50,6 +61,12 @@ void BenchReporter::note(const std::string& name, double number) {
 }
 
 int BenchReporter::finish() {
+  if (!trace_path_.empty() &&
+      !export_chrome_trace(trace_path_, Tracer::global(), "bench_" + name_)) {
+    std::cerr << "bench_" << name_ << ": cannot write chrome trace '"
+              << trace_path_ << "'\n";
+    return 1;
+  }
   if (json_path_.empty()) return 0;
 
   // Pre-register the oracle query counters so every bench report exposes the

@@ -9,6 +9,10 @@
 //                    histograms + oracle query counters), the trace-span
 //                    tree, and free-form notes.
 //   --json=path      same, explicit path.
+//   --trace [path]   also export the global tracer as Chrome/Perfetto
+//                    trace-event JSON (default path TRACE_<name>.json),
+//                    loadable in chrome://tracing / ui.perfetto.dev.
+//   --trace=path     same, explicit path.
 //   --smoke          the bench should substitute its tiny parameter set
 //                    (query via smoke()) — used by the bench_smoke ctest.
 //
@@ -18,7 +22,8 @@
 //     "tables": [{"title": str, "headers": [str], "rows": [[str]]}],
 //     "metrics": {"counters": {str: num}, "gauges": {str: num},
 //                 "histograms": {str: {count,total,mean,min,p50,p95,max}}},
-//     "trace": [{name,id,parent,depth,start_seconds,duration_seconds}] }
+//     "trace": [{name,kind,id,parent,depth,track,start_seconds,
+//                duration_seconds,value?}] }
 #pragma once
 
 #include <chrono>
@@ -38,6 +43,7 @@ class BenchReporter {
 
   bool smoke() const { return smoke_; }
   bool json_enabled() const { return !json_path_.empty(); }
+  bool trace_enabled() const { return !trace_path_.empty(); }
 
   /// Print the table exactly as Table::print would, and record its cells
   /// for the JSON report.
@@ -67,6 +73,7 @@ class BenchReporter {
 
   std::string name_;
   std::string json_path_;
+  std::string trace_path_;
   bool smoke_ = false;
   std::chrono::steady_clock::time_point start_;
   std::vector<RecordedTable> tables_;

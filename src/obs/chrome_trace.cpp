@@ -1,0 +1,92 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "support/require.hpp"
+
+namespace pitfalls::obs {
+
+namespace {
+
+constexpr std::int64_t kPid = 1;
+
+void write_common_fields(JsonWriter& w, const TraceEvent& event) {
+  w.key("name").value(event.name);
+  w.key("ts").value(event.start_seconds * 1e6);  // trace format wants µs
+  w.key("pid").value(kPid);
+  w.key("tid").value(std::uint64_t{event.track});
+}
+
+}  // namespace
+
+void write_chrome_trace(JsonWriter& writer, const Tracer& tracer,
+                        const std::string& process_name) {
+  PITFALLS_REQUIRE(!process_name.empty(),
+                   "chrome trace needs a process name");
+  writer.begin_object();
+  writer.key("displayTimeUnit").value("ms");
+  writer.key("traceEvents").begin_array();
+
+  writer.begin_object();
+  writer.key("name").value("process_name");
+  writer.key("ph").value("M");
+  writer.key("pid").value(kPid);
+  writer.key("tid").value(std::uint64_t{0});
+  writer.key("args").begin_object();
+  writer.key("name").value(process_name);
+  writer.end_object();
+  writer.end_object();
+
+  for (const TraceEvent& event : tracer.events()) {
+    writer.begin_object();
+    switch (event.kind) {
+      case TraceEventKind::kSpan:
+        write_common_fields(writer, event);
+        writer.key("ph").value("X");
+        writer.key("dur").value(event.duration_seconds * 1e6);
+        writer.key("cat").value("span");
+        writer.key("args").begin_object();
+        writer.key("id").value(std::uint64_t{event.id});
+        writer.key("parent").value(std::int64_t{event.parent});
+        writer.key("depth").value(std::uint64_t{event.depth});
+        writer.end_object();
+        break;
+      case TraceEventKind::kInstant:
+        write_common_fields(writer, event);
+        writer.key("ph").value("i");
+        writer.key("s").value("t");  // thread-scoped instant
+        writer.key("cat").value("instant");
+        break;
+      case TraceEventKind::kCounter:
+        write_common_fields(writer, event);
+        writer.key("ph").value("C");
+        writer.key("cat").value("counter");
+        writer.key("args").begin_object();
+        writer.key("value").value(event.value);
+        writer.end_object();
+        break;
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+std::string chrome_trace_json(const Tracer& tracer,
+                              const std::string& process_name) {
+  JsonWriter writer;
+  write_chrome_trace(writer, tracer, process_name);
+  return writer.str();
+}
+
+bool export_chrome_trace(const std::string& path, const Tracer& tracer,
+                         const std::string& process_name) {
+  PITFALLS_REQUIRE(!path.empty(), "chrome trace needs an output path");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json(tracer, process_name) << "\n";
+  out.close();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pitfalls::obs

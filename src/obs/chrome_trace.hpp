@@ -1,0 +1,36 @@
+// Chrome/Perfetto trace-event exporter: serializes a Tracer snapshot into
+// the Trace Event Format JSON that chrome://tracing and ui.perfetto.dev
+// load directly ({"displayTimeUnit": "ms", "traceEvents": [...]}).
+//
+// Mapping: spans export as complete events (ph "X") with microsecond
+// ts/dur; instants as thread-scoped instant events (ph "i"); counter
+// samples as counter events (ph "C") carrying their value in args. Every
+// event lands on pid 1 with tid = the event's track (per-thread slot under
+// the wall clock, a single canonical track under the logical clock), and a
+// leading metadata event (ph "M") names the process after the exporting
+// bench. Because the exporter works off the deterministic Tracer snapshot,
+// a logical-clock trace file is byte-identical for any PITFALLS_THREADS.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace pitfalls::obs {
+
+/// Serialize the tracer's snapshot as a Chrome trace-event document into
+/// `writer` (a complete JSON object; compose-free).
+void write_chrome_trace(JsonWriter& writer, const Tracer& tracer,
+                        const std::string& process_name);
+
+/// Chrome trace document as a standalone string.
+std::string chrome_trace_json(const Tracer& tracer,
+                              const std::string& process_name);
+
+/// Write the document to `path` (truncating). Returns false when the file
+/// cannot be opened or written.
+bool export_chrome_trace(const std::string& path, const Tracer& tracer,
+                         const std::string& process_name);
+
+}  // namespace pitfalls::obs

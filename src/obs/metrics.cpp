@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 #include "support/require.hpp"
 
@@ -110,6 +111,15 @@ std::string MetricsRegistry::snapshot_json() const {
   return writer.str();
 }
 
+std::string MetricsRegistry::counters_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter writer;
+  writer.begin_object();
+  for (const auto& [name, c] : counters_) writer.key(name).value(c->value());
+  writer.end_object();
+  return writer.str();
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   // The support-layer thread pool cannot link obs, so the global registry
   // installs runtime hooks on first use: pool size as a gauge, chunks
@@ -130,6 +140,9 @@ MetricsRegistry& MetricsRegistry::global() {
       registry.histogram(std::string(callsite) + ".parallel_seconds")
           .observe(seconds);
     };
+    // Chunk-run context for the tracing plane: lets logical-clock tracers
+    // key tick windows by (region, chunk) instead of by thread.
+    hooks.on_chunk_run = trace_note_chunk_run;
     support::set_pool_hooks(std::move(hooks));
     return true;
   }();

@@ -90,6 +90,12 @@ class MetricsRegistry {
   /// write_json into a standalone document.
   std::string snapshot_json() const;
 
+  /// Counters-only snapshot ({name: value}, names sorted). Counters carry
+  /// the deterministic slice of the registry (query/solver/lock tallies);
+  /// gauges and histograms hold run-dependent values (pool size,
+  /// wall-clock timings), so cross-thread-count comparisons use this view.
+  std::string counters_json() const;
+
   /// The process-wide registry the library instruments by default.
   static MetricsRegistry& global();
 

@@ -1,68 +1,360 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <utility>
+
 #include "support/require.hpp"
 
 namespace pitfalls::obs {
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
 
-std::size_t Tracer::begin_span(std::string name) {
-  OpenSpan span;
-  span.name = std::move(name);
-  span.id = next_id_++;
-  span.parent = stack_.empty() ? -1 : static_cast<std::ptrdiff_t>(
-                                          stack_.back().id);
-  span.depth = stack_.size();
-  span.start = std::chrono::steady_clock::now();
-  stack_.push_back(std::move(span));
-  return stack_.back().id;
+// Logical-clock geometry: each top-level pool chunk owns a window of this
+// many ticks. 2^16 ticks per chunk keeps a 64-chunk region within ~4.2
+// virtual seconds while leaving room for tens of thousands of events per
+// chunk before the offset saturates at the window edge.
+constexpr std::uint64_t kChunkStride = std::uint64_t{1} << 16;
+
+constexpr std::size_t kDefaultCapacity = 65536;
+constexpr std::size_t kMinCapacity = 16;
+constexpr std::size_t kMaxCapacity = std::size_t{1} << 24;
+
+// The pool chunk the calling thread is currently executing (region == 0
+// when outside any top-level chunk). Maintained by trace_note_chunk_run,
+// which the pool fires through PoolHooks::on_chunk_run.
+struct ChunkCtx {
+  std::uint64_t region = 0;
+  std::size_t chunk = 0;
+  std::size_t chunks = 0;
+};
+thread_local ChunkCtx tls_chunk;
+
+std::size_t capacity_from_env() {
+  const char* env = std::getenv("PITFALLS_TRACE_EVENTS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= kMinCapacity &&
+        parsed <= kMaxCapacity)
+      return static_cast<std::size_t>(parsed);
+  }
+  return kDefaultCapacity;
 }
 
-void Tracer::end_span(std::size_t id) {
-  PITFALLS_ENSURE(!stack_.empty() && stack_.back().id == id,
-                  "TraceSpan destruction out of LIFO order");
-  const OpenSpan span = std::move(stack_.back());
-  stack_.pop_back();
+TraceClock clock_from_env() {
+  const char* env = std::getenv("PITFALLS_TRACE_CLOCK");
+  if (env != nullptr && std::string_view(env) == "logical")
+    return TraceClock::kLogical;
+  return TraceClock::kWall;
+}
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> uid{1};
+  return uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+double tick_seconds(std::uint64_t tick) {
+  return static_cast<double>(tick) * 1e-6;  // 1 tick == 1 exported µs
+}
+
+}  // namespace
+
+// Per-thread tracer state. `stack` and the ctx_* window cache are touched
+// only by the owning thread; `ring`/`ring_head`/`dropped` are guarded by
+// `ring_mutex` (owner appends, snapshots read); `open` is the atomic mirror
+// of stack.size() so open_spans()/clear() can check from other threads.
+struct Tracer::ThreadState {
+  std::size_t slot = 0;
+  std::vector<OpenSpan> stack;
+  std::atomic<std::size_t> open{0};
+  mutable std::mutex ring_mutex;
+  std::vector<TraceEvent> ring;  // circular once size reaches capacity
+  std::size_t ring_head = 0;     // oldest element once saturated
+  std::uint64_t dropped = 0;
+  std::uint64_t ctx_region = 0;  // logical chunk-window cache
+  std::size_t ctx_chunk = 0;
+  std::uint64_t ctx_base = 0;
+  std::uint64_t local_tick = 0;
+};
+
+namespace {
+
+// TLS cache mapping tracer uid -> this thread's state (stored type-erased:
+// ThreadState is private to Tracer), so the hot path avoids the registry
+// lock. Uids are never reused, so an entry for a destroyed tracer can
+// never be matched (it is merely unreachable).
+struct TlsEntry {
+  std::uint64_t uid;
+  void* state;
+};
+thread_local std::vector<TlsEntry> tls_states;
+
+}  // namespace
+
+void trace_note_chunk_run(std::uint64_t region_id, std::size_t chunk,
+                          std::size_t chunks, bool entering) {
+  if (entering)
+    tls_chunk = ChunkCtx{region_id, chunk, chunks};
+  else
+    tls_chunk = ChunkCtx{};
+}
+
+Tracer::Tracer() : Tracer(clock_from_env(), capacity_from_env()) {}
+
+Tracer::Tracer(TraceClock clock, std::size_t capacity)
+    : uid_(next_tracer_uid()),
+      clock_(clock),
+      capacity_(std::clamp(capacity, kMinCapacity, kMaxCapacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Guarantee the pool hooks (including on_chunk_run, which feeds the
+  // logical clock's chunk windows) are installed before any span opens.
+  MetricsRegistry::global();
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadState& Tracer::thread_state() const {
+  for (const TlsEntry& entry : tls_states)
+    if (entry.uid == uid_) return *static_cast<ThreadState*>(entry.state);
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto state = std::make_unique<ThreadState>();
+  state->slot = threads_.size();
+  state->ring.reserve(std::min(capacity_, std::size_t{1024}));
+  ThreadState* raw = state.get();
+  threads_.push_back(std::move(state));
+  tls_states.push_back({uid_, raw});
+  return *raw;
+}
+
+double Tracer::now_seconds(ThreadState& state) const {
+  if (clock_ == TraceClock::kWall)
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  const ChunkCtx ctx = tls_chunk;
+  if (ctx.region == 0)
+    return tick_seconds(ticks_.fetch_add(1, std::memory_order_relaxed));
+  if (state.ctx_region != ctx.region || state.ctx_chunk != ctx.chunk) {
+    state.ctx_region = ctx.region;
+    state.ctx_chunk = ctx.chunk;
+    state.ctx_base = chunk_window_base(ctx.region, ctx.chunks);
+    state.local_tick = 0;
+  }
+  // Saturate at the window edge instead of bleeding into the next chunk's
+  // window; overflowing events share the last tick (ordering then falls
+  // back to ids, which are not thread-stable — stay under 2^16 events per
+  // chunk for full determinism).
+  const std::uint64_t offset = std::min(state.local_tick, kChunkStride - 1);
+  ++state.local_tick;
+  return tick_seconds(state.ctx_base +
+                      static_cast<std::uint64_t>(state.ctx_chunk) *
+                          kChunkStride +
+                      offset);
+}
+
+std::uint64_t Tracer::chunk_window_base(std::uint64_t region,
+                                        std::size_t chunks) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto it = region_windows_.rbegin(); it != region_windows_.rend(); ++it)
+    if (it->first == region) return it->second;
+  // First traced event of this region: reserve the whole region's tick
+  // window in one serial-clock jump so later serial events land after it.
+  const std::uint64_t base = ticks_.fetch_add(
+      static_cast<std::uint64_t>(chunks) * kChunkStride,
+      std::memory_order_relaxed);
+  region_windows_.emplace_back(region, base);
+  if (region_windows_.size() > 128)
+    region_windows_.erase(region_windows_.begin());
+  return base;
+}
+
+std::uint64_t Tracer::begin_span(std::string name) {
+  ThreadState& state = thread_state();
+  OpenSpan span;
+  span.name = std::move(name);
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.region = tls_chunk.region;
+  span.chunk = tls_chunk.chunk;
+  // Parent only within the same chunk context (see OpenSpan): spans opened
+  // inside a pool chunk are roots regardless of the executing thread's
+  // outer stack, so trees are identical for any pool size.
+  const bool inherits = !state.stack.empty() &&
+                        state.stack.back().region == span.region &&
+                        state.stack.back().chunk == span.chunk;
+  span.parent =
+      inherits ? static_cast<std::ptrdiff_t>(state.stack.back().id) : -1;
+  span.depth = inherits ? state.stack.back().depth + 1 : 0;
+  span.start = now_seconds(state);
+  state.stack.push_back(std::move(span));
+  state.open.store(state.stack.size(), std::memory_order_relaxed);
+  return state.stack.back().id;
+}
+
+void Tracer::end_span(std::uint64_t id) {
+  ThreadState& state = thread_state();
+  PITFALLS_ENSURE(!state.stack.empty() && state.stack.back().id == id,
+                  "TraceSpan destruction out of per-thread LIFO order");
+  OpenSpan span = std::move(state.stack.back());
+  state.stack.pop_back();
+  state.open.store(state.stack.size(), std::memory_order_relaxed);
 
   TraceEvent event;
-  event.name = span.name;
+  event.name = std::move(span.name);
+  event.kind = TraceEventKind::kSpan;
   event.id = span.id;
   event.parent = span.parent;
   event.depth = span.depth;
-  event.start_seconds =
-      std::chrono::duration<double>(span.start - epoch_).count();
-  event.duration_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    span.start)
-          .count();
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  events_.push_back(std::move(event));
+  event.track = clock_ == TraceClock::kWall ? state.slot : 0;
+  event.start_seconds = span.start;
+  event.duration_seconds = std::max(0.0, now_seconds(state) - span.start);
+  append(state, std::move(event));
+}
+
+void Tracer::emit(std::string name, TraceEventKind kind, double value) {
+  ThreadState& state = thread_state();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.kind = kind;
+  event.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const bool inherits = !state.stack.empty() &&
+                        state.stack.back().region == tls_chunk.region &&
+                        state.stack.back().chunk == tls_chunk.chunk;
+  event.parent =
+      inherits ? static_cast<std::ptrdiff_t>(state.stack.back().id) : -1;
+  event.depth = inherits ? state.stack.back().depth + 1 : 0;
+  event.track = clock_ == TraceClock::kWall ? state.slot : 0;
+  event.start_seconds = now_seconds(state);
+  event.duration_seconds = 0.0;
+  event.value = value;
+  append(state, std::move(event));
+}
+
+void Tracer::instant(std::string name) {
+  emit(std::move(name), TraceEventKind::kInstant, 0.0);
+}
+
+void Tracer::counter(std::string name, double value) {
+  emit(std::move(name), TraceEventKind::kCounter, value);
+}
+
+void Tracer::append(ThreadState& state, TraceEvent event) const {
+  const std::lock_guard<std::mutex> lock(state.ring_mutex);
+  if (state.ring.size() < capacity_) {
+    state.ring.push_back(std::move(event));
+    return;
+  }
+  state.ring[state.ring_head] = std::move(event);
+  state.ring_head = (state.ring_head + 1) % capacity_;
+  ++state.dropped;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  return events_;
+  std::vector<TraceEvent> all;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& state : threads_) {
+      const std::lock_guard<std::mutex> ring_lock(state->ring_mutex);
+      for (std::size_t i = state->ring_head; i < state->ring.size(); ++i)
+        all.push_back(state->ring[i]);
+      for (std::size_t i = 0; i < state->ring_head; ++i)
+        all.push_back(state->ring[i]);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_seconds != b.start_seconds)
+                return a.start_seconds < b.start_seconds;
+              return a.id < b.id;
+            });
+  // Canonical ids: renumber in snapshot order and remap parent links. A
+  // parent that is still open or already evicted resolves to -1.
+  std::map<std::size_t, std::size_t> renumber;
+  for (std::size_t i = 0; i < all.size(); ++i) renumber[all[i].id] = i;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    TraceEvent& event = all[i];
+    if (event.parent >= 0) {
+      const auto it = renumber.find(static_cast<std::size_t>(event.parent));
+      event.parent = it == renumber.end()
+                         ? -1
+                         : static_cast<std::ptrdiff_t>(it->second);
+    }
+    event.id = i;
+  }
+  return all;
+}
+
+std::size_t Tracer::open_spans() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const auto& state : threads_)
+    total += state->open.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& state : threads_) {
+    const std::lock_guard<std::mutex> ring_lock(state->ring_mutex);
+    total += state->dropped;
+  }
+  return total;
+}
+
+void Tracer::set_clock(TraceClock clock) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& state : threads_) {
+    PITFALLS_REQUIRE(state->open.load(std::memory_order_relaxed) == 0,
+                     "cannot switch clocks with open spans");
+    const std::lock_guard<std::mutex> ring_lock(state->ring_mutex);
+    PITFALLS_REQUIRE(state->ring.empty(),
+                     "cannot switch clocks with recorded events");
+  }
+  clock_ = clock;
 }
 
 void Tracer::clear() {
-  PITFALLS_REQUIRE(stack_.empty(), "cannot clear a tracer with open spans");
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  events_.clear();
-  next_id_ = 0;
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& state : threads_)
+    PITFALLS_REQUIRE(state->open.load(std::memory_order_relaxed) == 0,
+                     "cannot clear a tracer with open spans");
+  for (const auto& state : threads_) {
+    const std::lock_guard<std::mutex> ring_lock(state->ring_mutex);
+    state->ring.clear();
+    state->ring_head = 0;
+    state->dropped = 0;
+    state->ctx_region = 0;
+    state->ctx_chunk = 0;
+    state->ctx_base = 0;
+    state->local_tick = 0;
+  }
+  region_windows_.clear();
+  next_id_.store(0, std::memory_order_relaxed);
+  ticks_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
 }
 
 void Tracer::write_json(JsonWriter& writer) const {
-  const std::lock_guard<std::mutex> lock(events_mutex_);
+  const std::vector<TraceEvent> snapshot = events();
   writer.begin_array();
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : snapshot) {
     writer.begin_object();
     writer.key("name").value(event.name);
+    writer.key("kind").value(event.kind == TraceEventKind::kSpan ? "span"
+                             : event.kind == TraceEventKind::kInstant
+                                 ? "instant"
+                                 : "counter");
     writer.key("id").value(std::uint64_t{event.id});
     writer.key("parent").value(std::int64_t{event.parent});
     writer.key("depth").value(std::uint64_t{event.depth});
+    writer.key("track").value(std::uint64_t{event.track});
     writer.key("start_seconds").value(event.start_seconds);
     writer.key("duration_seconds").value(event.duration_seconds);
+    if (event.kind == TraceEventKind::kCounter)
+      writer.key("value").value(event.value);
     writer.end_object();
   }
   writer.end_array();

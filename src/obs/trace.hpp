@@ -1,19 +1,45 @@
-// Hierarchical phase timing: RAII TraceSpan instances nest through a Tracer
-// (parent = innermost span still open at construction), and ScopedTimer
-// feeds a wall-clock Histogram on scope exit.
+// Thread-aware hierarchical tracing: RAII TraceSpan instances nest through
+// a Tracer, plus zero-duration instant events and sampled counter events.
+// ScopedTimer (below) feeds a wall-clock Histogram on scope exit.
 //
-// Span nesting is strictly LIFO (scopes), so spans record their event on
-// destruction in completion order: children always precede their parent in
-// events(). Parent/child linkage uses creation-order ids, which are assigned
-// at span *start* and therefore valid before the parent completes.
+// Thread model: every thread owns its span stack and its event ring, so
+// spans may be opened from pool workers and the calling thread
+// concurrently. Nesting is strictly LIFO *per thread* (enforced —
+// end_span checks the calling thread's stack top, so an out-of-order
+// destruction or a cross-thread close trips PITFALLS_ENSURE in every build
+// type). Parent/child linkage is per-thread: a span's parent is the
+// innermost span open on the SAME thread; spans opened inside a pool chunk
+// whose thread has no enclosing span are roots of their chunk's track.
 //
-// The Tracer's span stack is not synchronized — open/close spans from one
-// thread per Tracer (the experiment harness is single-threaded today);
-// completed events are mutex-guarded so snapshots are safe from anywhere.
+// Flight recorder: completed events append into the emitting thread's
+// bounded ring (capacity per thread via PITFALLS_TRACE_EVENTS, default
+// 65536) with oldest-evicted overwrite, so tracing never grows unbounded
+// on long runs; dropped_events() reports evictions. Appends touch only the
+// owning thread's ring — the per-ring mutex is contended only while a
+// snapshot is being taken, never between emitting threads.
+//
+// Snapshot determinism: events() / write_json() merge the per-thread rings,
+// sort by (start, id) and renumber ids in sorted order (remapping parent
+// links; a parent that is still open or evicted exports as -1). Under the
+// logical clock (below) the exported JSON is byte-stable for any
+// PITFALLS_THREADS value.
+//
+// Clocks: kWall (default) timestamps events with real steady_clock offsets
+// from the tracer epoch. kLogical (PITFALLS_TRACE_CLOCK=logical) assigns
+// deterministic virtual ticks (exported as microseconds): events emitted
+// outside parallel regions consume one tick from a serial counter; events
+// emitted inside a top-level pool chunk draw from a per-(region, chunk)
+// tick window keyed through the support/parallel on_chunk_run hook —
+// chunk windows depend only on (region order, chunk index), never on the
+// executing thread, which is what makes the export byte-identical across
+// thread counts.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -23,30 +49,62 @@
 
 namespace pitfalls::obs {
 
+enum class TraceClock {
+  kWall,     // steady_clock seconds since the tracer epoch
+  kLogical,  // deterministic virtual ticks (1 tick == 1 exported µs)
+};
+
+enum class TraceEventKind { kSpan, kInstant, kCounter };
+
 struct TraceEvent {
   std::string name;
-  std::size_t id = 0;          // creation order, 0-based
-  std::ptrdiff_t parent = -1;  // id of the enclosing span, -1 for roots
+  TraceEventKind kind = TraceEventKind::kSpan;
+  std::size_t id = 0;          // snapshot order, 0-based (renumbered)
+  std::ptrdiff_t parent = -1;  // id of the enclosing same-thread span
   std::size_t depth = 0;       // 0 for roots
+  std::size_t track = 0;       // export track: thread slot (wall) / 0 (logical)
   double start_seconds = 0.0;  // offset from the tracer's epoch
   double duration_seconds = 0.0;
+  double value = 0.0;          // counter sample (kCounter only)
 };
 
 class Tracer {
  public:
+  /// Clock and per-thread ring capacity resolved from the environment
+  /// (PITFALLS_TRACE_CLOCK / PITFALLS_TRACE_EVENTS).
   Tracer();
+  Tracer(TraceClock clock, std::size_t capacity);
+  ~Tracer();  // out-of-line: ThreadState is incomplete here
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Completed spans, in completion order (children before parents).
+  /// Completed events from every thread, sorted by (start, id) with ids
+  /// renumbered in sorted order.
   std::vector<TraceEvent> events() const;
 
-  std::size_t open_spans() const { return stack_.size(); }
+  /// Spans currently open across all threads.
+  std::size_t open_spans() const;
+
+  /// Events evicted from the flight-recorder rings since the last clear().
+  std::uint64_t dropped_events() const;
+
+  std::size_t capacity() const { return capacity_; }
+  TraceClock clock() const { return clock_; }
+
+  /// Switch clocks on an empty tracer (no events recorded, no open spans);
+  /// tests use this to pin the global tracer to the logical clock.
+  void set_clock(TraceClock clock);
 
   /// Drop recorded events and restart the epoch (no spans may be open).
   void clear();
 
-  /// JSON array of event objects, completion order.
+  /// Zero-duration point event on the calling thread's track.
+  void instant(std::string name);
+
+  /// Counter sample event (rendered as a counter track by Chrome tracing).
+  void counter(std::string name, double value);
+
+  /// JSON array of event objects in snapshot order (see events()).
   void write_json(JsonWriter& writer) const;
 
   static Tracer& global();
@@ -56,23 +114,43 @@ class Tracer {
 
   struct OpenSpan {
     std::string name;
-    std::size_t id;
+    std::uint64_t id;
     std::ptrdiff_t parent;
     std::size_t depth;
-    std::chrono::steady_clock::time_point start;
+    double start;
+    // Chunk context the span was opened in. Parentage never crosses a
+    // chunk boundary: a span opened inside a pool chunk roots a fresh tree
+    // even when the chunk happens to run inline on a thread with open
+    // spans — otherwise parent links would depend on which thread executed
+    // the chunk.
+    std::uint64_t region;
+    std::size_t chunk;
   };
 
-  std::size_t begin_span(std::string name);
-  void end_span(std::size_t id);
+  struct ThreadState;
 
-  std::vector<OpenSpan> stack_;
-  std::size_t next_id_ = 0;
+  std::uint64_t begin_span(std::string name);
+  void end_span(std::uint64_t id);
+  void emit(std::string name, TraceEventKind kind, double value);
+  ThreadState& thread_state() const;
+  double now_seconds(ThreadState& state) const;
+  std::uint64_t chunk_window_base(std::uint64_t region,
+                                  std::size_t chunks) const;
+  void append(ThreadState& state, TraceEvent event) const;
+
+  const std::uint64_t uid_;  // process-unique; keys the per-thread TLS cache
+  TraceClock clock_;
+  std::size_t capacity_;
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex events_mutex_;
-  std::vector<TraceEvent> events_;
+  mutable std::atomic<std::uint64_t> next_id_{0};
+  mutable std::atomic<std::uint64_t> ticks_{0};  // logical serial clock
+  mutable std::mutex registry_mutex_;  // thread states + region windows
+  mutable std::vector<std::unique_ptr<ThreadState>> threads_;
+  mutable std::vector<std::pair<std::uint64_t, std::uint64_t>>
+      region_windows_;  // (region id, base tick), most recent last
 };
 
-/// RAII span; must be destroyed in reverse order of construction per Tracer.
+/// RAII span; spans on one thread must close in reverse opening order.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name, Tracer& tracer = Tracer::global())
@@ -81,12 +159,20 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
-  std::size_t id() const { return id_; }
+  std::uint64_t id() const { return id_; }
 
  private:
   Tracer* tracer_;
-  std::size_t id_;
+  std::uint64_t id_;
 };
+
+/// Pool-hook target: records the (region, chunk, chunk count) context the
+/// calling thread is executing, so logical-clock tracers can key tick
+/// windows by chunk instead of by thread. Installed into
+/// support::PoolHooks::on_chunk_run by MetricsRegistry::global(); not for
+/// direct use.
+void trace_note_chunk_run(std::uint64_t region_id, std::size_t chunk,
+                          std::size_t chunks, bool entering);
 
 /// RAII wall-clock timer; observes elapsed seconds into the histogram on
 /// destruction unless cancelled.

@@ -2,9 +2,62 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::sat {
+
+namespace {
+
+// Global mirrors of the per-solver stats, resolved once (the registry hands
+// out stable references). Counters accumulate deltas per solve() call;
+// max_decision_level is a high-water gauge across every solver in the
+// process. All values derive from the deterministic search, so they honor
+// the byte-identical-across-thread-counts contract.
+struct GlobalSolverMetrics {
+  obs::Counter& decisions;
+  obs::Counter& propagations;
+  obs::Counter& conflicts;
+  obs::Counter& learned_clauses;
+  obs::Counter& learned_literals;
+  obs::Counter& restarts;
+  obs::Gauge& max_decision_level;
+
+  static GlobalSolverMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static GlobalSolverMetrics metrics{
+        registry.counter("sat.solver.decisions"),
+        registry.counter("sat.solver.propagations"),
+        registry.counter("sat.solver.conflicts"),
+        registry.counter("sat.solver.learned_clauses"),
+        registry.counter("sat.solver.learned_literals"),
+        registry.counter("sat.solver.restarts"),
+        registry.gauge("sat.solver.max_decision_level")};
+    return metrics;
+  }
+
+  void flush(const SolverStats& before, const SolverStats& after) {
+    decisions.add(after.decisions - before.decisions);
+    propagations.add(after.propagations - before.propagations);
+    conflicts.add(after.conflicts - before.conflicts);
+    learned_clauses.add(after.learned_clauses - before.learned_clauses);
+    learned_literals.add(after.learned_literals - before.learned_literals);
+    restarts.add(after.restarts - before.restarts);
+    if (static_cast<double>(after.max_decision_level) >
+        max_decision_level.value())
+      max_decision_level.set(static_cast<double>(after.max_decision_level));
+  }
+};
+
+/// Mirrors one solve() call's stat deltas on every exit path.
+struct StatsFlusher {
+  const SolverStats& stats;
+  SolverStats before;
+  explicit StatsFlusher(const SolverStats& s) : stats(s), before(s) {}
+  ~StatsFlusher() { GlobalSolverMetrics::get().flush(before, stats); }
+};
+
+}  // namespace
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
@@ -227,6 +280,7 @@ Lit Solver::pick_branch() {
 SolveResult Solver::solve() {
   if (unsat_at_root_) return SolveResult::kUnsat;
   PITFALLS_ENSURE(trail_lim_.empty(), "solve must start at level 0");
+  const StatsFlusher flusher(stats_);
 
   std::uint64_t conflicts_since_restart = 0;
   double restart_budget = 100.0;
@@ -247,9 +301,11 @@ SolveResult Solver::solve() {
       if (learned.size() == 1) {
         const bool ok = enqueue(learned[0], -1);
         PITFALLS_ENSURE(ok, "asserting unit conflicted after backtrack");
+        ++stats_.learned_literals;
       } else {
         clauses_.push_back({learned, true});
         ++stats_.learned_clauses;
+        stats_.learned_literals += learned.size();
         attach(static_cast<std::uint32_t>(clauses_.size() - 1));
         const bool ok = enqueue(learned[0],
                                 static_cast<std::int64_t>(clauses_.size() - 1));
@@ -282,6 +338,9 @@ SolveResult Solver::solve() {
     const Lit decision = pick_branch();
     ++stats_.decisions;
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    stats_.max_decision_level =
+        std::max(stats_.max_decision_level,
+                 static_cast<std::uint64_t>(trail_lim_.size()));
     const bool ok = enqueue(decision, -1);
     PITFALLS_ENSURE(ok, "decision literal was already assigned");
   }

@@ -47,7 +47,9 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;  // total literals across learned clauses
   std::uint64_t restarts = 0;
+  std::uint64_t max_decision_level = 0;  // deepest decision level reached
 };
 
 class Solver {
@@ -70,13 +72,17 @@ class Solver {
   bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
 
   /// Solve the current clause set. May be called repeatedly with clauses
-  /// added in between; learned clauses are kept.
+  /// added in between; learned clauses are kept. Each call mirrors the
+  /// per-call stat deltas into the global `sat.solver.*` metrics.
   SolveResult solve();
 
   /// Model access after kSat.
   bool model_value(Var v) const;
 
   const SolverStats& stats() const { return stats_; }
+
+  /// Attached (>= 2-literal) clauses currently held, learned included.
+  std::size_t num_clauses() const { return clauses_.size(); }
 
  private:
   enum : std::uint8_t { kUndef = 2 };

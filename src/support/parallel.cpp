@@ -35,6 +35,30 @@ struct RegionGuard {
   ~RegionGuard() { tls_in_region = previous; }
 };
 
+// Top-level regions get a process-unique id so observability hooks can key
+// per-chunk state by (region, chunk) instead of by thread.
+std::atomic<std::uint64_t> next_region_id{1};
+
+using ChunkHook =
+    std::function<void(std::uint64_t, std::size_t, std::size_t, bool)>;
+
+/// RAII wrapper firing on_chunk_run around one chunk body on whichever
+/// thread executes it. A no-op when the hook is not installed.
+struct ChunkNotifier {
+  const ChunkHook& hook;
+  std::uint64_t region_id;
+  std::size_t chunk;
+  std::size_t chunks;
+  ChunkNotifier(const ChunkHook& h, std::uint64_t region, std::size_t c,
+                std::size_t count)
+      : hook(h), region_id(region), chunk(c), chunks(count) {
+    if (hook) hook(region_id, chunk, chunks, true);
+  }
+  ~ChunkNotifier() {
+    if (hook) hook(region_id, chunk, chunks, false);
+  }
+};
+
 // One parallel_for_chunks invocation. Workers and the calling thread claim
 // chunks from a shared atomic cursor; whoever claims a chunk runs it, so the
 // region completes even if every helper task is dropped.
@@ -44,6 +68,8 @@ struct Region {
   std::size_t n = 0;
   std::size_t chunk_size = 0;
   std::size_t chunks = 0;
+  std::uint64_t region_id = 0;
+  ChunkHook chunk_hook;  // copied once at region setup; workers share it
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mutex;
@@ -57,6 +83,7 @@ struct Region {
       const std::size_t begin = chunk * chunk_size;
       const std::size_t end = std::min(n, begin + chunk_size);
       try {
+        const ChunkNotifier notify(chunk_hook, region_id, chunk, chunks);
         (*fn)(chunk, begin, end);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
@@ -106,6 +133,11 @@ void notify_tasks(std::size_t chunks) {
     fn = hooks_state().hooks.on_tasks_scheduled;
   }
   if (fn) fn(chunks);
+}
+
+ChunkHook fetch_chunk_hook() {
+  const std::lock_guard<std::mutex> lock(hooks_state().mutex);
+  return hooks_state().hooks.on_chunk_run;
 }
 
 void notify_region_seconds(const char* callsite, double seconds) {
@@ -269,16 +301,27 @@ void parallel_for_chunks(
   if (tls_in_region || plan.count == 1 ||
       ThreadPool::instance().thread_count() == 1) {
     // Inline execution: same chunk boundaries, same per-chunk streams —
-    // byte-identical to the pooled path by construction.
+    // byte-identical to the pooled path by construction. Nested regions
+    // skip chunk notifications: their chunks stay attributed to the
+    // enclosing top-level chunk, which runs them inline.
+    const bool top_level = !tls_in_region;
+    const ChunkHook hook = top_level ? fetch_chunk_hook() : ChunkHook{};
+    const std::uint64_t region_id =
+        top_level ? next_region_id.fetch_add(1, std::memory_order_relaxed)
+                  : 0;
     RegionGuard guard;
-    for (std::size_t chunk = 0; chunk < plan.count; ++chunk)
+    for (std::size_t chunk = 0; chunk < plan.count; ++chunk) {
+      const ChunkNotifier notify(hook, region_id, chunk, plan.count);
       fn(chunk, chunk * plan.size, std::min(n, (chunk + 1) * plan.size));
+    }
   } else {
     auto region = std::make_shared<Region>();
     region->fn = &fn;
     region->n = n;
     region->chunk_size = plan.size;
     region->chunks = plan.count;
+    region->region_id = next_region_id.fetch_add(1, std::memory_order_relaxed);
+    region->chunk_hook = fetch_chunk_hook();
     ThreadPool::instance().offer(region);
     {
       RegionGuard guard;

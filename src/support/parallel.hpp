@@ -66,6 +66,15 @@ struct PoolHooks {
   std::function<void(std::size_t)> on_pool_configured;  // thread count
   std::function<void(std::size_t)> on_tasks_scheduled;  // chunks per region
   std::function<void(const char*, double)> on_region_seconds;  // callsite
+  /// Fired on the EXECUTING thread around every chunk body of a top-level
+  /// region (nested regions run inline inside their parent chunk and stay
+  /// attributed to it): on_chunk_run(region_id, chunk_index, chunk_count,
+  /// entering). region_id is unique per region for the process lifetime and
+  /// identical on the inline and pooled paths, so per-chunk trace
+  /// attribution is a function of (region, chunk) only — never of which
+  /// thread claimed the chunk.
+  std::function<void(std::uint64_t, std::size_t, std::size_t, bool)>
+      on_chunk_run;
 };
 void set_pool_hooks(PoolHooks hooks);
 

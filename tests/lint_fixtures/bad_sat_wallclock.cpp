@@ -1,0 +1,19 @@
+// Fixture: the instrumented SAT plane gets NO blanket wallclock exemption.
+// A solver that times itself with raw chrono must still be flagged — solver
+// timing belongs in src/obs (TraceSpan / ScopedTimer), where the logical
+// clock keeps exports deterministic.
+#include <chrono>
+
+namespace pitfalls::sat {
+
+int solve_with_timeout() {
+  const auto start = std::chrono::steady_clock::now();
+  int conflicts = 0;
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::seconds(10)) {
+    ++conflicts;
+  }
+  return conflicts;
+}
+
+}  // namespace pitfalls::sat

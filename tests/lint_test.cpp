@@ -105,6 +105,44 @@ TEST(LintWallclock, ExemptsObsLayer) {
   EXPECT_TRUE(run_lint({f}).empty());
 }
 
+TEST(LintWallclock, InstrumentedSatPlaneGetsNoBlanketExemption) {
+  // The solver plane reports into src/obs but is not src/obs: raw chrono
+  // there must still flag, both for a realistic fixture and for the actual
+  // solver path.
+  EXPECT_EQ(lines_of(lint_fixture("bad_sat_wallclock.cpp"), "wallclock"),
+            (std::vector<std::size_t>{10, 12, 13}));
+  const SourceFile f{"src/sat/solver.cpp",
+                     "#include <chrono>\nauto t = "
+                     "std::chrono::steady_clock::now();\n"};
+  EXPECT_EQ(lines_of(run_lint({f}), "wallclock"),
+            (std::vector<std::size_t>{2}));
+}
+
+TEST(LintWallclock, PerLineAnnotationSuppressesExactlyThatLine) {
+  const SourceFile annotated{
+      "src/sat/solver.cpp",
+      "#include <chrono>  // lint:wallclock-ok diagnostics only\n"
+      "auto t = std::chrono::steady_clock::now();  // lint:wallclock-ok\n"};
+  EXPECT_TRUE(run_lint({annotated}).empty());
+
+  const SourceFile partial{
+      "src/sat/solver.cpp",
+      "#include <chrono>  // lint:wallclock-ok\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::steady_clock::now();  // lint:wallclock-ok\n"};
+  // The annotation on lines 1 and 3 must not bleed onto line 2... except
+  // that a tag also covers the immediately following line (the "annotation
+  // above the statement" idiom), so line 2 rides on line 1 here.
+  EXPECT_TRUE(run_lint({partial}).empty());
+  const SourceFile bare{
+      "src/sat/solver.cpp",
+      "int x;\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::steady_clock::now();  // lint:wallclock-ok\n"};
+  EXPECT_EQ(lines_of(run_lint({bare}), "wallclock"),
+            (std::vector<std::size_t>{2}));
+}
+
 // -------------------------------------------------------------- ordered
 
 TEST(LintOrdered, FlagsRangeForOverUnorderedContainer) {

@@ -224,16 +224,19 @@ TEST(TraceTest, NestedSpansRecordParentDepthAndOrdering) {
 
   const auto events = tracer.events();
   ASSERT_EQ(events.size(), 4u);
-  // Completion order: children before parents.
-  EXPECT_EQ(events[0].name, "leaf");
+  // Snapshot order: sorted by start time, ids renumbered 0..n-1, so
+  // parents precede their children.
+  EXPECT_EQ(events[0].name, "outer");
   EXPECT_EQ(events[1].name, "inner");
-  EXPECT_EQ(events[2].name, "sibling");
-  EXPECT_EQ(events[3].name, "outer");
+  EXPECT_EQ(events[2].name, "leaf");
+  EXPECT_EQ(events[3].name, "sibling");
 
-  const auto& outer = events[3];
+  const auto& outer = events[0];
   const auto& inner = events[1];
-  const auto& leaf = events[0];
-  const auto& sibling = events[2];
+  const auto& leaf = events[2];
+  const auto& sibling = events[3];
+  EXPECT_EQ(outer.id, 0u);
+  EXPECT_EQ(sibling.id, 3u);
   EXPECT_EQ(outer.parent, -1);
   EXPECT_EQ(outer.depth, 0u);
   EXPECT_EQ(inner.parent, static_cast<std::ptrdiff_t>(outer.id));
@@ -266,9 +269,13 @@ TEST(TraceTest, WriteJsonEmitsOneObjectPerEvent) {
   const JsonValue doc = JsonValue::parse(w.str());
   ASSERT_TRUE(doc.is_array());
   ASSERT_EQ(doc.items.size(), 2u);
-  EXPECT_EQ(doc.items[0].find("name")->string_value, "b");
-  EXPECT_EQ(doc.items[1].find("name")->string_value, "a");
-  EXPECT_DOUBLE_EQ(doc.items[1].find("parent")->number_value, -1.0);
+  // Start-sorted: the enclosing span "a" first, then its child "b".
+  EXPECT_EQ(doc.items[0].find("name")->string_value, "a");
+  EXPECT_EQ(doc.items[1].find("name")->string_value, "b");
+  EXPECT_DOUBLE_EQ(doc.items[0].find("parent")->number_value, -1.0);
+  EXPECT_DOUBLE_EQ(doc.items[1].find("parent")->number_value,
+                   doc.items[0].find("id")->number_value);
+  EXPECT_EQ(doc.items[0].find("kind")->string_value, "span");
 }
 
 TEST(TraceTest, ScopedTimerObservesUnlessCancelled) {

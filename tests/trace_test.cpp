@@ -1,0 +1,238 @@
+// Thread-aware tracer: logical-clock determinism across pool sizes, the
+// bounded flight-recorder ring, and the Chrome trace-event exporter.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::TraceClock;
+using obs::TraceEventKind;
+using obs::Tracer;
+using obs::TraceSpan;
+
+/// One traced workload: an enclosing span, a parallel sweep with a span +
+/// counter per iteration, and a final instant. Exercises both the serial
+/// and the chunk-window paths of the logical clock.
+void traced_workload(Tracer& tracer) {
+  const TraceSpan top("work.top", tracer);
+  support::parallel_for(
+      256,
+      [&tracer](std::size_t i) {
+        const TraceSpan item("work.item", tracer);
+        tracer.counter("work.value", static_cast<double>(i % 7));
+      },
+      "trace_test.workload");
+  tracer.instant("work.done");
+}
+
+std::string export_json(Tracer& tracer) {
+  JsonWriter w;
+  tracer.write_json(w);
+  return w.str();
+}
+
+TEST(TraceDeterminismTest, LogicalClockExportIsByteStableAcrossThreadCounts) {
+  std::vector<std::string> exports;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    support::set_pool_thread_count(threads);
+    Tracer tracer(TraceClock::kLogical, 1 << 12);
+    traced_workload(tracer);
+    exports.push_back(export_json(tracer));
+    EXPECT_EQ(tracer.dropped_events(), 0u) << threads << " threads";
+  }
+  support::set_pool_thread_count(1);
+  for (std::size_t i = 1; i < exports.size(); ++i)
+    EXPECT_EQ(exports[0], exports[i]) << "thread count #" << i;
+
+  // Sanity: the export actually contains the workload.
+  const JsonValue doc = JsonValue::parse(exports[0]);
+  ASSERT_TRUE(doc.is_array());
+  // 1 top span + 256 item spans + 256 counters + 1 instant.
+  EXPECT_EQ(doc.items.size(), 514u);
+}
+
+TEST(TraceDeterminismTest, ChromeExportIsByteStableAcrossThreadCounts) {
+  std::vector<std::string> exports;
+  for (const std::size_t threads : {1u, 4u}) {
+    support::set_pool_thread_count(threads);
+    Tracer tracer(TraceClock::kLogical, 1 << 12);
+    traced_workload(tracer);
+    exports.push_back(obs::chrome_trace_json(tracer, "trace_test"));
+  }
+  support::set_pool_thread_count(1);
+  EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST(TraceDeterminismTest, SnapshotSortsByStartAndRenumbersIds) {
+  support::set_pool_thread_count(4);
+  Tracer tracer(TraceClock::kLogical, 1 << 12);
+  traced_workload(tracer);
+  support::set_pool_thread_count(1);
+
+  const auto events = tracer.events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(events[i].start_seconds, events[i - 1].start_seconds);
+    }
+    // Parents precede children in the renumbered snapshot.
+    if (events[i].parent >= 0) {
+      EXPECT_LT(events[i].parent, static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Spans opened inside pool chunks root fresh trees (parentage never
+  // crosses a chunk boundary), while the counters nest under their item.
+  const auto& top = events[0];
+  EXPECT_EQ(top.name, "work.top");
+  EXPECT_EQ(top.parent, -1);
+  std::size_t items = 0, values = 0;
+  for (const auto& e : events) {
+    if (e.name == "work.item") {
+      ++items;
+      EXPECT_EQ(e.parent, -1);
+      EXPECT_EQ(e.depth, 0u);
+    }
+    if (e.name == "work.value") {
+      ++values;
+      EXPECT_GE(e.parent, 0);
+      EXPECT_EQ(e.depth, 1u);
+    }
+  }
+  EXPECT_EQ(items, 256u);
+  EXPECT_EQ(values, 256u);
+}
+
+TEST(TraceRingTest, CapacityIsClampedAndOldestEventsAreEvicted) {
+  Tracer tracer(TraceClock::kLogical, 1);  // clamped up to the minimum
+  EXPECT_GE(tracer.capacity(), 16u);
+  const std::size_t cap = tracer.capacity();
+
+  for (std::size_t i = 0; i < cap + 10; ++i)
+    tracer.instant("evt" + std::to_string(i));
+
+  EXPECT_EQ(tracer.dropped_events(), 10u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), cap);
+  // The ring keeps the newest `cap` events: evt10 .. evt(cap+9).
+  EXPECT_EQ(events.front().name, "evt10");
+  EXPECT_EQ(events.back().name, "evt" + std::to_string(cap + 9));
+}
+
+TEST(TraceRingTest, EvictedParentLinksDegradeToRoots) {
+  Tracer tracer(TraceClock::kLogical, 1);
+  const std::size_t cap = tracer.capacity();
+  {
+    const TraceSpan outer("outer", tracer);
+    // Flood the ring so "outer"'s slot is long gone by snapshot time.
+    for (std::size_t i = 0; i < cap * 2; ++i) {
+      const TraceSpan inner("inner", tracer);
+    }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), cap);
+  for (const auto& e : events)
+    if (e.name == "inner" && e.parent >= 0) {
+      EXPECT_LT(e.parent, static_cast<std::ptrdiff_t>(events.size()));
+    }
+}
+
+TEST(TraceRingTest, PerThreadSpansStayIndependent) {
+  support::set_pool_thread_count(4);
+  Tracer tracer(TraceClock::kLogical, 1 << 12);
+  support::parallel_for(64, [&tracer](std::size_t) {
+    const TraceSpan a("a", tracer);
+    const TraceSpan b("b", tracer);
+    // LIFO within this thread; other threads' stacks are invisible here.
+  });
+  support::set_pool_thread_count(1);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const auto events = tracer.events();
+  EXPECT_EQ(events.size(), 128u);
+  for (const auto& e : events)
+    if (e.name == "b") {
+      EXPECT_GE(e.depth, 1u);
+    }
+}
+
+TEST(ChromeTraceTest, ExportIsStructurallyValidTraceEventJson) {
+  Tracer tracer(TraceClock::kLogical, 1 << 10);
+  {
+    const TraceSpan outer("outer", tracer);
+    tracer.counter("queue", 3.0);
+    tracer.instant("tick");
+  }
+  const std::string json = obs::chrome_trace_json(tracer, "trace_test");
+  const JsonValue doc = JsonValue::parse(json);
+
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_EQ(doc.find("displayTimeUnit")->string_value, "ms");
+  const JsonValue& events = *doc.find("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // Metadata + span + counter + instant.
+  ASSERT_EQ(events.items.size(), 4u);
+
+  std::set<std::string> phases;
+  for (const auto& e : events.items) {
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    phases.insert(e.find("ph")->string_value);
+    if (e.find("ph")->string_value != "M") {
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("tid"), nullptr);
+      EXPECT_GE(e.find("ts")->number_value, 0.0);
+    }
+  }
+  EXPECT_EQ(phases, (std::set<std::string>{"M", "X", "i", "C"}));
+
+  // The complete event carries a duration; the counter carries its value.
+  for (const auto& e : events.items) {
+    if (e.find("ph")->string_value == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+    }
+    if (e.find("ph")->string_value == "C") {
+      EXPECT_DOUBLE_EQ(e.find("args")->find("value")->number_value, 3.0);
+    }
+  }
+}
+
+TEST(ChromeTraceTest, ExportFileRoundTrips) {
+  Tracer tracer(TraceClock::kLogical, 1 << 10);
+  tracer.instant("only");
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.json";
+  ASSERT_TRUE(obs::export_chrome_trace(path, tracer, "roundtrip"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_EQ(doc.find("traceEvents")->items.size(), 2u);  // metadata + instant
+}
+
+TEST(TracerConfigTest, ClockIsSwitchableOnlyWhileEmpty) {
+  Tracer tracer(TraceClock::kWall, 64);
+  tracer.set_clock(TraceClock::kLogical);
+  EXPECT_EQ(tracer.clock(), TraceClock::kLogical);
+  tracer.instant("x");
+  EXPECT_THROW(tracer.set_clock(TraceClock::kWall), std::invalid_argument);
+  tracer.clear();
+  tracer.set_clock(TraceClock::kWall);
+  EXPECT_EQ(tracer.clock(), TraceClock::kWall);
+}
+
+}  // namespace
