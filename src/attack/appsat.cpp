@@ -10,7 +10,8 @@ using detail::add_io_constraint;
 using detail::fresh_vars;
 using detail::mix_inputs;
 using sat::CircuitEncoding;
-using sat::Solver;
+using sat::Lit;
+using sat::PortfolioSolver;
 using sat::SolveResult;
 using sat::Var;
 
@@ -29,33 +30,36 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
   const std::size_t num_key = locked.num_key_inputs();
   const std::size_t start_queries = oracle.queries();
 
-  Solver main;
-  const std::vector<Var> x_vars = fresh_vars(main, num_data);
-  const std::vector<Var> k1 = fresh_vars(main, num_key);
-  const std::vector<Var> k2 = fresh_vars(main, num_key);
-  const CircuitEncoding enc1 =
-      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k1));
-  const CircuitEncoding enc2 =
-      sat::encode_netlist(main, locked.netlist, mix_inputs(locked, x_vars, k2));
-  sat::add_miter(main, enc1.output_vars, enc2.output_vars);
-  metrics.miter_clauses.add(main.num_clauses());
-
-  Solver key_solver;
-  const std::vector<Var> key_vars = fresh_vars(key_solver, num_key);
+  // One incremental engine, same layout as sat_attack: DIP search assumes
+  // the conditional miter, candidate extraction reuses the clause set
+  // (reading the k1 copy) without it.
+  PortfolioSolver engine(detail::portfolio_config(
+      config.portfolio_workers, config.portfolio_round_conflicts,
+      config.solver));
+  const std::vector<Var> x_vars = fresh_vars(engine, num_data);
+  const std::vector<Var> k1 = fresh_vars(engine, num_key);
+  const std::vector<Var> k2 = fresh_vars(engine, num_key);
+  const CircuitEncoding enc1 = sat::encode_netlist(
+      engine, locked.netlist, mix_inputs(locked, x_vars, k1));
+  const CircuitEncoding enc2 = sat::encode_netlist(
+      engine, locked.netlist, mix_inputs(locked, x_vars, k2));
+  const Var miter =
+      sat::add_conditional_miter(engine, enc1.output_vars, enc2.output_vars);
+  metrics.miter_clauses.add(engine.num_clauses());
+  const std::vector<Lit> want_dip{sat::pos(miter)};
 
   auto record_observation = [&](const BitVec& x, const BitVec& y) {
-    add_io_constraint(main, locked, k1, x, y);
-    add_io_constraint(main, locked, k2, x, y);
-    add_io_constraint(key_solver, locked, key_vars, x, y);
+    add_io_constraint(engine, locked, k1, x, y);
+    add_io_constraint(engine, locked, k2, x, y);
   };
 
   auto extract_key = [&]() {
-    const SolveResult kr = key_solver.solve();
+    const SolveResult kr = engine.solve();
     PITFALLS_ENSURE(kr == SolveResult::kSat,
                     "correct key must satisfy all observations");
     BitVec key(num_key);
     for (std::size_t i = 0; i < num_key; ++i)
-      key.set(i, key_solver.model_value(key_vars[i]));
+      key.set(i, engine.model_value(k1[i]));
     return key;
   };
 
@@ -71,14 +75,14 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
     {
       const obs::TraceSpan dip_span("attack.appsat.dip_phase");
       for (std::size_t d = 0; d < config.dips_per_round; ++d) {
-        if (main.solve() == SolveResult::kUnsat) {
+        if (engine.solve(want_dip) == SolveResult::kUnsat) {
           unsat = true;
           break;
         }
         ++result.dip_iterations;
         BitVec dip(num_data);
         for (std::size_t i = 0; i < num_data; ++i)
-          dip.set(i, main.model_value(x_vars[i]));
+          dip.set(i, engine.model_value(x_vars[i]));
         record_observation(dip, oracle.query(dip));
         metrics.dips.add(1);
       }

@@ -22,6 +22,13 @@ struct AppSatConfig {
   double error_threshold = 0.02;
   /// Hard cap on settle rounds.
   std::size_t max_rounds = 64;
+  /// Diversified CDCL workers racing every solver query (1 = inline
+  /// solver, no parallel region); deterministic for any PITFALLS_THREADS.
+  std::size_t portfolio_workers = 1;
+  /// Conflict budget of the portfolio's first race round.
+  std::uint64_t portfolio_round_conflicts = 2048;
+  /// Base solver configuration; portfolio worker 0 runs it verbatim.
+  sat::SolverConfig solver;
 };
 
 struct AppSatResult {

@@ -2,15 +2,20 @@
 // src/attack; not part of the public API.
 #pragma once
 
+#include <algorithm>
+#include <numeric>
+
+#include "circuit/analysis.hpp"
 #include "lock/combinational.hpp"
 #include "obs/metrics.hpp"
 #include "sat/encoder.hpp"
+#include "sat/portfolio.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::attack::detail {
 
 using lock::LockedCircuit;
-using sat::Solver;
+using sat::ClauseSink;
 using sat::Var;
 using support::BitVec;
 
@@ -39,25 +44,62 @@ inline std::vector<Var> mix_inputs(const LockedCircuit& locked,
   return shared;
 }
 
-inline std::vector<Var> fresh_vars(Solver& solver, std::size_t count) {
+inline std::vector<Var> fresh_vars(ClauseSink& sink, std::size_t count) {
   std::vector<Var> vars(count);
-  for (auto& v : vars) v = solver.new_var();
+  for (auto& v : vars) v = sink.new_var();
   return vars;
 }
 
+/// Assemble a portfolio configuration from attack-level knobs.
+inline sat::PortfolioConfig portfolio_config(std::size_t workers,
+                                             std::uint64_t round_conflicts,
+                                             const sat::SolverConfig& base) {
+  sat::PortfolioConfig pc;
+  pc.workers = workers;
+  pc.round_base_conflicts = round_conflicts;
+  pc.base = base;
+  return pc;
+}
+
 /// Add "locked(x, K) == y" for a concrete observation (x, y).
-inline void add_io_constraint(Solver& solver, const LockedCircuit& locked,
+///
+/// The data word is burned into the netlist (circuit::specialize) and the
+/// result constant-propagated (circuit::simplify) before encoding, so each
+/// observation costs only its key-dependent cone instead of a full netlist
+/// copy — on the bench circuits the cone is a small fraction of the
+/// circuit, which is what keeps the incremental encoding compact across
+/// hundreds of DIPs.
+inline void add_io_constraint(ClauseSink& sink, const LockedCircuit& locked,
                               const std::vector<Var>& key_vars,
                               const BitVec& x, const BitVec& y) {
-  std::vector<Var> data_vars = fresh_vars(solver, x.size());
+  PITFALLS_REQUIRE(x.size() == locked.num_data_inputs(),
+                   "observation input arity mismatch");
+  std::vector<std::pair<std::size_t, bool>> pins;
+  pins.reserve(x.size());
   for (std::size_t i = 0; i < x.size(); ++i)
-    sat::fix_var(solver, data_vars[i], x.get(i));
-  const sat::CircuitEncoding enc = sat::encode_netlist(
-      solver, locked.netlist, mix_inputs(locked, data_vars, key_vars));
+    pins.emplace_back(locked.data_input_positions[i], x.get(i));
+  const circuit::Netlist cone =
+      circuit::simplify(circuit::specialize(locked.netlist, pins));
+
+  // specialize() keeps the surviving (key) inputs in netlist-position
+  // order; key bit j therefore lands at the rank of its position among all
+  // key positions.
+  std::vector<std::size_t> by_position(key_vars.size());
+  std::iota(by_position.begin(), by_position.end(), std::size_t{0});
+  std::sort(by_position.begin(), by_position.end(),
+            [&locked](std::size_t a, std::size_t b) {
+              return locked.key_input_positions[a] <
+                     locked.key_input_positions[b];
+            });
+  std::vector<Var> shared(key_vars.size());
+  for (std::size_t rank = 0; rank < by_position.size(); ++rank)
+    shared[rank] = key_vars[by_position[rank]];
+
+  const sat::CircuitEncoding enc = sat::encode_netlist(sink, cone, shared);
   PITFALLS_ENSURE(enc.output_vars.size() == y.size(),
                   "oracle output arity mismatch");
   for (std::size_t i = 0; i < y.size(); ++i)
-    sat::fix_var(solver, enc.output_vars[i], y.get(i));
+    sat::fix_var(sink, enc.output_vars[i], y.get(i));
 }
 
 }  // namespace pitfalls::attack::detail

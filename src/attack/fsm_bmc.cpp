@@ -10,6 +10,7 @@
 namespace pitfalls::attack {
 
 using circuit::SynthesizedFsm;
+using sat::ClauseSink;
 using sat::Lit;
 using sat::Solver;
 using sat::Var;
@@ -17,7 +18,7 @@ using sat::Var;
 namespace {
 
 /// Clause forbidding `word_vars` from encoding the value `v`.
-void forbid_value(Solver& solver, const std::vector<Var>& word_vars,
+void forbid_value(ClauseSink& solver, const std::vector<Var>& word_vars,
                   std::size_t v) {
   std::vector<Lit> clause;
   for (std::size_t b = 0; b < word_vars.size(); ++b)
@@ -48,40 +49,46 @@ BmcResult bmc_reach(const circuit::MealyMachine& machine,
   auto& frames_counter =
       obs::MetricsRegistry::global().counter("attack.bmc.frames");
 
+  // One incremental solver for the whole search: each bound appends ONE
+  // transition frame (the unrolling is monotone), and the per-bound "final
+  // state is a target" query lives behind an activation literal assumed
+  // only for that bound. Total encoding work is O(max_bound) frames
+  // instead of the old per-bound re-encode's O(max_bound^2), and learned
+  // clauses carry across depths.
+  Solver solver;
+
+  // Frame-0 state: the reset constant.
+  std::vector<Var> state(sbits);
+  for (std::size_t b = 0; b < sbits; ++b) {
+    state[b] = solver.new_var();
+    sat::fix_var(solver, state[b], (machine.reset_state() >> b) & 1);
+  }
+
+  std::vector<std::vector<Var>> inputs;
   for (std::size_t bound = 1; bound <= max_bound; ++bound) {
     const obs::TraceSpan frame_span("attack.bmc_reach.frame");
     ++result.frames_solved;
     frames_counter.add(1);
-    Solver solver;
 
-    // Frame-0 state: the reset constant.
-    std::vector<Var> state(sbits);
-    for (std::size_t b = 0; b < sbits; ++b) {
-      state[b] = solver.new_var();
-      sat::fix_var(solver, state[b], (machine.reset_state() >> b) & 1);
-    }
+    // Unroll one more transition frame.
+    inputs.emplace_back(ibits);
+    for (auto& v : inputs.back()) v = solver.new_var();
+    // Only valid symbols.
+    for (std::size_t v = machine.num_inputs();
+         v < (std::size_t{1} << ibits); ++v)
+      forbid_value(solver, inputs.back(), v);
+    std::vector<Var> shared;
+    shared.insert(shared.end(), state.begin(), state.end());
+    shared.insert(shared.end(), inputs.back().begin(), inputs.back().end());
+    const auto enc = sat::encode_netlist(solver, synth.netlist, shared);
+    // Next-frame state = the first sbits outputs.
+    state.assign(enc.output_vars.begin(),
+                 enc.output_vars.begin() + static_cast<std::ptrdiff_t>(sbits));
 
-    std::vector<std::vector<Var>> inputs(bound, std::vector<Var>(ibits));
-    for (std::size_t frame = 0; frame < bound; ++frame) {
-      for (auto& v : inputs[frame]) v = solver.new_var();
-      // Only valid symbols.
-      for (std::size_t v = machine.num_inputs();
-           v < (std::size_t{1} << ibits); ++v)
-        forbid_value(solver, inputs[frame], v);
-
-      // Unroll one transition frame.
-      std::vector<Var> shared;
-      shared.insert(shared.end(), state.begin(), state.end());
-      shared.insert(shared.end(), inputs[frame].begin(), inputs[frame].end());
-      const auto enc = sat::encode_netlist(solver, synth.netlist, shared);
-      // Next-frame state = the first sbits outputs.
-      state.assign(enc.output_vars.begin(), enc.output_vars.begin() +
-                                                static_cast<std::ptrdiff_t>(sbits));
-    }
-
-    // Final state must be one of the targets: selector variables y_t with
-    // y_t -> (state == t), and at least one y_t.
-    std::vector<Lit> any_target;
+    // Bound query: active -> (state(bound) is some target), with selector
+    // variables y_t such that y_t -> (state == t).
+    const Var active = solver.new_var();
+    std::vector<Lit> any_target{sat::neg(active)};
     for (auto t : targets) {
       const Var y = solver.new_var();
       for (std::size_t b = 0; b < sbits; ++b)
@@ -91,8 +98,8 @@ BmcResult bmc_reach(const circuit::MealyMachine& machine,
     }
     solver.add_clause(std::move(any_target));
 
-    const auto outcome = solver.solve();
-    result.conflicts += solver.stats().conflicts;
+    const auto outcome = solver.solve({sat::pos(active)});
+    result.conflicts = solver.stats().conflicts;
     if (outcome == sat::SolveResult::kSat) {
       result.word.clear();
       for (std::size_t frame = 0; frame < bound; ++frame) {
@@ -105,6 +112,8 @@ BmcResult bmc_reach(const circuit::MealyMachine& machine,
       result.found = true;
       return result;
     }
+    // Retire this bound's query so later solves never revisit it.
+    solver.add_unit(sat::neg(active));
   }
   return result;
 }

@@ -1,5 +1,7 @@
 #include "attack/sat_attack.hpp"
 
+#include <memory>
+
 #include "attack/detail.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -12,7 +14,8 @@ using detail::add_io_constraint;
 using detail::fresh_vars;
 using detail::mix_inputs;
 using sat::CircuitEncoding;
-using sat::Solver;
+using sat::Lit;
+using sat::PortfolioSolver;
 using sat::SolveResult;
 using sat::Var;
 
@@ -29,8 +32,11 @@ AttackMetrics& AttackMetrics::get() {
 }  // namespace detail
 
 CircuitOracle CircuitOracle::from_netlist(const circuit::Netlist& original) {
+  // Own a copy: the lambda must not dangle when the caller's netlist dies
+  // before the oracle does (regression: oracle_lifetime test).
+  auto owned = std::make_shared<circuit::Netlist>(original);
   return CircuitOracle(
-      [&original](const BitVec& data) { return original.evaluate(data); });
+      [owned](const BitVec& data) { return owned->evaluate(data); });
 }
 
 SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
@@ -41,85 +47,104 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
   const std::size_t num_key = locked.num_key_inputs();
   const std::size_t start_queries = oracle.queries();
 
-  // Main solver: two key copies over shared data inputs, miter on outputs.
-  Solver main;
+  // One incremental engine for the whole attack: two key copies over
+  // shared data inputs and a *conditional* miter. DIP search assumes the
+  // miter active; key extraction reuses the identical clause set (and all
+  // learned clauses) without that assumption.
+  PortfolioSolver engine(detail::portfolio_config(
+      config.portfolio_workers, config.portfolio_round_conflicts,
+      config.solver));
   std::vector<Var> x_vars;
   std::vector<Var> k1;
   std::vector<Var> k2;
+  Var miter = 0;
   {
     const obs::TraceSpan encode_span("attack.sat_attack.encode_miter");
-    x_vars = fresh_vars(main, num_data);
-    k1 = fresh_vars(main, num_key);
-    k2 = fresh_vars(main, num_key);
+    x_vars = fresh_vars(engine, num_data);
+    k1 = fresh_vars(engine, num_key);
+    k2 = fresh_vars(engine, num_key);
     const CircuitEncoding enc1 = sat::encode_netlist(
-        main, locked.netlist, mix_inputs(locked, x_vars, k1));
+        engine, locked.netlist, mix_inputs(locked, x_vars, k1));
     const CircuitEncoding enc2 = sat::encode_netlist(
-        main, locked.netlist, mix_inputs(locked, x_vars, k2));
-    sat::add_miter(main, enc1.output_vars, enc2.output_vars);
+        engine, locked.netlist, mix_inputs(locked, x_vars, k2));
+    miter = sat::add_conditional_miter(engine, enc1.output_vars,
+                                       enc2.output_vars);
   }
-  metrics.miter_clauses.add(main.num_clauses());
-
-  // Key solver: accumulates the observations only.
-  Solver key_solver;
-  const std::vector<Var> key_vars = fresh_vars(key_solver, num_key);
+  metrics.miter_clauses.add(engine.num_clauses());
+  const std::vector<Lit> want_dip{sat::pos(miter)};
 
   SatAttackResult result;
   result.key = BitVec(num_key);
 
   for (;;) {
     const obs::TraceSpan dip_span("attack.sat_attack.dip");
-    if (main.solve() != SolveResult::kSat) break;
+    if (engine.solve(want_dip) != SolveResult::kSat) break;
     ++result.dip_iterations;
     if (config.max_iterations != 0 &&
         result.dip_iterations > config.max_iterations) {
-      result.solver_stats = main.stats();
+      result.solver_stats = engine.stats();
       result.oracle_queries = oracle.queries() - start_queries;
       return result;  // aborted: success stays false
     }
     BitVec dip(num_data);
     for (std::size_t i = 0; i < num_data; ++i)
-      dip.set(i, main.model_value(x_vars[i]));
+      dip.set(i, engine.model_value(x_vars[i]));
     const BitVec response = oracle.query(dip);
     metrics.dips.add(1);
 
     // Both key copies must agree with the oracle on this DIP.
-    add_io_constraint(main, locked, k1, dip, response);
-    add_io_constraint(main, locked, k2, dip, response);
-    add_io_constraint(key_solver, locked, key_vars, dip, response);
+    add_io_constraint(engine, locked, k1, dip, response);
+    add_io_constraint(engine, locked, k2, dip, response);
   }
 
   // No DIP remains: every key satisfying the observations is functionally
-  // equivalent to the oracle. Extract one.
+  // equivalent to the oracle. Dropping the miter assumption turns the same
+  // clause set into "find any observation-consistent key" — extract one.
   const obs::TraceSpan extract_span("attack.sat_attack.extract_key");
-  const SolveResult kr = key_solver.solve();
+  const SolveResult kr = engine.solve();
   PITFALLS_ENSURE(kr == SolveResult::kSat,
                   "correct key must satisfy all observations");
   for (std::size_t i = 0; i < num_key; ++i)
-    result.key.set(i, key_solver.model_value(key_vars[i]));
+    result.key.set(i, engine.model_value(k1[i]));
   result.success = true;
   metrics.key_bits_fixed.add(num_key);
-  result.solver_stats = main.stats();
+  result.solver_stats = engine.stats();
   result.oracle_queries = oracle.queries() - start_queries;
   return result;
 }
 
+EquivalenceChecker::EquivalenceChecker(const circuit::Netlist& original,
+                                       const LockedCircuit& locked,
+                                       const SatAttackConfig& config)
+    : engine_(detail::portfolio_config(config.portfolio_workers,
+                                       config.portfolio_round_conflicts,
+                                       config.solver)) {
+  PITFALLS_REQUIRE(original.num_inputs() == locked.num_data_inputs(),
+                   "original/locked data arity mismatch");
+  const std::vector<Var> x_vars = fresh_vars(engine_, original.num_inputs());
+  key_vars_ = fresh_vars(engine_, locked.num_key_inputs());
+  const CircuitEncoding orig_enc =
+      sat::encode_netlist(engine_, original, x_vars);
+  const CircuitEncoding lock_enc = sat::encode_netlist(
+      engine_, locked.netlist, mix_inputs(locked, x_vars, key_vars_));
+  miter_ = sat::add_conditional_miter(engine_, orig_enc.output_vars,
+                                      lock_enc.output_vars);
+}
+
+bool EquivalenceChecker::equivalent(const BitVec& key) {
+  PITFALLS_REQUIRE(key.size() == key_vars_.size(), "key arity mismatch");
+  std::vector<Lit> assumptions;
+  assumptions.reserve(key.size() + 1);
+  for (std::size_t i = 0; i < key.size(); ++i)
+    assumptions.push_back(Lit(key_vars_[i], !key.get(i)));
+  assumptions.push_back(sat::pos(miter_));
+  return engine_.solve(assumptions) == SolveResult::kUnsat;
+}
+
 bool keys_equivalent(const circuit::Netlist& original,
                      const LockedCircuit& locked, const BitVec& key) {
-  PITFALLS_REQUIRE(key.size() == locked.num_key_inputs(),
-                   "key arity mismatch");
-  Solver solver;
-  const std::vector<Var> x_vars =
-      fresh_vars(solver, original.num_inputs());
-  std::vector<Var> key_consts = fresh_vars(solver, key.size());
-  for (std::size_t i = 0; i < key.size(); ++i)
-    sat::fix_var(solver, key_consts[i], key.get(i));
-
-  const CircuitEncoding orig_enc =
-      sat::encode_netlist(solver, original, x_vars);
-  const CircuitEncoding lock_enc = sat::encode_netlist(
-      solver, locked.netlist, mix_inputs(locked, x_vars, key_consts));
-  sat::add_miter(solver, orig_enc.output_vars, lock_enc.output_vars);
-  return solver.solve() == SolveResult::kUnsat;
+  EquivalenceChecker checker(original, locked);
+  return checker.equivalent(key);
 }
 
 }  // namespace pitfalls::attack

@@ -7,6 +7,13 @@
 // When no DIP exists, every remaining key is functionally equivalent to the
 // oracle on all inputs, and one is extracted.
 //
+// The whole attack grows ONE incremental CNF: the miter is encoded once
+// with a free activation variable, DIP search solves under the assumption
+// "miter active", and key extraction solves the same clause set without it.
+// Observations are appended as specialised constraint cones. A deterministic
+// solver portfolio (sat::PortfolioSolver) can race diversified CDCL
+// configurations on every query without changing any result byte.
+//
 // In PAC terms this is *exact* learning with membership queries — the
 // access model of Section IV, where "approximation-resilience" claims stop
 // mattering.
@@ -15,6 +22,7 @@
 #include <functional>
 
 #include "lock/combinational.hpp"
+#include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
 
 namespace pitfalls::attack {
@@ -30,7 +38,9 @@ class CircuitOracle {
 
   explicit CircuitOracle(Fn fn) : fn_(std::move(fn)) {}
 
-  /// Oracle backed by the original (unlocked) netlist.
+  /// Oracle backed by a copy of the original (unlocked) netlist. The copy
+  /// is owned by the oracle, so the argument may go out of scope before
+  /// the oracle is queried.
   static CircuitOracle from_netlist(const circuit::Netlist& original);
 
   BitVec query(const BitVec& data) {
@@ -49,12 +59,20 @@ struct SatAttackResult {
   std::size_t dip_iterations = 0;
   std::size_t oracle_queries = 0;
   bool success = false;           // DIP loop reached UNSAT and key extracted
-  sat::SolverStats solver_stats;
+  sat::SolverStats solver_stats;  // summed across portfolio workers
 };
 
 struct SatAttackConfig {
   /// Abort after this many DIP iterations (0 = unlimited).
   std::size_t max_iterations = 0;
+  /// Diversified CDCL workers racing every solver query. 1 (the default)
+  /// runs a single solver inline with no parallel region; any value yields
+  /// byte-identical results for any PITFALLS_THREADS (see sat/portfolio.hpp).
+  std::size_t portfolio_workers = 1;
+  /// Conflict budget of the portfolio's first race round.
+  std::uint64_t portfolio_round_conflicts = 2048;
+  /// Base solver configuration; portfolio worker 0 runs it verbatim.
+  sat::SolverConfig solver;
 };
 
 /// Run the full SAT attack. The recovered key is exactly functionally
@@ -62,8 +80,31 @@ struct SatAttackConfig {
 SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
                            const SatAttackConfig& config = {});
 
+/// Reusable SAT equivalence oracle: encodes "original vs locked under a
+/// free key" once; each equivalent() call answers one candidate key purely
+/// under assumptions, so checking many keys shares one clause set and all
+/// learned clauses.
+class EquivalenceChecker {
+ public:
+  EquivalenceChecker(const circuit::Netlist& original,
+                     const LockedCircuit& locked,
+                     const SatAttackConfig& config = {});
+
+  /// Does the locked circuit under `key` compute the same function as the
+  /// original on every input?
+  bool equivalent(const BitVec& key);
+
+  const sat::PortfolioSolver& engine() const { return engine_; }
+
+ private:
+  sat::PortfolioSolver engine_;
+  std::vector<sat::Var> key_vars_;
+  sat::Var miter_ = 0;
+};
+
 /// SAT-based exact equivalence check: does the locked circuit under `key`
-/// compute the same function as `original` on every input?
+/// compute the same function as `original` on every input? One-shot form
+/// of EquivalenceChecker.
 bool keys_equivalent(const circuit::Netlist& original,
                      const LockedCircuit& locked, const BitVec& key);
 

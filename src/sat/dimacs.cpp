@@ -71,7 +71,7 @@ std::string write_dimacs(const DimacsInstance& instance) {
   return os.str();
 }
 
-std::vector<Var> load_into(Solver& solver, const DimacsInstance& instance) {
+std::vector<Var> load_into(ClauseSink& solver, const DimacsInstance& instance) {
   std::vector<Var> vars(instance.num_vars);
   for (auto& v : vars) v = solver.new_var();
   for (const auto& clause : instance.clauses) {

@@ -25,6 +25,7 @@ std::string write_dimacs(const DimacsInstance& instance);
 
 /// Load an instance into a fresh region of `solver` (allocates
 /// instance.num_vars variables); returns the variable handles in order.
-std::vector<Var> load_into(Solver& solver, const DimacsInstance& instance);
+/// Accepts any ClauseSink, so instances load into a PortfolioSolver too.
+std::vector<Var> load_into(ClauseSink& solver, const DimacsInstance& instance);
 
 }  // namespace pitfalls::sat

@@ -10,7 +10,7 @@ using circuit::Gate;
 using circuit::GateType;
 
 /// y <-> AND(fanins): (~y v f_i) for each i; (y v ~f_1 v ... v ~f_n).
-void encode_and(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
+void encode_and(ClauseSink& s, Var y, const std::vector<Var>& f, bool invert) {
   const Lit ly = invert ? neg(y) : pos(y);
   std::vector<Lit> big{ly};
   for (auto fv : f) {
@@ -21,7 +21,7 @@ void encode_and(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
 }
 
 /// y <-> OR(fanins): (y v ~f_i) for each i; (~y v f_1 v ... v f_n).
-void encode_or(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
+void encode_or(ClauseSink& s, Var y, const std::vector<Var>& f, bool invert) {
   const Lit ly = invert ? neg(y) : pos(y);
   std::vector<Lit> big{~ly};
   for (auto fv : f) {
@@ -32,7 +32,7 @@ void encode_or(Solver& s, Var y, const std::vector<Var>& f, bool invert) {
 }
 
 /// y <-> a XOR b (4 clauses).
-void encode_xor2(Solver& s, Var y, Var a, Var b) {
+void encode_xor2(ClauseSink& s, Var y, Var a, Var b) {
   s.add_ternary(neg(y), pos(a), pos(b));
   s.add_ternary(neg(y), neg(a), neg(b));
   s.add_ternary(pos(y), pos(a), neg(b));
@@ -40,7 +40,7 @@ void encode_xor2(Solver& s, Var y, Var a, Var b) {
 }
 
 /// y <-> XOR of fanins, chaining auxiliaries for arity > 2.
-Var encode_xor_chain(Solver& s, const std::vector<Var>& f) {
+Var encode_xor_chain(ClauseSink& s, const std::vector<Var>& f) {
   Var acc = f[0];
   for (std::size_t i = 1; i < f.size(); ++i) {
     const Var next = s.new_var();
@@ -50,19 +50,19 @@ Var encode_xor_chain(Solver& s, const std::vector<Var>& f) {
   return acc;
 }
 
-void encode_equal(Solver& s, Var a, Var b) {
+void encode_equal(ClauseSink& s, Var a, Var b) {
   s.add_binary(neg(a), pos(b));
   s.add_binary(pos(a), neg(b));
 }
 
-void encode_not_equal(Solver& s, Var a, Var b) {
+void encode_not_equal(ClauseSink& s, Var a, Var b) {
   s.add_binary(pos(a), pos(b));
   s.add_binary(neg(a), neg(b));
 }
 
 }  // namespace
 
-CircuitEncoding encode_netlist(Solver& solver,
+CircuitEncoding encode_netlist(ClauseSink& solver,
                                const circuit::Netlist& netlist,
                                const std::vector<Var>& shared_inputs) {
   if (!shared_inputs.empty())
@@ -143,8 +143,9 @@ CircuitEncoding encode_netlist(Solver& solver,
   return enc;
 }
 
-Var add_miter(Solver& solver, const std::vector<Var>& outputs_a,
-              const std::vector<Var>& outputs_b) {
+Var add_conditional_miter(ClauseSink& solver,
+                          const std::vector<Var>& outputs_a,
+                          const std::vector<Var>& outputs_b) {
   PITFALLS_REQUIRE(outputs_a.size() == outputs_b.size(),
                    "miter output count mismatch");
   PITFALLS_REQUIRE(!outputs_a.empty(), "miter over zero outputs");
@@ -161,14 +162,20 @@ Var add_miter(Solver& solver, const std::vector<Var>& outputs_a,
   solver.add_clause(std::move(clause));
   // d_i -> miter
   for (auto l : any_diff) solver.add_binary(~l, pos(miter));
+  return miter;
+}
+
+Var add_miter(ClauseSink& solver, const std::vector<Var>& outputs_a,
+              const std::vector<Var>& outputs_b) {
+  const Var miter = add_conditional_miter(solver, outputs_a, outputs_b);
   solver.add_unit(pos(miter));
   return miter;
 }
 
-void fix_var(Solver& solver, Var v, bool value) {
+void fix_var(ClauseSink& solver, Var v, bool value) {
   solver.add_unit(value ? pos(v) : neg(v));
 }
 
-void equate(Solver& solver, Var a, Var b) { encode_equal(solver, a, b); }
+void equate(ClauseSink& solver, Var a, Var b) { encode_equal(solver, a, b); }
 
 }  // namespace pitfalls::sat

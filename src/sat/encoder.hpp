@@ -20,23 +20,32 @@ struct CircuitEncoding {
   std::vector<Var> output_vars;  // per primary output, in output order
 };
 
-/// Encode `netlist` into `solver`. If `shared_inputs` is non-empty it must
-/// contain one existing variable per primary input; otherwise fresh input
-/// variables are allocated.
-CircuitEncoding encode_netlist(Solver& solver,
+/// Encode `netlist` into `sink` (a Solver or a PortfolioSolver). If
+/// `shared_inputs` is non-empty it must contain one existing variable per
+/// primary input; otherwise fresh input variables are allocated.
+CircuitEncoding encode_netlist(ClauseSink& sink,
                                const circuit::Netlist& netlist,
                                const std::vector<Var>& shared_inputs = {});
 
 /// Add clauses forcing at least one of the given output pairs to differ
 /// (a "miter": XOR the pairs and OR the XORs). Returns the miter variable
 /// that was constrained true.
-Var add_miter(Solver& solver, const std::vector<Var>& outputs_a,
+Var add_miter(ClauseSink& sink, const std::vector<Var>& outputs_a,
               const std::vector<Var>& outputs_b);
 
+/// Like add_miter, but leave the miter variable FREE: m is biconditionally
+/// tied to "some output pair differs" without asserting it. Solving under
+/// the assumption pos(m) searches for a difference; dropping the
+/// assumption lets the same incrementally-grown encoding answer other
+/// queries (key extraction, equivalence) — this is what lets the attacks
+/// keep one solver instead of re-encoding netlists per call.
+Var add_conditional_miter(ClauseSink& sink, const std::vector<Var>& outputs_a,
+                          const std::vector<Var>& outputs_b);
+
 /// Constrain variable `v` to the given constant.
-void fix_var(Solver& solver, Var v, bool value);
+void fix_var(ClauseSink& sink, Var v, bool value);
 
 /// Constrain two variables to be equal.
-void equate(Solver& solver, Var a, Var b);
+void equate(ClauseSink& sink, Var a, Var b);
 
 }  // namespace pitfalls::sat

@@ -1,0 +1,39 @@
+// SAT variables and literals, shared by the solver core and the clause
+// arena. Split out of solver.hpp so the arena can store literals without a
+// circular include.
+#pragma once
+
+#include <cstdint>
+
+namespace pitfalls::sat {
+
+using Var = std::uint32_t;
+
+/// MiniSat-style literal: 2*var + sign, sign 1 = negated.
+class Lit {
+ public:
+  Lit() = default;
+  // Pure value type on the propagation hot path: contracts live at the
+  // arena/solver entry points instead.  lint:require-guard-ok
+  Lit(Var var, bool negated) : x_(2 * var + (negated ? 1 : 0)) {}
+
+  Var var() const { return x_ >> 1; }
+  bool negated() const { return (x_ & 1) != 0; }
+  Lit operator~() const { return from_index(x_ ^ 1); }
+  std::uint32_t index() const { return x_; }
+  /// Rebuild a literal from its index() encoding (arena storage).
+  static Lit from_index(std::uint32_t index) {
+    Lit l;
+    l.x_ = index;
+    return l;
+  }
+  bool operator==(const Lit& other) const = default;
+
+ private:
+  std::uint32_t x_ = 0;
+};
+
+inline Lit pos(Var v) { return Lit(v, false); }
+inline Lit neg(Var v) { return Lit(v, true); }
+
+}  // namespace pitfalls::sat

@@ -2,45 +2,42 @@
 // attacks (Section II-A of the paper: the SAT attack of [4]/[5] reduces
 // logic-locking security to satisfiability).
 //
-// Feature set: two-watched-literal propagation, first-UIP conflict
-// analysis with clause learning, VSIDS-style activity decision heuristic,
-// phase saving, geometric restarts, and incremental clause addition between
-// solve() calls (the DIP loop of the SAT attack adds constraints each
-// round). No preprocessing — the instances the attack generates are small
-// enough that plain CDCL solves them in milliseconds.
+// Feature set (rebuilt from the 354-line seed engine for order-of-magnitude
+// larger locking instances):
+//  - flat clause arena (ClauseArena, 32-bit refs) instead of per-clause
+//    vectors, with lazy deletion and level-0 compaction;
+//  - two-watched-literal propagation with blocker literals and
+//    special-cased binary-clause watch lists;
+//  - first-UIP conflict analysis with self-subsumption minimisation and
+//    LBD (literal block distance) stamping of learned clauses;
+//  - glucose-style clause-database reduction keeping glue clauses and
+//    every locked (reason) clause;
+//  - VSIDS decision heuristic on an indexed max-heap with phase saving;
+//  - Luby restart schedule with an LBD-based restart *block*: restarts are
+//    postponed while recently learned clauses are markedly better (lower
+//    LBD) than the historical average;
+//  - assumptions and conflict-budgeted solving (solve/solve_limited), so
+//    the attacks grow one incremental encoding instead of re-encoding
+//    netlists per query, and the portfolio can timeslice workers
+//    deterministically.
+//
+// Everything is deterministic: given the same clause stream, assumptions
+// and SolverConfig, every run takes the same search path on every machine.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sat/clause_arena.hpp"
+#include "sat/literal.hpp"
+
 namespace pitfalls::sat {
 
-using Var = std::uint32_t;
-
-/// MiniSat-style literal: 2*var + sign, sign 1 = negated.
-class Lit {
- public:
-  Lit() = default;
-  Lit(Var var, bool negated) : x_(2 * var + (negated ? 1 : 0)) {}
-
-  Var var() const { return x_ >> 1; }
-  bool negated() const { return (x_ & 1) != 0; }
-  Lit operator~() const {
-    Lit flipped;
-    flipped.x_ = x_ ^ 1;
-    return flipped;
-  }
-  std::uint32_t index() const { return x_; }
-  bool operator==(const Lit& other) const = default;
-
- private:
-  std::uint32_t x_ = 0;
+enum class SolveResult {
+  kSat,
+  kUnsat,
+  kUnknown,  // conflict budget exhausted (solve_limited only)
 };
-
-inline Lit pos(Var v) { return Lit(v, false); }
-inline Lit neg(Var v) { return Lit(v, true); }
-
-enum class SolveResult { kSat, kUnsat };
 
 struct SolverStats {
   std::uint64_t decisions = 0;
@@ -48,80 +45,200 @@ struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;  // total literals across learned clauses
+  std::uint64_t minimized_literals = 0;  // removed by clause minimisation
   std::uint64_t restarts = 0;
+  std::uint64_t blocked_restarts = 0;  // Luby points skipped by the LBD block
+  std::uint64_t db_reductions = 0;     // reduce-DB passes
+  std::uint64_t deleted_clauses = 0;   // learned clauses dropped by reduce-DB
+  std::uint64_t arena_collections = 0;   // level-0 arena compactions
   std::uint64_t max_decision_level = 0;  // deepest decision level reached
 };
 
-class Solver {
+/// Search-shaping knobs. The defaults are the reference configuration; the
+/// portfolio derives diversified variants as a pure function of the worker
+/// index (never of thread identity).
+struct SolverConfig {
+  double var_decay = 0.95;         // VSIDS activity decay per conflict
+  std::uint64_t luby_base = 64;    // conflicts per Luby unit
+  bool initial_phase = false;      // first decision polarity per variable
+  double random_decision_freq = 0.0;  // fraction of random decisions
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  // random-decision stream
+  std::uint64_t reduce_base = 2000;      // live learned clauses at first reduce
+  std::uint64_t reduce_increment = 512;  // growth of the limit per reduce
+  /// Block a due restart while the recent-window LBD average is below
+  /// margin * historical average (the solver is currently learning
+  /// unusually good clauses). 0 disables blocking.
+  double restart_block_margin = 0.8;
+};
+
+/// Anything that accepts fresh variables and clauses. encode_netlist and
+/// the attack plumbing target this interface so a single Solver and the
+/// PortfolioSolver (which broadcasts to K diversified solvers) are
+/// interchangeable encoding sinks.
+class ClauseSink {
  public:
-  Solver() = default;
+  virtual ~ClauseSink() = default;
 
   /// Allocate a fresh variable; returns its index.
-  Var new_var();
-
-  std::size_t num_vars() const { return assigns_.size(); }
+  virtual Var new_var() = 0;
 
   /// Add a clause over existing variables. Returns false if the clause is
   /// trivially unsatisfiable at the root (empty after simplification) —
-  /// the solver is then permanently UNSAT.
-  bool add_clause(std::vector<Lit> literals);
+  /// the sink is then permanently UNSAT.
+  virtual bool add_clause(std::vector<Lit> literals) = 0;
+
+  virtual std::size_t num_vars() const = 0;
 
   /// Convenience forms.
   bool add_unit(Lit a) { return add_clause({a}); }
   bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
   bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+};
 
-  /// Solve the current clause set. May be called repeatedly with clauses
-  /// added in between; learned clauses are kept. Each call mirrors the
-  /// per-call stat deltas into the global `sat.solver.*` metrics.
-  SolveResult solve();
+class Solver : public ClauseSink {
+ public:
+  Solver() = default;
+  explicit Solver(const SolverConfig& config);
+
+  Var new_var() override;
+  std::size_t num_vars() const override { return assigns_.size(); }
+  bool add_clause(std::vector<Lit> literals) override;
+
+  /// Solve the current clause set, optionally under assumptions. May be
+  /// called repeatedly with clauses added in between; learned clauses are
+  /// kept. Assumptions hold for this call only: kUnsat with a non-empty
+  /// assumption set means "UNSAT under these assumptions" and the solver
+  /// stays usable. Each call mirrors the per-call stat deltas into the
+  /// global `sat.solver.*` metrics.
+  SolveResult solve() { return solve_limited(0, {}); }
+  SolveResult solve(const std::vector<Lit>& assumptions) {
+    return solve_limited(0, assumptions);
+  }
+
+  /// Like solve(), but give up with kUnknown after `max_conflicts`
+  /// conflicts (0 = unlimited). Consecutive budgeted calls resume the
+  /// search: learned clauses and activities persist across calls.
+  SolveResult solve_limited(std::uint64_t max_conflicts,
+                            const std::vector<Lit>& assumptions);
 
   /// Model access after kSat.
   bool model_value(Var v) const;
 
   const SolverStats& stats() const { return stats_; }
+  const SolverConfig& config() const { return config_; }
 
   /// Attached (>= 2-literal) clauses currently held, learned included.
-  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_clauses() const {
+    return problem_refs_.size() + learned_refs_.size();
+  }
 
  private:
   enum : std::uint8_t { kUndef = 2 };
 
-  struct Clause {
-    std::vector<Lit> literals;
-    bool learned = false;
-  };
-
+  // Watcher for clauses of size >= 3: `blocker` is some literal of the
+  // clause; when it is already true the clause is satisfied and the watch
+  // walk skips the arena load entirely.
   struct Watcher {
-    std::uint32_t clause_index;
+    ClauseRef clause_ref;
+    Lit blocker;
+  };
+  // Binary clauses keep the other literal inline; propagation never
+  // touches the arena for them. `clause_ref` backs uniform reasons.
+  struct BinaryWatcher {
+    Lit other;
+    ClauseRef clause_ref;
   };
 
-  bool enqueue(Lit literal, std::int64_t reason);
-  std::int64_t propagate();  // returns conflicting clause index or -1
-  void analyze(std::int64_t conflict, std::vector<Lit>& learned,
-               std::uint32_t& backtrack_level);
+  /// Indexed max-heap over variable activities; contains() and the
+  /// percolations make decisions O(log n) instead of the seed's O(n) scan.
+  class VarHeap {
+   public:
+    bool empty() const { return heap_.empty(); }
+    bool contains(Var v) const { return v < pos_.size() && pos_[v] >= 0; }
+    void grow(std::size_t vars) {
+      pos_.resize(vars, -1);
+    }
+    void insert(Var v, const std::vector<double>& act);
+    Var pop(const std::vector<double>& act);
+    void increased(Var v, const std::vector<double>& act);
+
+   private:
+    bool before(Var a, Var b, const std::vector<double>& act) const {
+      return act[a] > act[b] || (act[a] == act[b] && a < b);
+    }
+    void up(std::size_t i, const std::vector<double>& act);
+    void down(std::size_t i, const std::vector<double>& act);
+
+    std::vector<Var> heap_;
+    std::vector<std::int32_t> pos_;  // -1 = not in heap
+  };
+
+  bool enqueue(Lit literal, ClauseRef reason);
+  ClauseRef propagate();  // returns conflicting ClauseRef or kNoClause
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned,
+               std::uint32_t& backtrack_level, std::uint32_t& lbd);
+  bool literal_redundant(Lit l);
+  std::uint32_t compute_lbd(const std::vector<Lit>& literals);
+  void record_lbd(std::uint32_t lbd);
   void backtrack(std::uint32_t level);
   Lit pick_branch();
   void bump_var(Var v);
   void decay_activities();
   std::uint8_t value_of(Lit literal) const;
   std::uint32_t level_of(Var v) const { return level_[v]; }
-  void attach(std::uint32_t clause_index);
+  ClauseRef attach_clause(const std::vector<Lit>& literals, bool learned,
+                          std::uint32_t lbd);
+  void attach_watches(ClauseRef ref);
+  bool clause_is_reason(ClauseRef ref) const;
+  void reduce_db();
+  void collect_garbage();
+  bool restart_blocked() const;
+  std::uint64_t next_random();  // deterministic per-solver decision stream
 
-  std::vector<Clause> clauses_;
+  SolverConfig config_;
+
+  // Clause storage. The arena owns the literals; these lists hold the live
+  // references (problem clauses and learned clauses separately — reduce-DB
+  // only ever scans the learned list).
+  ClauseArena arena_;
+  std::vector<ClauseRef> problem_refs_;
+  std::vector<ClauseRef> learned_refs_;
+
   std::vector<std::vector<Watcher>> watches_;  // indexed by literal index
-  std::vector<std::uint8_t> assigns_;          // 0=false 1=true 2=undef
+  std::vector<std::vector<BinaryWatcher>> binary_watches_;
+  std::vector<std::uint8_t> assigns_;  // 0=false 1=true 2=undef
   std::vector<std::uint8_t> saved_phase_;
   std::vector<std::uint32_t> level_;
-  std::vector<std::int64_t> reason_;           // clause index or -1
+  std::vector<ClauseRef> reason_;  // ClauseRef or kNoClause
   std::vector<Lit> trail_;
   std::vector<std::uint32_t> trail_lim_;
   std::size_t propagate_head_ = 0;
+
   std::vector<double> activity_;
   double activity_inc_ = 1.0;
+  VarHeap order_;
+
+  // Conflict-analysis scratch (persists to avoid per-conflict allocation).
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_buffer_;
+  std::vector<std::uint32_t> level_stamp_;
+  std::uint32_t stamp_epoch_ = 0;
+
+  // Restart / reduce policy state.
+  std::uint64_t luby_index_ = 0;
+  double recent_lbd_sum_ = 0.0;
+  std::vector<std::uint32_t> recent_lbds_;  // ring, capacity kLbdWindow
+  std::size_t recent_lbd_next_ = 0;
+  bool recent_lbd_full_ = false;
+  double total_lbd_sum_ = 0.0;
+  std::uint64_t total_lbd_count_ = 0;
+  std::uint64_t reduce_limit_ = 0;
+  std::uint64_t random_state_ = 0x9e3779b97f4a7c15ULL;
+
   bool unsat_at_root_ = false;
   std::vector<std::uint8_t> model_;
   SolverStats stats_;
+  std::vector<std::uint32_t> lbd_samples_;  // per-solve, flushed to metrics
 };
 
 }  // namespace pitfalls::sat

@@ -287,12 +287,16 @@ void set_pool_thread_count(std::size_t threads) {
 
 bool in_parallel_region() { return tls_in_region; }
 
-void parallel_for_chunks(
-    std::size_t n,
+namespace {
+
+// Shared body of parallel_for_chunks / parallel_for_tasks: execute `fn`
+// over the chunks of `plan`, inline or on the pool. The plan is part of
+// the caller's reproducibility contract and must never depend on the
+// thread count.
+void run_region(
+    const ChunkPlan& plan, std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
     const char* callsite) {
-  if (n == 0) return;
-  const ChunkPlan plan = plan_chunks(n);
   notify_tasks(plan.count);
   // Region timing feeds the <callsite>.parallel_seconds histogram (obs
   // hooks) only; no result depends on it.
@@ -335,6 +339,29 @@ void parallel_for_chunks(
       std::chrono::duration<double>(  // lint:wallclock-ok
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+}  // namespace
+
+void parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const char* callsite) {
+  if (n == 0) return;
+  run_region(plan_chunks(n), n, fn, callsite);
+}
+
+void parallel_for_tasks(std::size_t n,
+                        const std::function<void(std::size_t)>& fn,
+                        const char* callsite) {
+  if (n == 0) return;
+  ChunkPlan plan;
+  plan.count = n;
+  plan.size = 1;
+  run_region(
+      plan, n,
+      [&fn](std::size_t task, std::size_t, std::size_t) { fn(task); },
+      callsite);
 }
 
 }  // namespace pitfalls::support

@@ -101,6 +101,18 @@ void parallel_for_chunks(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
     const char* callsite = nullptr);
 
+/// Run fn(task_index) for every task in [0, n) with a FIXED one-task-per-
+/// chunk plan — unlike parallel_for, which inherits plan_chunks' minimum
+/// chunk size and would serialise small task counts. Meant for coarse,
+/// heterogeneous tasks (e.g. the SAT portfolio's per-worker searches) where
+/// n is small and each task is itself long-running. The task index plays
+/// the chunk-index role in the reproducibility contract: per-task streams
+/// must come from rng_for_chunk(seed, task_index), never from the executing
+/// thread.
+void parallel_for_tasks(std::size_t n,
+                        const std::function<void(std::size_t)>& fn,
+                        const char* callsite = nullptr);
+
 /// Element-wise parallel loop: fn(i) for i in [0, n). fn must not share
 /// mutable state across iterations (distinct output slots are fine).
 template <typename Fn>

@@ -1,0 +1,16 @@
+// Fixture: a solver-like type resurrecting the pre-arena clause container.
+#include <cstddef>
+#include <vector>
+
+struct Lit {};
+
+class BadSolver {
+ public:
+  std::size_t count() const { return clauses_.size(); }
+  void visit() {
+    for (const auto& clause : clauses_) (void)clause;
+  }
+
+ private:
+  std::vector<std::vector<Lit>> clauses_;
+};

@@ -1,0 +1,14 @@
+// Fixture: clause storage addressed through the arena — no per-clause
+// container member in sight. Mentions of clauses_ in comments are fine.
+#include <cstdint>
+#include <vector>
+
+using ClauseRef = std::uint32_t;
+
+class GoodSolver {
+ public:
+  std::size_t count() const { return refs_.size(); }
+
+ private:
+  std::vector<ClauseRef> refs_;  // literals live in the arena, not here
+};

@@ -282,6 +282,48 @@ TEST(LintScalarQuery, SuppressionTagSilencesTheRule) {
   EXPECT_TRUE(run_lint({f}).empty());
 }
 
+// ---------------------------------------------------------------- arena
+
+TEST(LintArena, FlagsClauseContainerMemberOutsideArenaModule) {
+  const auto vs = lint_fixture("bad_arena.cpp");
+  EXPECT_EQ(lines_of(vs, "arena"), (std::vector<std::size_t>{9, 11, 15}));
+}
+
+TEST(LintArena, ClauseRefListsPass) {
+  EXPECT_TRUE(lint_fixture("good_arena.cpp").empty());
+}
+
+TEST(LintArena, ArenaModuleItselfIsExempt) {
+  const SourceFile f{"src/sat/clause_arena.hpp",
+                     "class ClauseArena {\n"
+                     "  int clauses_ = 0;\n"
+                     "};\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+TEST(LintArena, SuppressionTagSilencesTheRule) {
+  const SourceFile f{"src/x/t.cpp",
+                     "struct S {\n"
+                     "  int clauses_ = 0;  // lint:arena-ok\n"
+                     "};\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+// ------------------------------------------------- chunk-rng (for_tasks)
+
+TEST(LintChunkRng, CoversParallelForTasks) {
+  const SourceFile f{
+      "src/x/t.cpp",
+      "void f(pitfalls::support::Rng& rng, std::vector<double>& out) {\n"
+      "  pitfalls::support::parallel_for_tasks(\n"
+      "      out.size(), [&](std::size_t task) {\n"
+      "        out[task] = rng.uniform01();\n"
+      "      });\n"
+      "}\n"};
+  EXPECT_EQ(lines_of(run_lint({f}), "chunk-rng"),
+            (std::vector<std::size_t>{2}));
+}
+
 // ---------------------------------------------------------- suppression
 
 TEST(LintSuppression, SameLineAndLineAboveTagsSilenceRules) {
@@ -323,7 +365,7 @@ TEST(LintApi, ViolationsAreSortedAndRulesEnumerated) {
                              }));
   const auto names = pitfalls::lint::rule_names();
   for (const char* r : {"rng", "wallclock", "ordered", "chunk-rng",
-                        "require-guard", "scalar-query"})
+                        "require-guard", "scalar-query", "arena"})
     EXPECT_NE(std::find(names.begin(), names.end(), r), names.end())
         << "missing rule " << r;
 }

@@ -260,7 +260,7 @@ std::size_t match_paren(const std::string& text, std::size_t open) {
 void check_chunk_rng(const FileView& view, std::vector<Violation>& out) {
   if (path_contains(view.path, "src/support/parallel")) return;
   static const std::regex kCall(
-      "\\bparallel_(?:for_chunks|reduce|for)\\b");
+      "\\bparallel_(?:for_chunks|for_tasks|reduce|for)\\b");
   auto begin = std::sregex_iterator(view.stripped.begin(),
                                     view.stripped.end(), kCall);
   for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -323,7 +323,7 @@ void check_scalar_query(const FileView& view, std::vector<Violation>& out) {
       !path_contains(view.path, "src/puf"))
     return;
   static const std::regex kCall(
-      "\\bparallel_(?:for_chunks|reduce|for)\\b");
+      "\\bparallel_(?:for_chunks|for_tasks|reduce|for)\\b");
   // query_pm/eval_pm followed by '(' — the batch entry points end in
   // "_batch(", so they never match.
   static const std::regex kScalarCall("\\b(?:query_pm|eval_pm)\\s*\\(");
@@ -361,6 +361,27 @@ void check_scalar_query(const FileView& view, std::vector<Violation>& out) {
            "annotate an audited exception with // lint:scalar-query-ok)",
            out);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: arena — clause storage belongs to sat::ClauseArena
+// ---------------------------------------------------------------------------
+
+void check_arena(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/sat/clause_arena")) return;
+  // The pre-arena solver kept a vector<vector<Lit>> member named clauses_;
+  // any reappearance of that member outside the arena module reintroduces
+  // the pointer chase the flat arena was built to remove.
+  static const std::regex kClauseStore("\\bclauses_\\b");
+  for (std::size_t i = 0; i < view.lines.size(); ++i) {
+    if (std::regex_search(view.lines[i], kClauseStore))
+      emit(view, i, "arena",
+           "per-clause container member 'clauses_' outside the clause-arena "
+           "module; clause literals live in sat::ClauseArena behind 32-bit "
+           "ClauseRefs (annotate an audited exception with "
+           "// lint:arena-ok)",
+           out);
   }
 }
 
@@ -517,8 +538,8 @@ std::string strip_comments_and_strings(const std::string& text) {
 }
 
 std::vector<std::string> rule_names() {
-  return {"rng",       "wallclock",     "ordered",
-          "chunk-rng", "require-guard", "scalar-query"};
+  return {"rng",       "wallclock",     "ordered",      "chunk-rng",
+          "require-guard", "scalar-query", "arena"};
 }
 
 bool is_source_file(const std::string& path) {
@@ -595,6 +616,7 @@ std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
     check_chunk_rng(view, out);
     check_require_guard(ctx, view, out);
     check_scalar_query(view, out);
+    check_arena(view, out);
   }
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
