@@ -7,17 +7,19 @@
 // so the calibration chosen in BistableRingConfig::paper_instance can be
 // audited — and so downstream users can dial in their own BR corpus.
 #include <iostream>
+#include <vector>
 
 #include "boolfn/fourier.hpp"
 #include "boolfn/truth_table.hpp"
 #include "ml/chow.hpp"
 #include "ml/halfspace_tester.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/bistable_ring.hpp"
 #include "puf/crp.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pitfalls;
   using boolfn::FourierSpectrum;
   using boolfn::TruthTable;
@@ -27,24 +29,35 @@ int main() {
   using support::Rng;
   using support::Table;
 
+  obs::BenchReporter reporter("ablation_br", argc, argv);
+  const bool smoke = reporter.smoke();
+  const std::size_t bits = smoke ? 12 : 14;
+  const std::size_t repeats = smoke ? 1 : 3;
+  const std::size_t tester_queries = smoke ? 8000 : 40000;
+  const std::vector<double> shares =
+      smoke ? std::vector<double>{0.0, 0.4}
+            : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7};
+  reporter.note("bits", static_cast<double>(bits));
+  reporter.note("repeats", static_cast<double>(repeats));
+
   std::cout << "== BR PUF ablation: nonlinear share -> spectrum, tester, "
-               "best-LTF accuracy ==\n(n = 14 so the spectrum is exact; "
-               "3 instances per row)\n\n";
+               "best-LTF accuracy ==\n(n = " << bits
+            << " so the spectrum is exact; " << repeats
+            << " instance(s) per row)\n\n";
 
   Table table({"nonlinear share", "W1 (degree-0/1 weight)",
                "tester gap [%]", "best Chow-LTF accuracy [%]",
                "noise sensitivity @0.05"});
 
-  for (const double share : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7}) {
+  for (const double share : shares) {
     double w1 = 0.0;
     double gap = 0.0;
     double acc = 0.0;
     double ns = 0.0;
-    const std::size_t repeats = 3;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
       Rng rng(100 * rep + 3);
       BistableRingConfig cfg;
-      cfg.bits = 14;
+      cfg.bits = bits;
       cfg.nonlinear_share = share;
       const BistableRingPuf br(cfg, rng);
       const TruthTable tt = TruthTable::from_function(br);
@@ -53,19 +66,21 @@ int main() {
       ns += spec.noise_sensitivity(0.05);
 
       Rng test_rng(200 * rep + 5);
-      const auto report = ml::HalfspaceTester(0.1).test(br, 40000, test_rng);
+      const auto report =
+          ml::HalfspaceTester(0.1).test(br, tester_queries, test_rng);
       gap += report.gap;
 
       const auto chow = ml::exact_chow(tt);
       const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
       acc += 1.0 - tt.distance(TruthTable::from_function(f_prime));
     }
-    table.add_row({Table::fmt(share, 2), Table::fmt(w1 / repeats, 3),
-                   Table::fmt(100.0 * gap / repeats, 1),
-                   Table::fmt(100.0 * acc / repeats, 1),
-                   Table::fmt(ns / repeats, 3)});
+    const double reps = static_cast<double>(repeats);
+    table.add_row({Table::fmt(share, 2), Table::fmt(w1 / reps, 3),
+                   Table::fmt(100.0 * gap / reps, 1),
+                   Table::fmt(100.0 * acc / reps, 1),
+                   Table::fmt(ns / reps, 3)});
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   std::cout
       << "\nReading guide: the tester gap tracks the share almost linearly\n"
@@ -73,5 +88,5 @@ int main() {
       << "best-LTF accuracy decays much more slowly — witnessing that the\n"
       << "tester's statistic is a conservative distance estimate and that\n"
       << "Tables II and III are consistent with each other.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -7,12 +7,14 @@
 //      correct your way out of a wrong concept class).
 //   C. LMN degree cutoff — the accuracy/sample tradeoff behind choosing m.
 #include <iostream>
+#include <vector>
 
 #include "boolfn/truth_table.hpp"
 #include "ml/chow.hpp"
 #include "ml/features.hpp"
 #include "ml/lmn.hpp"
 #include "ml/perceptron.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/bistable_ring.hpp"
 #include "puf/crp.hpp"
 #include "puf/xor_arbiter.hpp"
@@ -31,16 +33,20 @@ using support::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("ablation_learners", argc, argv);
+  const bool smoke = reporter.smoke();
   std::cout << "== Learner ablations ==\n\n";
 
   // ------------------------------------------------------- A. Perceptron
   {
+    const std::size_t bits = smoke ? 12 : 16;
+    const std::size_t crp_count = smoke ? 2000 : 8000;
     Rng rng(1);
-    const BistableRingPuf br(BistableRingConfig::paper_instance(16), rng);
+    const BistableRingPuf br(BistableRingConfig::paper_instance(bits), rng);
     Rng collect(2);
-    const CrpSet crps = CrpSet::collect_stable(br, 8000, 11, collect);
-    const CrpSet test = CrpSet::collect_stable(br, 8000, 11, collect);
+    const CrpSet crps = CrpSet::collect_stable(br, crp_count, 11, collect);
+    const CrpSet test = CrpSet::collect_stable(br, crp_count, 11, collect);
     const auto chow = ml::estimate_chow(crps.challenges(), crps.responses());
     const boolfn::Ltf f_prime = ml::reconstruct_ltf(chow);
     const CrpSet train = crps.relabel(f_prime);
@@ -65,9 +71,9 @@ int main() {
       table.add_row({variant.name,
                      Table::fmt(100.0 * test.accuracy_of(model), 2)});
     }
-    table.print(std::cout,
-                "-- A: Table II plateau is robust to the Perceptron flavour "
-                "(n=16 BR PUF) --");
+    reporter.print(std::cout, table,
+                   "-- A: Table II plateau is robust to the Perceptron "
+                   "flavour (BR PUF) --");
     std::cout << "\n";
   }
 
@@ -81,8 +87,10 @@ int main() {
       cfg.nonlinear_share = br_target ? 0.4 : 0.0;  // 0.0 = true LTF
       const BistableRingPuf target(cfg, rng);
       Rng collect(5);
-      const CrpSet crps = CrpSet::collect_uniform(target, 4000, collect);
-      const CrpSet test = CrpSet::collect_uniform(target, 8000, collect);
+      const CrpSet crps =
+          CrpSet::collect_uniform(target, smoke ? 1000 : 4000, collect);
+      const CrpSet test =
+          CrpSet::collect_uniform(target, smoke ? 2000 : 8000, collect);
       const auto chow = ml::estimate_chow(crps.challenges(), crps.responses());
       for (const std::size_t rounds : {0u, 2u, 8u}) {
         const boolfn::Ltf f_prime = ml::reconstruct_ltf(
@@ -93,9 +101,9 @@ int main() {
                        Table::fmt(100.0 * test.accuracy_of(f_prime), 2)});
       }
     }
-    table.print(std::cout,
-                "-- B: Chow-matching correction helps true LTFs, cannot fix "
-                "a wrong concept class --");
+    reporter.print(std::cout, table,
+                   "-- B: Chow-matching correction helps true LTFs, cannot "
+                   "fix a wrong concept class --");
     std::cout << "\n";
   }
 
@@ -109,9 +117,15 @@ int main() {
 
     Table table({"LMN degree m", "#coefficients", "samples",
                  "accuracy [%]"});
-    for (const std::size_t degree : {1u, 2u, 3u, 4u}) {
+    const std::vector<std::size_t> degrees =
+        smoke ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 3, 4};
+    const std::vector<std::size_t> sample_sweep =
+        smoke ? std::vector<std::size_t>{1000, 4000}
+              : std::vector<std::size_t>{2000, 20000};
+    for (const std::size_t degree : degrees) {
       const ml::LmnLearner learner({.degree = degree, .prune_below = 0.0});
-      for (const std::size_t samples : {2000u, 20000u}) {
+      for (const std::size_t samples : sample_sweep) {
         Rng learn(7);
         const auto h = learner.learn(target, samples, learn);
         table.add_row(
@@ -123,8 +137,8 @@ int main() {
                         1)});
       }
     }
-    table.print(std::cout,
-                "-- C: LMN degree cutoff vs samples (2-XOR PUF, n=12) --");
+    reporter.print(std::cout, table,
+                   "-- C: LMN degree cutoff vs samples (2-XOR PUF, n=12) --");
   }
 
   std::cout
@@ -133,5 +147,5 @@ int main() {
       << "BR-as-LTF representation error; (C) raising the LMN degree only\n"
       << "pays once the sample budget supports the larger coefficient set —\n"
       << "the concrete face of the n^{O(m)} sample bound.\n";
-  return 0;
+  return reporter.finish();
 }

@@ -9,10 +9,12 @@
 // uniform bound. A budget justified by the wrong row of Table I leaks far
 // more than intended.
 #include <iostream>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "ml/features.hpp"
 #include "ml/logistic.hpp"
+#include "obs/bench_reporter.hpp"
 #include "puf/crp.hpp"
 #include "puf/lockdown.hpp"
 #include "support/rng.hpp"
@@ -27,7 +29,8 @@ using support::Rng;
 using support::Table;
 
 double eavesdropper_accuracy(std::size_t stages, std::size_t chains,
-                             std::size_t budget, std::size_t seed) {
+                             std::size_t budget, std::size_t eval_size,
+                             std::size_t seed) {
   Rng rng(seed);
   puf::LockdownConfig config;
   config.stages = stages;
@@ -49,31 +52,45 @@ double eavesdropper_accuracy(std::size_t stages, std::size_t chains,
   const ml::LinearModel model = ml::LogisticRegression().fit_model(
       transcripts.challenges(), transcripts.responses(),
       ml::parity_with_bias, train_rng);
-  const CrpSet eval = CrpSet::collect_uniform(token.puf(), 4000, train_rng);
+  const CrpSet eval =
+      CrpSet::collect_uniform(token.puf(), eval_size, train_rng);
   return eval.accuracy_of(model);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("lockdown", argc, argv);
+  const bool smoke = reporter.smoke();
+
   std::cout << "== Lockdown protocol: eavesdropper model accuracy vs CRP "
                "budget ==\n\n";
 
   const std::size_t stages = 32;
   const std::size_t chains = 1;  // classic single-chain modeling target
+  const std::size_t repeats = smoke ? 1 : 3;
+  const std::size_t eval_size = smoke ? 1000 : 4000;
+  const std::vector<std::size_t> budgets =
+      smoke ? std::vector<std::size_t>{25, 100, 400}
+            : std::vector<std::size_t>{25, 50, 100, 200, 400, 800, 1600};
+  reporter.note("repeats", static_cast<double>(repeats));
 
-  Table table({"CRP budget", "model accuracy [%] (3-instance mean)"});
-  for (const std::size_t budget : {25u, 50u, 100u, 200u, 400u, 800u, 1600u}) {
+  Table table({"CRP budget", "model accuracy [%] (instance mean)"});
+  for (const std::size_t budget : budgets) {
     double total = 0.0;
-    for (std::size_t rep = 0; rep < 3; ++rep)
-      total += eavesdropper_accuracy(stages, chains, budget, 100 * rep + 7);
-    table.add_row({std::to_string(budget), Table::fmt(100.0 * total / 3, 1)});
+    for (std::size_t rep = 0; rep < repeats; ++rep)
+      total += eavesdropper_accuracy(stages, chains, budget, eval_size,
+                                     100 * rep + 7);
+    table.add_row({std::to_string(budget),
+                   Table::fmt(100.0 * total / static_cast<double>(repeats),
+                              1)});
   }
-  table.print(std::cout);
+  reporter.print(std::cout, table);
 
   const double bound_general = core::general_crp_bound(stages, chains, 0.05, 0.01);
   const double bound_perceptron =
       core::perceptron_crp_bound(stages, chains, 0.05, 0.01);
+  reporter.note("general_crp_bound", bound_general);
   std::cout << "\nCandidate 'safe' budgets for this construction "
                "(eps=0.05, delta=0.01):\n"
             << "  algorithm-independent uniform bound : "
@@ -86,5 +103,5 @@ int main() {
             << "bounds on a necessary one). Lockdown budgets must therefore\n"
             << "be set from empirical learning curves like this one, in the\n"
             << "strongest adversary model — the paper's core prescription.\n";
-  return 0;
+  return reporter.finish();
 }

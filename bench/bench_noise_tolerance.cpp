@@ -14,7 +14,9 @@
 // conclusion an evaluator would draw — the table shows exactly where a
 // flipped classification-noise rate or a lockdown budget flips the verdict
 // from "attack succeeds" to "attack fails" (the paper's pitfall).
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "boolfn/truth_table.hpp"
@@ -26,6 +28,7 @@
 #include "puf/arbiter.hpp"
 #include "puf/crp.hpp"
 #include "puf/xor_arbiter.hpp"
+#include "store/checkpoint.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -55,6 +58,25 @@ const char* verdict(double accuracy) {
 int main(int argc, char** argv) {
   obs::BenchReporter reporter("noise_tolerance", argc, argv);
   const bool smoke = reporter.smoke();
+
+  // Crash-safe sweep (--checkpoint/--resume): part 2's cells journal their
+  // oracle traffic and store their outcomes; a killed run resumed from the
+  // snapshot replays the in-flight cell's journal (charging no budget) and
+  // skips completed cells, ending byte-identical to an uninterrupted run.
+  std::unique_ptr<store::CheckpointSession> session;
+  if (reporter.checkpoint_enabled()) {
+    store::install_termination_handler();
+    try {
+      session = std::make_unique<store::CheckpointSession>(
+          reporter.checkpoint_path(), 7,
+          std::string("noise_tolerance.v1.smoke=") + (smoke ? "1" : "0"),
+          reporter.resume());
+    } catch (const support::snapshot::SnapshotError& error) {
+      std::cerr << "bench_noise_tolerance: unusable checkpoint path "
+                << reporter.checkpoint_path() << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
 
   std::cout << "== Attribute-noise tolerance: LMN vs Perceptron ==\n"
             << "(2-XOR arbiter PUF, n=12, feature-space view, noisy "
@@ -151,6 +173,30 @@ int main(int argc, char** argv) {
 
   Table sweep({"eta", "budget", "learner", "status", "heldout [%]",
                "ideal acc [%]", "conclusion"});
+  // Row renderer shared by both learners (hypothesis types differ).
+  const auto add_sweep_row = [&](double eta, std::size_t budget,
+                                 const char* learner, const auto& outcome) {
+    const double heldout = outcome.diagnostics.count("heldout_accuracy")
+                               ? outcome.diagnostics.at("heldout_accuracy")
+                               : 0.0;
+    const double ideal =
+        outcome.best_hypothesis
+            ? ideal_accuracy(*outcome.best_hypothesis, target)
+            : 0.5;
+    sweep.add_row({Table::fmt(eta, 2), std::to_string(budget), learner,
+                   to_string(outcome.status), Table::fmt(100.0 * heldout, 1),
+                   Table::fmt(100.0 * ideal, 1), verdict(ideal)});
+  };
+  // Cooperative SIGTERM flush: the outcome of every finished cell is already
+  // persisted, so exit at the cell boundary and let --resume continue.
+  const auto stop_if_terminating = [&] {
+    if (session != nullptr && store::termination_requested()) {
+      std::cerr << "bench_noise_tolerance: termination requested; checkpoint "
+                   "flushed, resume with --resume\n";
+      std::exit(143);
+    }
+  };
+  std::size_t cell_index = 0;
   for (const double eta : etas) {
     for (const std::size_t budget : budgets) {
       FaultConfig fc;
@@ -161,39 +207,64 @@ int main(int argc, char** argv) {
       config.holdout_queries = want_holdout;
 
       {
-        ml::FunctionMembershipOracle inner(target);
-        FaultyMembershipOracle oracle(inner, fc, 1000 + budget);
-        Rng rng(41);
-        const auto outcome =
-            robust_perceptron(oracle, ml::parity_with_bias, config, rng);
-        const double heldout = outcome.diagnostics.count("heldout_accuracy")
-                                   ? outcome.diagnostics.at("heldout_accuracy")
-                                   : 0.0;
-        const double ideal =
-            outcome.best_hypothesis
-                ? ideal_accuracy(*outcome.best_hypothesis, target)
-                : 0.5;
-        sweep.add_row({Table::fmt(eta, 2), std::to_string(budget),
-                       "perceptron", to_string(outcome.status),
-                       Table::fmt(100.0 * heldout, 1),
-                       Table::fmt(100.0 * ideal, 1), verdict(ideal)});
+        const std::string cell = "cell." + std::to_string(cell_index++);
+        const auto outcome = store::checkpointed_unit<
+            LearnOutcome<ml::LinearModel>>(
+            session.get(), cell,
+            [&] {
+              ml::FunctionMembershipOracle inner(target);
+              FaultyMembershipOracle oracle(inner, fc, 1000 + budget);
+              Rng rng(41);
+              if (session == nullptr)
+                return robust_perceptron(oracle, ml::parity_with_bias, config,
+                                         rng);
+              store::RecordingOracle journal(oracle, *session, cell + ".log",
+                                             &oracle,
+                                             reporter.checkpoint_every());
+              return robust_perceptron(journal, ml::parity_with_bias, config,
+                                       rng);
+            },
+            [](auto& w, const LearnOutcome<ml::LinearModel>& o) {
+              store::put_outcome(w, o, [](auto& hw, const ml::LinearModel& m) {
+                store::put_linear_model(hw, m);
+              });
+            },
+            [](auto& r) {
+              return store::get_outcome<ml::LinearModel>(r, [](auto& hr) {
+                return store::get_linear_model(hr, ml::parity_with_bias);
+              });
+            });
+        add_sweep_row(eta, budget, "perceptron", outcome);
+        stop_if_terminating();
       }
       {
-        ml::FunctionMembershipOracle inner(target);
-        FaultyMembershipOracle oracle(inner, fc, 2000 + budget);
-        Rng rng(43);
-        const auto outcome = robust_lmn(oracle, 2, config, rng);
-        const double heldout = outcome.diagnostics.count("heldout_accuracy")
-                                   ? outcome.diagnostics.at("heldout_accuracy")
-                                   : 0.0;
-        const double ideal =
-            outcome.best_hypothesis
-                ? ideal_accuracy(*outcome.best_hypothesis, target)
-                : 0.5;
-        sweep.add_row({Table::fmt(eta, 2), std::to_string(budget), "lmn",
-                       to_string(outcome.status),
-                       Table::fmt(100.0 * heldout, 1),
-                       Table::fmt(100.0 * ideal, 1), verdict(ideal)});
+        const std::string cell = "cell." + std::to_string(cell_index++);
+        const auto outcome = store::checkpointed_unit<
+            LearnOutcome<ml::SparseFourierHypothesis>>(
+            session.get(), cell,
+            [&] {
+              ml::FunctionMembershipOracle inner(target);
+              FaultyMembershipOracle oracle(inner, fc, 2000 + budget);
+              Rng rng(43);
+              if (session == nullptr) return robust_lmn(oracle, 2, config, rng);
+              store::RecordingOracle journal(oracle, *session, cell + ".log",
+                                             &oracle,
+                                             reporter.checkpoint_every());
+              return robust_lmn(journal, 2, config, rng);
+            },
+            [](auto& w, const LearnOutcome<ml::SparseFourierHypothesis>& o) {
+              store::put_outcome(
+                  w, o, [](auto& hw, const ml::SparseFourierHypothesis& h) {
+                    store::put_sparse_fourier(hw, h);
+                  });
+            },
+            [](auto& r) {
+              return store::get_outcome<ml::SparseFourierHypothesis>(
+                  r,
+                  [](auto& hr) { return store::get_sparse_fourier(hr); });
+            });
+        add_sweep_row(eta, budget, "lmn", outcome);
+        stop_if_terminating();
       }
     }
   }

@@ -13,7 +13,9 @@
 // baseline pins that down. Per-attack wall time feeds the
 // attack.sat_attack.seconds histogram so compare_bench.py (diff and
 // --trend) tracks the p50 across snapshots.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "attack/sat_attack.hpp"
 #include "circuit/generator.hpp"
@@ -21,6 +23,7 @@
 #include "lock/combinational.hpp"
 #include "obs/bench_reporter.hpp"
 #include "obs/metrics.hpp"
+#include "store/checkpoint.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -42,6 +45,25 @@ struct Workload {
 
 int main(int argc, char** argv) {
   pitfalls::obs::BenchReporter reporter("sat_attack", argc, argv);
+
+  // Crash-safe sweep (--checkpoint/--resume): in-flight attacks journal
+  // their DIP observations (resume replays them — same key, DIPs and
+  // conflicts, no repeated oracle queries); finished cells store their full
+  // result row, including the measured seconds, and are not re-run.
+  std::unique_ptr<store::CheckpointSession> session;
+  if (reporter.checkpoint_enabled()) {
+    store::install_termination_handler();
+    try {
+      session = std::make_unique<store::CheckpointSession>(
+          reporter.checkpoint_path(), 7,
+          std::string("sat_attack.v1.smoke=") + (reporter.smoke() ? "1" : "0"),
+          reporter.resume());
+    } catch (const support::snapshot::SnapshotError& error) {
+      std::cerr << "bench_sat_attack: unusable checkpoint path "
+                << reporter.checkpoint_path() << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
 
   std::cout << "== SAT attack on XOR/XNOR-locked circuits ==\n\n";
 
@@ -83,24 +105,62 @@ int main(int argc, char** argv) {
   Table table({"circuit", "inputs", "gates", "key bits", "DIPs",
                "oracle queries", "solver conflicts", "time [s]",
                "exact?"});
+  std::size_t cell_index = 0;
   for (const auto& workload : workloads) {
     const std::size_t max_key = std::min<std::size_t>(
         pitfalls::lock::lockable_gate_count(workload.netlist), 128);
     for (std::size_t key_bits : key_sweep) {
       if (key_bits > max_key) continue;
+      const std::string cell = "cell." + std::to_string(cell_index++);
       Rng lock_rng(1000 + key_bits);
       const LockedCircuit locked =
           lock::lock_random_xor(workload.netlist, key_bits, lock_rng);
-      CircuitOracle oracle = CircuitOracle::from_netlist(workload.netlist);
 
-      core::Stopwatch watch;
-      const auto result = attack::sat_attack(locked, oracle, attack_config);
-      const double seconds = watch.seconds();
+      attack::SatAttackResult result;
+      double seconds = 0.0;
+      bool exact = false;
+      if (session != nullptr && session->has_section(cell + ".result")) {
+        auto r = session->reader(cell + ".result");
+        result.key = store::get_bitvec(r);
+        result.dip_iterations = static_cast<std::size_t>(r.u64());
+        result.oracle_queries = static_cast<std::size_t>(r.u64());
+        result.solver_stats.conflicts = r.u64();
+        result.success = r.u8() != 0;
+        exact = r.u8() != 0;
+        seconds = r.f64();
+      } else {
+        CircuitOracle oracle = CircuitOracle::from_netlist(workload.netlist);
+        attack_config.checkpoint = session.get();
+        attack_config.checkpoint_section = cell + ".log";
+
+        core::Stopwatch watch;
+        try {
+          result = attack::sat_attack(locked, oracle, attack_config);
+        } catch (const store::ReplayDivergenceError&) {
+          // Stale journal (config/code drift): drop it, run the cell clean.
+          session->remove_section(cell + ".log");
+          CircuitOracle retry_oracle =
+              CircuitOracle::from_netlist(workload.netlist);
+          result = attack::sat_attack(locked, retry_oracle, attack_config);
+        }
+        seconds = watch.seconds();
+
+        exact = result.success &&
+                attack::keys_equivalent(workload.netlist, locked, result.key);
+        if (session != nullptr) {
+          auto& w = session->reset_section(cell + ".result");
+          store::put_bitvec(w, result.key);
+          w.u64(result.dip_iterations);
+          w.u64(result.oracle_queries);
+          w.u64(result.solver_stats.conflicts);
+          w.u8(result.success ? 1 : 0);
+          w.u8(exact ? 1 : 0);
+          w.f64(seconds);
+          session->remove_section(cell + ".log");
+          session->flush();
+        }
+      }
       attack_seconds.observe(seconds);
-
-      const bool exact =
-          result.success &&
-          attack::keys_equivalent(workload.netlist, locked, result.key);
       total_dips += result.dip_iterations;
       table.add_row({workload.name,
                      std::to_string(workload.netlist.num_inputs()),
@@ -110,6 +170,11 @@ int main(int argc, char** argv) {
                      std::to_string(result.oracle_queries),
                      std::to_string(result.solver_stats.conflicts),
                      Table::fmt(seconds, 3), exact ? "yes" : "NO"});
+      if (session != nullptr && store::termination_requested()) {
+        std::cerr << "bench_sat_attack: termination requested; checkpoint "
+                     "flushed, resume with --resume\n";
+        std::exit(143);
+      }
     }
   }
   reporter.print(std::cout, table);

@@ -4,12 +4,11 @@
 // Exits 0 when every file parses and matches schema v1, 1 otherwise, with
 // one diagnostic line per violation. Used by the bench_smoke ctest target
 // (scripts/run_benches.sh) and usable standalone against any BENCH_*.json.
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "obs/json.hpp"
+#include "support/snapshot/snapshot.hpp"
 
 namespace {
 
@@ -134,17 +133,17 @@ void check_trace(const std::string& file, const JsonValue& trace) {
 }
 
 void check_file(const std::string& file) {
-  std::ifstream in(file, std::ios::binary);
-  if (!in) {
+  std::string text;
+  try {
+    text = pitfalls::support::snapshot::read_file_bytes(file);
+  } catch (const pitfalls::support::snapshot::SnapshotError&) {
     fail(file, "cannot open");
     return;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
 
   JsonValue doc;
   try {
-    doc = JsonValue::parse(buffer.str());
+    doc = JsonValue::parse(text);
   } catch (const std::exception& e) {
     fail(file, std::string("parse error: ") + e.what());
     return;

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Print per-bench p50 trend trajectories across the committed history:
+# bench/baselines (oldest) -> bench/history/NNNN-* in lexical order
+# -> an optional fresh-run directory on the right.
+#
+# Usage: bench_trend.sh [fresh-run-dir]
+#
+# Informational: exits non-zero only on unparseable JSON (compare_bench
+# exits 2), never on a trajectory's shape. The regression *gate* is the
+# pairwise compare in run_benches.sh; this script exists so a slow drift
+# spread over many PRs — each step below the pairwise threshold — is still
+# visible as a monotone trajectory.
+set -eu
+
+script_dir=$(dirname "$0")
+repo_root="$script_dir/.."
+fresh=${1:-}
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "bench_trend: python3 unavailable" >&2
+  exit 2
+fi
+
+found=0
+for baseline in "$repo_root"/bench/baselines/BENCH_*.json; do
+  [ -f "$baseline" ] || continue
+  found=1
+  name=$(basename "$baseline")
+  files="$baseline"
+  for dir in "$repo_root"/bench/history/*/; do
+    [ -f "$dir$name" ] && files="$files $dir$name"
+  done
+  if [ -n "$fresh" ] && [ -f "$fresh/$name" ]; then
+    files="$files $fresh/$name"
+  fi
+  # shellcheck disable=SC2086 — word-splitting the file list is intended.
+  python3 "$script_dir/compare_bench.py" --trend $files
+done
+
+if [ "$found" = 0 ]; then
+  echo "bench_trend: no committed baselines under bench/baselines" >&2
+  exit 2
+fi

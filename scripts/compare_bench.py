@@ -7,6 +7,14 @@ when a p50 grows by more than --threshold (fractional; default 0.25 = 25%).
 Also reports numeric notes and wall_seconds, which are informational only
 (they never flag).
 
+Identical mode (--identical) compares only the deterministic payload of the
+two runs — bench name, smoke flag, tables (titles, headers, every cell) and
+notes — and exits 1 on ANY difference. Timing fields (wall_seconds, metric
+histograms, trace) are ignored, since they legitimately differ run to run.
+This is the comparator behind the kill/resume CI job: a run that was
+SIGKILLed and resumed from its checkpoint must produce byte-identical
+tables to an uninterrupted run.
+
 Trend mode (--trend) accepts N historical JSONs in chronological order and
 prints per-bench p50 trajectories: one line per (bench, histogram) pair
 showing the p50 at each snapshot plus the overall first-to-last delta.
@@ -52,6 +60,33 @@ def fmt_delta(old, new):
     if old == 0:
         return "n/a" if new == 0 else "+inf"
     return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def identical(old_path, new_path):
+    """Exit 0 iff the deterministic payloads of the two runs match exactly.
+
+    Deterministic payload = bench name, smoke flag, tables, notes. Counters
+    are deterministic too at fixed thread count, but a resumed run
+    legitimately reports fewer fresh oracle queries than an uninterrupted
+    one (replayed answers are served from the journal), so metrics stay out
+    of the comparison on purpose.
+    """
+    old_doc, new_doc = load(old_path), load(new_path)
+    diffs = []
+    for key in ("bench", "smoke", "tables", "notes"):
+        if old_doc.get(key) != new_doc.get(key):
+            diffs.append(key)
+    if not diffs:
+        print(f"compare_bench: identical deterministic payload "
+              f"({old_path} vs {new_path})")
+        return 0
+    for key in diffs:
+        print(f"compare_bench: MISMATCH in {key!r}:")
+        print(f"  {old_path}: "
+              f"{json.dumps(old_doc.get(key), sort_keys=True)[:400]}")
+        print(f"  {new_path}: "
+              f"{json.dumps(new_doc.get(key), sort_keys=True)[:400]}")
+    return 1
 
 
 def trend(paths):
@@ -104,6 +139,10 @@ def main():
         help="print per-bench p50 trajectories across all given files "
              "instead of diffing a pair")
     parser.add_argument(
+        "--identical", action="store_true",
+        help="require the deterministic payload (tables + notes) of two "
+             "files to match exactly; timings are ignored")
+    parser.add_argument(
         "--threshold", type=float, default=0.25,
         help="fractional p50 growth that counts as a regression "
              "(default: 0.25)")
@@ -114,11 +153,15 @@ def main():
     args = parser.parse_args()
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
+    if args.trend and args.identical:
+        parser.error("--trend and --identical are mutually exclusive")
     if args.trend:
         return trend(args.files)
     if len(args.files) != 2:
         parser.error("diff mode takes exactly two files (old, new); "
                      "use --trend for N-file trajectories")
+    if args.identical:
+        return identical(*args.files)
     args.old, args.new = args.files
 
     old_doc, new_doc = load(args.old), load(args.new)

@@ -30,7 +30,8 @@ mkdir -p "$out_dir"
 
 BENCHES="table1_bounds table2_chow table3_halfspace lmn_xorpuf \
 mq_learnpoly lstar_fsm online_to_pac feasibility micro_kernels \
-noise_tolerance pitfall_audit learning_curves sat_attack sarlock appsat"
+noise_tolerance pitfall_audit learning_curves sat_attack sarlock appsat \
+ablation_br ablation_learners lockdown"
 
 script_dir=$(dirname "$0")
 baseline_dir=${PITFALLS_BENCH_BASELINE:-}

@@ -48,6 +48,13 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
   metrics.miter_clauses.add(engine.num_clauses());
   const std::vector<Lit> want_dip{sat::pos(miter)};
 
+  // Resume support (SatAttackConfig contract): replaying the journalled
+  // responses against the re-run deterministic computation reproduces the
+  // interrupted attack bit-for-bit; only new observations touch the oracle.
+  detail::ObservationJournal journal(config.checkpoint,
+                                     config.checkpoint_section,
+                                     config.checkpoint_every);
+
   auto record_observation = [&](const BitVec& x, const BitVec& y) {
     add_io_constraint(engine, locked, k1, x, y);
     add_io_constraint(engine, locked, k2, x, y);
@@ -83,7 +90,7 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
         BitVec dip(num_data);
         for (std::size_t i = 0; i < num_data; ++i)
           dip.set(i, engine.model_value(x_vars[i]));
-        record_observation(dip, oracle.query(dip));
+        record_observation(dip, journal.ask(oracle, dip));
         metrics.dips.add(1);
       }
     }
@@ -91,7 +98,9 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
       result.key = extract_key();
       result.exact = true;
       result.estimated_error = 0.0;
-      result.oracle_queries = oracle.queries() - start_queries;
+      result.replayed_queries = journal.replayed();
+      result.oracle_queries =
+          journal.replayed() + oracle.queries() - start_queries;
       metrics.key_bits_fixed.add(num_key);
       return result;
     }
@@ -104,7 +113,7 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
     for (std::size_t q = 0; q < config.random_queries; ++q) {
       BitVec data(num_data);
       for (std::size_t b = 0; b < num_data; ++b) data.set(b, rng.coin());
-      const BitVec truth = oracle.query(data);
+      const BitVec truth = journal.ask(oracle, data);
       if (locked.evaluate(data, candidate) != truth) {
         ++mismatches;
         record_observation(data, truth);
@@ -115,13 +124,16 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
     result.key = candidate;
     if (result.estimated_error <= config.error_threshold) {
       result.settled = true;
-      result.oracle_queries = oracle.queries() - start_queries;
+      result.replayed_queries = journal.replayed();
+      result.oracle_queries =
+          journal.replayed() + oracle.queries() - start_queries;
       metrics.key_bits_fixed.add(num_key);
       return result;
     }
   }
 
-  result.oracle_queries = oracle.queries() - start_queries;
+  result.replayed_queries = journal.replayed();
+  result.oracle_queries = journal.replayed() + oracle.queries() - start_queries;
   return result;  // budget exhausted; key is the latest candidate
 }
 

@@ -29,6 +29,17 @@ struct AppSatConfig {
   std::uint64_t portfolio_round_conflicts = 2048;
   /// Base solver configuration; portfolio worker 0 runs it verbatim.
   sat::SolverConfig solver;
+
+  /// Optional crash-safe progress persistence, same contract as
+  /// SatAttackConfig: the journal holds every oracle observation (DIP and
+  /// settle-phase queries interleaved in call order); resume replays it
+  /// against the re-run deterministic computation (the settle phase's
+  /// random inputs come from the caller's rng, re-seeded identically), so a
+  /// resumed run is byte-identical and only new observations touch the
+  /// oracle. checkpoint_every counts new observations between flushes.
+  store::CheckpointSession* checkpoint = nullptr;
+  std::string checkpoint_section = "appsat.log";
+  std::size_t checkpoint_every = 32;
 };
 
 struct AppSatResult {
@@ -37,7 +48,8 @@ struct AppSatResult {
   bool settled = false;           // stopped via the error threshold
   double estimated_error = 1.0;   // from the last settle phase
   std::size_t dip_iterations = 0;
-  std::size_t oracle_queries = 0;
+  std::size_t oracle_queries = 0;  // incl. replayed (resume)
+  std::size_t replayed_queries = 0;  // served from a checkpoint journal
   std::size_t rounds = 0;
 };
 

@@ -73,6 +73,14 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
   metrics.miter_clauses.add(engine.num_clauses());
   const std::vector<Lit> want_dip{sat::pos(miter)};
 
+  // Resume support: the solver work above and inside the loop is
+  // deterministic, so replaying the journalled responses reproduces the
+  // interrupted attack bit-for-bit — learned clauses, DIP sequence and all —
+  // while only new DIPs touch the oracle.
+  detail::ObservationJournal journal(config.checkpoint,
+                                     config.checkpoint_section,
+                                     config.checkpoint_every_dips);
+
   SatAttackResult result;
   result.key = BitVec(num_key);
 
@@ -83,13 +91,15 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
     if (config.max_iterations != 0 &&
         result.dip_iterations > config.max_iterations) {
       result.solver_stats = engine.stats();
-      result.oracle_queries = oracle.queries() - start_queries;
+      result.replayed_queries = journal.replayed();
+      result.oracle_queries =
+          journal.replayed() + oracle.queries() - start_queries;
       return result;  // aborted: success stays false
     }
     BitVec dip(num_data);
     for (std::size_t i = 0; i < num_data; ++i)
       dip.set(i, engine.model_value(x_vars[i]));
-    const BitVec response = oracle.query(dip);
+    const BitVec response = journal.ask(oracle, dip);
     metrics.dips.add(1);
 
     // Both key copies must agree with the oracle on this DIP.
@@ -109,7 +119,8 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
   result.success = true;
   metrics.key_bits_fixed.add(num_key);
   result.solver_stats = engine.stats();
-  result.oracle_queries = oracle.queries() - start_queries;
+  result.replayed_queries = journal.replayed();
+  result.oracle_queries = journal.replayed() + oracle.queries() - start_queries;
   return result;
 }
 

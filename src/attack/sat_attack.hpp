@@ -25,6 +25,10 @@
 #include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
 
+namespace pitfalls::store {
+class CheckpointSession;
+}
+
 namespace pitfalls::attack {
 
 using lock::LockedCircuit;
@@ -57,7 +61,8 @@ class CircuitOracle {
 struct SatAttackResult {
   BitVec key;                     // recovered key
   std::size_t dip_iterations = 0;
-  std::size_t oracle_queries = 0;
+  std::size_t oracle_queries = 0; // DIP queries incl. replayed (resume)
+  std::size_t replayed_queries = 0;  // served from a checkpoint journal
   bool success = false;           // DIP loop reached UNSAT and key extracted
   sat::SolverStats solver_stats;  // summed across portfolio workers
 };
@@ -73,6 +78,20 @@ struct SatAttackConfig {
   std::uint64_t portfolio_round_conflicts = 2048;
   /// Base solver configuration; portfolio worker 0 runs it verbatim.
   sat::SolverConfig solver;
+
+  /// Optional crash-safe progress persistence (src/store). When set, every
+  /// DIP observation (dip, response) is journalled into
+  /// `checkpoint_section` and the session is flushed every
+  /// `checkpoint_every_dips` new observations (plus on a pending SIGTERM
+  /// flush). On entry any journalled observations are REPLAYED: the DIP
+  /// loop re-runs its (deterministic) solver work but serves recorded
+  /// responses instead of querying the oracle, so a resumed attack is
+  /// byte-identical to an uninterrupted one while charging the oracle only
+  /// for new DIPs. A journal that stops matching the live DIP sequence
+  /// throws store::ReplayDivergenceError (the caller restarts clean).
+  store::CheckpointSession* checkpoint = nullptr;
+  std::string checkpoint_section = "sat_attack.log";
+  std::size_t checkpoint_every_dips = 16;
 };
 
 /// Run the full SAT attack. The recovered key is exactly functionally

@@ -70,6 +70,17 @@ class MembershipOracle {
     counter_->add(1);
   }
 
+  /// count() without the process-wide metrics mirror — for decorators whose
+  /// inner oracle already books the query into "oracle.membership_queries"
+  /// when forwarding (store::RecordingOracle). A replayed query books into
+  /// store.snapshot.replayed_queries instead, keeping the global counter an
+  /// honest count of physical oracle traffic.
+  void count_unmirrored() {
+    constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+    if (queries_ != kMax) ++queries_;
+    if (lifetime_queries_ != kMax) ++lifetime_queries_;
+  }
+
   /// Bulk count() for batch overrides: k elements, each counted once, with
   /// the same saturation and metrics mirroring as k scalar count() calls.
   void count(std::size_t k) {

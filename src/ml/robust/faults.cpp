@@ -42,6 +42,13 @@ std::size_t FaultyMembershipOracle::num_vars() const {
   return inner_->num_vars();
 }
 
+void FaultyMembershipOracle::restore_state(const State& state) {
+  raw_queries_ = state.raw_queries;
+  burst_remaining_ = state.burst_remaining;
+  flips_ = state.flips;
+  drops_ = state.drops;
+}
+
 std::size_t FaultyMembershipOracle::remaining_budget() const {
   return raw_queries_ >= config_.query_budget
              ? 0

@@ -110,6 +110,24 @@ class FaultyMembershipOracle final : public MembershipOracle {
   /// Raw (attempted) physical queries, including dropped responses.
   std::size_t raw_queries() const { return raw_queries_; }
 
+  /// Complete fault-channel position for checkpoint/resume (src/store):
+  /// raw_queries indexes the per-query fault streams, burst_remaining is
+  /// the countdown of an in-flight burst, flips/drops are the tallies the
+  /// accessors above report. restore_state() puts the channel exactly where
+  /// a recorded run left it WITHOUT touching the inner oracle — replayed
+  /// queries are served from the snapshot log and must never re-charge the
+  /// lifetime budget (remaining_budget() derives from raw_queries).
+  struct State {
+    std::size_t raw_queries = 0;
+    std::size_t burst_remaining = 0;
+    std::size_t flips = 0;
+    std::size_t drops = 0;
+  };
+  State state() const {
+    return {raw_queries_, burst_remaining_, flips_, drops_};
+  }
+  void restore_state(const State& state);
+
   /// Responses flipped by any channel (iid + burst + metastable).
   std::size_t faults_injected() const { return flips_; }
   std::size_t responses_dropped() const { return drops_; }

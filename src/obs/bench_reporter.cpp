@@ -1,5 +1,6 @@
 #include "obs/bench_reporter.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -17,6 +18,7 @@ BenchReporter::BenchReporter(std::string name, int argc, char** argv)
                    "argv must be non-null when argc > 0");
   const std::string default_path = "BENCH_" + name_ + ".json";
   const std::string default_trace_path = "TRACE_" + name_ + ".json";
+  const std::string default_checkpoint_path = "CKPT_" + name_ + ".snap";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
@@ -38,10 +40,33 @@ BenchReporter::BenchReporter(std::string name, int argc, char** argv)
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path_ = arg.substr(8);
       if (trace_path_.empty()) trace_path_ = default_trace_path;
+    } else if (arg == "--checkpoint" || arg == "--resume") {
+      resume_ = resume_ || arg == "--resume";
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        checkpoint_path_ = argv[++i];
+      else
+        checkpoint_path_ = default_checkpoint_path;
+    } else if (arg.rfind("--checkpoint=", 0) == 0 ||
+               arg.rfind("--resume=", 0) == 0) {
+      resume_ = resume_ || arg.rfind("--resume=", 0) == 0;
+      checkpoint_path_ = arg.substr(arg.find('=') + 1);
+      if (checkpoint_path_.empty()) checkpoint_path_ = default_checkpoint_path;
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      const std::string value(arg.substr(19));
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+        std::cerr << "bench_" << name_
+                  << ": --checkpoint-every needs a positive integer, got '"
+                  << value << "'\n";
+      } else {
+        checkpoint_every_ = static_cast<std::size_t>(parsed);
+      }
     } else {
       std::cerr << "bench_" << name_ << ": ignoring unknown argument '" << arg
                 << "' (known: --json [path], --json=path, --trace [path], "
-                   "--trace=path, --smoke)\n";
+                   "--trace=path, --checkpoint [path], --resume [path], "
+                   "--checkpoint-every=N, --smoke)\n";
     }
   }
 }

@@ -15,6 +15,18 @@
 //   --trace=path     same, explicit path.
 //   --smoke          the bench should substitute its tiny parameter set
 //                    (query via smoke()) — used by the bench_smoke ctest.
+//   --checkpoint [path]  checkpoint progress into a crash-safe snapshot
+//                    (default path CKPT_<name>.snap), ignoring any existing
+//                    snapshot (fresh run). Which benches honour the flag is
+//                    up to the bench (checkpoint-aware benches document it).
+//   --checkpoint=path    same, explicit path.
+//   --resume [path]  like --checkpoint, but first load the snapshot when
+//                    present and valid — the continued run is byte-identical
+//                    to an uninterrupted one; a corrupt snapshot degrades to
+//                    a clean restart (store.snapshot.corrupt metric).
+//   --resume=path    same, explicit path.
+//   --checkpoint-every=N  flush cadence in recorded oracle events
+//                    (default 256).
 //
 // JSON schema (schema_version 1):
 //   { "schema_version": 1, "bench": str, "smoke": bool,
@@ -45,6 +57,13 @@ class BenchReporter {
   bool json_enabled() const { return !json_path_.empty(); }
   bool trace_enabled() const { return !trace_path_.empty(); }
 
+  /// --checkpoint or --resume was given (checkpoint_path() is set).
+  bool checkpoint_enabled() const { return !checkpoint_path_.empty(); }
+  /// --resume: load an existing snapshot instead of starting fresh.
+  bool resume() const { return resume_; }
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+  std::size_t checkpoint_every() const { return checkpoint_every_; }
+
   /// Print the table exactly as Table::print would, and record its cells
   /// for the JSON report.
   void print(std::ostream& os, const support::Table& table,
@@ -74,6 +93,9 @@ class BenchReporter {
   std::string name_;
   std::string json_path_;
   std::string trace_path_;
+  std::string checkpoint_path_;
+  bool resume_ = false;
+  std::size_t checkpoint_every_ = 256;
   bool smoke_ = false;
   std::chrono::steady_clock::time_point start_;
   std::vector<RecordedTable> tables_;

@@ -1,0 +1,218 @@
+#include "store/serialize.hpp"
+
+#include <utility>
+
+namespace pitfalls::store {
+
+namespace {
+
+using support::snapshot::SnapshotError;
+using support::snapshot::SnapshotFault;
+
+/// Guard a declared element count against the bytes actually present, so a
+/// structurally absurd (yet CRC-clean, i.e. API-misuse) count fails as a
+/// typed bad_section error before any allocation is sized by it.
+void require_payload(const SectionReader& r, std::uint64_t elements,
+                     std::uint64_t min_bytes_each) {
+  if (min_bytes_each != 0 &&
+      elements > r.remaining() / min_bytes_each) {
+    throw SnapshotError(SnapshotFault::bad_section,
+                        "section '" + r.name() +
+                            "' declares more elements than its bytes hold");
+  }
+}
+
+}  // namespace
+
+void put_bitvec(SectionWriter& w, const BitVec& v) {
+  w.u64(v.size());
+  for (std::size_t i = 0; i < v.num_words(); ++i) w.u64(v.word(i));
+}
+
+BitVec get_bitvec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  const std::uint64_t words = (n + 63) / 64;
+  require_payload(r, words, 8);
+  BitVec v(static_cast<std::size_t>(n));
+  for (std::uint64_t wi = 0; wi < words; ++wi) {
+    const std::uint64_t word = r.u64();
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      const std::uint64_t i = wi * 64 + b;
+      if (i < n && ((word >> b) & 1U) != 0) v.set(static_cast<std::size_t>(i), true);
+    }
+  }
+  return v;
+}
+
+void put_doubles(SectionWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> get_doubles(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  require_payload(r, n, 8);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+void put_rng(SectionWriter& w, const support::Rng& rng) {
+  const support::Rng::State s = rng.state();
+  for (const std::uint64_t word : s.words) w.u64(word);
+  w.f64(s.spare_gaussian);
+  w.u8(s.has_spare ? 1 : 0);
+}
+
+void get_rng(SectionReader& r, support::Rng& rng) {
+  support::Rng::State s;
+  for (std::uint64_t& word : s.words) word = r.u64();
+  s.spare_gaussian = r.f64();
+  s.has_spare = r.u8() != 0;
+  rng.restore_state(s);
+}
+
+void put_crp_set(SectionWriter& w, const puf::CrpSet& crps) {
+  w.u64(crps.size());
+  for (std::size_t i = 0; i < crps.size(); ++i) {
+    const int response = crps.response(i);
+    PITFALLS_REQUIRE(response == 1 || response == -1,
+                     "CRP responses must be +/-1");
+    put_bitvec(w, crps.challenge(i));
+    w.u8(response < 0 ? std::uint8_t{1} : std::uint8_t{0});
+  }
+}
+
+puf::CrpSet get_crp_set(SectionReader& r) {
+  const std::uint64_t m = r.u64();
+  require_payload(r, m, 9);  // >= one size word + one response byte each
+  std::vector<BitVec> challenges;
+  std::vector<int> responses;
+  challenges.reserve(static_cast<std::size_t>(m));
+  responses.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    challenges.push_back(get_bitvec(r));
+    responses.push_back(r.u8() != 0 ? -1 : +1);
+  }
+  return puf::CrpSet(std::move(challenges), std::move(responses));
+}
+
+void put_linear_model(SectionWriter& w, const ml::LinearModel& model) {
+  w.u64(model.num_vars());
+  w.str(model.describe());
+  put_doubles(w, model.weights());
+}
+
+ml::LinearModel get_linear_model(SectionReader& r,
+                                 const ml::FeatureMap& features) {
+  const std::uint64_t num_vars = r.u64();
+  std::string name = r.str();
+  std::vector<double> weights = get_doubles(r);
+  return ml::LinearModel(static_cast<std::size_t>(num_vars),
+                         std::move(weights), features, std::move(name));
+}
+
+void put_sparse_fourier(SectionWriter& w,
+                        const ml::SparseFourierHypothesis& h) {
+  w.u64(h.num_vars());
+  w.u64(h.num_terms());
+  for (const BitVec& subset : h.subsets()) put_bitvec(w, subset);
+  for (const double c : h.coefficients()) w.f64(c);
+}
+
+ml::SparseFourierHypothesis get_sparse_fourier(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  const std::uint64_t terms = r.u64();
+  require_payload(r, terms, 16);  // >= one size word + one coefficient each
+  std::vector<BitVec> subsets;
+  subsets.reserve(static_cast<std::size_t>(terms));
+  for (std::uint64_t i = 0; i < terms; ++i) subsets.push_back(get_bitvec(r));
+  std::vector<double> coefficients;
+  coefficients.reserve(static_cast<std::size_t>(terms));
+  for (std::uint64_t i = 0; i < terms; ++i) coefficients.push_back(r.f64());
+  return ml::SparseFourierHypothesis(static_cast<std::size_t>(n),
+                                     std::move(subsets),
+                                     std::move(coefficients));
+}
+
+void put_ltf(SectionWriter& w, const boolfn::Ltf& ltf) {
+  put_doubles(w, ltf.weights());
+  w.f64(ltf.threshold());
+}
+
+boolfn::Ltf get_ltf(SectionReader& r) {
+  std::vector<double> weights = get_doubles(r);
+  const double threshold = r.f64();
+  return boolfn::Ltf(std::move(weights), threshold);
+}
+
+void put_anf(SectionWriter& w, const boolfn::AnfPolynomial& poly) {
+  w.u64(poly.num_vars());
+  w.u64(poly.sparsity());
+  for (const BitVec& monomial : poly.monomials()) put_bitvec(w, monomial);
+}
+
+boolfn::AnfPolynomial get_anf(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  const std::uint64_t terms = r.u64();
+  require_payload(r, terms, 8);
+  std::vector<BitVec> monomials;
+  monomials.reserve(static_cast<std::size_t>(terms));
+  for (std::uint64_t i = 0; i < terms; ++i) monomials.push_back(get_bitvec(r));
+  return boolfn::AnfPolynomial(static_cast<std::size_t>(n),
+                               std::move(monomials));
+}
+
+void put_dfa(SectionWriter& w, const ml::Dfa& dfa) {
+  w.u64(dfa.num_states());
+  w.u64(dfa.alphabet_size());
+  w.u64(dfa.start());
+  for (std::size_t s = 0; s < dfa.num_states(); ++s) {
+    for (std::size_t a = 0; a < dfa.alphabet_size(); ++a)
+      w.u64(dfa.transition(s, a));
+    w.u8(dfa.accepting(s) ? 1 : 0);
+  }
+}
+
+ml::Dfa get_dfa(SectionReader& r) {
+  const std::uint64_t states = r.u64();
+  const std::uint64_t alphabet = r.u64();
+  const std::uint64_t start = r.u64();
+  PITFALLS_REQUIRE(start < states, "snapshot DFA: start state out of range");
+  require_payload(r, states, alphabet > 0 ? alphabet * 8 + 1 : 1);
+  ml::Dfa dfa(static_cast<std::size_t>(states),
+              static_cast<std::size_t>(alphabet),
+              static_cast<std::size_t>(start));
+  for (std::uint64_t s = 0; s < states; ++s) {
+    for (std::uint64_t a = 0; a < alphabet; ++a) {
+      const std::uint64_t target = r.u64();
+      PITFALLS_REQUIRE(target < states,
+                       "snapshot DFA: transition target out of range");
+      dfa.set_transition(static_cast<std::size_t>(s),
+                         static_cast<std::size_t>(a),
+                         static_cast<std::size_t>(target));
+    }
+    dfa.set_accepting(static_cast<std::size_t>(s), r.u8() != 0);
+  }
+  return dfa;
+}
+
+void put_fault_state(SectionWriter& w,
+                     const ml::robust::FaultyMembershipOracle::State& s) {
+  w.u64(s.raw_queries);
+  w.u64(s.burst_remaining);
+  w.u64(s.flips);
+  w.u64(s.drops);
+}
+
+ml::robust::FaultyMembershipOracle::State get_fault_state(SectionReader& r) {
+  ml::robust::FaultyMembershipOracle::State s;
+  s.raw_queries = static_cast<std::size_t>(r.u64());
+  s.burst_remaining = static_cast<std::size_t>(r.u64());
+  s.flips = static_cast<std::size_t>(r.u64());
+  s.drops = static_cast<std::size_t>(r.u64());
+  return s;
+}
+
+}  // namespace pitfalls::store

@@ -1,0 +1,108 @@
+// Serialize/deserialize hooks between the library's experiment state and
+// snapshot sections (DESIGN.md §14). Everything round-trips bit-exactly:
+// doubles travel as their IEEE-754 bit patterns, so a deserialized
+// hypothesis scores, formats and compares byte-identically to the original
+// — the property the resume-determinism contract rests on.
+//
+// Codecs come in put_*/get_* pairs over SectionWriter/SectionReader. get_*
+// validates as it reads (bounds-checked cursor underneath, explicit sanity
+// guards on declared element counts), so a section that decodes at all is
+// structurally sound; payload integrity itself is the snapshot CRC's job.
+#pragma once
+
+#include "boolfn/anf.hpp"
+#include "boolfn/ltf.hpp"
+#include "ml/dfa.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/lmn.hpp"
+#include "ml/robust/faults.hpp"
+#include "ml/robust/outcome.hpp"
+#include "puf/crp.hpp"
+#include "support/rng.hpp"
+#include "support/snapshot/snapshot.hpp"
+
+namespace pitfalls::store {
+
+using support::BitVec;
+using support::snapshot::SectionReader;
+using support::snapshot::SectionWriter;
+
+// ---- primitives -----------------------------------------------------------
+
+void put_bitvec(SectionWriter& w, const BitVec& v);
+BitVec get_bitvec(SectionReader& r);
+
+void put_doubles(SectionWriter& w, const std::vector<double>& v);
+std::vector<double> get_doubles(SectionReader& r);
+
+void put_rng(SectionWriter& w, const support::Rng& rng);
+void get_rng(SectionReader& r, support::Rng& rng);
+
+// ---- CRP sets -------------------------------------------------------------
+
+void put_crp_set(SectionWriter& w, const puf::CrpSet& crps);
+puf::CrpSet get_crp_set(SectionReader& r);
+
+// ---- hypothesis classes ---------------------------------------------------
+
+/// LinearModel's FeatureMap is code, not data; the caller re-supplies the
+/// map it trained with (the benches construct it from the same config).
+void put_linear_model(SectionWriter& w, const ml::LinearModel& model);
+ml::LinearModel get_linear_model(SectionReader& r,
+                                 const ml::FeatureMap& features);
+
+void put_sparse_fourier(SectionWriter& w,
+                        const ml::SparseFourierHypothesis& h);
+ml::SparseFourierHypothesis get_sparse_fourier(SectionReader& r);
+
+void put_ltf(SectionWriter& w, const boolfn::Ltf& ltf);
+boolfn::Ltf get_ltf(SectionReader& r);
+
+void put_anf(SectionWriter& w, const boolfn::AnfPolynomial& poly);
+boolfn::AnfPolynomial get_anf(SectionReader& r);
+
+void put_dfa(SectionWriter& w, const ml::Dfa& dfa);
+ml::Dfa get_dfa(SectionReader& r);
+
+// ---- robust-learning state ------------------------------------------------
+
+void put_fault_state(SectionWriter& w,
+                     const ml::robust::FaultyMembershipOracle::State& s);
+ml::robust::FaultyMembershipOracle::State get_fault_state(SectionReader& r);
+
+/// LearnOutcome<H> with a caller-supplied hypothesis codec, so one template
+/// covers all six learners' outcome types.
+template <typename H, typename PutH>
+void put_outcome(SectionWriter& w, const ml::robust::LearnOutcome<H>& outcome,
+                 PutH&& put_hypothesis) {
+  w.u8(static_cast<std::uint8_t>(outcome.status));
+  w.u8(outcome.best_hypothesis ? 1 : 0);
+  if (outcome.best_hypothesis) put_hypothesis(w, *outcome.best_hypothesis);
+  w.u64(outcome.queries_spent);
+  w.u32(static_cast<std::uint32_t>(outcome.diagnostics.size()));
+  for (const auto& [name, value] : outcome.diagnostics) {
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+template <typename H, typename GetH>
+ml::robust::LearnOutcome<H> get_outcome(SectionReader& r,
+                                        GetH&& get_hypothesis) {
+  ml::robust::LearnOutcome<H> outcome;
+  const std::uint8_t status = r.u8();
+  PITFALLS_REQUIRE(status <= static_cast<std::uint8_t>(
+                                 ml::robust::LearnStatus::noise_ceiling),
+                   "snapshot outcome: unknown LearnStatus");
+  outcome.status = static_cast<ml::robust::LearnStatus>(status);
+  if (r.u8() != 0) outcome.best_hypothesis = get_hypothesis(r);
+  outcome.queries_spent = static_cast<std::size_t>(r.u64());
+  const std::uint32_t diagnostics = r.u32();
+  for (std::uint32_t i = 0; i < diagnostics; ++i) {
+    std::string name = r.str();
+    outcome.diagnostics[std::move(name)] = r.f64();
+  }
+  return outcome;
+}
+
+}  // namespace pitfalls::store

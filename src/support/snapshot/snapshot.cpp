@@ -1,0 +1,413 @@
+#include "support/snapshot/snapshot.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>   // lint:raw-io-ok — this module IS the sanctioned raw-I/O site
+#include <cstring>
+#include <array>
+
+#include <unistd.h>  // fsync
+
+namespace pitfalls::support::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'T', 'F', 'S', 'N', 'A', 'P'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFFU));
+  out.push_back(static_cast<char>((v >> 8) & 0xFFU));
+  out.push_back(static_cast<char>((v >> 16) & 0xFFU));
+  out.push_back(static_cast<char>((v >> 24) & 0xFFU));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFFU));
+}
+
+/// RAII FILE handle so every error path closes cleanly.
+struct File {
+  std::FILE* f = nullptr;
+  ~File() {
+    if (f != nullptr) std::fclose(f);  // lint:raw-io-ok
+  }
+};
+
+}  // namespace
+
+const char* to_string(SnapshotFault fault) {
+  switch (fault) {
+    case SnapshotFault::io:
+      return "io";
+    case SnapshotFault::bad_magic:
+      return "bad_magic";
+    case SnapshotFault::bad_version:
+      return "bad_version";
+    case SnapshotFault::truncated:
+      return "truncated";
+    case SnapshotFault::bad_crc:
+      return "bad_crc";
+    case SnapshotFault::malformed:
+      return "malformed";
+    case SnapshotFault::bad_section:
+      return "bad_section";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const char ch : bytes)
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  File in;
+  in.f = std::fopen(path.c_str(), "rb");  // lint:raw-io-ok
+  if (in.f == nullptr)
+    throw SnapshotError(SnapshotFault::io, "cannot open " + path + " (" +
+                                               std::strerror(errno) + ")");
+  std::string bytes;
+  char buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof buffer, in.f);
+    bytes.append(buffer, got);
+    if (got < sizeof buffer) {
+      if (std::ferror(in.f) != 0)
+        throw SnapshotError(SnapshotFault::io, "read error on " + path);
+      break;
+    }
+  }
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    File out;
+    out.f = std::fopen(tmp.c_str(), "wb");  // lint:raw-io-ok
+    if (out.f == nullptr)
+      throw SnapshotError(SnapshotFault::io, "cannot create " + tmp + " (" +
+                                                 std::strerror(errno) + ")");
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), out.f) != bytes.size()) {
+      std::remove(tmp.c_str());  // lint:raw-io-ok
+      throw SnapshotError(SnapshotFault::io, "short write to " + tmp);
+    }
+    // Flush userspace buffers, then force the kernel to persist them before
+    // the rename publishes the file: rename-before-durable could surface an
+    // empty/torn file after a power loss.
+    if (std::fflush(out.f) != 0 || fsync(fileno(out.f)) != 0) {
+      std::remove(tmp.c_str());  // lint:raw-io-ok
+      throw SnapshotError(SnapshotFault::io, "cannot flush " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {  // lint:raw-io-ok
+    std::remove(tmp.c_str());  // lint:raw-io-ok
+    throw SnapshotError(SnapshotFault::io,
+                        "cannot rename " + tmp + " over " + path);
+  }
+}
+
+void probe_writable(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "ab");  // lint:raw-io-ok
+  if (f == nullptr)
+    throw SnapshotError(SnapshotFault::io, "cannot create " + tmp + " (" +
+                                               std::strerror(errno) + ")");
+  std::fclose(f);
+  // A stray .tmp from a killed writer is garbage either way; readers ignore
+  // it and the next write recreates it, so removing it here is safe.
+  std::remove(tmp.c_str());  // lint:raw-io-ok
+}
+
+// ---------------------------------------------------------------------------
+// SectionWriter / SectionReader
+// ---------------------------------------------------------------------------
+
+void SectionWriter::u32(std::uint32_t v) { put_u32(bytes_, v); }
+
+void SectionWriter::u64(std::uint64_t v) { put_u64(bytes_, v); }
+
+void SectionWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void SectionWriter::str(std::string_view s) {
+  PITFALLS_REQUIRE(s.size() <= 0xFFFFFFFFULL, "string too large for u32");
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+std::string_view SectionReader::take(std::size_t n) {
+  if (n > bytes_.size() - pos_)
+    throw SnapshotError(SnapshotFault::bad_section,
+                        "section '" + name_ + "' ran dry (" +
+                            std::to_string(n) + " bytes wanted, " +
+                            std::to_string(remaining()) + " left)");
+  const std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t SectionReader::u8() {
+  return static_cast<std::uint8_t>(take(1)[0]);
+}
+
+std::uint32_t SectionReader::u32() {
+  const std::string_view b = take(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+  return v;
+}
+
+std::uint64_t SectionReader::u64() {
+  const std::string_view b = take(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+  return v;
+}
+
+double SectionReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string SectionReader::str() {
+  const std::uint32_t len = u32();
+  return std::string(take(len));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::uint64_t seed, std::string provenance)
+    : seed_(seed), provenance_(std::move(provenance)) {}
+
+SectionWriter& SnapshotWriter::section(const std::string& name) {
+  for (auto& [existing, writer] : sections_)
+    if (existing == name) return writer;
+  sections_.emplace_back(name, SectionWriter{});
+  return sections_.back().second;
+}
+
+SectionWriter& SnapshotWriter::reset_section(const std::string& name) {
+  SectionWriter& writer = section(name);
+  writer.clear();
+  return writer;
+}
+
+void SnapshotWriter::remove_section(const std::string& name) {
+  for (auto it = sections_.begin(); it != sections_.end(); ++it) {
+    if (it->first == name) {
+      sections_.erase(it);
+      return;
+    }
+  }
+}
+
+bool SnapshotWriter::has_section(const std::string& name) const {
+  for (const auto& [existing, writer] : sections_)
+    if (existing == name) return true;
+  return false;
+}
+
+std::vector<std::string> SnapshotWriter::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, writer] : sections_) names.push_back(name);
+  return names;
+}
+
+std::string SnapshotWriter::encode() const {
+  // Header size is a pure function of the names, so compute it first and
+  // lay payloads out right behind it.
+  std::size_t header_size = sizeof kMagic + 4 + 8 + 4 + provenance_.size() + 4;
+  for (const auto& [name, writer] : sections_)
+    header_size += 4 + name.size() + 8 + 8 + 4;
+  header_size += 4;  // header crc
+
+  std::string out;
+  out.reserve(header_size);
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, SnapshotReader::kFormatVersion);
+  put_u64(out, seed_);
+  put_u32(out, static_cast<std::uint32_t>(provenance_.size()));
+  out.append(provenance_);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  std::size_t offset = header_size;
+  for (const auto& [name, writer] : sections_) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    put_u64(out, offset);
+    put_u64(out, writer.size());
+    put_u32(out, crc32(writer.bytes()));
+    offset += writer.size();
+  }
+  put_u32(out, crc32(out));
+  PITFALLS_ENSURE(out.size() == header_size, "header layout mismatch");
+  for (const auto& [name, writer] : sections_) out.append(writer.bytes());
+  return out;
+}
+
+void SnapshotWriter::write(const std::string& path) const {
+  write_file_atomic(path, encode());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bounds-checked header cursor (distinct error kind from SectionReader:
+/// running out of header bytes means the FILE is truncated).
+struct HeaderCursor {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  std::string_view take(std::size_t n) {
+    if (n > bytes.size() - pos)
+      throw SnapshotError(SnapshotFault::truncated,
+                          "snapshot header truncated");
+    const std::string_view out = bytes.substr(pos, n);
+    pos += n;
+    return out;
+  }
+  std::uint32_t u32() {
+    const std::string_view b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) |
+          static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::string_view b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) |
+          static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+    return v;
+  }
+};
+
+}  // namespace
+
+SnapshotReader::SnapshotReader(std::string bytes) : bytes_(std::move(bytes)) {
+  HeaderCursor cur{bytes_};
+  const std::string_view magic = cur.take(sizeof kMagic);
+  if (std::memcmp(magic.data(), kMagic, sizeof kMagic) != 0)
+    throw SnapshotError(SnapshotFault::bad_magic, "not a snapshot file");
+  version_ = cur.u32();
+  if (version_ != kFormatVersion)
+    throw SnapshotError(SnapshotFault::bad_version,
+                        "unsupported snapshot version " +
+                            std::to_string(version_));
+  seed_ = cur.u64();
+  provenance_ = std::string(cur.take(cur.u32()));
+  const std::uint32_t count = cur.u32();
+  // A table entry occupies at least 24 header bytes (empty name), so a
+  // count beyond remaining/24 is impossible in a well-formed file. Checking
+  // here (before reserve) keeps a corrupted count from forcing a huge
+  // allocation before the header CRC gets its chance to reject the file.
+  if (count > (bytes_.size() - cur.pos) / 24)
+    throw SnapshotError(SnapshotFault::truncated,
+                        "section table exceeds file size");
+
+  struct RawEntry {
+    std::string name;
+    std::uint64_t offset;
+    std::uint64_t size;
+    std::uint32_t crc;
+  };
+  std::vector<RawEntry> raw;
+  raw.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RawEntry entry;
+    entry.name = std::string(cur.take(cur.u32()));
+    entry.offset = cur.u64();
+    entry.size = cur.u64();
+    entry.crc = cur.u32();
+    raw.push_back(std::move(entry));
+  }
+  const std::size_t header_end = cur.pos;
+  const std::uint32_t stored_header_crc = cur.u32();
+  if (crc32(std::string_view(bytes_).substr(0, header_end)) !=
+      stored_header_crc)
+    throw SnapshotError(SnapshotFault::bad_crc, "header checksum mismatch");
+
+  // Sections must lie back-to-back behind the header and exactly cover the
+  // file — anything else (overlap, gap, trailing garbage) is malformed, and
+  // a file shorter than the declared payloads is truncated.
+  std::size_t expect = cur.pos;
+  for (const RawEntry& entry : raw) {
+    if (entry.offset != expect ||
+        entry.size > bytes_.size() - std::min(bytes_.size(), expect))
+      break;  // classified below by the total-size check
+    expect += entry.size;
+  }
+  std::size_t total = cur.pos;
+  for (const RawEntry& entry : raw) total += entry.size;
+  if (bytes_.size() < total)
+    throw SnapshotError(SnapshotFault::truncated,
+                        "snapshot payload truncated (" +
+                            std::to_string(bytes_.size()) + " of " +
+                            std::to_string(total) + " bytes)");
+  if (bytes_.size() != total || expect != total)
+    throw SnapshotError(SnapshotFault::malformed,
+                        "section table does not tile the file");
+
+  for (const RawEntry& entry : raw) {
+    if (entries_.count(entry.name) != 0)
+      throw SnapshotError(SnapshotFault::malformed,
+                          "duplicate section '" + entry.name + "'");
+    const std::string_view payload =
+        std::string_view(bytes_).substr(entry.offset, entry.size);
+    if (crc32(payload) != entry.crc)
+      throw SnapshotError(SnapshotFault::bad_crc, "section '" + entry.name +
+                                                      "' checksum mismatch");
+    entries_[entry.name] =
+        Entry{static_cast<std::size_t>(entry.offset),
+              static_cast<std::size_t>(entry.size)};
+    order_.push_back(entry.name);
+  }
+}
+
+SnapshotReader SnapshotReader::open(const std::string& path) {
+  return SnapshotReader(read_file_bytes(path));
+}
+
+bool SnapshotReader::has_section(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::string_view SnapshotReader::section_bytes(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw SnapshotError(SnapshotFault::bad_section,
+                        "no section '" + name + "'");
+  return std::string_view(bytes_).substr(it->second.offset, it->second.size);
+}
+
+SectionReader SnapshotReader::section(const std::string& name) const {
+  return SectionReader(section_bytes(name), name);
+}
+
+std::vector<std::string> SnapshotReader::section_names() const {
+  return order_;
+}
+
+}  // namespace pitfalls::support::snapshot

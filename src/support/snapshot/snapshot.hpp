@@ -1,0 +1,214 @@
+// Crash-safe snapshot files — the binary format under the experiment store
+// (src/store, DESIGN.md §14).
+//
+// A snapshot is a single self-describing file:
+//
+//   magic "PITFSNAP"            8 bytes
+//   format version              u32 LE
+//   seed                        u64 LE   (seed provenance: the root seed)
+//   provenance string           u32 length + bytes (free-form, e.g. bench
+//                                argv + config fingerprint)
+//   section count               u32 LE
+//   section table               per entry: name (u32 length + bytes),
+//                                payload offset u64, payload size u64,
+//                                payload crc32 u32
+//   header crc32                u32 LE over every byte above
+//   section payloads            concatenated, in table order
+//
+// Every integer is little-endian regardless of host byte order. The header
+// CRC covers the magic, version, provenance and the whole table; each
+// payload carries its own CRC. A truncated file, a bit flip anywhere, a
+// wrong magic or an unknown version are all detected at open() and reported
+// as a typed SnapshotError — corruption can degrade a run to a clean
+// restart (src/store policy) but can never be read as valid data.
+//
+// Atomicity: write() serialises to `path + ".tmp"`, fsyncs, then renames
+// over `path`. A crash at ANY byte offset leaves either the complete old
+// snapshot or the complete new one at `path`, never a torn mix; a stray
+// .tmp from a killed writer is ignored by readers and overwritten by the
+// next write. The kill-at-every-byte-offset torture test in store_test.cpp
+// pins this contract down.
+//
+// This header is one of the two sanctioned raw-file-I/O sites in the tree
+// (the other is src/obs); the `raw-io` lint rule forbids fopen/fstream
+// anywhere else so that all experiment state flows through this format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace pitfalls::support::snapshot {
+
+/// Why a snapshot could not be read. `truncated` and `bad_crc` are the
+/// corruption cases the torture tests sweep; `bad_version` covers files
+/// from a future (or mangled) format revision.
+enum class SnapshotFault {
+  io,           // file missing / unreadable / unwritable
+  bad_magic,    // not a snapshot file at all
+  bad_version,  // unknown format version
+  truncated,    // file ends before the declared bytes
+  bad_crc,      // header or payload checksum mismatch
+  malformed,    // internal inconsistency (overlapping/out-of-range sections)
+  bad_section,  // a requested section is absent or its payload ran dry
+};
+
+const char* to_string(SnapshotFault fault);
+
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotFault fault, const std::string& message)
+      : std::runtime_error(message), fault_(fault) {}
+  SnapshotFault fault() const { return fault_; }
+
+ private:
+  SnapshotFault fault_;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the per-section checksum.
+/// `seed` chains partial computations: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+/// Whole file as bytes. Throws SnapshotError{io} when unreadable. The
+/// sanctioned low-level read shared by the snapshot format and the few
+/// tools (JSON validators) that need raw bytes without the format.
+std::string read_file_bytes(const std::string& path);
+
+/// Crash-safe whole-file write: serialise to `path + ".tmp"`, flush+fsync,
+/// rename over `path`. Throws SnapshotError{io} on any failure (the .tmp is
+/// removed best-effort). After return, `path` holds exactly `bytes`.
+void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Throws SnapshotError{io} unless `path` can be written (probed by
+/// creating and removing `path + ".tmp"`, without touching `path` itself).
+/// Lets checkpoint sessions reject an unwritable path at startup instead
+/// of aborting at the first cadence flush, hours into a run.
+void probe_writable(const std::string& path);
+
+/// Append-friendly byte buffer with the format's primitive encodings. All
+/// integers little-endian; f64 is the IEEE-754 bit pattern (bit-exact round
+/// trips — resume determinism depends on it).
+class SectionWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  /// Raw bytes, no prefix (caller knows the length from its own framing).
+  void raw(std::string_view s) { bytes_.append(s); }
+
+  const std::string& bytes() const { return bytes_; }
+  bool empty() const { return bytes_.empty(); }
+  std::size_t size() const { return bytes_.size(); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor over one section's payload. Every read past the
+/// end throws SnapshotError{bad_section} — a short section can never be
+/// silently zero-filled.
+class SectionReader {
+ public:
+  SectionReader(std::string_view bytes, std::string name)
+      : bytes_(bytes), name_(std::move(name)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string_view take(std::size_t n);
+
+  std::string_view bytes_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds a snapshot in memory; write() is atomic. Section order is the
+/// order of first creation, so encode() is deterministic for a fixed call
+/// sequence (byte-identical snapshots for byte-identical runs).
+class SnapshotWriter {
+ public:
+  SnapshotWriter(std::uint64_t seed, std::string provenance);
+
+  /// Get-or-create: an existing section is returned for appending.
+  SectionWriter& section(const std::string& name);
+  /// Create-or-clear: the section starts empty (state sections that are
+  /// rewritten at every flush).
+  SectionWriter& reset_section(const std::string& name);
+  /// Drop a section entirely (e.g. a query log superseded by its final
+  /// outcome). Unknown names are ignored.
+  void remove_section(const std::string& name);
+  bool has_section(const std::string& name) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const std::string& provenance() const { return provenance_; }
+  std::vector<std::string> section_names() const;
+
+  /// The complete file image (header + table + payloads + CRCs).
+  std::string encode() const;
+  /// encode() + write_file_atomic(path).
+  void write(const std::string& path) const;
+
+ private:
+  std::uint64_t seed_;
+  std::string provenance_;
+  std::vector<std::pair<std::string, SectionWriter>> sections_;
+};
+
+/// Parses and fully validates a snapshot image: magic, version, header CRC,
+/// table sanity, and every payload CRC up front. A SnapshotReader that
+/// constructed successfully is internally consistent.
+class SnapshotReader {
+ public:
+  /// Validate an in-memory image (the unit the torture tests mutate).
+  explicit SnapshotReader(std::string bytes);
+  /// read_file_bytes(path) + validation.
+  static SnapshotReader open(const std::string& path);
+
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t version() const { return version_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::string& provenance() const { return provenance_; }
+
+  bool has_section(const std::string& name) const;
+  /// Cursor over a section's payload; throws SnapshotError{bad_section}
+  /// when absent.
+  SectionReader section(const std::string& name) const;
+  /// Raw payload bytes (for forwarding sections into a new writer).
+  std::string_view section_bytes(const std::string& name) const;
+  std::vector<std::string> section_names() const;
+
+ private:
+  struct Entry {
+    std::size_t offset;
+    std::size_t size;
+  };
+
+  std::string bytes_;
+  std::uint32_t version_ = 0;
+  std::uint64_t seed_ = 0;
+  std::string provenance_;
+  std::vector<std::string> order_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pitfalls::support::snapshot

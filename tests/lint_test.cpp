@@ -309,6 +309,48 @@ TEST(LintArena, SuppressionTagSilencesTheRule) {
   EXPECT_TRUE(run_lint({f}).empty());
 }
 
+// --------------------------------------------------------------- raw-io
+
+TEST(LintRawIo, FlagsStreamAndCstdioOpens) {
+  const SourceFile f{"src/ml/dump.cpp",
+                     "#include <fstream>\n"
+                     "void dump(const std::string& path) {\n"
+                     "  std::ofstream out(path);\n"
+                     "  std::FILE* f = std::fopen(path.c_str(), \"rb\");\n"
+                     "  std::ifstream in(path);\n"
+                     "}\n"};
+  EXPECT_EQ(lines_of(run_lint({f}), "raw-io"),
+            (std::vector<std::size_t>{1, 3, 4, 5}));
+}
+
+TEST(LintRawIo, SnapshotAndObsModulesAreExempt) {
+  const SourceFile snap{"src/support/snapshot/snapshot.cpp",
+                        "#include <cstdio>\n"
+                        "std::FILE* f = std::fopen(\"x\", \"rb\");\n"};
+  const SourceFile obs{"src/obs/bench_reporter.cpp",
+                       "#include <fstream>\n"
+                       "std::ofstream out(\"x\");\n"};
+  EXPECT_TRUE(run_lint({snap, obs}).empty());
+}
+
+TEST(LintRawIo, SuppressionTagSilencesTheRule) {
+  const SourceFile f{"src/x/t.cpp",
+                     "#include <fstream>  // lint:raw-io-ok\n"
+                     "std::ifstream in(\"x\");  // lint:raw-io-ok\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
+TEST(LintRawIo, NonIoIdentifiersDoNotMatch) {
+  // `reopen`/`fopened` must not fire; neither must prose in comments or
+  // string literals (stripped before matching).
+  const SourceFile f{"src/x/t.cpp",
+                     "void reopen_session();\n"
+                     "bool fopened = false;\n"
+                     "// talk about fopen and ofstream here\n"
+                     "const char* s = \"std::ofstream\";\n"};
+  EXPECT_TRUE(run_lint({f}).empty());
+}
+
 // ------------------------------------------------- chunk-rng (for_tasks)
 
 TEST(LintChunkRng, CoversParallelForTasks) {
@@ -365,7 +407,7 @@ TEST(LintApi, ViolationsAreSortedAndRulesEnumerated) {
                              }));
   const auto names = pitfalls::lint::rule_names();
   for (const char* r : {"rng", "wallclock", "ordered", "chunk-rng",
-                        "require-guard", "scalar-query", "arena"})
+                        "require-guard", "scalar-query", "arena", "raw-io"})
     EXPECT_NE(std::find(names.begin(), names.end(), r), names.end())
         << "missing rule " << r;
 }

@@ -1,0 +1,802 @@
+// Tests for the crash-safe experiment store (DESIGN.md §14): snapshot
+// format integrity (corruption torture sweeps), bit-exact codec round
+// trips, checkpoint sessions, oracle journal record/replay, and the
+// resume-determinism + budget-accounting contracts the benches rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/sat_attack.hpp"
+#include "circuit/generator.hpp"
+#include "lock/combinational.hpp"
+#include "ml/features.hpp"
+#include "ml/robust/learners.hpp"
+#include "obs/metrics.hpp"
+#include "puf/arbiter.hpp"
+#include "store/checkpoint.hpp"
+#include "store/serialize.hpp"
+#include "support/rng.hpp"
+#include "support/snapshot/snapshot.hpp"
+
+namespace {
+
+using namespace pitfalls;
+using namespace pitfalls::support::snapshot;
+using pitfalls::ml::robust::FaultConfig;
+using pitfalls::ml::robust::FaultyMembershipOracle;
+using pitfalls::ml::robust::LearnOutcome;
+using pitfalls::ml::robust::QueryBudgetExhaustedError;
+using pitfalls::ml::robust::RobustLearnConfig;
+using pitfalls::ml::robust::TransientFaultError;
+using pitfalls::support::BitVec;
+using pitfalls::support::Rng;
+
+// Scratch snapshot path removed (with its .tmp) when the test exits.
+class TempSnapshot {
+ public:
+  explicit TempSnapshot(const std::string& name)
+      : path_("store_test_" + name + ".snap") {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  ~TempSnapshot() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+BitVec make_bitvec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.coin());
+  return v;
+}
+
+// A small reference snapshot image shared by the corruption sweeps.
+std::string reference_image() {
+  SnapshotWriter w(42, "store_test.v1");
+  SectionWriter& a = w.section("alpha");
+  a.u32(7);
+  a.str("payload");
+  SectionWriter& b = w.section("beta");
+  for (int i = 0; i < 32; ++i) b.u8(static_cast<std::uint8_t>(i));
+  return w.encode();
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(SnapshotFormat, RoundTripsSeedProvenanceAndSections) {
+  SnapshotWriter w(9001, "bench_x.v1.smoke=1");
+  SectionWriter& s = w.section("s");
+  s.u8(7);
+  s.u32(0xDEADBEEFU);
+  s.u64(0x0123456789ABCDEFULL);
+  s.i64(-17);
+  s.f64(-0.0);
+  s.str("hello");
+  w.section("empty");
+
+  const SnapshotReader r(w.encode());
+  EXPECT_EQ(r.seed(), 9001u);
+  EXPECT_EQ(r.provenance(), "bench_x.v1.smoke=1");
+  EXPECT_EQ(r.section_names(), (std::vector<std::string>{"s", "empty"}));
+
+  SectionReader cur = r.section("s");
+  EXPECT_EQ(cur.u8(), 7u);
+  EXPECT_EQ(cur.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(cur.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(cur.i64(), -17);
+  const double neg_zero = cur.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(cur.str(), "hello");
+  EXPECT_TRUE(cur.at_end());
+  EXPECT_TRUE(r.section("empty").at_end());
+}
+
+TEST(SnapshotFormat, EncodeIsDeterministic) {
+  EXPECT_EQ(reference_image(), reference_image());
+}
+
+TEST(SnapshotFormat, SectionLifecycle) {
+  SnapshotWriter w(1, "p");
+  w.section("a").u8(1);
+  w.section("a").u8(2);  // get-or-create appends
+  EXPECT_EQ(w.section("a").size(), 2u);
+  w.reset_section("a").u8(3);  // create-or-clear
+  EXPECT_EQ(w.section("a").size(), 1u);
+  EXPECT_TRUE(w.has_section("a"));
+  w.remove_section("a");
+  EXPECT_FALSE(w.has_section("a"));
+  w.remove_section("never-existed");  // ignored
+}
+
+TEST(SnapshotFormat, RejectsWrongMagic) {
+  std::string image = reference_image();
+  image[0] = 'X';
+  try {
+    SnapshotReader r(image);
+    FAIL() << "bad magic accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::bad_magic);
+  }
+}
+
+TEST(SnapshotFormat, RejectsUnknownVersion) {
+  std::string image = reference_image();
+  image[8] = static_cast<char>(SnapshotReader::kFormatVersion + 1);
+  try {
+    SnapshotReader r(image);
+    FAIL() << "unknown version accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::bad_version);
+  }
+}
+
+TEST(SnapshotFormat, TruncationAtEveryByteOffsetIsDetected) {
+  const std::string image = reference_image();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_THROW(SnapshotReader(image.substr(0, len)), SnapshotError)
+        << "prefix of " << len << " bytes accepted";
+  }
+  EXPECT_NO_THROW(SnapshotReader{image});
+  // Trailing garbage is corruption too, not silently ignored.
+  EXPECT_THROW(SnapshotReader(image + "x"), SnapshotError);
+}
+
+TEST(SnapshotFormat, BitFlipAtEveryByteOffsetIsDetected) {
+  const std::string image = reference_image();
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string mutated = image;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    EXPECT_THROW(SnapshotReader{mutated}, SnapshotError)
+        << "bit flip at byte " << i << " accepted";
+  }
+}
+
+TEST(SnapshotFormat, SectionReaderNeverReadsPastTheEnd) {
+  SnapshotWriter w(1, "p");
+  w.section("s").u32(5);
+  const SnapshotReader r(w.encode());
+  SectionReader cur = r.section("s");
+  EXPECT_EQ(cur.u32(), 5u);
+  try {
+    cur.u8();
+    FAIL() << "read past end succeeded";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::bad_section);
+  }
+  // A length-prefixed string whose declared length exceeds the payload.
+  SnapshotWriter w2(1, "p");
+  w2.section("s").u32(1000);
+  SectionReader cur2 = SnapshotReader(w2.encode()).section("s");
+  EXPECT_THROW(cur2.str(), SnapshotError);
+}
+
+TEST(SnapshotFormat, MissingSectionIsATypedError) {
+  const SnapshotReader r(reference_image());
+  try {
+    r.section("nope");
+    FAIL() << "missing section returned";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::bad_section);
+  }
+}
+
+TEST(SnapshotFormat, AtomicWriteReplacesAndCleansUp) {
+  TempSnapshot file("atomic");
+  write_file_atomic(file.path(), "first");
+  EXPECT_EQ(read_file_bytes(file.path()), "first");
+  write_file_atomic(file.path(), "second, longer than the first");
+  EXPECT_EQ(read_file_bytes(file.path()), "second, longer than the first");
+  // The staging file never survives a completed write.
+  EXPECT_THROW(read_file_bytes(file.path() + ".tmp"), SnapshotError);
+}
+
+TEST(SnapshotFormat, StrayTmpFromAKilledWriterIsHarmless) {
+  TempSnapshot file("straytmp");
+  const std::string image = reference_image();
+  write_file_atomic(file.path(), image);
+  // A writer killed mid-write leaves a torn .tmp; the published path is
+  // untouched and the next atomic write simply overwrites the leftovers.
+  write_file_atomic(file.path() + ".tm", "partial gar");  // any bytes
+  std::rename((file.path() + ".tm").c_str(), (file.path() + ".tmp").c_str());
+  EXPECT_EQ(read_file_bytes(file.path()), image);
+  write_file_atomic(file.path(), "fresh");
+  EXPECT_EQ(read_file_bytes(file.path()), "fresh");
+}
+
+// ---------------------------------------------------------------- codecs
+
+TEST(StoreCodecs, BitVecRoundTripsAllSizes) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{13},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{130}}) {
+    const BitVec v = make_bitvec(n, 77 + n);
+    SectionWriter w;
+    store::put_bitvec(w, v);
+    SectionReader r(w.bytes(), "t");
+    EXPECT_EQ(store::get_bitvec(r), v) << "n=" << n;
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(StoreCodecs, DoublesRoundTripBitExactly) {
+  const std::vector<double> values = {0.0, -0.0, 1.0, -1.5,
+                                      1e-308, 1e308, 0.1};
+  SectionWriter w;
+  store::put_doubles(w, values);
+  SectionReader r(w.bytes(), "t");
+  const std::vector<double> back = store::get_doubles(r);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(StoreCodecs, RngRoundTripContinuesTheExactStream) {
+  Rng original(123);
+  (void)original.gaussian();  // populate the spare-gaussian cache
+  (void)original.uniform01();
+
+  SectionWriter w;
+  store::put_rng(w, original);
+  SectionReader r(w.bytes(), "t");
+  Rng restored(999);  // wrong seed, fully overwritten by restore
+  store::get_rng(r, restored);
+
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(original.gaussian()),
+              std::bit_cast<std::uint64_t>(restored.gaussian()));
+    EXPECT_EQ(original.uniform_below(1000), restored.uniform_below(1000));
+  }
+}
+
+TEST(StoreCodecs, CrpSetRoundTrips) {
+  Rng rng(5);
+  const puf::ArbiterPuf target(10, 0.0, rng);
+  const puf::CrpSet crps = puf::CrpSet::collect_uniform(target, 50, rng);
+
+  SectionWriter w;
+  store::put_crp_set(w, crps);
+  SectionReader r(w.bytes(), "t");
+  const puf::CrpSet back = store::get_crp_set(r);
+  ASSERT_EQ(back.size(), crps.size());
+  for (std::size_t i = 0; i < crps.size(); ++i) {
+    EXPECT_EQ(back.challenge(i), crps.challenge(i));
+    EXPECT_EQ(back.response(i), crps.response(i));
+  }
+}
+
+TEST(StoreCodecs, HypothesisClassesRoundTrip) {
+  const BitVec probe = make_bitvec(6, 3);
+
+  const ml::LinearModel model(6, {0.5, -1.25, 0.0, 2.0, -0.75, 0.25, 1.0},
+                              ml::parity_with_bias, "test model");
+  SectionWriter wm;
+  store::put_linear_model(wm, model);
+  SectionReader rm(wm.bytes(), "t");
+  const ml::LinearModel model2 =
+      store::get_linear_model(rm, ml::parity_with_bias);
+  EXPECT_EQ(model2.weights(), model.weights());
+  EXPECT_EQ(model2.describe(), model.describe());
+  EXPECT_EQ(model2.eval_pm(probe), model.eval_pm(probe));
+
+  const ml::SparseFourierHypothesis fourier(
+      6, {make_bitvec(6, 1), make_bitvec(6, 2)}, {0.75, -0.5});
+  SectionWriter wf;
+  store::put_sparse_fourier(wf, fourier);
+  SectionReader rf(wf.bytes(), "t");
+  const ml::SparseFourierHypothesis fourier2 = store::get_sparse_fourier(rf);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(fourier2.approximation(probe)),
+            std::bit_cast<std::uint64_t>(fourier.approximation(probe)));
+
+  const boolfn::Ltf ltf({1.0, -2.5, 0.5, 0.0, 3.0, -1.0}, 0.25);
+  SectionWriter wl;
+  store::put_ltf(wl, ltf);
+  SectionReader rl(wl.bytes(), "t");
+  EXPECT_EQ(store::get_ltf(rl).eval_pm(probe), ltf.eval_pm(probe));
+
+  const boolfn::AnfPolynomial anf(
+      6, {make_bitvec(6, 4), make_bitvec(6, 5), BitVec(6)});
+  SectionWriter wa;
+  store::put_anf(wa, anf);
+  SectionReader ra(wa.bytes(), "t");
+  EXPECT_EQ(store::get_anf(ra).eval_pm(probe), anf.eval_pm(probe));
+}
+
+TEST(StoreCodecs, DfaRoundTrips) {
+  ml::Dfa dfa(3, 2, 0);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 2);
+  dfa.set_transition(2, 1, 0);
+  dfa.set_accepting(2, true);
+
+  SectionWriter w;
+  store::put_dfa(w, dfa);
+  SectionReader r(w.bytes(), "t");
+  const ml::Dfa back = store::get_dfa(r);
+  EXPECT_EQ(back.num_states(), 3u);
+  EXPECT_EQ(back.start(), 0u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(back.accepting(s), dfa.accepting(s));
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_EQ(back.transition(s, c), dfa.transition(s, c));
+  }
+}
+
+TEST(StoreCodecs, FaultStateAndOutcomeRoundTrip) {
+  const FaultyMembershipOracle::State state{17, 3, 5, 2};
+  SectionWriter ws;
+  store::put_fault_state(ws, state);
+  SectionReader rs(ws.bytes(), "t");
+  const auto state2 = store::get_fault_state(rs);
+  EXPECT_EQ(state2.raw_queries, 17u);
+  EXPECT_EQ(state2.burst_remaining, 3u);
+  EXPECT_EQ(state2.flips, 5u);
+  EXPECT_EQ(state2.drops, 2u);
+
+  LearnOutcome<ml::LinearModel> outcome;
+  outcome.status = ml::robust::LearnStatus::budget_exhausted;
+  outcome.best_hypothesis.emplace(
+      ml::LinearModel(4, {1.0, 2.0, 3.0, 4.0, 5.0},
+                      ml::parity_with_bias, "h"));
+  outcome.queries_spent = 321;
+  outcome.diagnostics["heldout_accuracy"] = 0.9375;
+  outcome.diagnostics["train_examples"] = 300.0;
+
+  SectionWriter w;
+  store::put_outcome(w, outcome,
+                     [](SectionWriter& hw, const ml::LinearModel& m) {
+                       store::put_linear_model(hw, m);
+                     });
+  SectionReader r(w.bytes(), "t");
+  const auto back = store::get_outcome<ml::LinearModel>(
+      r, [](SectionReader& hr) {
+        return store::get_linear_model(hr, ml::parity_with_bias);
+      });
+  EXPECT_EQ(back.status, outcome.status);
+  ASSERT_TRUE(back.best_hypothesis.has_value());
+  EXPECT_EQ(back.best_hypothesis->weights(), outcome.best_hypothesis->weights());
+  EXPECT_EQ(back.queries_spent, 321u);
+  EXPECT_EQ(back.diagnostics, outcome.diagnostics);
+}
+
+// ------------------------------------------------------ checkpoint session
+
+TEST(CheckpointSession, FreshStartWhenNoSnapshotExists) {
+  TempSnapshot file("fresh");
+  store::CheckpointSession session(file.path(), 7, "p", /*resume=*/true);
+  EXPECT_FALSE(session.resumed());
+}
+
+TEST(CheckpointSession, UnwritablePathFailsAtConstruction) {
+  // The probe must reject a doomed path up front (catchable, so benches can
+  // print a diagnostic and exit cleanly), not at the first cadence flush.
+  try {
+    store::CheckpointSession session("/nonexistent-dir/depth/x.snap", 7, "p",
+                                     false);
+    FAIL() << "expected SnapshotError{io}";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.fault(), SnapshotFault::io);
+  }
+}
+
+TEST(CheckpointSession, FlushThenResumeRestoresSections) {
+  TempSnapshot file("resume");
+  const std::uint64_t loads0 = counter_value("store.snapshot.loads");
+  const std::uint64_t resumed0 = counter_value("store.snapshot.resumed");
+  const std::uint64_t writes0 = counter_value("store.snapshot.writes");
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    session.section("cell.0.outcome").str("done");
+    session.flush();
+  }
+  EXPECT_EQ(counter_value("store.snapshot.writes"), writes0 + 1);
+
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  EXPECT_TRUE(session.resumed());
+  ASSERT_TRUE(session.has_section("cell.0.outcome"));
+  EXPECT_EQ(session.reader("cell.0.outcome").str(), "done");
+  EXPECT_EQ(counter_value("store.snapshot.loads"), loads0 + 1);
+  EXPECT_EQ(counter_value("store.snapshot.resumed"), resumed0 + 1);
+}
+
+TEST(CheckpointSession, CorruptSnapshotDegradesToCleanStart) {
+  TempSnapshot file("corrupt");
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    session.section("s").u64(1);
+    session.flush();
+  }
+  // Flip a payload byte on disk (the section's CRC must catch it).
+  std::string bytes = read_file_bytes(file.path());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  write_file_atomic(file.path(), bytes);
+
+  const std::uint64_t corrupt0 = counter_value("store.snapshot.corrupt");
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  EXPECT_FALSE(session.resumed());
+  EXPECT_FALSE(session.has_section("s"));
+  EXPECT_EQ(counter_value("store.snapshot.corrupt"), corrupt0 + 1);
+}
+
+TEST(CheckpointSession, IdentityMismatchStartsCleanWithoutCorruptFlag) {
+  TempSnapshot file("mismatch");
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    session.section("s").u64(1);
+    session.flush();
+  }
+  const std::uint64_t corrupt0 = counter_value("store.snapshot.corrupt");
+  const std::uint64_t mismatch0 = counter_value("store.snapshot.mismatch");
+  store::CheckpointSession other_seed(file.path(), 8, "p", true);
+  EXPECT_FALSE(other_seed.resumed());
+  store::CheckpointSession other_prov(file.path(), 7, "q", true);
+  EXPECT_FALSE(other_prov.resumed());
+  EXPECT_EQ(counter_value("store.snapshot.mismatch"), mismatch0 + 2);
+  EXPECT_EQ(counter_value("store.snapshot.corrupt"), corrupt0);
+}
+
+TEST(CheckpointSession, CheckpointWithoutResumeIgnoresExistingSnapshot) {
+  TempSnapshot file("noresume");
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    session.section("s").u64(1);
+    session.flush();
+  }
+  store::CheckpointSession session(file.path(), 7, "p", /*resume=*/false);
+  EXPECT_FALSE(session.resumed());
+  EXPECT_FALSE(session.has_section("s"));
+}
+
+// ------------------------------------------------------- recording oracle
+
+TEST(RecordingOracle, ReplayServesRecordedAnswersWithoutPhysicalQueries) {
+  TempSnapshot file("replay");
+  Rng setup(11);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  const std::size_t kQueries = 40;
+  std::vector<BitVec> challenges;
+  for (std::size_t i = 0; i < kQueries; ++i)
+    challenges.push_back(make_bitvec(8, 500 + i));
+
+  std::vector<int> recorded;
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    store::RecordingOracle oracle(inner, session, "u.log", nullptr, 8);
+    for (const BitVec& x : challenges) recorded.push_back(oracle.query_pm(x));
+    oracle.flush_now();
+    EXPECT_EQ(inner.queries(), kQueries);
+    EXPECT_EQ(oracle.recorded_events(), kQueries);
+    EXPECT_FALSE(oracle.replaying());
+  }
+
+  const std::uint64_t replayed0 =
+      counter_value("store.snapshot.replayed_queries");
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  store::RecordingOracle oracle(inner, session, "u.log", nullptr, 8);
+  EXPECT_TRUE(oracle.replaying());
+  for (std::size_t i = 0; i < kQueries; ++i)
+    EXPECT_EQ(oracle.query_pm(challenges[i]), recorded[i]) << "query " << i;
+  EXPECT_FALSE(oracle.replaying());
+  EXPECT_EQ(oracle.replayed_queries(), kQueries);
+  EXPECT_EQ(inner.queries(), 0u) << "replay touched the physical oracle";
+  EXPECT_EQ(oracle.queries(), kQueries) << "replay must still count locally";
+  EXPECT_EQ(counter_value("store.snapshot.replayed_queries"),
+            replayed0 + kQueries);
+}
+
+TEST(RecordingOracle, BudgetIsNotDoubleChargedAcrossResume) {
+  // Satellite regression: a budget-B channel interrupted after k queries
+  // must have exactly B-k answers left after resume — replayed queries
+  // charge nothing, and the fault streams continue from the recorded
+  // position as if the run had never stopped.
+  TempSnapshot file("budget");
+  Rng setup(13);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  const std::size_t kBudget = 12;
+  const std::size_t kBeforeCrash = 5;
+  FaultConfig fc;
+  fc.flip_rate = 0.3;
+  fc.query_budget = kBudget;
+
+  std::vector<BitVec> challenges;
+  for (std::size_t i = 0; i < kBudget; ++i)
+    challenges.push_back(make_bitvec(8, 900 + i));
+
+  // Uninterrupted reference: all kBudget answers, then refusal.
+  std::vector<int> reference;
+  {
+    ml::FunctionMembershipOracle inner(target);
+    FaultyMembershipOracle oracle(inner, fc, 4242);
+    for (const BitVec& x : challenges) reference.push_back(oracle.query_pm(x));
+    EXPECT_THROW(oracle.query_pm(challenges[0]), QueryBudgetExhaustedError);
+  }
+
+  {  // Interrupted run: k queries, flush, "crash".
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    FaultyMembershipOracle faulty(inner, fc, 4242);
+    store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 4);
+    for (std::size_t i = 0; i < kBeforeCrash; ++i)
+      EXPECT_EQ(oracle.query_pm(challenges[i]), reference[i]);
+    oracle.flush_now();
+    EXPECT_EQ(faulty.remaining_budget(), kBudget - kBeforeCrash);
+  }
+
+  // Resume: a FRESH fault channel (budget back at B) plus the journal.
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  FaultyMembershipOracle faulty(inner, fc, 4242);
+  store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 4);
+  for (std::size_t i = 0; i < kBeforeCrash; ++i)
+    EXPECT_EQ(oracle.query_pm(challenges[i]), reference[i]);
+  // Replay complete: the channel sits exactly where the crash left it.
+  EXPECT_EQ(faulty.remaining_budget(), kBudget - kBeforeCrash);
+  EXPECT_EQ(inner.queries(), 0u);
+  // The remaining budget serves the remaining queries with the same fault
+  // pattern as the uninterrupted run, then refuses.
+  for (std::size_t i = kBeforeCrash; i < kBudget; ++i)
+    EXPECT_EQ(oracle.query_pm(challenges[i]), reference[i]) << "query " << i;
+  EXPECT_THROW(oracle.query_pm(challenges[0]), QueryBudgetExhaustedError);
+  EXPECT_EQ(inner.queries(), kBudget - kBeforeCrash);
+}
+
+TEST(RecordingOracle, BudgetRefusalsAndDropsReplayAsEvents) {
+  TempSnapshot file("events");
+  Rng setup(17);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  FaultConfig fc;
+  fc.drop_rate = 0.5;
+  fc.query_budget = 6;
+  std::vector<BitVec> challenges;
+  for (std::size_t i = 0; i < 10; ++i)
+    challenges.push_back(make_bitvec(8, 700 + i));
+
+  // Record interactions until the budget refuses a few times.
+  std::vector<int> kinds;  // +1/-1 answer, 0 drop, 9 refusal
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    FaultyMembershipOracle faulty(inner, fc, 99);
+    store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 2);
+    for (const BitVec& x : challenges) {
+      try {
+        kinds.push_back(oracle.query_pm(x));
+      } catch (const TransientFaultError&) {
+        kinds.push_back(0);
+      } catch (const QueryBudgetExhaustedError&) {
+        kinds.push_back(9);
+      }
+    }
+    oracle.flush_now();
+  }
+  EXPECT_NE(std::count(kinds.begin(), kinds.end(), 9), 0)
+      << "test setup never exhausted the budget";
+
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  FaultyMembershipOracle faulty(inner, fc, 99);
+  store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 2);
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    int kind = 0;
+    try {
+      kind = oracle.query_pm(challenges[i]);
+    } catch (const TransientFaultError&) {
+      kind = 0;
+    } catch (const QueryBudgetExhaustedError&) {
+      kind = 9;
+    }
+    EXPECT_EQ(kind, kinds[i]) << "event " << i;
+  }
+  EXPECT_EQ(inner.queries(), 0u);
+}
+
+TEST(RecordingOracle, DivergenceThrowsAndBooksTheMetric) {
+  TempSnapshot file("diverge");
+  Rng setup(19);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    store::RecordingOracle oracle(inner, session, "u.log", nullptr, 2);
+    (void)oracle.query_pm(make_bitvec(8, 1));
+    oracle.flush_now();
+  }
+  const std::uint64_t divergence0 = counter_value("store.snapshot.divergence");
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  store::RecordingOracle oracle(inner, session, "u.log", nullptr, 2);
+  EXPECT_THROW(oracle.query_pm(make_bitvec(8, 2)),
+               store::ReplayDivergenceError);
+  EXPECT_EQ(counter_value("store.snapshot.divergence"), divergence0 + 1);
+  EXPECT_EQ(inner.queries(), 0u);
+}
+
+// ------------------------------------------------------ checkpointed units
+
+TEST(CheckpointedUnit, StoredOutcomeShortCircuitsTheRun) {
+  TempSnapshot file("unit");
+  int runs = 0;
+  const auto run = [&] {
+    ++runs;
+    LearnOutcome<ml::LinearModel> outcome;
+    outcome.status = ml::robust::LearnStatus::converged;
+    outcome.queries_spent = 5;
+    return outcome;
+  };
+  const auto put = [](SectionWriter& w,
+                      const LearnOutcome<ml::LinearModel>& o) {
+    store::put_outcome(w, o, [](SectionWriter&, const ml::LinearModel&) {});
+  };
+  const auto get = [](SectionReader& r) {
+    return store::get_outcome<ml::LinearModel>(
+        r, [](SectionReader&) -> ml::LinearModel {
+          return ml::LinearModel(1, {0.0, 0.0}, ml::parity_with_bias);
+        });
+  };
+
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    const auto o = store::checkpointed_unit<LearnOutcome<ml::LinearModel>>(
+        &session, "cell.0", run, put, get);
+    EXPECT_EQ(o.queries_spent, 5u);
+    EXPECT_EQ(runs, 1);
+    EXPECT_FALSE(session.has_section("cell.0.log"));
+  }
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  const auto o = store::checkpointed_unit<LearnOutcome<ml::LinearModel>>(
+      &session, "cell.0", run, put, get);
+  EXPECT_EQ(o.queries_spent, 5u);
+  EXPECT_EQ(runs, 1) << "stored outcome re-ran the unit";
+}
+
+// Serialized image of an outcome — byte equality is the strongest
+// observable identity the resume contract promises.
+template <typename H, typename PutH>
+std::string outcome_bytes(const LearnOutcome<H>& outcome, PutH&& put) {
+  SectionWriter w;
+  store::put_outcome(w, outcome, put);
+  return w.bytes();
+}
+
+TEST(ResumeDeterminism, LearnerRerunFromJournalIsByteIdentical) {
+  // Full-journal replay is the resume path's worst case: the learner
+  // re-runs from scratch with every oracle answer served from the log. The
+  // outcome must serialize to the same bytes and cost zero physical
+  // queries.
+  TempSnapshot file("learner");
+  Rng setup(7);
+  const puf::ArbiterPuf target(10, 0.0, setup);
+  FaultConfig fc;
+  fc.flip_rate = 0.1;
+  fc.query_budget = 900;
+  RobustLearnConfig config;
+  config.train_queries = 600;
+  config.holdout_queries = 120;
+
+  const auto run_once = [&](store::CheckpointSession* session,
+                            std::size_t& physical) {
+    ml::FunctionMembershipOracle inner(target);
+    FaultyMembershipOracle faulty(inner, fc, 31337);
+    Rng rng(41);
+    if (session == nullptr) {
+      const auto o = robust_perceptron(faulty, ml::parity_with_bias, config,
+                                       rng);
+      physical = inner.queries();
+      return o;
+    }
+    store::RecordingOracle journal(faulty, *session, "cell.log", &faulty, 64);
+    const auto o = robust_perceptron(journal, ml::parity_with_bias, config,
+                                     rng);
+    journal.flush_now();
+    physical = inner.queries();
+    return o;
+  };
+  const auto put = [](SectionWriter& w, const ml::LinearModel& m) {
+    store::put_linear_model(w, m);
+  };
+
+  std::size_t physical_plain = 0;
+  const auto plain = run_once(nullptr, physical_plain);
+
+  std::size_t physical_recorded = 0;
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    const auto recorded = run_once(&session, physical_recorded);
+    EXPECT_EQ(outcome_bytes(recorded, put), outcome_bytes(plain, put));
+    EXPECT_EQ(physical_recorded, physical_plain);
+  }
+
+  std::size_t physical_replayed = 0;
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ASSERT_TRUE(session.resumed());
+  const auto replayed = run_once(&session, physical_replayed);
+  EXPECT_EQ(outcome_bytes(replayed, put), outcome_bytes(plain, put));
+  EXPECT_EQ(physical_replayed, 0u)
+      << "resume re-queried the physical oracle";
+}
+
+TEST(ResumeDeterminism, SatAttackRerunFromJournalMatches) {
+  TempSnapshot file("sat");
+  const circuit::Netlist netlist = circuit::c17();
+  Rng lock_rng(1004);
+  const lock::LockedCircuit locked =
+      lock::lock_random_xor(netlist, 4, lock_rng);
+
+  attack::SatAttackConfig config;
+  attack::SatAttackResult first;
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(netlist);
+    config.checkpoint = &session;
+    config.checkpoint_section = "cell.log";
+    config.checkpoint_every_dips = 2;
+    first = attack::sat_attack(locked, oracle, config);
+    session.flush();
+  }
+  ASSERT_TRUE(first.success);
+  EXPECT_EQ(first.replayed_queries, 0u);
+
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ASSERT_TRUE(session.resumed());
+  attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(netlist);
+  config.checkpoint = &session;
+  const attack::SatAttackResult second = attack::sat_attack(locked, oracle,
+                                                            config);
+  EXPECT_EQ(second.key, first.key);
+  EXPECT_EQ(second.dip_iterations, first.dip_iterations);
+  EXPECT_EQ(second.oracle_queries, first.oracle_queries);
+  EXPECT_EQ(second.solver_stats.conflicts, first.solver_stats.conflicts);
+  EXPECT_EQ(second.replayed_queries, first.oracle_queries)
+      << "the rerun should be served entirely from the journal";
+}
+
+// -------------------------------------------------------------- termination
+
+TEST(Termination, RequestFlagTriggersJournalFlush) {
+  TempSnapshot file("term");
+  Rng setup(23);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  store::clear_termination();
+  const std::uint64_t writes0 = counter_value("store.snapshot.writes");
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    // Cadence of 1000 would never flush on its own in 3 queries...
+    store::RecordingOracle oracle(inner, session, "u.log", nullptr, 1000);
+    (void)oracle.query_pm(make_bitvec(8, 1));
+    EXPECT_EQ(counter_value("store.snapshot.writes"), writes0);
+    store::request_termination();  // ...until the termination flag is up.
+    (void)oracle.query_pm(make_bitvec(8, 2));
+    EXPECT_GT(counter_value("store.snapshot.writes"), writes0);
+  }
+  store::clear_termination();
+  // The flushed journal is complete: both events replay.
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  store::RecordingOracle oracle(inner, session, "u.log", nullptr, 1000);
+  (void)oracle.query_pm(make_bitvec(8, 1));
+  (void)oracle.query_pm(make_bitvec(8, 2));
+  EXPECT_EQ(oracle.replayed_queries(), 2u);
+  EXPECT_EQ(inner.queries(), 0u);
+}
+
+}  // namespace

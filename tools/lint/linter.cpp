@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
-#include <fstream>
+#include <fstream>  // lint:raw-io-ok (the linter reads sources directly)
 #include <map>
 #include <regex>
 #include <set>
@@ -386,6 +386,32 @@ void check_arena(const FileView& view, std::vector<Violation>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-io — file I/O belongs to src/support/snapshot and src/obs
+// ---------------------------------------------------------------------------
+
+void check_raw_io(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/support/snapshot") ||
+      path_contains(view.path, "src/obs/"))
+    return;
+  // fopen/freopen/tmpfile and the <fstream> class family (the \b before the
+  // optional i/o also catches `#include <fstream>` so the dependency is
+  // flagged at its root, not just at the use site).
+  static const std::regex kRawIo(
+      "\\bf(?:re)?open\\s*\\(|\\btmpfile\\s*\\(|\\b[io]?fstream\\b"
+      "|\\bfilebuf\\b");
+  for (std::size_t i = 0; i < view.lines.size(); ++i) {
+    if (std::regex_search(view.lines[i], kRawIo))
+      emit(view, i, "raw-io",
+           "raw file I/O outside src/support/snapshot and src/obs; "
+           "experiment state must flow through the crash-safe snapshot "
+           "format (support::snapshot — atomic rename + CRC) so a crash "
+           "can never leave a torn artefact (annotate an audited "
+           "exception with // lint:raw-io-ok)",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: require-guard — parameterised public headers carry contracts
 // ---------------------------------------------------------------------------
 
@@ -539,7 +565,7 @@ std::string strip_comments_and_strings(const std::string& text) {
 
 std::vector<std::string> rule_names() {
   return {"rng",       "wallclock",     "ordered",      "chunk-rng",
-          "require-guard", "scalar-query", "arena"};
+          "require-guard", "scalar-query", "arena",      "raw-io"};
 }
 
 bool is_source_file(const std::string& path) {
@@ -573,7 +599,7 @@ std::vector<std::string> collect_sources(
 }
 
 SourceFile load_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary);  // lint:raw-io-ok
   if (!in) throw std::runtime_error("pitfalls-lint: cannot read " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -617,6 +643,7 @@ std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
     check_require_guard(ctx, view, out);
     check_scalar_query(view, out);
     check_arena(view, out);
+    check_raw_io(view, out);
   }
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {

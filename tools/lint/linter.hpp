@@ -27,6 +27,11 @@
 //                 issue per-element query_pm/eval_pm calls — use the batch
 //                 query plane (query_pm_batch/eval_pm_batch) once per chunk;
 //                 `// lint:scalar-query-ok` marks audited exceptions.
+//   raw-io        no fopen/freopen/tmpfile/std::[io]fstream outside
+//                 src/support/snapshot and src/obs — experiment state goes
+//                 through the crash-safe snapshot format (atomic rename +
+//                 CRC, DESIGN.md §14); `// lint:raw-io-ok` marks audited
+//                 exceptions.
 //
 // Suppression: `// lint:<rule>-ok` on the flagged line or the line directly
 // above acknowledges an audited exception. Suppressions are per-rule; there
