@@ -9,7 +9,9 @@
 //   * feed-forward arbiter PUF (representation mismatch: same attack);
 //   * and the Table I "general bound" per construction as the analytic
 //     anchor the curves should be compared against.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/bounds.hpp"
 #include "core/experiment.hpp"
@@ -21,6 +23,7 @@
 #include "puf/feed_forward.hpp"
 #include "puf/interpose.hpp"
 #include "puf/xor_arbiter.hpp"
+#include "store/checkpoint.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -54,6 +57,27 @@ double attack_accuracy(const puf::Puf& target, std::size_t chains,
 int main(int argc, char** argv) {
   obs::BenchReporter reporter("learning_curves", argc, argv);
   const bool smoke = reporter.smoke();
+
+  // Crash-safe sweep (--checkpoint/--resume): each accuracy cell is one
+  // (series, budget) attack; finished cells store their accuracy and are
+  // not re-fit on resume. All table values are deterministic, so a resumed
+  // run is byte-identical to an uninterrupted one (the kill/resume gate
+  // asserts exactly that).
+  std::unique_ptr<store::CheckpointSession> session;
+  if (reporter.checkpoint_enabled()) {
+    store::install_termination_handler();
+    try {
+      session = std::make_unique<store::CheckpointSession>(
+          reporter.checkpoint_path(), 11,
+          std::string("learning_curves.v1.smoke=") +
+              (reporter.smoke() ? "1" : "0"),
+          reporter.resume());
+    } catch (const support::snapshot::SnapshotError& error) {
+      std::cerr << "bench_learning_curves: unusable checkpoint path "
+                << reporter.checkpoint_path() << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
   std::cout << "== Modeling-attack learning curves (Ruehrmair product-of-"
                "LTFs model [8], parity features, n = 64) ==\n\n";
 
@@ -77,23 +101,43 @@ int main(int argc, char** argv) {
   Table table({"# CRPs", "arbiter (k=1)", "2-XOR (2-chain model)",
                "3-XOR (3-chain model)", "feed-forward (1-chain model)",
                "(1,1)-iPUF (2-chain model)"});
+
+  // One checkpointable cell per (series, budget): resume returns the stored
+  // accuracy without re-collecting CRPs or re-fitting.
+  const auto cell = [&](const char* series, const puf::Puf& target,
+                        std::size_t chains, std::size_t budget,
+                        std::size_t seed) {
+    const double accuracy = store::checkpointed_unit<double>(
+        session.get(),
+        std::string("cell.") + series + "." + std::to_string(budget),
+        [&] {
+          return attack_accuracy(target, chains, budget, seed, restarts,
+                                 test_size);
+        },
+        [](support::snapshot::SectionWriter& w, const double& v) {
+          w.f64(v);
+        },
+        [](support::snapshot::SectionReader& r) { return r.f64(); });
+    store::note_cell_completed(session.get());
+    if (session != nullptr && store::termination_requested()) {
+      std::cerr << "bench_learning_curves: termination requested; "
+                   "checkpoint flushed, resume with --resume\n";
+      std::exit(143);
+    }
+    return accuracy;
+  };
+
   double final_k1 = 0.0, final_k2 = 0.0, final_k3 = 0.0;
   for (const auto budget : budgets) {
-    const double k1 =
-        attack_accuracy(chain1, 1, budget, 10, restarts, test_size);
-    const double k2 =
-        attack_accuracy(chain2, 2, budget, 20, restarts, test_size);
-    const double k3 =
-        attack_accuracy(chain3, 3, budget, 30, restarts, test_size);
-    table.add_row(
-        {std::to_string(budget), Table::fmt(100.0 * k1, 1),
-         Table::fmt(100.0 * k2, 1), Table::fmt(100.0 * k3, 1),
-         Table::fmt(
-             100.0 * attack_accuracy(ff, 1, budget, 40, restarts, test_size),
-             1),
-         Table::fmt(
-             100.0 * attack_accuracy(ipuf, 2, budget, 50, restarts, test_size),
-             1)});
+    const double k1 = cell("k1", chain1, 1, budget, 10);
+    const double k2 = cell("k2", chain2, 2, budget, 20);
+    const double k3 = cell("k3", chain3, 3, budget, 30);
+    const double ff_acc = cell("ff", ff, 1, budget, 40);
+    const double ipuf_acc = cell("ipuf", ipuf, 2, budget, 50);
+    table.add_row({std::to_string(budget), Table::fmt(100.0 * k1, 1),
+                   Table::fmt(100.0 * k2, 1), Table::fmt(100.0 * k3, 1),
+                   Table::fmt(100.0 * ff_acc, 1),
+                   Table::fmt(100.0 * ipuf_acc, 1)});
     final_k1 = k1;
     final_k2 = k2;
     final_k3 = k3;

@@ -5,15 +5,17 @@
 // DFA regardless of how the design is represented, and with it the unlock
 // sequence. We sweep FSM size and unlock length and report query counts —
 // polynomial throughout — plus the recovered unlock sequences.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "attack/fsm_bmc.hpp"
 #include "circuit/fsm.hpp"
-#include "core/experiment.hpp"
 #include "lock/fsm_obfuscation.hpp"
 #include "ml/lstar.hpp"
 #include "obs/bench_reporter.hpp"
+#include "store/checkpoint.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -22,8 +24,8 @@ namespace {
 using namespace pitfalls;
 using circuit::MealyMachine;
 using lock::ObfuscatedFsm;
-using ml::Dfa;
-using ml::Word;
+using circuit::Dfa;
+using circuit::Word;
 using support::Rng;
 using support::Table;
 
@@ -33,10 +35,86 @@ std::string word_to_string(const Word& word) {
   return out.empty() ? "(empty)" : out;
 }
 
+/// Outcome of one (states, unlock_len) sweep cell. Learn time lives in the
+/// ml.lstar.learn_seconds metric (timed inside the learner), not the table:
+/// metric planes are run-dependent, table text must be resume-identical.
+struct SweepCell {
+  std::uint64_t dfa_states = 0;
+  std::uint64_t mqs = 0;
+  std::uint64_t eqs = 0;
+  std::uint8_t recovered = 0;
+  std::string sequence;
+};
+
+void put_sweep_cell(support::snapshot::SectionWriter& w, const SweepCell& c) {
+  w.u64(c.dfa_states);
+  w.u64(c.mqs);
+  w.u64(c.eqs);
+  w.u8(c.recovered);
+  w.str(c.sequence);
+}
+
+SweepCell get_sweep_cell(support::snapshot::SectionReader& r) {
+  SweepCell c;
+  c.dfa_states = r.u64();
+  c.mqs = r.u64();
+  c.eqs = r.u64();
+  c.recovered = r.u8();
+  c.sequence = r.str();
+  return c;
+}
+
+/// Outcome of one (states, unlock_len) duel cell (L* vs BMC).
+struct DuelCell {
+  std::uint64_t mqs = 0;
+  std::uint64_t conflicts = 0;
+  std::uint8_t both = 0;
+};
+
+void put_duel_cell(support::snapshot::SectionWriter& w, const DuelCell& c) {
+  w.u64(c.mqs);
+  w.u64(c.conflicts);
+  w.u8(c.both);
+}
+
+DuelCell get_duel_cell(support::snapshot::SectionReader& r) {
+  DuelCell c;
+  c.mqs = r.u64();
+  c.conflicts = r.u64();
+  c.both = r.u8();
+  return c;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   pitfalls::obs::BenchReporter reporter("lstar_fsm", argc, argv);
+
+  // Crash-safe sweeps (--checkpoint/--resume): one cell per table row;
+  // finished cells replay their stored outcome instead of re-learning, and
+  // the table text comes out byte-identical either way.
+  std::unique_ptr<store::CheckpointSession> session;
+  if (reporter.checkpoint_enabled()) {
+    store::install_termination_handler();
+    try {
+      session = std::make_unique<store::CheckpointSession>(
+          reporter.checkpoint_path(), 17,
+          std::string("lstar_fsm.v1.smoke=") + (reporter.smoke() ? "1" : "0"),
+          reporter.resume());
+    } catch (const support::snapshot::SnapshotError& error) {
+      std::cerr << "bench_lstar_fsm: unusable checkpoint path "
+                << reporter.checkpoint_path() << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
+  const auto after_cell = [&session] {
+    store::note_cell_completed(session.get());
+    if (session != nullptr && store::termination_requested()) {
+      std::cerr << "bench_lstar_fsm: termination requested; checkpoint "
+                   "flushed, resume with --resume\n";
+      std::exit(143);
+    }
+  };
 
   std::cout << "== L* vs HARPOON-style FSM obfuscation ==\n\n";
 
@@ -52,41 +130,56 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 6};
 
   Table table({"functional states", "unlock length", "DFA states (target)",
-               "MQs", "EQs", "time [s]", "unlock recovered", "sequence"});
+               "MQs", "EQs", "unlock recovered", "sequence"});
 
   for (const std::size_t states : state_sweep) {
     for (const std::size_t unlock_len : unlock_sweep) {
-      Rng rng(100 * states + unlock_len);
-      const MealyMachine functional =
-          MealyMachine::random(states, 2, 2, rng);
-      const ObfuscatedFsm obf = lock::obfuscate_fsm(functional, unlock_len, rng);
-      // Accept only the "authorized" half of the functional states, so the
-      // learned DFA must capture the functional core's structure rather
-      // than collapsing it into one accepting sink.
-      std::set<std::size_t> accepting;
-      for (auto s : obf.functional_states)
-        if ((s - obf.num_obfuscation_states) % 2 == 0) accepting.insert(s);
-      const Dfa target = obf.machine.to_acceptance_dfa(accepting);
+      const SweepCell cell = store::checkpointed_unit<SweepCell>(
+          session.get(),
+          "sweep." + std::to_string(states) + "." + std::to_string(unlock_len),
+          [&] {
+            Rng rng(100 * states + unlock_len);
+            const MealyMachine functional =
+                MealyMachine::random(states, 2, 2, rng);
+            const ObfuscatedFsm obf =
+                lock::obfuscate_fsm(functional, unlock_len, rng);
+            // Accept only the "authorized" half of the functional states,
+            // so the learned DFA must capture the functional core's
+            // structure rather than collapsing it into one accepting sink.
+            std::set<std::size_t> accepting;
+            for (auto s : obf.functional_states)
+              if ((s - obf.num_obfuscation_states) % 2 == 0)
+                accepting.insert(s);
+            const Dfa target = obf.machine.to_acceptance_dfa(accepting);
 
-      ml::ExactDfaTeacher teacher(target);
-      ml::LStarStats stats;
-      core::Stopwatch watch;
-      const Dfa learned = ml::LStarLearner().learn(teacher, &stats);
-      const double seconds = watch.seconds();
+            ml::ExactDfaTeacher teacher(target);
+            ml::LStarStats stats;
+            const Dfa learned = ml::LStarLearner().learn(teacher, &stats);
 
-      // Shortest accepted word of the learned DFA = an unlock sequence.
-      Dfa empty(1, target.alphabet_size(), 0);
-      const auto unlock = Dfa::distinguishing_word(learned, empty);
-      const bool recovered =
-          unlock.has_value() &&
-          obf.functional_states.contains(obf.machine.run(*unlock));
+            // Shortest accepted word of the learned DFA = an unlock
+            // sequence.
+            Dfa empty(1, target.alphabet_size(), 0);
+            const auto unlock = Dfa::distinguishing_word(learned, empty);
+            const bool recovered =
+                unlock.has_value() &&
+                obf.functional_states.contains(obf.machine.run(*unlock));
+
+            SweepCell out;
+            out.dfa_states = target.minimized().num_states();
+            out.mqs = stats.membership_queries;
+            out.eqs = stats.equivalence_queries;
+            out.recovered = recovered ? 1 : 0;
+            out.sequence =
+                unlock.has_value() ? word_to_string(*unlock) : "-";
+            return out;
+          },
+          put_sweep_cell, get_sweep_cell);
+      after_cell();
 
       table.add_row({std::to_string(states), std::to_string(unlock_len),
-                     std::to_string(target.minimized().num_states()),
-                     std::to_string(stats.membership_queries),
-                     std::to_string(stats.equivalence_queries),
-                     Table::fmt(seconds, 3), recovered ? "yes" : "NO",
-                     unlock.has_value() ? word_to_string(*unlock) : "-"});
+                     std::to_string(cell.dfa_states),
+                     std::to_string(cell.mqs), std::to_string(cell.eqs),
+                     cell.recovered != 0 ? "yes" : "NO", cell.sequence});
     }
   }
   reporter.print(std::cout, table);
@@ -105,27 +198,40 @@ int main(int argc, char** argv) {
               "BMC queries", "BMC solver conflicts", "both recover?"});
   for (const std::size_t states : duel_states) {
     for (const std::size_t unlock_len : duel_unlocks) {
-      Rng rng(500 * states + unlock_len);
-      const MealyMachine functional =
-          MealyMachine::random(states, 2, 2, rng);
-      const ObfuscatedFsm obf =
-          lock::obfuscate_fsm(functional, unlock_len, rng);
+      const DuelCell cell = store::checkpointed_unit<DuelCell>(
+          session.get(),
+          "duel." + std::to_string(states) + "." + std::to_string(unlock_len),
+          [&] {
+            Rng rng(500 * states + unlock_len);
+            const MealyMachine functional =
+                MealyMachine::random(states, 2, 2, rng);
+            const ObfuscatedFsm obf =
+                lock::obfuscate_fsm(functional, unlock_len, rng);
 
-      const Dfa duel_target = obf.functional_mode_dfa();
-      ml::ExactDfaTeacher teacher(duel_target);
-      ml::LStarStats stats;
-      (void)ml::LStarLearner().learn(teacher, &stats);
+            const Dfa duel_target = obf.functional_mode_dfa();
+            ml::ExactDfaTeacher teacher(duel_target);
+            ml::LStarStats stats;
+            (void)ml::LStarLearner().learn(teacher, &stats);
 
-      const auto bmc =
-          attack::bmc_reach(obf.machine, obf.functional_states,
-                            unlock_len + 2);
-      const bool both =
-          bmc.found &&
-          obf.functional_states.contains(obf.machine.run(bmc.word)) &&
-          bmc.word.size() == obf.unlock_sequence.size();
+            const auto bmc = attack::bmc_reach(
+                obf.machine, obf.functional_states, unlock_len + 2);
+            const bool both =
+                bmc.found &&
+                obf.functional_states.contains(obf.machine.run(bmc.word)) &&
+                bmc.word.size() == obf.unlock_sequence.size();
+
+            DuelCell out;
+            out.mqs = stats.membership_queries;
+            out.conflicts = bmc.conflicts;
+            out.both = both ? 1 : 0;
+            return out;
+          },
+          put_duel_cell, get_duel_cell);
+      after_cell();
       duel.add_row({std::to_string(states), std::to_string(unlock_len),
-                    std::to_string(stats.membership_queries), "0",
-                    std::to_string(bmc.conflicts), both ? "yes" : "NO"});
+                    std::to_string(cell.mqs), "0",
+                    std::to_string(cell.conflicts),
+                    cell.both != 0 ? "yes" : "NO"});
     }
   }
   reporter.print(std::cout, duel,

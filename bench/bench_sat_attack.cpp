@@ -24,6 +24,7 @@
 #include "obs/bench_reporter.hpp"
 #include "obs/metrics.hpp"
 #include "store/checkpoint.hpp"
+#include "store/observation_journal.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -130,8 +131,8 @@ int main(int argc, char** argv) {
         seconds = r.f64();
       } else {
         CircuitOracle oracle = CircuitOracle::from_netlist(workload.netlist);
-        attack_config.checkpoint = session.get();
-        attack_config.checkpoint_section = cell + ".log";
+        store::AttackObservationJournal journal(session.get(), cell + ".log");
+        attack_config.journal = &journal;
 
         core::Stopwatch watch;
         try {
@@ -141,6 +142,9 @@ int main(int argc, char** argv) {
           session->remove_section(cell + ".log");
           CircuitOracle retry_oracle =
               CircuitOracle::from_netlist(workload.netlist);
+          store::AttackObservationJournal clean_journal(session.get(),
+                                                        cell + ".log");
+          attack_config.journal = &clean_journal;
           result = attack::sat_attack(locked, retry_oracle, attack_config);
         }
         seconds = watch.seconds();

@@ -98,12 +98,12 @@ int main() {
   std::cout << "Obfuscated a 12-state controller behind a 5-symbol unlock "
                "sequence.\n";
 
-  const ml::Dfa target = obf.functional_mode_dfa();
+  const circuit::Dfa target = obf.functional_mode_dfa();
   ml::ExactDfaTeacher teacher(target);
   ml::LStarStats stats;
-  const ml::Dfa learned = ml::LStarLearner().learn(teacher, &stats);
-  const ml::Dfa empty(1, 2, 0);
-  const auto unlock = ml::Dfa::distinguishing_word(learned, empty);
+  const circuit::Dfa learned = ml::LStarLearner().learn(teacher, &stats);
+  const circuit::Dfa empty(1, 2, 0);
+  const auto unlock = circuit::Dfa::distinguishing_word(learned, empty);
   std::cout << "L*: " << stats.membership_queries << " membership queries, "
             << stats.equivalence_queries << " equivalence queries.\n";
   if (unlock.has_value()) {

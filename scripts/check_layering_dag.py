@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate: the module DAG documented in DESIGN.md section 15 must equal the
+DAG the linter enforces.
+
+DESIGN.md's fenced block starting with "modules:" is normative prose;
+`pitfalls-lint --print-dag` is the implementation. This script diffs the
+two, so neither can drift without failing CI.
+
+Usage: check_layering_dag.py <pitfalls-lint-binary> <DESIGN.md>
+"""
+import subprocess
+import sys
+
+
+def design_dag_block(design_path):
+    """Extract the fenced code block whose first line is 'modules:'."""
+    lines = open(design_path, encoding="utf-8").read().splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == "```" and i + 1 < len(lines) and \
+                lines[i + 1].strip() == "modules:":
+            block = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                block.append(lines[i])
+                i += 1
+            return "\n".join(block).rstrip() + "\n"
+        i += 1
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    lint_bin, design_path = sys.argv[1], sys.argv[2]
+
+    documented = design_dag_block(design_path)
+    if documented is None:
+        print(f"check_layering_dag: no fenced 'modules:' block in "
+              f"{design_path}", file=sys.stderr)
+        return 1
+
+    proc = subprocess.run([lint_bin, "--print-dag"], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        print(f"check_layering_dag: {lint_bin} --print-dag exited "
+              f"{proc.returncode}: {proc.stderr}", file=sys.stderr)
+        return 1
+    enforced = proc.stdout.rstrip() + "\n"
+
+    if documented == enforced:
+        print("check_layering_dag: DESIGN.md DAG matches the enforced DAG")
+        return 0
+
+    print("check_layering_dag: DESIGN.md DAG differs from the DAG "
+          "pitfalls-lint enforces", file=sys.stderr)
+    doc_lines = documented.splitlines()
+    enf_lines = enforced.splitlines()
+    for k in range(max(len(doc_lines), len(enf_lines))):
+        doc = doc_lines[k] if k < len(doc_lines) else "<missing>"
+        enf = enf_lines[k] if k < len(enf_lines) else "<missing>"
+        if doc != enf:
+            print(f"  line {k + 1}: documented {doc!r} vs enforced {enf!r}",
+                  file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,35 @@
 #!/bin/sh
-# Build pitfalls-lint and run it over the determinism-critical trees (src/
-# and bench/). Exits 0 only when there are zero unsuppressed violations —
-# this is the static half of the bit-for-bit reproducibility contract
-# (DESIGN.md §10); check_tsan.sh / check_ubsan.sh are the dynamic half.
+# Build pitfalls-lint and run it over the determinism-critical trees (src/,
+# bench/, tools/ and tests/). Exits 0 only when there are zero unsuppressed
+# violations, stale suppression tags included — this is the static half of
+# the bit-for-bit reproducibility contract (DESIGN.md §10/§15);
+# check_tsan.sh / check_ubsan.sh are the dynamic half.
 #
-# Usage: run_lint.sh [<build-dir>] [<extra lint roots>...]
-#        (default build dir: build; default roots: src bench)
+# Usage: run_lint.sh [--sarif[=PATH]] [<build-dir>] [<lint roots>...]
+#        (default build dir: build; default roots: src bench tools tests)
+#
+# --sarif writes a SARIF 2.1.0 report (default lint.sarif in the build dir)
+# with repo-relative paths, suitable for code-scanning upload; the text
+# report still goes to the terminal either way.
 set -eu
 
 src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+sarif_path=""
+case ${1:-} in
+  --sarif)
+    sarif_path=DEFAULT
+    shift
+    ;;
+  --sarif=*)
+    sarif_path=${1#--sarif=}
+    shift
+    ;;
+esac
+
 build_dir=${1:-"$src_dir/build"}
 [ $# -gt 0 ] && shift
+[ "$sarif_path" = DEFAULT ] && sarif_path="$build_dir/lint.sarif"
 
 echo "== configure + build pitfalls-lint ($build_dir) =="
 cmake -B "$build_dir" -S "$src_dir" >/dev/null
@@ -19,9 +38,16 @@ cmake --build "$build_dir" -j --target pitfalls-lint >/dev/null
 if [ $# -gt 0 ]; then
   roots=$*
 else
-  roots="$src_dir/src $src_dir/bench"
+  roots="src bench tools tests"
 fi
 
 echo "== pitfalls-lint $roots =="
+# Run from the repo root so findings — and SARIF artifact URIs — come out
+# repo-relative, which is what code-scanning upload expects.
 # shellcheck disable=SC2086  # roots is a deliberate word-split list
-"$build_dir/tools/lint/pitfalls-lint" $roots
+if [ -n "$sarif_path" ]; then
+  (cd "$src_dir" && "$build_dir/tools/lint/pitfalls-lint" \
+      --sarif="$sarif_path" $roots)
+else
+  (cd "$src_dir" && "$build_dir/tools/lint/pitfalls-lint" $roots)
+fi

@@ -51,9 +51,7 @@ AppSatResult appsat(const lock::LockedCircuit& locked, CircuitOracle& oracle,
   // Resume support (SatAttackConfig contract): replaying the journalled
   // responses against the re-run deterministic computation reproduces the
   // interrupted attack bit-for-bit; only new observations touch the oracle.
-  detail::ObservationJournal journal(config.checkpoint,
-                                     config.checkpoint_section,
-                                     config.checkpoint_every);
+  detail::ObservationJournal journal(config.journal);
 
   auto record_observation = [&](const BitVec& x, const BitVec& y) {
     add_io_constraint(engine, locked, k1, x, y);

@@ -30,16 +30,14 @@ struct AppSatConfig {
   /// Base solver configuration; portfolio worker 0 runs it verbatim.
   sat::SolverConfig solver;
 
-  /// Optional crash-safe progress persistence, same contract as
-  /// SatAttackConfig: the journal holds every oracle observation (DIP and
-  /// settle-phase queries interleaved in call order); resume replays it
+  /// Optional replay-or-record log for the oracle traffic, same contract as
+  /// SatAttackConfig::journal: the log holds every oracle observation (DIP
+  /// and settle-phase queries interleaved in call order); resume replays it
   /// against the re-run deterministic computation (the settle phase's
   /// random inputs come from the caller's rng, re-seeded identically), so a
   /// resumed run is byte-identical and only new observations touch the
-  /// oracle. checkpoint_every counts new observations between flushes.
-  store::CheckpointSession* checkpoint = nullptr;
-  std::string checkpoint_section = "appsat.log";
-  std::size_t checkpoint_every = 32;
+  /// oracle.
+  ObservationLog* journal = nullptr;
 };
 
 struct AppSatResult {

@@ -5,12 +5,12 @@
 #include <algorithm>
 #include <numeric>
 
+#include "attack/observation_log.hpp"
 #include "circuit/analysis.hpp"
 #include "lock/combinational.hpp"
 #include "obs/metrics.hpp"
 #include "sat/encoder.hpp"
 #include "sat/portfolio.hpp"
-#include "store/checkpoint.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::attack::detail {
@@ -62,67 +62,32 @@ inline sat::PortfolioConfig portfolio_config(std::size_t workers,
   return pc;
 }
 
-/// Replay-or-record journal of (input, response) oracle observations for
-/// the oracle-guided attacks (SatAttackConfig::checkpoint). The attacks'
-/// solver work is deterministic, so resume re-runs it and only the oracle
-/// traffic needs persisting: ask() serves recorded responses while the
-/// journal lasts (booked as store.snapshot.replayed_queries, no physical
-/// query) and afterwards queries, journals, and flushes every `flush_every`
-/// new observations — immediately once a SIGTERM flush is pending. A
-/// recorded input that stops matching the live sequence raises
-/// store::ReplayDivergenceError via store::throw_divergence.
+/// Replay-or-record front for the attacks' oracle traffic, over an optional
+/// attack::ObservationLog (SatAttackConfig::journal). ask() first offers the
+/// input to the log — a log with recorded traffic left serves the response
+/// without a physical query — and otherwise queries the oracle and records
+/// the fresh observation. With no log wired in this is a plain passthrough.
 class ObservationJournal {
  public:
-  ObservationJournal(store::CheckpointSession* session, std::string section,
-                     std::size_t flush_every)
-      : session_(session),
-        section_(std::move(section)),
-        flush_every_(flush_every) {
-    if (session_ == nullptr) return;
-    PITFALLS_REQUIRE(flush_every_ > 0, "flush cadence must be > 0");
-    if (!session_->has_section(section_)) return;
-    auto r = session_->reader(section_);
-    while (!r.at_end()) {
-      BitVec x = store::get_bitvec(r);
-      BitVec y = store::get_bitvec(r);
-      replay_.emplace_back(std::move(x), std::move(y));
-    }
-  }
+  explicit ObservationJournal(ObservationLog* log) : log_(log) {}
 
   template <typename Oracle>
   BitVec ask(Oracle& oracle, const BitVec& x) {
-    if (cursor_ < replay_.size()) {
-      const auto& [recorded_x, recorded_y] = replay_[cursor_];
-      if (recorded_x != x) {
-        store::throw_divergence("section '" + section_ + "', observation " +
-                                std::to_string(cursor_));
-      }
-      ++cursor_;
-      store::note_replayed_query();
-      return recorded_y;
+    if (log_ != nullptr) {
+      if (auto recorded = log_->serve(x)) return *std::move(recorded);
     }
     const BitVec y = oracle.query(x);
-    if (session_ != nullptr) {
-      auto& w = session_->section(section_);
-      store::put_bitvec(w, x);
-      store::put_bitvec(w, y);
-      ++recorded_;
-      if (recorded_ % flush_every_ == 0 || store::termination_requested())
-        session_->flush();
-    }
+    if (log_ != nullptr) log_->record(x, y);
     return y;
   }
 
-  /// Observations served from the journal so far.
-  std::size_t replayed() const { return cursor_; }
+  /// Observations served from recorded traffic so far.
+  std::size_t replayed() const {
+    return log_ == nullptr ? 0 : log_->replayed();
+  }
 
  private:
-  store::CheckpointSession* session_;
-  std::string section_;
-  std::size_t flush_every_ = 1;
-  std::vector<std::pair<BitVec, BitVec>> replay_;
-  std::size_t cursor_ = 0;
-  std::size_t recorded_ = 0;
+  ObservationLog* log_;
 };
 
 /// Add "locked(x, K) == y" for a concrete observation (x, y).

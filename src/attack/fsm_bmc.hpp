@@ -13,13 +13,13 @@
 #include <set>
 
 #include "circuit/fsm.hpp"
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 
 namespace pitfalls::attack {
 
 struct BmcResult {
   bool found = false;
-  ml::Word word;                  // input word reaching a target state
+  circuit::Word word;                  // input word reaching a target state
   std::size_t frames_solved = 0;  // unroll depths attempted
   std::uint64_t conflicts = 0;    // total solver conflicts across depths
 };

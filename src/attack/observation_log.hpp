@@ -1,0 +1,41 @@
+// Replay-or-record sink for oracle observations, the seam between the
+// oracle-guided attacks and whatever persistence the caller wires in.
+//
+// The attacks' solver work is deterministic, so crash-safe resume only has
+// to persist the oracle traffic: before each physical query the attack
+// offers the input to the log (serve), and a log that still holds recorded
+// traffic answers from the journal instead — byte-identical resume without
+// touching the oracle. Fresh observations are handed back via record.
+//
+// attack sits below store in the module DAG (DESIGN.md §15), so this
+// header knows nothing about snapshots or sessions; the production
+// implementation is store::AttackObservationJournal
+// (src/store/observation_journal.hpp), injected through
+// SatAttackConfig::journal / AppSatConfig::journal.
+#pragma once
+
+#include <optional>
+
+#include "support/bitvec.hpp"
+
+namespace pitfalls::attack {
+
+class ObservationLog {
+ public:
+  virtual ~ObservationLog() = default;
+
+  /// Next recorded response if the journal still has one, nullopt once the
+  /// recorded traffic is exhausted. Implementations must verify `x` matches
+  /// the recorded input (a mismatch means config/code drift; the production
+  /// journal throws store::ReplayDivergenceError so the caller can restart
+  /// clean).
+  virtual std::optional<support::BitVec> serve(const support::BitVec& x) = 0;
+
+  /// Persist a fresh observation (called once per physical oracle query).
+  virtual void record(const support::BitVec& x, const support::BitVec& y) = 0;
+
+  /// Observations served from recorded traffic so far.
+  virtual std::size_t replayed() const = 0;
+};
+
+}  // namespace pitfalls::attack

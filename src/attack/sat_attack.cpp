@@ -77,9 +77,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, CircuitOracle& oracle,
   // deterministic, so replaying the journalled responses reproduces the
   // interrupted attack bit-for-bit — learned clauses, DIP sequence and all —
   // while only new DIPs touch the oracle.
-  detail::ObservationJournal journal(config.checkpoint,
-                                     config.checkpoint_section,
-                                     config.checkpoint_every_dips);
+  detail::ObservationJournal journal(config.journal);
 
   SatAttackResult result;
   result.key = BitVec(num_key);

@@ -21,13 +21,10 @@
 
 #include <functional>
 
+#include "attack/observation_log.hpp"
 #include "lock/combinational.hpp"
 #include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
-
-namespace pitfalls::store {
-class CheckpointSession;
-}
 
 namespace pitfalls::attack {
 
@@ -79,19 +76,18 @@ struct SatAttackConfig {
   /// Base solver configuration; portfolio worker 0 runs it verbatim.
   sat::SolverConfig solver;
 
-  /// Optional crash-safe progress persistence (src/store). When set, every
-  /// DIP observation (dip, response) is journalled into
-  /// `checkpoint_section` and the session is flushed every
-  /// `checkpoint_every_dips` new observations (plus on a pending SIGTERM
-  /// flush). On entry any journalled observations are REPLAYED: the DIP
-  /// loop re-runs its (deterministic) solver work but serves recorded
-  /// responses instead of querying the oracle, so a resumed attack is
-  /// byte-identical to an uninterrupted one while charging the oracle only
-  /// for new DIPs. A journal that stops matching the live DIP sequence
-  /// throws store::ReplayDivergenceError (the caller restarts clean).
-  store::CheckpointSession* checkpoint = nullptr;
-  std::string checkpoint_section = "sat_attack.log";
-  std::size_t checkpoint_every_dips = 16;
+  /// Optional replay-or-record log for the oracle traffic (crash-safe
+  /// resume). When set, every DIP observation (dip, response) is offered to
+  /// the log first: a log with recorded traffic left serves the response —
+  /// the DIP loop re-runs its (deterministic) solver work but never touches
+  /// the oracle, so a resumed attack is byte-identical to an uninterrupted
+  /// one while charging the oracle only for new DIPs. Fresh observations
+  /// are recorded. The production implementation is
+  /// store::AttackObservationJournal, which persists into a checkpoint
+  /// section and throws store::ReplayDivergenceError when the recorded
+  /// traffic stops matching the live DIP sequence (the caller restarts
+  /// clean).
+  ObservationLog* journal = nullptr;
 };
 
 /// Run the full SAT attack. The recovered key is exactly functionally

@@ -1,4 +1,4 @@
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 
 #include <algorithm>
 #include <map>
@@ -7,7 +7,7 @@
 
 #include "support/require.hpp"
 
-namespace pitfalls::ml {
+namespace pitfalls::circuit {
 
 Dfa::Dfa(std::size_t num_states, std::size_t alphabet_size, std::size_t start)
     : alphabet_(alphabet_size), start_(start) {
@@ -188,4 +188,4 @@ std::optional<Word> Dfa::distinguishing_word(const Dfa& a, const Dfa& b) {
   return std::nullopt;
 }
 
-}  // namespace pitfalls::ml
+}  // namespace pitfalls::circuit

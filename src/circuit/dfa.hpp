@@ -1,9 +1,11 @@
 // Deterministic finite automata over an arbitrary finite alphabet.
 //
-// The representation class Angluin's L* delivers (Section V-B): note it is a
-// DFA even when the target is presented as a gate-level FSM — an *improper*
-// hypothesis representation, which is precisely the paper's point about
-// representation-dependent impossibility claims.
+// Lives in the circuit plane (shared with MealyMachine and the FSM
+// obfuscation/attack stack); Angluin's L* (Section V-B) delivers this
+// representation too — a DFA even when the target is presented as a
+// gate-level FSM, an *improper* hypothesis representation, which is
+// precisely the paper's point about representation-dependent
+// impossibility claims.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +14,7 @@
 
 #include "support/rng.hpp"
 
-namespace pitfalls::ml {
+namespace pitfalls::circuit {
 
 /// An input word: sequence of symbol indices in [0, alphabet).
 using Word = std::vector<std::size_t>;
@@ -73,4 +75,4 @@ class Dfa {
   std::vector<bool> accepting_;
 };
 
-}  // namespace pitfalls::ml
+}  // namespace pitfalls::circuit

@@ -40,13 +40,13 @@ std::size_t MealyMachine::output(std::size_t state, std::size_t input) const {
   return out_[state][input];
 }
 
-std::size_t MealyMachine::run(const ml::Word& word) const {
+std::size_t MealyMachine::run(const circuit::Word& word) const {
   std::size_t state = reset_;
   for (auto symbol : word) state = next_state(state, symbol);
   return state;
 }
 
-std::vector<std::size_t> MealyMachine::trace(const ml::Word& word) const {
+std::vector<std::size_t> MealyMachine::trace(const circuit::Word& word) const {
   std::vector<std::size_t> outputs;
   outputs.reserve(word.size());
   std::size_t state = reset_;
@@ -70,9 +70,9 @@ MealyMachine MealyMachine::random(std::size_t num_states,
   return machine;
 }
 
-ml::Dfa MealyMachine::to_acceptance_dfa(
+circuit::Dfa MealyMachine::to_acceptance_dfa(
     const std::set<std::size_t>& accepting_states) const {
-  ml::Dfa dfa(num_states(), inputs_, reset_);
+  circuit::Dfa dfa(num_states(), inputs_, reset_);
   for (std::size_t s = 0; s < num_states(); ++s) {
     for (std::size_t i = 0; i < inputs_; ++i)
       dfa.set_transition(s, i, next_[s][i]);

@@ -9,7 +9,7 @@
 #include <set>
 #include <vector>
 
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 #include "support/rng.hpp"
 
 namespace pitfalls::circuit {
@@ -30,17 +30,17 @@ class MealyMachine {
   std::size_t output(std::size_t state, std::size_t input) const;
 
   /// State reached from reset after the input word.
-  std::size_t run(const ml::Word& word) const;
+  std::size_t run(const circuit::Word& word) const;
 
   /// Output sequence produced from reset for the input word.
-  std::vector<std::size_t> trace(const ml::Word& word) const;
+  std::vector<std::size_t> trace(const circuit::Word& word) const;
 
   /// Random complete machine.
   static MealyMachine random(std::size_t num_states, std::size_t num_inputs,
                              std::size_t num_outputs, support::Rng& rng);
 
   /// DFA accepting the words whose final state lies in `accepting_states`.
-  ml::Dfa to_acceptance_dfa(const std::set<std::size_t>& accepting_states) const;
+  circuit::Dfa to_acceptance_dfa(const std::set<std::size_t>& accepting_states) const;
 
  private:
   std::size_t inputs_;

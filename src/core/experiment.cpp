@@ -1,53 +1,8 @@
 #include "core/experiment.hpp"
 
-#include "obs/trace.hpp"
 #include "support/require.hpp"
 
 namespace pitfalls::core {
-
-EvaluationReport evaluate(const Trainer& trainer, const CrpSet& train,
-                          const CrpSet& test) {
-  PITFALLS_REQUIRE(!train.empty(), "empty training set");
-  PITFALLS_REQUIRE(!test.empty(), "empty test set");
-  auto& registry = obs::MetricsRegistry::global();
-  obs::TraceSpan span("core.evaluate");
-  Stopwatch watch;
-  const std::unique_ptr<BooleanFunction> hypothesis = [&] {
-    obs::TraceSpan train_span("core.evaluate.train");
-    return trainer(train);
-  }();
-  PITFALLS_ENSURE(hypothesis != nullptr, "trainer returned no hypothesis");
-
-  EvaluationReport report;
-  report.train_seconds = watch.seconds();
-  report.train_size = train.size();
-  report.test_size = test.size();
-  {
-    obs::TraceSpan eval_span("core.evaluate.test");
-    obs::ScopedTimer eval_timer(registry, "core.eval_seconds");
-    report.train_accuracy = train.accuracy_of(*hypothesis);
-    report.test_accuracy = test.accuracy_of(*hypothesis);
-  }
-  registry.counter("core.evaluations").add(1);
-  registry.histogram("core.train_seconds").observe(report.train_seconds);
-  return report;
-}
-
-std::vector<LearningCurvePoint> learning_curve(
-    const Trainer& trainer, const CrpSet& train, const CrpSet& test,
-    const std::vector<std::size_t>& budgets) {
-  obs::TraceSpan span("core.learning_curve");
-  std::vector<LearningCurvePoint> curve;
-  curve.reserve(budgets.size());
-  for (auto budget : budgets) {
-    PITFALLS_REQUIRE(budget > 0 && budget <= train.size(),
-                     "budget exceeds available training CRPs");
-    const CrpSet subset = train.prefix(budget);
-    const EvaluationReport report = evaluate(trainer, subset, test);
-    curve.push_back({budget, report.test_accuracy, report.train_seconds});
-  }
-  return curve;
-}
 
 double mean_of(std::size_t repeats,
                const std::function<double(std::size_t)>& experiment) {

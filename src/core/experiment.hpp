@@ -1,6 +1,11 @@
 // Experiment harness shared by the benches: train/test evaluation with
 // timing, learning curves over CRP budgets, and repeated-instance averaging
 // — the plumbing every table reproduction uses.
+//
+// The harness is dataset-generic on purpose: core sits below the puf plane
+// in the module DAG (DESIGN.md §15), so it cannot name puf::CrpSet. Any
+// dataset with empty()/size()/prefix()/accuracy_of() — CrpSet in every
+// current caller — instantiates the templates.
 #pragma once
 
 #include <chrono>
@@ -10,16 +15,18 @@
 #include <vector>
 
 #include "boolfn/boolean_function.hpp"
-#include "puf/crp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/require.hpp"
 
 namespace pitfalls::core {
 
 using boolfn::BooleanFunction;
-using puf::CrpSet;
 
-/// Anything that turns a training CRP set into a hypothesis.
-using Trainer =
-    std::function<std::unique_ptr<BooleanFunction>(const CrpSet& train)>;
+/// Anything that turns a training dataset into a hypothesis.
+template <typename Dataset>
+using TrainerFor =
+    std::function<std::unique_ptr<BooleanFunction>(const Dataset& train)>;
 
 struct EvaluationReport {
   std::size_t train_size = 0;
@@ -29,21 +36,11 @@ struct EvaluationReport {
   double train_seconds = 0.0;
 };
 
-/// Train on `train`, evaluate on both sets, time the training call.
-EvaluationReport evaluate(const Trainer& trainer, const CrpSet& train,
-                          const CrpSet& test);
-
 struct LearningCurvePoint {
   std::size_t train_size = 0;
   double test_accuracy = 0.0;
   double train_seconds = 0.0;
 };
-
-/// Run the trainer on growing prefixes of `train` and report test accuracy
-/// at each budget.
-std::vector<LearningCurvePoint> learning_curve(
-    const Trainer& trainer, const CrpSet& train, const CrpSet& test,
-    const std::vector<std::size_t>& budgets);
 
 /// Mean of `repeats` runs of `experiment` (each receiving the repeat index),
 /// for instance-averaged table cells.
@@ -52,7 +49,7 @@ double mean_of(std::size_t repeats,
 
 /// Wall-clock helper for reported runtimes (table "seconds" columns and
 /// bench wall_seconds). Diagnostics only — no experiment result may branch
-/// on it, which is why these reads carry lint:wallclock-ok.
+/// on it, which is why these reads carry the wallclock suppression tag.
 class Stopwatch {
  public:
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}  // lint:wallclock-ok
@@ -65,5 +62,54 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;  // lint:wallclock-ok
 };
+
+/// Train on `train`, evaluate on both sets, time the training call.
+template <typename Dataset>
+EvaluationReport evaluate(const TrainerFor<Dataset>& trainer,
+                          const Dataset& train, const Dataset& test) {
+  PITFALLS_REQUIRE(!train.empty(), "empty training set");
+  PITFALLS_REQUIRE(!test.empty(), "empty test set");
+  auto& registry = obs::MetricsRegistry::global();
+  obs::TraceSpan span("core.evaluate");
+  Stopwatch watch;
+  const std::unique_ptr<BooleanFunction> hypothesis = [&] {
+    obs::TraceSpan train_span("core.evaluate.train");
+    return trainer(train);
+  }();
+  PITFALLS_ENSURE(hypothesis != nullptr, "trainer returned no hypothesis");
+
+  EvaluationReport report;
+  report.train_seconds = watch.seconds();
+  report.train_size = train.size();
+  report.test_size = test.size();
+  {
+    obs::TraceSpan eval_span("core.evaluate.test");
+    obs::ScopedTimer eval_timer(registry, "core.eval_seconds");
+    report.train_accuracy = train.accuracy_of(*hypothesis);
+    report.test_accuracy = test.accuracy_of(*hypothesis);
+  }
+  registry.counter("core.evaluations").add(1);
+  registry.histogram("core.train_seconds").observe(report.train_seconds);
+  return report;
+}
+
+/// Run the trainer on growing prefixes of `train` and report test accuracy
+/// at each budget.
+template <typename Dataset>
+std::vector<LearningCurvePoint> learning_curve(
+    const TrainerFor<Dataset>& trainer, const Dataset& train,
+    const Dataset& test, const std::vector<std::size_t>& budgets) {
+  obs::TraceSpan span("core.learning_curve");
+  std::vector<LearningCurvePoint> curve;
+  curve.reserve(budgets.size());
+  for (auto budget : budgets) {
+    PITFALLS_REQUIRE(budget > 0 && budget <= train.size(),
+                     "budget exceeds available training CRPs");
+    const Dataset subset = train.prefix(budget);
+    const EvaluationReport report = evaluate(trainer, subset, test);
+    curve.push_back({budget, report.test_accuracy, report.train_seconds});
+  }
+  return curve;
+}
 
 }  // namespace pitfalls::core

@@ -18,7 +18,7 @@
 namespace pitfalls::lock {
 
 using circuit::MealyMachine;
-using ml::Word;
+using circuit::Word;
 
 struct ObfuscatedFsm {
   MealyMachine machine;
@@ -29,7 +29,7 @@ struct ObfuscatedFsm {
   std::size_t num_obfuscation_states = 0;
 
   /// DFA accepting exactly the words that end inside the functional FSM.
-  ml::Dfa functional_mode_dfa() const {
+  circuit::Dfa functional_mode_dfa() const {
     return machine.to_acceptance_dfa(functional_states);
   }
 };

@@ -9,10 +9,16 @@
 
 #include <optional>
 
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 #include "obs/metrics.hpp"
 
 namespace pitfalls::ml {
+
+// The hypothesis representation lives with the FSM stack in the circuit
+// plane; aliased here so the learner's vocabulary stays ml-local.
+using circuit::Dfa;
+using circuit::Word;
+using circuit::WordHash;
 
 /// The minimally adequate teacher of Angluin's framework.
 class DfaTeacher {

@@ -66,8 +66,9 @@ struct LearnOutcome {
 ///
 /// This is the one deliberate wall-clock dependency outside src/obs: a
 /// deadline_exceeded outcome is MEANT to depend on real time (the paper's
-/// realistic attacker has a time budget), so these reads carry
-/// lint:wallclock-ok rather than being routed through an injected clock.
+/// realistic attacker has a time budget), so these reads carry the
+/// wallclock suppression tag rather than being routed through an injected
+/// clock.
 class Deadline {
  public:
   explicit Deadline(

@@ -1,5 +1,6 @@
 #include "store/checkpoint.hpp"
 
+#include <cstdlib>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -104,6 +105,17 @@ void request_termination() { g_termination_requested = 1; }
 void clear_termination() { g_termination_requested = 0; }
 
 bool termination_requested() { return g_termination_requested != 0; }
+
+void note_cell_completed(const CheckpointSession* session) {
+  if (session == nullptr) return;
+  static const long limit = [] {
+    const char* env = std::getenv("PITFALLS_EXIT_AFTER_CELLS");
+    return env == nullptr ? 0L : std::strtol(env, nullptr, 10);
+  }();
+  if (limit <= 0) return;
+  static long completed = 0;
+  if (++completed >= limit) request_termination();
+}
 
 RecordingOracle::RecordingOracle(
     ml::MembershipOracle& inner, CheckpointSession& session,

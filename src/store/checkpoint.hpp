@@ -98,6 +98,15 @@ void note_replayed_query();
 /// request_termination() sets the flag directly (deadline expiry, tests).
 void install_termination_handler();
 void request_termination();
+
+/// Deterministic crash hook for the kill/resume gates: benches call this
+/// once per completed checkpointable cell. When the PITFALLS_EXIT_AFTER_CELLS
+/// environment variable is a positive integer N and `session` is active,
+/// the N-th completed cell requests termination exactly as SIGTERM would —
+/// the bench flushes and exits 143 at its next poll, landing the "crash"
+/// between cells without SIGKILL timing races. No-op without the variable
+/// or without a session.
+void note_cell_completed(const CheckpointSession* session);
 void clear_termination();
 bool termination_requested();
 

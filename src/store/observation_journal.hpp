@@ -1,0 +1,79 @@
+// Checkpoint-backed attack::ObservationLog: journals the oracle traffic of
+// the oracle-guided attacks (SAT attack, AppSAT) into a CheckpointSession
+// section and replays it on resume.
+//
+// This is the store-side half of the seam declared in
+// attack/observation_log.hpp: the attack layer only sees the abstract log,
+// and store (the top of the module DAG) plugs persistence in underneath.
+//
+// Contract: on construction any journalled observations are loaded; serve()
+// answers them in order (booked as store.snapshot.replayed_queries, no
+// physical query) and raises store::ReplayDivergenceError when a recorded
+// input stops matching the live sequence. record() appends and flushes the
+// session every `flush_every` new observations — immediately once a SIGTERM
+// flush is pending. A null session makes the journal inert (serve misses,
+// record drops), so callers can wire it unconditionally.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/observation_log.hpp"
+#include "store/checkpoint.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::store {
+
+class AttackObservationJournal final : public attack::ObservationLog {
+ public:
+  AttackObservationJournal(CheckpointSession* session, std::string section,
+                           std::size_t flush_every = 16)
+      : session_(session),
+        section_(std::move(section)),
+        flush_every_(flush_every) {
+    if (session_ == nullptr) return;
+    PITFALLS_REQUIRE(flush_every_ > 0, "flush cadence must be > 0");
+    if (!session_->has_section(section_)) return;
+    auto r = session_->reader(section_);
+    while (!r.at_end()) {
+      support::BitVec x = get_bitvec(r);
+      support::BitVec y = get_bitvec(r);
+      replay_.emplace_back(std::move(x), std::move(y));
+    }
+  }
+
+  std::optional<support::BitVec> serve(const support::BitVec& x) override {
+    if (cursor_ >= replay_.size()) return std::nullopt;
+    const auto& [recorded_x, recorded_y] = replay_[cursor_];
+    if (recorded_x != x) {
+      throw_divergence("section '" + section_ + "', observation " +
+                       std::to_string(cursor_));
+    }
+    ++cursor_;
+    note_replayed_query();
+    return recorded_y;
+  }
+
+  void record(const support::BitVec& x, const support::BitVec& y) override {
+    if (session_ == nullptr) return;
+    auto& w = session_->section(section_);
+    put_bitvec(w, x);
+    put_bitvec(w, y);
+    ++recorded_;
+    if (recorded_ % flush_every_ == 0 || termination_requested())
+      session_->flush();
+  }
+
+  std::size_t replayed() const override { return cursor_; }
+
+ private:
+  CheckpointSession* session_;
+  std::string section_;
+  std::size_t flush_every_ = 1;
+  std::vector<std::pair<support::BitVec, support::BitVec>> replay_;
+  std::size_t cursor_ = 0;
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace pitfalls::store

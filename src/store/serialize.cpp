@@ -164,7 +164,7 @@ boolfn::AnfPolynomial get_anf(SectionReader& r) {
                                std::move(monomials));
 }
 
-void put_dfa(SectionWriter& w, const ml::Dfa& dfa) {
+void put_dfa(SectionWriter& w, const circuit::Dfa& dfa) {
   w.u64(dfa.num_states());
   w.u64(dfa.alphabet_size());
   w.u64(dfa.start());
@@ -175,13 +175,13 @@ void put_dfa(SectionWriter& w, const ml::Dfa& dfa) {
   }
 }
 
-ml::Dfa get_dfa(SectionReader& r) {
+circuit::Dfa get_dfa(SectionReader& r) {
   const std::uint64_t states = r.u64();
   const std::uint64_t alphabet = r.u64();
   const std::uint64_t start = r.u64();
   PITFALLS_REQUIRE(start < states, "snapshot DFA: start state out of range");
   require_payload(r, states, alphabet > 0 ? alphabet * 8 + 1 : 1);
-  ml::Dfa dfa(static_cast<std::size_t>(states),
+  circuit::Dfa dfa(static_cast<std::size_t>(states),
               static_cast<std::size_t>(alphabet),
               static_cast<std::size_t>(start));
   for (std::uint64_t s = 0; s < states; ++s) {

@@ -12,7 +12,7 @@
 
 #include "boolfn/anf.hpp"
 #include "boolfn/ltf.hpp"
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 #include "ml/linear_model.hpp"
 #include "ml/lmn.hpp"
 #include "ml/robust/faults.hpp"
@@ -61,8 +61,8 @@ boolfn::Ltf get_ltf(SectionReader& r);
 void put_anf(SectionWriter& w, const boolfn::AnfPolynomial& poly);
 boolfn::AnfPolynomial get_anf(SectionReader& r);
 
-void put_dfa(SectionWriter& w, const ml::Dfa& dfa);
-ml::Dfa get_dfa(SectionReader& r);
+void put_dfa(SectionWriter& w, const circuit::Dfa& dfa);
+circuit::Dfa get_dfa(SectionReader& r);
 
 // ---- robust-learning state ------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 #include <bit>
 #include <cerrno>
-#include <cstdio>   // lint:raw-io-ok — this module IS the sanctioned raw-I/O site
+#include <cstdio> 
 #include <cstring>
 #include <array>
 
@@ -41,7 +41,7 @@ void put_u64(std::string& out, std::uint64_t v) {
 struct File {
   std::FILE* f = nullptr;
   ~File() {
-    if (f != nullptr) std::fclose(f);  // lint:raw-io-ok
+    if (f != nullptr) std::fclose(f);
   }
 };
 
@@ -77,7 +77,7 @@ std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
 
 std::string read_file_bytes(const std::string& path) {
   File in;
-  in.f = std::fopen(path.c_str(), "rb");  // lint:raw-io-ok
+  in.f = std::fopen(path.c_str(), "rb");
   if (in.f == nullptr)
     throw SnapshotError(SnapshotFault::io, "cannot open " + path + " (" +
                                                std::strerror(errno) + ")");
@@ -99,25 +99,25 @@ void write_file_atomic(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp";
   {
     File out;
-    out.f = std::fopen(tmp.c_str(), "wb");  // lint:raw-io-ok
+    out.f = std::fopen(tmp.c_str(), "wb");
     if (out.f == nullptr)
       throw SnapshotError(SnapshotFault::io, "cannot create " + tmp + " (" +
                                                  std::strerror(errno) + ")");
     if (!bytes.empty() &&
         std::fwrite(bytes.data(), 1, bytes.size(), out.f) != bytes.size()) {
-      std::remove(tmp.c_str());  // lint:raw-io-ok
+      std::remove(tmp.c_str());
       throw SnapshotError(SnapshotFault::io, "short write to " + tmp);
     }
     // Flush userspace buffers, then force the kernel to persist them before
     // the rename publishes the file: rename-before-durable could surface an
     // empty/torn file after a power loss.
     if (std::fflush(out.f) != 0 || fsync(fileno(out.f)) != 0) {
-      std::remove(tmp.c_str());  // lint:raw-io-ok
+      std::remove(tmp.c_str());
       throw SnapshotError(SnapshotFault::io, "cannot flush " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {  // lint:raw-io-ok
-    std::remove(tmp.c_str());  // lint:raw-io-ok
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw SnapshotError(SnapshotFault::io,
                         "cannot rename " + tmp + " over " + path);
   }
@@ -125,14 +125,14 @@ void write_file_atomic(const std::string& path, std::string_view bytes) {
 
 void probe_writable(const std::string& path) {
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "ab");  // lint:raw-io-ok
+  std::FILE* f = std::fopen(tmp.c_str(), "ab");
   if (f == nullptr)
     throw SnapshotError(SnapshotFault::io, "cannot create " + tmp + " (" +
                                                std::strerror(errno) + ")");
   std::fclose(f);
   // A stray .tmp from a killed writer is garbage either way; readers ignore
   // it and the next write recreates it, so removing it here is safe.
-  std::remove(tmp.c_str());  // lint:raw-io-ok
+  std::remove(tmp.c_str());
 }
 
 // ---------------------------------------------------------------------------

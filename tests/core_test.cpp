@@ -11,6 +11,7 @@
 #include "ml/features.hpp"
 #include "ml/perceptron.hpp"
 #include "puf/arbiter.hpp"
+#include "puf/crp.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -19,6 +20,10 @@ using namespace pitfalls::core;
 using pitfalls::puf::ArbiterPuf;
 using pitfalls::puf::CrpSet;
 using pitfalls::support::Rng;
+
+// The harness is dataset-generic (core sits below puf in the module DAG);
+// the tests instantiate it with the CRP-set dataset every bench uses.
+using Trainer = pitfalls::core::TrainerFor<CrpSet>;
 
 // --------------------------------------------------------------- bounds
 

@@ -95,7 +95,7 @@ TEST(FsmBmc, FindsShortestPathInAChain) {
   }
   const auto result = attack::bmc_reach(machine, {3}, 8);
   ASSERT_TRUE(result.found);
-  EXPECT_EQ(result.word, (ml::Word{1, 1, 1}));
+  EXPECT_EQ(result.word, (circuit::Word{1, 1, 1}));
   EXPECT_EQ(result.frames_solved, 3u);  // depths 1, 2 unsat, 3 sat
 }
 
@@ -130,11 +130,11 @@ TEST(FsmBmc, AgreesWithLStarOnUnlockLength) {
   const auto bmc = attack::bmc_reach(obf.machine, obf.functional_states, 10);
   ASSERT_TRUE(bmc.found);
 
-  const ml::Dfa target = obf.functional_mode_dfa();
+  const circuit::Dfa target = obf.functional_mode_dfa();
   ml::ExactDfaTeacher teacher(target);
-  const ml::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
-  const ml::Dfa empty(1, 2, 0);
-  const auto lstar_word = ml::Dfa::distinguishing_word(learned, empty);
+  const circuit::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
+  const circuit::Dfa empty(1, 2, 0);
+  const auto lstar_word = circuit::Dfa::distinguishing_word(learned, empty);
   ASSERT_TRUE(lstar_word.has_value());
   EXPECT_EQ(bmc.word.size(), lstar_word->size());
 }

@@ -189,12 +189,12 @@ TEST(Integration, LStarDefeatsFsmObfuscationEndToEnd) {
   const circuit::MealyMachine functional =
       circuit::MealyMachine::random(8, 2, 2, rng);
   const lock::ObfuscatedFsm obf = lock::obfuscate_fsm(functional, 5, rng);
-  const ml::Dfa target = obf.functional_mode_dfa();
+  const circuit::Dfa target = obf.functional_mode_dfa();
 
   ml::ExactDfaTeacher teacher(target);
   ml::LStarStats stats;
-  const ml::Dfa learned = ml::LStarLearner().learn(teacher, &stats);
-  EXPECT_FALSE(ml::Dfa::distinguishing_word(target, learned).has_value());
+  const circuit::Dfa learned = ml::LStarLearner().learn(teacher, &stats);
+  EXPECT_FALSE(circuit::Dfa::distinguishing_word(target, learned).has_value());
   // Membership queries stay polynomial in the machine size.
   EXPECT_LT(stats.membership_queries, 100000u);
 }

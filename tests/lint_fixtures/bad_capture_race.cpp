@@ -1,0 +1,29 @@
+// Fixture: order-dependent mutation of by-reference captures inside
+// parallel_for_chunks lambdas. Every shared write below is guarded by a
+// mutex, so ThreadSanitizer reports NOTHING — the program is data-race-free.
+// It is still wrong: the mutex serialises the writes in whatever order the
+// chunks happen to run, so `sum` (floating-point, non-associative) and
+// `order` (append order) change with PITFALLS_THREADS. This is exactly the
+// class of bug the capture-race rule exists to reject statically.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+double tsan_clean_but_order_dependent(const std::vector<double>& xs) {
+  double sum = 0.0;
+  std::vector<std::size_t> order;
+  std::size_t chunks_seen = 0;
+  std::mutex m;
+  pitfalls::support::parallel_for_chunks(
+      xs.size(), [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        double local = 0.0;
+        for (std::size_t i = begin; i < end; ++i) local += xs[i];
+        const std::lock_guard<std::mutex> lock(m);
+        sum += local;
+        order.push_back(chunk);
+        ++chunks_seen;
+      });
+  return sum + static_cast<double>(order.size() + chunks_seen);
+}

@@ -1,0 +1,27 @@
+// Fixture: the sanctioned parallel accumulation patterns — writes go
+// through per-index slots (each iteration owns its element, no cross-chunk
+// ordering can leak), and the scalar reduction runs through
+// parallel_reduce, whose combine step executes in chunk order by
+// construction. The capture-race rule must stay silent on all of it.
+#include <cstddef>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+double per_slot_then_reduce(const std::vector<double>& xs) {
+  std::vector<double> squared(xs.size(), 0.0);
+  pitfalls::support::parallel_for(
+      xs.size(), [&](std::size_t i) { squared[i] = xs[i] * xs[i]; });
+
+  const double scale = 2.0;  // read-only by-ref capture: fine
+  pitfalls::support::parallel_for_chunks(
+      xs.size(), [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        for (std::size_t i = begin; i < end; ++i) squared[i] *= scale;
+      });
+
+  return pitfalls::support::parallel_reduce(
+      xs.size(), 0.0,
+      [&](std::size_t i) { return squared[i]; },
+      [](double a, double b) { return a + b; });
+}

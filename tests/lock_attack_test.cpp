@@ -16,10 +16,10 @@ using namespace pitfalls::lock;
 using namespace pitfalls::attack;
 using pitfalls::circuit::MealyMachine;
 using pitfalls::circuit::Netlist;
-using pitfalls::ml::Dfa;
+using pitfalls::circuit::Dfa;
 using pitfalls::ml::ExactDfaTeacher;
 using pitfalls::ml::LStarLearner;
-using pitfalls::ml::Word;
+using pitfalls::circuit::Word;
 using pitfalls::support::BitVec;
 using pitfalls::support::Rng;
 

@@ -1,7 +1,7 @@
 // Tests for DFAs and Angluin's L* (Section V-B machinery).
 #include <gtest/gtest.h>
 
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 #include "ml/lstar.hpp"
 #include "support/rng.hpp"
 

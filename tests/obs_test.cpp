@@ -2,7 +2,7 @@
 // spans, oracle query accounting, CSV export and the bench reporter's
 // JSON files.
 #include <cstdio>
-#include <fstream>
+#include <fstream>  // lint:raw-io-ok (tests read back reporter artefacts)
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -365,7 +365,7 @@ TEST(BenchReporterTest, FinishWritesSchemaV1Json) {
   reporter.note("mode", "unit-test");
   ASSERT_EQ(reporter.finish(), 0);
 
-  std::ifstream in(path);
+  std::ifstream in(path);  // lint:raw-io-ok
   ASSERT_TRUE(in.good());
   std::stringstream buffer;
   buffer << in.rdbuf();
@@ -410,7 +410,7 @@ TEST(BenchReporterTest, NoJsonFlagWritesNothing) {
   EXPECT_FALSE(reporter.smoke());
   EXPECT_FALSE(reporter.json_enabled());
   EXPECT_EQ(reporter.finish(), 0);
-  std::ifstream in("BENCH_obs_test_nojson.json");
+  std::ifstream in("BENCH_obs_test_nojson.json");  // lint:raw-io-ok
   EXPECT_FALSE(in.good());
 }
 

@@ -13,7 +13,7 @@
 #include "circuit/bench_io.hpp"
 #include "circuit/generator.hpp"
 #include "ml/chow.hpp"
-#include "ml/dfa.hpp"
+#include "circuit/dfa.hpp"
 #include "ml/lstar.hpp"
 #include "ml/oracle.hpp"
 #include "ml/perceptron.hpp"
@@ -211,19 +211,19 @@ class DfaInvariant : public ::testing::TestWithParam<int> {};
 
 TEST_P(DfaInvariant, MinimizationIsIdempotentAndEquivalent) {
   Rng rng(10000 + GetParam());
-  const ml::Dfa dfa = ml::Dfa::random(12, 2, 0.4, rng);
-  const ml::Dfa minimal = dfa.minimized();
-  EXPECT_FALSE(ml::Dfa::distinguishing_word(dfa, minimal).has_value());
-  const ml::Dfa twice = minimal.minimized();
+  const circuit::Dfa dfa = circuit::Dfa::random(12, 2, 0.4, rng);
+  const circuit::Dfa minimal = dfa.minimized();
+  EXPECT_FALSE(circuit::Dfa::distinguishing_word(dfa, minimal).has_value());
+  const circuit::Dfa twice = minimal.minimized();
   EXPECT_EQ(twice.num_states(), minimal.num_states());
   EXPECT_LE(minimal.num_states(), dfa.reachable_states());
 }
 
 TEST_P(DfaInvariant, LStarNeverOvershootsMinimalSize) {
   Rng rng(11000 + GetParam());
-  const ml::Dfa target = ml::Dfa::random(10, 2, 0.5, rng);
+  const circuit::Dfa target = circuit::Dfa::random(10, 2, 0.5, rng);
   ml::ExactDfaTeacher teacher(target);
-  const ml::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
+  const circuit::Dfa learned = ml::LStarLearner().learn(teacher, nullptr);
   EXPECT_EQ(learned.num_states(), target.minimized().num_states());
 }
 

@@ -352,7 +352,7 @@ TEST(RobustLearners, StarvedBudgetStillReturnsWithoutHypothesis) {
 
 TEST(RobustLearners, LstarDegradesToBudgetExhausted) {
   Rng rng(11);
-  const ml::Dfa target = ml::Dfa::random(12, 2, 0.4, rng);
+  const circuit::Dfa target = circuit::Dfa::random(12, 2, 0.4, rng);
   ml::ExactDfaTeacher teacher(target);
   RobustLearnConfig config;
   config.train_queries = 10;  // far below L*'s membership-query need
@@ -363,14 +363,14 @@ TEST(RobustLearners, LstarDegradesToBudgetExhausted) {
 
 TEST(RobustLearners, LstarConvergesWithAmpleBudget) {
   Rng rng(12);
-  const ml::Dfa target = ml::Dfa::random(6, 2, 0.4, rng);
+  const circuit::Dfa target = circuit::Dfa::random(6, 2, 0.4, rng);
   ml::ExactDfaTeacher teacher(target);
   RobustLearnConfig config;
   config.train_queries = 1000000;
   const auto outcome = robust_lstar(teacher, config);
   EXPECT_EQ(outcome.status, LearnStatus::converged);
   ASSERT_TRUE(outcome.best_hypothesis.has_value());
-  EXPECT_FALSE(ml::Dfa::distinguishing_word(target, *outcome.best_hypothesis)
+  EXPECT_FALSE(circuit::Dfa::distinguishing_word(target, *outcome.best_hypothesis)
                    .has_value());
 }
 
@@ -385,7 +385,7 @@ TEST(RobustLearners, DeadlineZeroReportsDeadlineExceeded) {
       robust_perceptron(oracle, ml::parity_with_bias, config, rng);
   EXPECT_EQ(outcome.status, LearnStatus::deadline_exceeded);
 
-  ml::Dfa target = ml::Dfa::random(6, 2, 0.4, rng);
+  circuit::Dfa target = circuit::Dfa::random(6, 2, 0.4, rng);
   ml::ExactDfaTeacher teacher(target);
   const auto lstar_outcome = robust_lstar(teacher, config);
   EXPECT_EQ(lstar_outcome.status, LearnStatus::deadline_exceeded);

@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "puf/arbiter.hpp"
 #include "store/checkpoint.hpp"
+#include "store/observation_journal.hpp"
 #include "store/serialize.hpp"
 #include "support/rng.hpp"
 #include "support/snapshot/snapshot.hpp"
@@ -320,7 +321,7 @@ TEST(StoreCodecs, HypothesisClassesRoundTrip) {
 }
 
 TEST(StoreCodecs, DfaRoundTrips) {
-  ml::Dfa dfa(3, 2, 0);
+  circuit::Dfa dfa(3, 2, 0);
   dfa.set_transition(0, 1, 1);
   dfa.set_transition(1, 0, 2);
   dfa.set_transition(2, 1, 0);
@@ -329,7 +330,7 @@ TEST(StoreCodecs, DfaRoundTrips) {
   SectionWriter w;
   store::put_dfa(w, dfa);
   SectionReader r(w.bytes(), "t");
-  const ml::Dfa back = store::get_dfa(r);
+  const circuit::Dfa back = store::get_dfa(r);
   EXPECT_EQ(back.num_states(), 3u);
   EXPECT_EQ(back.start(), 0u);
   for (std::size_t s = 0; s < 3; ++s) {
@@ -746,9 +747,8 @@ TEST(ResumeDeterminism, SatAttackRerunFromJournalMatches) {
   {
     store::CheckpointSession session(file.path(), 7, "p", true);
     attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(netlist);
-    config.checkpoint = &session;
-    config.checkpoint_section = "cell.log";
-    config.checkpoint_every_dips = 2;
+    store::AttackObservationJournal journal(&session, "cell.log", 2);
+    config.journal = &journal;
     first = attack::sat_attack(locked, oracle, config);
     session.flush();
   }
@@ -758,7 +758,8 @@ TEST(ResumeDeterminism, SatAttackRerunFromJournalMatches) {
   store::CheckpointSession session(file.path(), 7, "p", true);
   ASSERT_TRUE(session.resumed());
   attack::CircuitOracle oracle = attack::CircuitOracle::from_netlist(netlist);
-  config.checkpoint = &session;
+  store::AttackObservationJournal journal(&session, "cell.log", 2);
+  config.journal = &journal;
   const attack::SatAttackResult second = attack::sat_attack(locked, oracle,
                                                             config);
   EXPECT_EQ(second.key, first.key);

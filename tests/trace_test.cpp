@@ -1,6 +1,6 @@
 // Thread-aware tracer: logical-clock determinism across pool sizes, the
 // bounded flight-recorder ring, and the Chrome trace-event exporter.
-#include <fstream>
+#include <fstream>  // lint:raw-io-ok (tests read back exported traces)
 #include <set>
 #include <sstream>
 #include <string>
@@ -215,7 +215,7 @@ TEST(ChromeTraceTest, ExportFileRoundTrips) {
   tracer.instant("only");
   const std::string path = ::testing::TempDir() + "trace_roundtrip.json";
   ASSERT_TRUE(obs::export_chrome_trace(path, tracer, "roundtrip"));
-  std::ifstream in(path);
+  std::ifstream in(path);  // lint:raw-io-ok
   ASSERT_TRUE(in.good());
   std::stringstream buf;
   buf << in.rdbuf();

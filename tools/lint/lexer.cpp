@@ -1,0 +1,335 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace pitfalls::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_string_prefix(const std::string& name) {
+  return name == "R" || name == "L" || name == "u" || name == "U" ||
+         name == "u8" || name == "LR" || name == "uR" || name == "UR" ||
+         name == "u8R";
+}
+
+// Multi-character punctuators, longest first so matching is greedy.
+constexpr const char* kPuncts[] = {
+    "...", "<<=", ">>=", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*", "##",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : t_(text) {
+    out_.stripped.reserve(text.size());
+  }
+
+  LexedFile run() {
+    while (i_ < t_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  // Length of the backslash-newline splice sequence at p (0 if none).
+  // Raw string literals are the one context where callers must not ask.
+  std::size_t splice_len(std::size_t p) const {
+    if (p >= t_.size() || t_[p] != '\\') return 0;
+    std::size_t q = p + 1;
+    if (q < t_.size() && t_[q] == '\r') ++q;
+    if (q < t_.size() && t_[q] == '\n') return q + 1 - p;
+    return 0;
+  }
+
+  char at(std::size_t p) const { return p < t_.size() ? t_[p] : '\0'; }
+
+  // Append one physical byte to the stripped text. Newlines always survive
+  // (line structure is the whole point); other bytes blank to a space when
+  // `blank` is set.
+  void put(char c, bool blank) {
+    if (c == '\n') {
+      out_.stripped += '\n';
+      ++line_;
+    } else {
+      out_.stripped += blank ? ' ' : c;
+    }
+  }
+
+  // Copy `len` physical bytes from the cursor into the stripped text.
+  void emit(std::size_t len, bool blank) {
+    for (std::size_t k = 0; k < len; ++k) put(t_[i_ + k], blank);
+    i_ += len;
+  }
+
+  // Blank the last `count` non-newline bytes already emitted (used when an
+  // identifier turns out to be a string-literal prefix).
+  void rub_out(std::size_t count) {
+    for (std::size_t p = out_.stripped.size(); count > 0 && p > 0;) {
+      --p;
+      if (out_.stripped[p] == '\n') continue;
+      out_.stripped[p] = ' ';
+      --count;
+    }
+  }
+
+  void token(Token::Kind kind, std::string text, std::size_t line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    if (const std::size_t s = splice_len(i_)) {
+      emit(s, false);  // splice between tokens: copy, stay in code
+      return;
+    }
+    const char c = t_[i_];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      emit(1, false);  // whitespace separates tokens but is not one
+      return;
+    }
+    if (c == '/' && at(i_ + 1) == '/') {
+      lex_line_comment();
+    } else if (c == '/' && at(i_ + 1) == '*') {
+      lex_block_comment();
+    } else if (c == '"') {
+      lex_string(line_);
+    } else if (c == '\'') {
+      lex_char();
+    } else if (ident_start(c)) {
+      lex_identifier();
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               (c == '.' &&
+                std::isdigit(static_cast<unsigned char>(at(i_ + 1))) != 0)) {
+      lex_number();
+    } else {
+      lex_punct();
+    }
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = i_;
+    const std::size_t start_line = line_;
+    emit(2, true);  // //
+    while (i_ < t_.size()) {
+      if (const std::size_t s = splice_len(i_)) {
+        emit(s, true);  // splice extends the comment onto the next line
+        continue;
+      }
+      if (t_[i_] == '\n') break;
+      emit(1, true);
+    }
+    token(Token::Kind::Comment, t_.substr(start, i_ - start), start_line);
+    if (i_ < t_.size()) emit(1, false);  // the terminating newline
+  }
+
+  void lex_block_comment() {
+    const std::size_t start = i_;
+    const std::size_t start_line = line_;
+    emit(2, true);  // /*
+    while (i_ < t_.size()) {
+      if (t_[i_] == '*' && at(i_ + 1) == '/') {
+        emit(2, true);
+        break;
+      }
+      emit(1, true);
+    }
+    token(Token::Kind::Comment, t_.substr(start, i_ - start), start_line);
+  }
+
+  // Ordinary (non-raw) string literal; the cursor sits on the opening quote.
+  void lex_string(std::size_t start_line) {
+    std::string content;
+    emit(1, true);  // opening quote
+    while (i_ < t_.size()) {
+      if (const std::size_t s = splice_len(i_)) {
+        emit(s, true);
+        continue;
+      }
+      const char c = t_[i_];
+      if (c == '\\') {
+        content += c;
+        emit(1, true);
+        if (i_ < t_.size()) {
+          content += t_[i_];
+          emit(1, true);
+        }
+        continue;
+      }
+      if (c == '"') {
+        emit(1, true);
+        break;
+      }
+      content += c;
+      emit(1, true);  // newline in an unterminated literal stays tolerated
+    }
+    token(Token::Kind::String, std::move(content), start_line);
+  }
+
+  // Raw string literal; the cursor sits on the opening quote, the R-prefix
+  // has already been consumed. No splice processing inside.
+  void lex_raw_string(std::size_t start_line) {
+    emit(1, true);  // opening quote
+    std::string delim;
+    while (i_ < t_.size() && t_[i_] != '(') {
+      delim += t_[i_];
+      emit(1, true);
+    }
+    if (i_ < t_.size()) emit(1, true);  // (
+    const std::string closer = ")" + delim + "\"";
+    std::string content;
+    while (i_ < t_.size()) {
+      if (t_.compare(i_, closer.size(), closer) == 0) {
+        emit(closer.size(), true);
+        break;
+      }
+      content += t_[i_];
+      emit(1, true);
+    }
+    token(Token::Kind::String, std::move(content), start_line);
+  }
+
+  void lex_char() {
+    const std::size_t start_line = line_;
+    std::string content;
+    emit(1, true);  // opening quote
+    while (i_ < t_.size()) {
+      if (const std::size_t s = splice_len(i_)) {
+        emit(s, true);
+        continue;
+      }
+      const char c = t_[i_];
+      if (c == '\\') {
+        content += c;
+        emit(1, true);
+        if (i_ < t_.size()) {
+          content += t_[i_];
+          emit(1, true);
+        }
+        continue;
+      }
+      if (c == '\'') {
+        emit(1, true);
+        break;
+      }
+      content += c;
+      emit(1, true);
+    }
+    token(Token::Kind::Char, std::move(content), start_line);
+  }
+
+  void lex_identifier() {
+    const std::size_t start_line = line_;
+    std::string name;
+    while (i_ < t_.size()) {
+      if (const std::size_t s = splice_len(i_)) {
+        emit(s, false);  // an identifier may be spliced across lines
+        continue;
+      }
+      if (!ident_char(t_[i_])) break;
+      name += t_[i_];
+      emit(1, false);
+    }
+    if (i_ < t_.size() && t_[i_] == '"' && is_string_prefix(name)) {
+      rub_out(name.size());  // the prefix belongs to the literal
+      if (name.back() == 'R')
+        lex_raw_string(start_line);
+      else
+        lex_string(start_line);
+      return;
+    }
+    token(Token::Kind::Identifier, std::move(name), start_line);
+  }
+
+  void lex_number() {
+    const std::size_t start_line = line_;
+    std::string num;
+    while (i_ < t_.size()) {
+      if (const std::size_t s = splice_len(i_)) {
+        emit(s, false);
+        continue;
+      }
+      const char c = t_[i_];
+      const char prev = num.empty() ? '\0' : num.back();
+      const bool exponent_sign =
+          (c == '+' || c == '-') &&
+          (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P');
+      if (!ident_char(c) && c != '.' && c != '\'' && !exponent_sign) break;
+      num += c;
+      emit(1, false);
+    }
+    token(Token::Kind::Number, std::move(num), start_line);
+  }
+
+  void lex_punct() {
+    const std::size_t start_line = line_;
+    const char c = t_[i_];
+    // Digraphs normalise to their primary punctuator; the stripped text
+    // keeps the byte count by padding with spaces.
+    if (c == '<' && at(i_ + 1) == '%') {
+      digraph("{", 2, start_line);
+      return;
+    }
+    if (c == '%' && at(i_ + 1) == '>') {
+      digraph("}", 2, start_line);
+      return;
+    }
+    if (c == '%' && at(i_ + 1) == ':') {
+      if (at(i_ + 2) == '%' && at(i_ + 3) == ':') {
+        digraph("##", 4, start_line);
+      } else {
+        digraph("#", 2, start_line);
+      }
+      return;
+    }
+    if (c == ':' && at(i_ + 1) == '>') {
+      digraph("]", 2, start_line);
+      return;
+    }
+    if (c == '<' && at(i_ + 1) == ':') {
+      // `<::` not followed by `:` or `>` lexes as `<` then `::` ([lex.pptoken]).
+      if (at(i_ + 2) == ':' && at(i_ + 3) != ':' && at(i_ + 3) != '>') {
+        token(Token::Kind::Punct, "<", start_line);
+        emit(1, false);
+      } else {
+        digraph("[", 2, start_line);
+      }
+      return;
+    }
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::string(p).size();
+      if (t_.compare(i_, len, p) == 0) {
+        token(Token::Kind::Punct, p, start_line);
+        emit(len, false);
+        return;
+      }
+    }
+    token(Token::Kind::Punct, std::string(1, c), start_line);
+    emit(1, false);
+  }
+
+  void digraph(const std::string& primary, std::size_t source_len,
+               std::size_t start_line) {
+    token(Token::Kind::Punct, primary, start_line);
+    for (char c : primary) put(c, false);
+    for (std::size_t k = primary.size(); k < source_len; ++k) put(' ', false);
+    i_ += source_len;
+  }
+
+  const std::string& t_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace pitfalls::lint

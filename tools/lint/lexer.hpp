@@ -1,0 +1,57 @@
+// Token-level front end of pitfalls-lint.
+//
+// The original linter stripped comments and strings with a hand-rolled state
+// machine and matched regexes on the remains; that left it blind to three
+// real lexical features of C++ — backslash-newline splices (which extend a
+// `//` comment onto the next physical line), raw string literals with
+// custom delimiters, and digraphs — and it could not attribute suppression
+// tags to comments specifically (a tag-shaped substring inside a string
+// literal counted). This lexer does the phase-2/phase-3 work for real:
+//
+//   * line splices are honoured everywhere except raw string literals;
+//   * comments, strings (all prefixes, raw and ordinary) and char literals
+//     become single tokens carrying their physical start line;
+//   * digraphs (<% %> <: :> %: %:%:) lex as their primary punctuators, with
+//     the standard `<::` disambiguation;
+//   * multi-character punctuators lex greedily, so semantic rules can tell
+//     `==` from `=` and `++` from `+`.
+//
+// Alongside the token stream the lexer rebuilds the stripped text the
+// legacy regex rules consume: byte-for-byte the same line structure as the
+// input, with every comment/string/char byte blanked — so physical line
+// numbers survive into every rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pitfalls::lint {
+
+struct Token {
+  enum class Kind {
+    Identifier,
+    Number,
+    Punct,    // operators/punctuation; digraphs normalised to primary form
+    String,   // text = literal content, quotes/delimiters/prefix removed
+    Char,     // text = literal content without quotes
+    Comment,  // text = raw physical slice incl. // or /* and any newlines
+  };
+  Kind kind = Kind::Punct;
+  std::string text;
+  std::size_t line = 0;  // 1-based physical line of the token's first byte
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Input with comments/strings/chars blanked to spaces; identical length
+  /// and newline positions, so line/column arithmetic carries over.
+  std::string stripped;
+};
+
+/// Tokenize one translation unit's text. Never throws on malformed input:
+/// unterminated literals and comments extend to end of file, lone bytes
+/// become single-character Punct tokens.
+LexedFile lex(const std::string& text);
+
+}  // namespace pitfalls::lint

@@ -4,11 +4,16 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>  // lint:raw-io-ok (the linter reads sources directly)
+#include <functional>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "lexer.hpp"
+#include "symbol_index.hpp"
 
 namespace pitfalls::lint {
 
@@ -42,32 +47,53 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-// One file prepared for rule matching: stripped lines for the regexes, plus
-// the per-line `lint:<rule>-ok` tags harvested from the raw comments.
+// One file prepared for rule matching: the lexer's token stream and blanked
+// text for the textual rules, the symbol index for the semantic rules, and
+// the suppression tags harvested from comment tokens only (a tag-shaped
+// substring inside a string literal is prose, not a suppression).
 struct FileView {
   std::string path;  // normalized
   std::vector<std::string> lines;
-  std::vector<std::set<std::string>> ok_tags;
   std::string stripped;  // whole stripped text, for cross-line scans
+  LexedFile lexed;
+  FileIndex index;
   bool is_header = false;
+  // 0-based line index -> rules tagged on that line.
+  std::map<std::size_t, std::set<std::string>> tags;
+  // Tags that suppressed at least one violation; the rest are stale.
+  // Mutable because suppressed() is the natural recording point and every
+  // rule calls it through const context.
+  mutable std::set<std::pair<std::size_t, std::string>> used_tags;
 
   bool suppressed(std::size_t line_index, const std::string& rule) const {
-    if (line_index < ok_tags.size() && ok_tags[line_index].count(rule) != 0)
-      return true;
-    return line_index > 0 && line_index - 1 < ok_tags.size() &&
-           ok_tags[line_index - 1].count(rule) != 0;
+    bool hit = false;
+    const auto mark = [&](std::size_t li) {
+      const auto it = tags.find(li);
+      if (it != tags.end() && it->second.count(rule) != 0) {
+        used_tags.insert({li, rule});
+        hit = true;
+      }
+    };
+    mark(line_index);
+    if (line_index > 0) mark(line_index - 1);
+    return hit;
   }
 };
 
-std::vector<std::set<std::string>> harvest_suppressions(
-    const std::vector<std::string>& raw_lines) {
+std::map<std::size_t, std::set<std::string>> harvest_tags(
+    const LexedFile& lexed) {
   static const std::regex kTag("lint:([a-z][a-z-]*)-ok");
-  std::vector<std::set<std::string>> tags(raw_lines.size());
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    auto begin = std::sregex_iterator(raw_lines[i].begin(), raw_lines[i].end(),
-                                      kTag);
-    for (auto it = begin; it != std::sregex_iterator(); ++it)
-      tags[i].insert((*it)[1].str());
+  std::map<std::size_t, std::set<std::string>> tags;
+  for (const auto& token : lexed.tokens) {
+    if (token.kind != Token::Kind::Comment) continue;
+    auto begin =
+        std::sregex_iterator(token.text.begin(), token.text.end(), kTag);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::size_t newlines_before = static_cast<std::size_t>(
+          std::count(token.text.begin(),
+                     token.text.begin() + it->position(), '\n'));
+      tags[token.line - 1 + newlines_before].insert((*it)[1].str());
+    }
   }
   return tags;
 }
@@ -445,6 +471,10 @@ bool has_parameterised_api(const FileView& view, std::size_t& decl_line) {
 void check_require_guard(const LintContext& ctx, const FileView& view,
                          std::vector<Violation>& out) {
   if (!view.is_header) return;
+  // Contracts live in src/support/require.hpp; only the library headers
+  // under src/ are expected to carry them (tools and tests do not link the
+  // support plane).
+  if (!path_contains(view.path, "src/")) return;
   if (path_contains(view.path, "detail")) return;
   if (ctx.guarded_files.count(view.path) != 0) return;
   // A sibling .cpp (same stem) holding the contracts satisfies the rule.
@@ -463,6 +493,399 @@ void check_require_guard(const LintContext& ctx, const FileView& view,
        out);
 }
 
+// ---------------------------------------------------------------------------
+// Rule: capture-race — parallel lambdas must not mutate by-ref captures
+// ---------------------------------------------------------------------------
+
+// Token-level analysis of the lambdas handed to parallel_for /
+// parallel_for_chunks / parallel_for_tasks. A non-const outer local
+// captured by reference and mutated from the lambda body makes the result
+// depend on chunk execution order — which is scheduled deterministically
+// per PITFALLS_THREADS value but differs BETWEEN values, so the bug is
+// invisible to TSan (a mutex makes it data-race-free without making it
+// order-free). The sanctioned patterns are: write only through a subscript
+// on the captured object (x[...] — the distinct-slot convention, each
+// iteration owns its slot), or move the accumulation into parallel_reduce,
+// whose combine step runs in chunk order by construction.
+
+using CodeTokens = std::vector<const Token*>;
+
+bool tok_is(const CodeTokens& code, std::size_t i, const char* text) {
+  return i < code.size() && code[i]->kind == Token::Kind::Punct &&
+         code[i]->text == text;
+}
+
+bool tok_ident(const CodeTokens& code, std::size_t i) {
+  return i < code.size() && code[i]->kind == Token::Kind::Identifier;
+}
+
+// Index of the punctuator closing the bracket pair opened at `open`
+// (matching open/close by token), or code.size() when unbalanced.
+std::size_t match_tok(const CodeTokens& code, std::size_t open,
+                      const char* open_text, const char* close_text) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (tok_is(code, i, open_text)) {
+      ++depth;
+    } else if (tok_is(code, i, close_text)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return code.size();
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMethods = {
+      "push_back", "emplace_back", "emplace", "insert",    "erase",
+      "clear",     "resize",       "append",  "push",      "pop",
+      "pop_back",  "pop_front",    "assign",  "push_front"};
+  return kMethods;
+}
+
+const std::set<std::string>& assignment_ops() {
+  static const std::set<std::string> kOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  return kOps;
+}
+
+struct LambdaInfo {
+  bool default_by_ref = false;
+  std::set<std::string> ref_captures;   // explicit &name captures
+  std::set<std::string> local_names;    // by-val captures, params, body decls
+  std::size_t body_begin = 0;           // token index just past '{'
+  std::size_t body_end = 0;             // token index of matching '}'
+  bool valid = false;
+};
+
+// Parse the lambda whose capture-intro '[' sits at `intro`.
+LambdaInfo parse_lambda(const CodeTokens& code, std::size_t intro) {
+  LambdaInfo info;
+  const std::size_t close = match_tok(code, intro, "[", "]");
+  if (close >= code.size()) return info;
+
+  // Capture list: entries at paren depth 0, split on ','.
+  std::size_t entry_start = intro + 1;
+  std::size_t paren_depth = 0;
+  const auto handle_entry = [&](std::size_t from, std::size_t to) {
+    if (from >= to) return;
+    if (tok_is(code, from, "&")) {
+      if (from + 1 < to && tok_ident(code, from + 1))
+        info.ref_captures.insert(code[from + 1]->text);
+      else
+        info.default_by_ref = true;
+    } else if (tok_ident(code, from) && code[from]->text != "this") {
+      info.local_names.insert(code[from]->text);  // by-val copy
+    }
+  };
+  for (std::size_t i = intro + 1; i < close; ++i) {
+    if (tok_is(code, i, "(")) ++paren_depth;
+    if (tok_is(code, i, ")")) --paren_depth;
+    if (tok_is(code, i, ",") && paren_depth == 0) {
+      handle_entry(entry_start, i);
+      entry_start = i + 1;
+    }
+  }
+  handle_entry(entry_start, close);
+
+  // Parameter list: the identifier directly before each top-level ',' or
+  // the closing ')' is the parameter name.
+  std::size_t pos = close + 1;
+  if (tok_is(code, pos, "(")) {
+    const std::size_t params_close = match_tok(code, pos, "(", ")");
+    if (params_close >= code.size()) return info;
+    std::size_t depth = 0;
+    for (std::size_t i = pos; i <= params_close; ++i) {
+      if (tok_is(code, i, "(")) ++depth;
+      const bool boundary = (tok_is(code, i, ",") && depth == 1) ||
+                            (i == params_close);
+      if (boundary && i > 0 && tok_ident(code, i - 1))
+        info.local_names.insert(code[i - 1]->text);
+      if (tok_is(code, i, ")")) --depth;
+    }
+    pos = params_close + 1;
+  }
+
+  // Skip specifiers / trailing return type up to the body.
+  while (pos < code.size() && !tok_is(code, pos, "{")) ++pos;
+  if (pos >= code.size()) return info;
+  const std::size_t body_close = match_tok(code, pos, "{", "}");
+  if (body_close >= code.size()) return info;
+  info.body_begin = pos + 1;
+  info.body_end = body_close;
+
+  // Identifiers declared inside the body: a token preceded by a type-ish
+  // token (identifier, '>', '&', '*', '&&') and followed by a declarator
+  // continuation ('=', '{', ';', ':', ','). Heuristic, biased toward
+  // treating names as local (a miss suppresses a finding, never invents
+  // one on a declared local).
+  for (std::size_t i = info.body_begin; i < info.body_end; ++i) {
+    if (!tok_ident(code, i) || i == 0) continue;
+    const Token* prev = code[i - 1];
+    const bool typeish =
+        prev->kind == Token::Kind::Identifier ||
+        (prev->kind == Token::Kind::Punct &&
+         (prev->text == ">" || prev->text == "&" || prev->text == "*" ||
+          prev->text == "&&"));
+    if (!typeish) continue;
+    if (tok_is(code, i + 1, "=") || tok_is(code, i + 1, "{") ||
+        tok_is(code, i + 1, ";") || tok_is(code, i + 1, ":") ||
+        tok_is(code, i + 1, ",") || tok_is(code, i + 1, "("))
+      info.local_names.insert(code[i]->text);
+  }
+
+  info.valid = true;
+  return info;
+}
+
+void check_capture_race(const FileView& view, std::vector<Violation>& out) {
+  if (path_contains(view.path, "src/support/parallel")) return;
+  CodeTokens code;
+  code.reserve(view.lexed.tokens.size());
+  for (const auto& t : view.lexed.tokens)
+    if (t.kind != Token::Kind::Comment) code.push_back(&t);
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!tok_ident(code, i)) continue;
+    const std::string& name = code[i]->text;
+    // parallel_reduce is the sanctioned chunk-order reduction; mutation in
+    // its combine step is the point, so only the fan-out entry points are
+    // analysed.
+    if (name != "parallel_for" && name != "parallel_for_chunks" &&
+        name != "parallel_for_tasks")
+      continue;
+    std::size_t open = i + 1;
+    if (tok_is(code, open, "<"))  // explicit template arguments
+      open = match_tok(code, open, "<", ">") + 1;
+    if (!tok_is(code, open, "(")) continue;
+    const std::size_t call_close = match_tok(code, open, "(", ")");
+    if (call_close >= code.size()) continue;
+
+    // Lambdas appearing as direct arguments: '[' preceded by '(' or ','.
+    for (std::size_t j = open + 1; j < call_close; ++j) {
+      if (!tok_is(code, j, "[")) continue;
+      if (!(tok_is(code, j - 1, "(") || tok_is(code, j - 1, ","))) continue;
+      const LambdaInfo lambda = parse_lambda(code, j);
+      if (!lambda.valid) continue;
+
+      for (std::size_t k = lambda.body_begin; k < lambda.body_end; ++k) {
+        if (!tok_ident(code, k)) continue;
+        const std::string& id = code[k]->text;
+        if (!id.empty() && id.back() == '_') continue;  // member convention
+        if (lambda.local_names.count(id) != 0) continue;
+        const bool by_ref = lambda.ref_captures.count(id) != 0 ||
+                            (lambda.default_by_ref &&
+                             lambda.local_names.count(id) == 0);
+        if (!by_ref) continue;
+        // Writes through a subscript are the distinct-slot convention:
+        // each iteration owns its element, no cross-chunk order leaks.
+        if (tok_is(code, k + 1, "[")) continue;
+        // Skip qualified/member uses: a.x / a->x / ns::x reads x off
+        // something else; the capture analysis only covers the bare name.
+        if (k > 0 && (tok_is(code, k - 1, ".") || tok_is(code, k - 1, "->") ||
+                      tok_is(code, k - 1, "::")))
+          continue;
+
+        bool mutated = false;
+        if (k + 1 < code.size() &&
+            code[k + 1]->kind == Token::Kind::Punct &&
+            assignment_ops().count(code[k + 1]->text) != 0)
+          mutated = true;
+        if (tok_is(code, k + 1, "++") || tok_is(code, k + 1, "--")) {
+          mutated = true;
+        }
+        if (k > 0 && (tok_is(code, k - 1, "++") || tok_is(code, k - 1, "--")))
+          mutated = true;
+        if ((tok_is(code, k + 1, ".") || tok_is(code, k + 1, "->")) &&
+            tok_ident(code, k + 2) &&
+            mutating_methods().count(code[k + 2]->text) != 0 &&
+            tok_is(code, k + 3, "("))
+          mutated = true;
+
+        if (mutated) {
+          emit(view, code[k]->line - 1, "capture-race",
+               "'" + id + "' is captured by reference and mutated inside a " +
+                   name +
+                   " lambda; chunk execution order leaks into the result "
+                   "even when TSan is clean (a mutex removes the data race, "
+                   "not the order dependence). Write through a per-index "
+                   "slot, or accumulate via support::parallel_reduce, whose "
+                   "combine step runs in chunk order (audited exceptions: "
+                   "// lint:capture-race-ok)",
+               out);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering — #include edges must respect the module DAG
+// ---------------------------------------------------------------------------
+
+void check_layering(const LintContext& ctx, std::vector<Violation>& out) {
+  // Observed module edges, for the cycle check: module -> (module, source).
+  std::map<std::string, std::set<std::string>> edges;
+
+  for (const auto& view : ctx.files) {
+    const std::string from = module_of_path(view.path);
+    if (from.empty()) continue;
+    for (const auto& inc : view.index.includes) {
+      const std::string to = module_of_include(inc.target);
+      if (to.empty()) continue;
+      if (from != to) edges[from].insert(to);
+      if (!dag_edge_allowed(from, to)) {
+        emit(view, inc.line - 1, "layering",
+             "module '" + from + "' (layer " +
+                 std::to_string(module_layer(from)) +
+                 ") must not include '" + inc.target + "' (module '" + to +
+                 "', layer " + std::to_string(module_layer(to)) +
+                 "): the DAG runs support -> obs -> core/boolfn -> "
+                 "puf/circuit/sat -> ml/lock/attack -> store; invert the "
+                 "dependency or move the shared piece down a layer",
+             out);
+      }
+    }
+  }
+
+  // Cycle check over the observed edges — defence in depth: the layer table
+  // makes cycles impossible unless the sanctioned same-layer list ever
+  // gains an inverse pair, and this catches that on the spot.
+  std::map<std::string, int> state;  // 0 unvisited / 1 on stack / 2 done
+  std::vector<std::string> cycle;
+  const std::function<bool(const std::string&)> visit =
+      [&](const std::string& m) -> bool {
+    state[m] = 1;
+    const auto it = edges.find(m);
+    if (it != edges.end()) {
+      for (const auto& next : it->second) {
+        if (state[next] == 1) {
+          cycle.push_back(next);
+          cycle.push_back(m);
+          return true;
+        }
+        if (state[next] == 0 && visit(next)) {
+          cycle.push_back(m);
+          return true;
+        }
+      }
+    }
+    state[m] = 2;
+    return false;
+  };
+  for (const auto& [m, targets] : edges) {
+    if (state[m] == 0 && visit(m)) {
+      std::string path_text;
+      for (auto it = cycle.rbegin(); it != cycle.rend(); ++it)
+        path_text += (path_text.empty() ? "" : " -> ") + *it;
+      out.push_back(Violation{
+          "src", 1, "layering",
+          "include cycle between modules: " + path_text +
+              "; the module graph must stay a DAG"});
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metric-registry — obs names are declared exactly once in
+// src/obs/names.hpp
+// ---------------------------------------------------------------------------
+
+bool is_registry_file(const std::string& path) {
+  return path == "src/obs/names.hpp" ||
+         (path.size() > 18 &&
+          path.compare(path.size() - 18, 18, "/src/obs/names.hpp") == 0);
+}
+
+bool in_metric_scope(const std::string& path) {
+  // src/ and bench/ own the registered namespace; tests and tools use
+  // scratch names on purpose.
+  return (path_contains(path, "src/") || path_contains(path, "bench/")) &&
+         !path_contains(path, "tests/") && !path_contains(path, "tools/");
+}
+
+void check_metric_registry(const LintContext& ctx,
+                           std::vector<Violation>& out) {
+  const FileView* registry = nullptr;
+  for (const auto& view : ctx.files)
+    if (is_registry_file(view.path)) registry = &view;
+  if (registry == nullptr) return;  // no registry in this file set: inert
+
+  // Registry entries: every string literal in names.hpp, each exactly once.
+  std::map<std::string, std::size_t> entries;  // name -> first line
+  for (const auto& lit : registry->index.string_literals) {
+    const auto [it, inserted] = entries.emplace(lit.text, lit.line);
+    if (!inserted) {
+      emit(*registry, lit.line - 1, "metric-registry",
+           "metric name '" + lit.text +
+               "' is declared more than once in the registry (first at line " +
+               std::to_string(it->second) + ")",
+           out);
+    }
+  }
+
+  std::set<std::string> used;
+  bool scanned_bench = false;
+  for (const auto& view : ctx.files) {
+    if (&view == registry || !in_metric_scope(view.path)) continue;
+    if (path_contains(view.path, "bench/")) scanned_bench = true;
+    for (const auto& use : view.index.metric_uses) {
+      used.insert(use.name);
+      if (entries.count(use.name) == 0) {
+        emit(view, use.line - 1, "metric-registry",
+             "obs name '" + use.name + "' (" + use.api +
+                 ") is not declared in src/obs/names.hpp; regenerate the "
+                 "registry with pitfalls-lint --write-names "
+                 "src/obs/names.hpp src bench",
+             out);
+      }
+    }
+  }
+
+  // Unused entries only make sense when the bench plane was scanned too —
+  // a src-only invocation would otherwise flag every bench-only name.
+  if (!scanned_bench) return;
+  for (const auto& [name, line] : entries) {
+    if (used.count(name) == 0) {
+      emit(*registry, line - 1, "metric-registry",
+           "registry entry '" + name +
+               "' has no remaining callsite under src/ or bench/; "
+               "regenerate the registry with pitfalls-lint --write-names",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: stale-suppression — every tag must still suppress something
+// ---------------------------------------------------------------------------
+
+void check_stale_suppressions(const FileView& view,
+                              std::vector<Violation>& out) {
+  static const std::set<std::string> suppressible = [] {
+    std::set<std::string> rules;
+    for (const auto& r : rule_names())
+      if (r != "stale-suppression") rules.insert(r);
+    return rules;
+  }();
+  for (const auto& [line, rules] : view.tags) {
+    for (const auto& rule : rules) {
+      if (suppressible.count(rule) == 0) {
+        out.push_back(Violation{
+            view.path, line + 1, "stale-suppression",
+            "suppression tag names unknown rule '" + rule +
+                "'; see pitfalls-lint --list-rules"});
+      } else if (view.used_tags.count({line, rule}) == 0) {
+        out.push_back(Violation{
+            view.path, line + 1, "stale-suppression",
+            "suppression tag for rule '" + rule +
+                "' no longer suppresses any violation; the audited "
+                "exception it excused is gone — remove the tag"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -470,102 +893,50 @@ void check_require_guard(const LintContext& ctx, const FileView& view,
 // ---------------------------------------------------------------------------
 
 std::string strip_comments_and_strings(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
-  State state = State::Code;
-  std::string raw_delim;  // for raw strings: ")delim\""
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_ident_char(text[i - 1]))) {
-          // R"delim( ... )delim"
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < text.size() && text[p] != '(') delim += text[p++];
-          raw_delim = ")" + delim + "\"";
-          state = State::Raw;
-          out += "  ";
-          for (std::size_t k = i + 2; k <= p && k < text.size(); ++k)
-            out += ' ';
-          i = p;
-        } else if (c == '"') {
-          state = State::String;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::Char;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') {
-          state = State::Code;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          out += "  ";
-          ++i;
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::String:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-          out += ' ';
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::Char:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-          out += ' ';
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::Raw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
-          i += raw_delim.size() - 1;
-          state = State::Code;
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  return lex(text).stripped;
 }
 
 std::vector<std::string> rule_names() {
-  return {"rng",       "wallclock",     "ordered",      "chunk-rng",
-          "require-guard", "scalar-query", "arena",      "raw-io"};
+  return {"rng",           "wallclock",     "ordered",
+          "chunk-rng",     "require-guard", "scalar-query",
+          "arena",         "raw-io",        "capture-race",
+          "layering",      "metric-registry", "stale-suppression"};
+}
+
+std::string rule_summary(const std::string& rule) {
+  if (rule == "rng")
+    return "All randomness flows through support::Rng (src/support/rng).";
+  if (rule == "wallclock")
+    return "No wall-clock reads outside src/obs; time never shapes a result.";
+  if (rule == "ordered")
+    return "No iteration over unordered containers; hash order is not "
+           "deterministic.";
+  if (rule == "chunk-rng")
+    return "Parallel regions derive randomness via support::rng_for_chunk.";
+  if (rule == "require-guard")
+    return "Parameterised public headers carry PITFALLS_REQUIRE/ENSURE "
+           "contracts.";
+  if (rule == "scalar-query")
+    return "Parallel chunk bodies under src/ml and src/puf use the batch "
+           "query plane.";
+  if (rule == "arena")
+    return "Clause storage lives in sat::ClauseArena, not per-clause "
+           "containers.";
+  if (rule == "raw-io")
+    return "File I/O flows through the crash-safe snapshot format.";
+  if (rule == "capture-race")
+    return "Parallel lambdas must not mutate by-reference captures outside "
+           "the distinct-slot convention.";
+  if (rule == "layering")
+    return "#include edges respect the module DAG (support -> obs -> "
+           "core/boolfn -> puf/circuit/sat -> ml/lock/attack -> store).";
+  if (rule == "metric-registry")
+    return "Every obs metric/span name is declared exactly once in "
+           "src/obs/names.hpp.";
+  if (rule == "stale-suppression")
+    return "Suppression tags that no longer suppress a violation are "
+           "errors.";
+  return "pitfalls-lint rule.";
 }
 
 bool is_source_file(const std::string& path) {
@@ -584,9 +955,18 @@ std::vector<std::string> collect_sources(
   std::set<std::string> paths;
   for (const auto& root : roots) {
     if (fs::is_directory(root)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (entry.is_regular_file() && is_source_file(entry.path().string()))
-          paths.insert(entry.path().string());
+      fs::recursive_directory_iterator it(root), end;
+      while (it != end) {
+        // Fixture trees hold deliberate violations; only an explicit root
+        // reaches inside them.
+        if (it->is_directory() &&
+            it->path().filename().string() == "lint_fixtures") {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() &&
+                   is_source_file(it->path().string())) {
+          paths.insert(it->path().string());
+        }
+        ++it;
       }
     } else if (fs::is_regular_file(root)) {
       paths.insert(root);
@@ -606,15 +986,74 @@ SourceFile load_file(const std::string& path) {
   return SourceFile{path, buffer.str()};
 }
 
+std::string write_names_header(const std::vector<SourceFile>& files) {
+  std::map<std::string, std::set<std::string>> names;  // name -> APIs
+  for (const auto& file : files) {
+    const std::string path = normalize_path(file.path);
+    if (!in_metric_scope(path) || is_registry_file(path)) continue;
+    const FileIndex index = index_file(lex(file.text));
+    for (const auto& use : index.metric_uses)
+      names[use.name].insert(use.api);
+  }
+
+  std::ostringstream out;
+  out << "// The observability name registry: every metric/span name "
+         "literal used\n"
+         "// under src/ and bench/, exactly once. pitfalls-lint's "
+         "metric-registry rule\n"
+         "// checks callsites against this list, so bench JSON, baselines "
+         "and\n"
+         "// check_bench_json can never drift silently from the code.\n"
+         "//\n"
+         "// GENERATED FILE — regenerate after adding or renaming a name:\n"
+         "//   pitfalls-lint --write-names=src/obs/names.hpp src bench\n"
+         "#pragma once\n"
+         "\n"
+         "#include <cstddef>\n"
+         "\n"
+         "namespace pitfalls::obs::names {\n"
+         "\n"
+         "// clang-format off\n"
+         "inline constexpr const char* kRegistered[] = {\n";
+  for (const auto& [name, apis] : names) {
+    out << "    \"" << name << "\",  //";
+    for (const auto& api : apis) out << " " << api;
+    out << "\n";
+  }
+  out << "};\n"
+         "// clang-format on\n"
+         "\n"
+         "inline constexpr std::size_t kRegisteredCount =\n"
+         "    sizeof(kRegistered) / sizeof(kRegistered[0]);\n"
+         "\n"
+         "}  // namespace pitfalls::obs::names\n";
+  return out.str();
+}
+
+std::string dag_description() {
+  std::ostringstream out;
+  out << "modules:\n";
+  for (const auto& module : dag_modules())
+    out << "  " << module << ": layer " << module_layer(module) << "\n";
+  out << "same-layer edges:\n"
+      << "  core -> boolfn\n"
+      << "  sat -> circuit\n"
+      << "  attack -> ml\n"
+      << "  attack -> lock\n";
+  return out.str();
+}
+
 std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
   LintContext ctx;
   ctx.files.reserve(files.size());
   for (const auto& file : files) {
     FileView view;
     view.path = normalize_path(file.path);
-    view.stripped = strip_comments_and_strings(file.text);
+    view.lexed = lex(file.text);
+    view.stripped = view.lexed.stripped;
     view.lines = split_lines(view.stripped);
-    view.ok_tags = harvest_suppressions(split_lines(file.text));
+    view.tags = harvest_tags(view.lexed);
+    view.index = index_file(view.lexed);
     view.is_header =
         view.path.size() > 2 &&
         (view.path.rfind(".hpp") == view.path.size() - 4 ||
@@ -644,7 +1083,14 @@ std::vector<Violation> run_lint(const std::vector<SourceFile>& files) {
     check_scalar_query(view, out);
     check_arena(view, out);
     check_raw_io(view, out);
+    check_capture_race(view, out);
   }
+  check_layering(ctx, out);
+  check_metric_registry(ctx, out);
+  // Stale tags are judged after every other rule had its chance to consume
+  // them (suppressed() records consumption).
+  for (const auto& view : ctx.files) check_stale_suppressions(view, out);
+
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
               if (a.file != b.file) return a.file < b.file;

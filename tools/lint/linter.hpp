@@ -1,41 +1,68 @@
-// pitfalls-lint — project-specific determinism lint pass.
+// pitfalls-lint — project-specific determinism and architecture lint pass.
 //
 // The library's reproducibility contract (DESIGN.md §6/§8/§9) is bit-for-bit:
 // a seeded experiment must emit identical bytes for every PITFALLS_THREADS
 // value, on every machine. Runtime tests can only sample that contract; a
 // single stray std::random_device, a time-seeded draw, or an unordered-map
 // iteration feeding a metric silently invalidates the Table I/II verdicts
-// without failing anything. pitfalls-lint closes that hole statically: it
-// scans the source text (comments and string literals stripped) and enforces
-// the codebase-aware rules below at CI time.
+// without failing anything. pitfalls-lint closes that hole statically.
 //
-// Rules (DESIGN.md §10 documents the rationale for each):
-//   rng           no rand()/srand()/std::random_device/std::mt19937 outside
-//                 src/support/rng — all randomness flows through support::Rng.
-//   wallclock     no std::chrono / wall-clock reads outside src/obs; timing
-//                 that only feeds diagnostics carries `// lint:wallclock-ok`.
-//   ordered       no iteration over std::unordered_map/std::unordered_set —
-//                 hash-order leaks into outputs; `// lint:ordered-ok` marks
-//                 the audited exceptions.
-//   chunk-rng     every parallel_for/parallel_for_chunks/parallel_reduce
-//                 region that consumes randomness must derive it with
-//                 support::rng_for_chunk, never share one Rng& across chunks.
-//   require-guard public headers must back their parameterised API with
-//                 PITFALLS_REQUIRE/PITFALLS_ENSURE contracts (in the header
-//                 or its sibling .cpp).
-//   scalar-query  under src/ml and src/puf, parallel chunk bodies must not
-//                 issue per-element query_pm/eval_pm calls — use the batch
-//                 query plane (query_pm_batch/eval_pm_batch) once per chunk;
-//                 `// lint:scalar-query-ok` marks audited exceptions.
-//   raw-io        no fopen/freopen/tmpfile/std::[io]fstream outside
-//                 src/support/snapshot and src/obs — experiment state goes
-//                 through the crash-safe snapshot format (atomic rename +
-//                 CRC, DESIGN.md §14); `// lint:raw-io-ok` marks audited
-//                 exceptions.
+// Since the semantic rebuild (DESIGN.md §15) the linter runs on a real
+// token stream (tools/lint/lexer.hpp): comments, strings, raw strings,
+// digraphs and line splices are resolved by the lexer, the textual rules
+// match over lexer-blanked text, and the semantic rules (capture-race,
+// layering, metric-registry, stale-suppression) read tokens and a light
+// symbol index (tools/lint/symbol_index.hpp).
 //
-// Suppression: `// lint:<rule>-ok` on the flagged line or the line directly
-// above acknowledges an audited exception. Suppressions are per-rule; there
-// is deliberately no blanket opt-out.
+// Rules (DESIGN.md §10/§15 document the rationale for each):
+//   rng              no rand()/srand()/std::random_device/std::mt19937
+//                    outside src/support/rng — all randomness flows through
+//                    support::Rng.
+//   wallclock        no std::chrono / wall-clock reads outside src/obs;
+//                    timing that only feeds diagnostics carries the
+//                    wallclock suppression tag.
+//   ordered          no iteration over std::unordered_map/std::unordered_set
+//                    — hash order leaks into outputs; the ordered tag marks
+//                    audited exceptions.
+//   chunk-rng        every parallel_for/parallel_for_chunks/parallel_reduce
+//                    region that consumes randomness must derive it with
+//                    support::rng_for_chunk, never share one Rng& across
+//                    chunks.
+//   require-guard    public headers must back their parameterised API with
+//                    PITFALLS_REQUIRE/PITFALLS_ENSURE contracts (in the
+//                    header or its sibling .cpp).
+//   scalar-query     under src/ml and src/puf, parallel chunk bodies must
+//                    not issue per-element query_pm/eval_pm calls — use the
+//                    batch query plane once per chunk.
+//   arena            clause storage belongs to sat::ClauseArena; no
+//                    per-clause container members outside it.
+//   raw-io           no fopen/freopen/tmpfile/std::[io]fstream outside
+//                    src/support/snapshot and src/obs — experiment state
+//                    goes through the crash-safe snapshot format.
+//   capture-race     parallel_for/parallel_for_chunks/parallel_for_tasks
+//                    lambdas must not mutate by-reference captures outside
+//                    the distinct-slot convention (writes through x[...])
+//                    — an order-dependence TSan cannot see; reductions
+//                    belong in parallel_reduce.
+//   layering         #include edges between src/ modules must respect the
+//                    module DAG (support → obs → core/boolfn →
+//                    puf/circuit/sat → ml/lock/attack → store): no cycles,
+//                    no upward edges, same-layer only where sanctioned.
+//   metric-registry  every obs metric/span name literal used under src/ and
+//                    bench/ must be declared exactly once in the generated
+//                    registry src/obs/names.hpp (pitfalls-lint
+//                    --write-names), and every registry entry must have a
+//                    live callsite.
+//   stale-suppression  a suppression tag that no longer suppresses any
+//                    violation — or names a rule that does not exist — is
+//                    itself an error, so audited exceptions cannot outlive
+//                    the code they excused.
+//
+// Suppression: a comment tag of the form lint:<rule>-ok on the flagged line
+// or the line directly above acknowledges an audited exception. Tags only
+// count inside comments (string literals with tag-shaped content are
+// ignored), they are per-rule, and there is deliberately no blanket
+// opt-out; stale-suppression itself cannot be suppressed.
 #pragma once
 
 #include <cstddef>
@@ -61,13 +88,15 @@ struct SourceFile {
 
 /// Replace comments, string literals and char literals with spaces while
 /// preserving line structure, so rule regexes never fire on prose. Raw
-/// string literals (R"( ... )") are handled.
+/// string literals (any delimiter), encoding prefixes, digraphs and
+/// backslash-newline splices are handled by the real lexer underneath.
 std::string strip_comments_and_strings(const std::string& text);
 
 /// Run every rule over the file set. Cross-file state (unordered-container
-/// names for `ordered`, sibling-guard lookup for `require-guard`) is built
-/// from exactly this set, so results are a pure function of the input.
-/// Violations come back sorted by (file, line, rule).
+/// names for `ordered`, sibling-guard lookup for `require-guard`, the
+/// module DAG for `layering`, the name registry for `metric-registry`) is
+/// built from exactly this set, so results are a pure function of the
+/// input. Violations come back sorted by (file, line, rule).
 std::vector<Violation> run_lint(const std::vector<SourceFile>& files);
 
 /// True for the extensions the linter understands (.hpp/.cpp/.h/.cc).
@@ -75,6 +104,8 @@ bool is_source_file(const std::string& path);
 
 /// Expand files/directories into a sorted list of source paths. Directories
 /// are walked recursively; order is lexicographic so output is stable.
+/// Directories named lint_fixtures are pruned — they hold deliberate
+/// violations for tests/lint_test.cpp — unless passed as an explicit root.
 std::vector<std::string> collect_sources(const std::vector<std::string>& roots);
 
 /// Read one file from disk (throws std::runtime_error on failure).
@@ -82,5 +113,19 @@ SourceFile load_file(const std::string& path);
 
 /// Identifiers of every implemented rule, in report order.
 std::vector<std::string> rule_names();
+
+/// One-line description of a rule (SARIF rules[] metadata).
+std::string rule_summary(const std::string& rule);
+
+/// Content of the generated metric/span name registry (src/obs/names.hpp):
+/// every literal obs name used under src/ and bench/ in the given file set,
+/// sorted, annotated with the APIs that use it. Deterministic, so CI can
+/// regenerate and diff.
+std::string write_names_header(const std::vector<SourceFile>& files);
+
+/// Human-readable module DAG (layers plus sanctioned same-layer edges) —
+/// the exact text DESIGN.md §15 embeds, compared by
+/// scripts/check_layering_dag.py.
+std::string dag_description();
 
 }  // namespace pitfalls::lint

@@ -1,29 +1,76 @@
 // pitfalls-lint CLI. Usage:
-//   pitfalls-lint [--list-rules] <file-or-dir>...
+//   pitfalls-lint [--list-rules] [--print-dag] [--sarif[=PATH]]
+//                 [--write-names=PATH] <file-or-dir>...
 //
 // Scans every .cpp/.cc/.hpp/.h under the given roots and reports one line
 // per violation as `file:line: [rule] message`. Exit status: 0 when clean,
 // 1 when violations were found, 2 on usage or I/O errors. The `lint` CMake
-// target and the `lint_repo_clean` ctest run this over src/ and bench/.
+// target and the `lint_repo_clean` ctest run this over src/, bench/, tools/
+// and tests/.
+//
+//   --list-rules        print the rule identifiers, one per line, and exit.
+//   --print-dag         print the module DAG (dag_description()) and exit.
+//   --sarif[=PATH]      additionally emit a SARIF 2.1.0 log (stdout when no
+//                       PATH; the text report then moves to stderr so the
+//                       JSON stream stays parseable).
+//   --write-names=PATH  regenerate the metric/span name registry from the
+//                       given roots and write it to PATH, then exit 0.
+#include <fstream>  // lint:raw-io-ok (CLI writes SARIF / registry artefacts)
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "linter.hpp"
+#include "sarif.hpp"
+
+namespace {
+
+int write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);  // lint:raw-io-ok
+  if (!out) {
+    std::cerr << "pitfalls-lint: cannot write " << path << "\n";
+    return 2;
+  }
+  out << content;
+  return out.good() ? 0 : 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pitfalls::lint;
 
   std::vector<std::string> roots;
+  bool sarif = false;
+  std::string sarif_path;
+  std::string names_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& rule : rule_names()) std::cout << rule << "\n";
       return 0;
     }
+    if (arg == "--print-dag") {
+      std::cout << dag_description();
+      return 0;
+    }
+    if (arg == "--sarif" || arg.rfind("--sarif=", 0) == 0) {
+      sarif = true;
+      if (arg.size() > 8) sarif_path = arg.substr(8);
+      continue;
+    }
+    if (arg.rfind("--write-names=", 0) == 0) {
+      names_path = arg.substr(14);
+      if (names_path.empty()) {
+        std::cerr << "pitfalls-lint: --write-names requires a path\n";
+        return 2;
+      }
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pitfalls-lint [--list-rules] <file-or-dir>...\n";
+      std::cout << "usage: pitfalls-lint [--list-rules] [--print-dag] "
+                   "[--sarif[=PATH]] [--write-names=PATH] <file-or-dir>...\n";
       return 0;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -33,7 +80,8 @@ int main(int argc, char** argv) {
     roots.push_back(arg);
   }
   if (roots.empty()) {
-    std::cerr << "usage: pitfalls-lint [--list-rules] <file-or-dir>...\n";
+    std::cerr << "usage: pitfalls-lint [--list-rules] [--print-dag] "
+                 "[--sarif[=PATH]] [--write-names=PATH] <file-or-dir>...\n";
     return 2;
   }
 
@@ -41,19 +89,40 @@ int main(int argc, char** argv) {
     std::vector<SourceFile> files;
     for (const auto& path : collect_sources(roots))
       files.push_back(load_file(path));
-    const std::vector<Violation> violations = run_lint(files);
-    for (const auto& v : violations)
-      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-                << v.message << "\n";
-    if (violations.empty()) {
-      std::cout << "pitfalls-lint: " << files.size()
-                << " files clean (no unsuppressed violations)\n";
-      return 0;
+
+    if (!names_path.empty()) {
+      const int rc = write_text_file(names_path, write_names_header(files));
+      if (rc == 0)
+        std::cout << "pitfalls-lint: wrote registry " << names_path << "\n";
+      return rc;
     }
-    std::cout << "pitfalls-lint: " << violations.size() << " violation"
-              << (violations.size() == 1 ? "" : "s") << " in " << files.size()
-              << " files\n";
-    return 1;
+
+    const std::vector<Violation> violations = run_lint(files);
+
+    // With --sarif and no path the JSON owns stdout; text goes to stderr.
+    std::ostream& text = (sarif && sarif_path.empty()) ? std::cerr : std::cout;
+    for (const auto& v : violations)
+      text << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
+           << "\n";
+    if (violations.empty())
+      text << "pitfalls-lint: " << files.size()
+           << " files clean (no unsuppressed violations)\n";
+    else
+      text << "pitfalls-lint: " << violations.size() << " violation"
+           << (violations.size() == 1 ? "" : "s") << " in " << files.size()
+           << " files\n";
+
+    if (sarif) {
+      const std::string log = to_sarif(violations);
+      if (sarif_path.empty()) {
+        std::cout << log;
+      } else {
+        const int rc = write_text_file(sarif_path, log);
+        if (rc != 0) return rc;
+        text << "pitfalls-lint: wrote SARIF " << sarif_path << "\n";
+      }
+    }
+    return violations.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

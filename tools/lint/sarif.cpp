@@ -1,0 +1,90 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pitfalls::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"pitfalls-lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/pitfalls/pitfalls\",\n"
+      << "          \"rules\": [\n";
+  const auto rules = rule_names();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(rules[i])
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule_summary(rules[i])) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(v.message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(v.file) << "\"}, \"region\": {\"startLine\": "
+        << v.line << "}}}]\n"
+        << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace pitfalls::lint

@@ -1,0 +1,21 @@
+// Minimal SARIF 2.1.0 writer for pitfalls-lint findings, so CI can upload
+// the run and annotate PRs inline (github/codeql-action/upload-sarif).
+//
+// One run, one tool.driver with a rules[] entry per lint rule, one result
+// per violation with ruleId / message.text / physicalLocation
+// (artifactLocation.uri + region.startLine). URIs are emitted exactly as
+// the violations carry them — pass repo-relative paths to the linter when
+// producing SARIF for CI so the annotations land on the right files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace pitfalls::lint {
+
+/// Serialize violations as a SARIF 2.1.0 log (UTF-8 JSON, trailing newline).
+std::string to_sarif(const std::vector<Violation>& violations);
+
+}  // namespace pitfalls::lint

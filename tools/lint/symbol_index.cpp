@@ -1,0 +1,204 @@
+#include "symbol_index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace pitfalls::lint {
+
+namespace {
+
+// The module DAG of DESIGN.md §15. Layers grow upward: a module may include
+// strictly lower layers freely; same-layer edges only where sanctioned
+// below.
+constexpr std::pair<const char*, int> kLayers[] = {
+    {"support", 0}, {"obs", 1},  {"core", 2}, {"boolfn", 2},
+    {"puf", 3},     {"circuit", 3}, {"sat", 3},  {"ml", 4},
+    {"lock", 4},    {"attack", 4},  {"store", 5},
+};
+
+// Sanctioned same-layer edges (from, to): the bound-formula plane reads the
+// Boolean-function abstractions, the CNF encoder reads netlists, and the
+// oracle-guided attacks drive both the learners and the locking schemes.
+constexpr std::pair<const char*, const char*> kSameLayer[] = {
+    {"core", "boolfn"},
+    {"sat", "circuit"},
+    {"attack", "ml"},
+    {"attack", "lock"},
+};
+
+// Skip comment tokens: the semantic scans look at code only.
+std::vector<const Token*> code_tokens(const LexedFile& lexed) {
+  std::vector<const Token*> code;
+  code.reserve(lexed.tokens.size());
+  for (const auto& t : lexed.tokens)
+    if (t.kind != Token::Kind::Comment) code.push_back(&t);
+  return code;
+}
+
+bool is_punct(const Token* t, const char* text) {
+  return t->kind == Token::Kind::Punct && t->text == text;
+}
+
+bool is_ident(const Token* t, const char* text) {
+  return t->kind == Token::Kind::Identifier && t->text == text;
+}
+
+// Consume a run of adjacent string literals starting at `i` (implicit
+// concatenation); returns the joined text and advances `i` past the run.
+std::string join_strings(const std::vector<const Token*>& code,
+                         std::size_t& i) {
+  std::string joined;
+  while (i < code.size() && code[i]->kind == Token::Kind::String) {
+    joined += code[i]->text;
+    ++i;
+  }
+  return joined;
+}
+
+void scan_metric_uses(const std::vector<const Token*>& code, FileIndex& out) {
+  const auto literal_arg = [&](std::size_t open, const char* api,
+                               std::size_t line) {
+    // open indexes the '('; the name counts only when it is a pure literal
+    // (string run directly followed by ')' or ','). Anything else is a
+    // runtime-built name the registry cannot check statically.
+    std::size_t j = open + 1;
+    if (j >= code.size() || code[j]->kind != Token::Kind::String) return;
+    const std::string name = join_strings(code, j);
+    if (j < code.size() && (is_punct(code[j], ")") || is_punct(code[j], ",")))
+      out.metric_uses.push_back(MetricUse{name, api, line});
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* t = code[i];
+    if (t->kind != Token::Kind::Identifier) continue;
+
+    // registry.counter("...") / .gauge / .histogram / tracer.instant("...")
+    if ((t->text == "counter" || t->text == "gauge" ||
+         t->text == "histogram" || t->text == "instant") &&
+        i > 0 && (is_punct(code[i - 1], ".") || is_punct(code[i - 1], "->")) &&
+        i + 1 < code.size() && is_punct(code[i + 1], "(")) {
+      const char* api = t->text == "instant" ? "instant" : t->text.c_str();
+      literal_arg(i + 1, api, t->line);
+      continue;
+    }
+
+    // obs::TraceSpan span("...")  /  obs::TraceSpan("...")
+    if (t->text == "TraceSpan") {
+      std::size_t j = i + 1;
+      if (j < code.size() && code[j]->kind == Token::Kind::Identifier) ++j;
+      if (j < code.size() && is_punct(code[j], "("))
+        literal_arg(j, "span", t->line);
+      continue;
+    }
+
+    // obs::observe_batch("...", n)
+    if (t->text == "observe_batch" && i + 1 < code.size() &&
+        is_punct(code[i + 1], "(")) {
+      literal_arg(i + 1, "batch", t->line);
+      continue;
+    }
+
+    // obs::ScopedTimer timer(registry, "...") — the name is the second
+    // argument; skip to the ',' at depth 1 of the call.
+    if (t->text == "ScopedTimer") {
+      std::size_t j = i + 1;
+      if (j < code.size() && code[j]->kind == Token::Kind::Identifier) ++j;
+      if (j >= code.size() || !is_punct(code[j], "(")) continue;
+      std::size_t depth = 0;
+      for (; j < code.size(); ++j) {
+        if (is_punct(code[j], "(")) {
+          ++depth;
+        } else if (is_punct(code[j], ")")) {
+          if (--depth == 0) break;
+        } else if (is_punct(code[j], ",") && depth == 1) {
+          std::size_t k = j + 1;
+          if (k < code.size() && code[k]->kind == Token::Kind::String) {
+            const std::string name = join_strings(code, k);
+            if (k < code.size() &&
+                (is_punct(code[k], ")") || is_punct(code[k], ",")))
+              out.metric_uses.push_back(MetricUse{name, "timer", t->line});
+          }
+          break;
+        }
+      }
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+FileIndex index_file(const LexedFile& lexed) {
+  FileIndex out;
+  const auto code = code_tokens(lexed);
+
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    if (is_punct(code[i], "#") && is_ident(code[i + 1], "include") &&
+        code[i + 2]->kind == Token::Kind::String) {
+      out.includes.push_back(
+          IncludeEdge{code[i + 2]->text, code[i + 2]->line});
+    }
+  }
+
+  for (const auto& t : lexed.tokens)
+    if (t.kind == Token::Kind::String)
+      out.string_literals.push_back(StringLiteral{t.text, t.line});
+
+  scan_metric_uses(code, out);
+  return out;
+}
+
+std::string module_of_path(const std::string& normalized_path) {
+  const std::size_t at = normalized_path.rfind("src/");
+  // Only a real src/ tree counts: the path either starts with src/ or has a
+  // separator before it (so "tests/lint_fixtures/xsrc/..." stays exempt).
+  if (at == std::string::npos ||
+      (at != 0 && normalized_path[at - 1] != '/'))
+    return "";
+  const std::size_t begin = at + 4;
+  const std::size_t slash = normalized_path.find('/', begin);
+  if (slash == std::string::npos) return "";
+  const std::string module = normalized_path.substr(begin, slash - begin);
+  return module_layer(module) < 0 ? "" : module;
+}
+
+std::string module_of_include(const std::string& include_target) {
+  const std::size_t slash = include_target.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string module = include_target.substr(0, slash);
+  return module_layer(module) < 0 ? "" : module;
+}
+
+int module_layer(const std::string& module) {
+  for (const auto& [name, layer] : kLayers)
+    if (module == name) return layer;
+  return -1;
+}
+
+std::vector<std::string> dag_modules() {
+  std::vector<std::string> modules;
+  for (const auto& [name, layer] : kLayers) modules.emplace_back(name);
+  std::sort(modules.begin(), modules.end(),
+            [](const std::string& a, const std::string& b) {
+              const int la = module_layer(a);
+              const int lb = module_layer(b);
+              if (la != lb) return la < lb;
+              return a < b;
+            });
+  return modules;
+}
+
+bool dag_edge_allowed(const std::string& from, const std::string& to) {
+  if (from == to) return true;
+  const int lf = module_layer(from);
+  const int lt = module_layer(to);
+  if (lf < 0 || lt < 0) return false;
+  if (lt < lf) return true;
+  if (lt > lf) return false;
+  for (const auto& [f, t] : kSameLayer)
+    if (from == f && to == t) return true;
+  return false;
+}
+
+}  // namespace pitfalls::lint

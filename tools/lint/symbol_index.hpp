@@ -1,0 +1,71 @@
+// Lightweight symbol index for the semantic lint rules.
+//
+// Built per file from the token stream (tools/lint/lexer.hpp), no parser:
+//   * quoted #include directives, for the layering rule's module DAG;
+//   * obs metric/span name callsites (counter/gauge/histogram/TraceSpan/
+//     ScopedTimer/instant/observe_batch with a literal name), for the
+//     metric-registry rule and the --write-names generator;
+//   * every string literal with its line, for parsing the committed
+//     registry header src/obs/names.hpp.
+//
+// The module DAG itself (layer assignment + the few sanctioned same-layer
+// edges) also lives here so the rule, the --print-dag CLI output and the
+// DESIGN.md §15 diagram check all read one table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pitfalls::lint {
+
+struct IncludeEdge {
+  std::string target;  // verbatim quoted include path, e.g. "obs/metrics.hpp"
+  std::size_t line = 0;
+};
+
+struct MetricUse {
+  std::string name;  // the literal metric/span name
+  std::string api;   // counter | gauge | histogram | span | instant | batch | timer
+  std::size_t line = 0;
+};
+
+struct StringLiteral {
+  std::string text;
+  std::size_t line = 0;
+};
+
+struct FileIndex {
+  std::vector<IncludeEdge> includes;
+  std::vector<MetricUse> metric_uses;
+  std::vector<StringLiteral> string_literals;
+};
+
+/// Index one lexed file.
+FileIndex index_file(const LexedFile& lexed);
+
+/// Module name for a path under src/ ("support", "obs", ..., "store"), or ""
+/// when the path is not a src/ module file (bench, tests, tools, unknown
+/// directories). Expects a normalized (forward-slash) path.
+std::string module_of_path(const std::string& normalized_path);
+
+/// Module name an include target resolves to ("" when the include is not a
+/// module header — system headers, relative includes, tools).
+std::string module_of_include(const std::string& include_target);
+
+/// DAG layer of a module (0 = support ... 5 = store), or -1 for unknown
+/// modules.
+int module_layer(const std::string& module);
+
+/// All modules of the DAG in layer order (ties lexicographic).
+std::vector<std::string> dag_modules();
+
+/// May a file in module `from` include a header of module `to`? Downward
+/// edges (higher layer to strictly lower) are free; same-layer edges only
+/// where the table sanctions them; everything else (upward, unknown) is a
+/// violation.
+bool dag_edge_allowed(const std::string& from, const std::string& to);
+
+}  // namespace pitfalls::lint
