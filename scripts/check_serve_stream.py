@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Schema validation for a pitfalls-served wire stream (DESIGN.md $16).
+
+Reads one line-delimited JSON stream captured from the daemon and checks
+the protocol invariants the byte-stability and crash-resume gates rely on:
+
+  * every line parses as a standalone JSON object with a known "type"
+  * the first line is the hello (schema 1); the last line is drained, and
+    nothing follows it
+  * an ack precedes every obs/outcome/resumed line that names the same id
+  * outcome ids are unique; resumed lines only name journaled outcomes
+  * job-scope obs lines carry the accounting fields (queries / replayed /
+    flips / drops / spans); wave-scope obs lines carry counter deltas
+    restricted to the deterministic serve.jobs. / serve.session. /
+    serve.wire. families (never serve.fleet. -- cache hits depend on
+    worker interleaving)
+  * error lines fail the check unless --allow-errors admits exactly N
+
+Usage:
+  check_serve_stream.py STREAM [--expect-outcomes N] [--expect-resumed N]
+                        [--allow-errors N] [--terminated]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+KNOWN_TYPES = {"hello", "ack", "obs", "outcome", "error", "resumed", "drained"}
+OUTCOME_KINDS = {"auth", "attack", "query"}
+WAVE_PREFIXES = ("serve.jobs.", "serve.session.", "serve.wire.")
+DIGEST = re.compile(r"^[0-9a-f]{8}$")
+
+
+def fail(lineno, message):
+    print(f"check_serve_stream: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, lineno, message):
+    if not cond:
+        fail(lineno, message)
+
+
+def check_u64(doc, field, lineno):
+    value = doc.get(field)
+    require(isinstance(value, int) and value >= 0, lineno,
+            f'"{field}" must be a non-negative integer, got {value!r}')
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stream", help="captured daemon output, one JSON/line")
+    parser.add_argument("--expect-outcomes", type=int, default=None,
+                        help="require exactly N outcome lines")
+    parser.add_argument("--expect-resumed", type=int, default=None,
+                        help="require exactly N resumed lines")
+    parser.add_argument("--allow-errors", type=int, default=0,
+                        help="admit exactly N error lines (default 0)")
+    parser.add_argument("--terminated", action="store_true",
+                        help="the drained line must carry terminated:true")
+    args = parser.parse_args()
+
+    with open(args.stream, "r", encoding="utf-8") as handle:
+        raw_lines = [line.rstrip("\n") for line in handle]
+    raw_lines = [line for line in raw_lines if line]
+    if not raw_lines:
+        fail(0, "stream is empty")
+
+    acked = set()
+    outcomes = set()
+    resumed = set()
+    errors = 0
+    drained = None
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as err:
+            fail(lineno, f"not valid JSON ({err}): {raw[:80]}")
+        require(isinstance(doc, dict), lineno, "line is not a JSON object")
+        kind = doc.get("type")
+        require(kind in KNOWN_TYPES, lineno, f"unknown type {kind!r}")
+        require(drained is None, lineno, "traffic after the drained line")
+
+        if lineno == 1:
+            require(kind == "hello", lineno, "stream must start with hello")
+        if kind == "hello":
+            require(lineno == 1, lineno, "hello after the first line")
+            require(doc.get("schema") == 1, lineno, "hello schema must be 1")
+            fleet = doc.get("fleet")
+            require(isinstance(fleet, dict), lineno, "hello needs a fleet object")
+            check_u64(fleet, "tokens", lineno)
+        elif kind == "ack":
+            job = doc.get("id")
+            require(isinstance(job, str) and job, lineno, "ack needs a job id")
+            require(job not in acked, lineno, f"duplicate ack for {job!r}")
+            acked.add(job)
+        elif kind == "obs" and doc.get("scope") == "job":
+            job = doc.get("id")
+            require(job in acked, lineno, f"obs for unacked job {job!r}")
+            for field in ("queries", "replayed", "flips", "drops"):
+                check_u64(doc, field, lineno)
+            require(isinstance(doc.get("spans"), list), lineno,
+                    "job obs needs a spans array")
+        elif kind == "obs":
+            require(doc.get("scope") == "wave", lineno,
+                    f'obs scope must be job or wave, got {doc.get("scope")!r}')
+            counters = doc.get("counters")
+            require(isinstance(counters, dict) and counters, lineno,
+                    "wave obs needs a non-empty counters object")
+            for name, delta in counters.items():
+                require(name.startswith(WAVE_PREFIXES), lineno,
+                        f"non-deterministic counter {name!r} on the wire")
+                require(isinstance(delta, int) and delta > 0, lineno,
+                        f"counter delta for {name!r} must be a positive int")
+        elif kind == "outcome":
+            job = doc.get("id")
+            require(job in acked, lineno, f"outcome for unacked job {job!r}")
+            require(job not in outcomes, lineno,
+                    f"duplicate outcome for {job!r}")
+            outcomes.add(job)
+            require(doc.get("kind") in OUTCOME_KINDS, lineno,
+                    f'bad outcome kind {doc.get("kind")!r}')
+            digest = doc.get("digest")
+            require(isinstance(digest, str) and DIGEST.match(digest), lineno,
+                    f"bad digest {digest!r}")
+        elif kind == "resumed":
+            job = doc.get("id")
+            require(job in acked, lineno, f"resumed for unacked job {job!r}")
+            require(job not in resumed, lineno,
+                    f"duplicate resumed for {job!r}")
+            resumed.add(job)
+        elif kind == "error":
+            job = doc.get("id")
+            require(job is None or isinstance(job, str), lineno,
+                    "error id must be a string or null")
+            require(isinstance(doc.get("message"), str), lineno,
+                    "error needs a message")
+            errors += 1
+        elif kind == "drained":
+            check_u64(doc, "jobs", lineno)
+            if args.terminated:
+                require(doc.get("terminated") is True, lineno,
+                        "drained line must carry terminated:true")
+            else:
+                require(doc.get("terminated") is not True, lineno,
+                        "unexpected terminated drain")
+            drained = lineno
+
+    require(drained == len(raw_lines), len(raw_lines),
+            "stream must end with a drained line")
+    missing = resumed - outcomes
+    require(not missing, len(raw_lines),
+            f"resumed jobs without outcome lines: {sorted(missing)}")
+    if args.expect_outcomes is not None and len(outcomes) != args.expect_outcomes:
+        fail(len(raw_lines), f"expected {args.expect_outcomes} outcomes, "
+                             f"got {len(outcomes)}")
+    if args.expect_resumed is not None and len(resumed) != args.expect_resumed:
+        fail(len(raw_lines), f"expected {args.expect_resumed} resumed lines, "
+                             f"got {len(resumed)}")
+    if errors != args.allow_errors:
+        fail(len(raw_lines), f"expected {args.allow_errors} error lines, "
+                             f"got {errors}")
+
+    print(f"check_serve_stream: OK ({len(raw_lines)} lines, "
+          f"{len(outcomes)} outcomes, {len(resumed)} resumed, "
+          f"{errors} errors)")
+
+
+if __name__ == "__main__":
+    main()

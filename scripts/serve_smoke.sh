@@ -1,0 +1,166 @@
+#!/bin/sh
+# Serve-plane smoke gate (DESIGN.md $16).
+#
+# Proves the pitfalls-served contract end to end on the real daemon binary:
+#
+#   1. a mixed batch (12 concurrent auth/attack/query jobs in one wave, two
+#      more after it) over a 1M-token fleet, streamed output schema-checked
+#      by check_serve_stream.py
+#   2. the full output stream is byte-identical at PITFALLS_THREADS 1/2/4/8
+#   3. kill -9 mid-wave (deterministic stand-in: the daemon hard-exits 137
+#      after its 3rd journaled job) and a --resume run that must serve the
+#      journaled outcomes back -- the complete outcome stream has to match
+#      the uninterrupted reference byte for byte
+#   4. budget-refill continuation: a lockdown-tripped attack session is
+#      continued with a larger query budget, and the continuation outcome
+#      must be byte-identical to an uninterrupted run with that budget
+#
+# Usage: serve_smoke.sh <build_dir> [work_dir]
+set -u
+
+build=${1:?usage: serve_smoke.sh <build_dir> [work_dir]}
+work=${2:-serve_smoke_work}
+served=$(cd "$build" && pwd)/tools/served/pitfalls-served
+script_dir=$(cd "$(dirname "$0")" && pwd)
+check="python3 $script_dir/check_serve_stream.py"
+
+if [ ! -x "$served" ]; then
+  echo "serve_smoke: missing daemon binary $served" >&2
+  exit 2
+fi
+
+rm -rf "$work"
+mkdir -p "$work"
+
+# 64-bit challenge blocks for the query jobs (fleet default: 64 stages).
+C1=0110100101101001011010010110100101101001011010010110100101101001
+C2=1101001011010010110100101101001011010010110100101101001011010010
+C3=0010110100101101001011010010110100101101001011010010110100101101
+
+cat > "$work/jobs.txt" <<EOF
+{"type":"job","id":"a1","kind":"auth","token":999999,"seed":7,"rounds":16}
+{"type":"job","id":"a2","kind":"auth","token":31337,"seed":9,"rounds":8}
+{"type":"job","id":"a3","kind":"auth","token":0,"seed":5,"rounds":12}
+{"type":"job","id":"x1","kind":"attack","token":12,"seed":3,"budget":60,"eval":100,"policy":{"flip_rate":0.05,"drop_rate":0.02}}
+{"type":"job","id":"x2","kind":"attack","token":77,"seed":4,"budget":50,"eval":50}
+{"type":"job","id":"x3","kind":"attack","token":500000,"seed":6,"budget":40,"eval":60,"policy":{"burst_rate":0.1,"burst_length":5}}
+{"type":"job","id":"x4","kind":"attack","token":999998,"seed":8,"budget":60,"eval":80,"policy":{"flip_rate":0.02}}
+{"type":"job","id":"q1","kind":"query","token":5,"seed":1,"challenges":["$C1"]}
+{"type":"job","id":"q2","kind":"query","token":123456,"seed":1,"challenges":["$C2","$C3"]}
+{"type":"job","id":"q3","kind":"query","token":42,"seed":1,"challenges":["$C1","$C2","$C3"]}
+{"type":"job","id":"a4","kind":"auth","token":250000,"seed":10,"rounds":10}
+{"type":"job","id":"x5","kind":"attack","token":7,"seed":12,"budget":30,"eval":40}
+{"type":"run"}
+{"type":"job","id":"a5","kind":"auth","token":888888,"seed":13,"rounds":6}
+{"type":"job","id":"q4","kind":"query","token":999997,"seed":1,"challenges":["$C3"]}
+{"type":"drain"}
+EOF
+
+status=0
+
+# --- 1+2. byte-identical streams at every thread count ------------------
+echo "== mixed batch over 1M tokens, threads 1/2/4/8 =="
+for threads in 1 2 4 8; do
+  if ! PITFALLS_THREADS=$threads "$served" --tokens 1000000 --seed 42 \
+      < "$work/jobs.txt" > "$work/t$threads.out"; then
+    echo "serve_smoke: daemon failed at PITFALLS_THREADS=$threads" >&2
+    exit 1
+  fi
+done
+if ! $check "$work/t1.out" --expect-outcomes 14; then
+  echo "serve_smoke: reference stream failed schema validation" >&2
+  exit 1
+fi
+for threads in 2 4 8; do
+  if cmp -s "$work/t1.out" "$work/t$threads.out"; then
+    echo "  threads=$threads: stream byte-identical to threads=1"
+  else
+    echo "serve_smoke: stream diverged at PITFALLS_THREADS=$threads" >&2
+    diff "$work/t1.out" "$work/t$threads.out" | head -10 >&2
+    status=1
+  fi
+done
+
+# --- 3. kill -9 mid-wave, then resume -----------------------------------
+echo "== crash after 3 journaled jobs, then --resume =="
+PITFALLS_THREADS=2 PITFALLS_SERVE_KILL_AFTER_JOBS=3 \
+  "$served" --tokens 1000000 --seed 42 --checkpoint "$work/ck.snap" \
+  < "$work/jobs.txt" > "$work/crash.out"
+crash_status=$?
+if [ "$crash_status" != 137 ]; then
+  echo "serve_smoke: crash leg exited $crash_status, expected 137" >&2
+  exit 1
+fi
+if [ ! -s "$work/ck.snap" ]; then
+  echo "serve_smoke: crash left no checkpoint journal" >&2
+  exit 1
+fi
+if ! PITFALLS_THREADS=3 "$served" --tokens 1000000 --seed 42 \
+    --checkpoint "$work/ck.snap" --resume \
+    < "$work/jobs.txt" > "$work/resume.out"; then
+  echo "serve_smoke: resume run failed" >&2
+  exit 1
+fi
+if ! $check "$work/resume.out" --expect-outcomes 14 --expect-resumed 3; then
+  echo "serve_smoke: resumed stream failed schema validation" >&2
+  exit 1
+fi
+grep '"type":"outcome"' "$work/t1.out" > "$work/ref_outcomes.txt"
+grep '"type":"outcome"' "$work/resume.out" > "$work/resume_outcomes.txt"
+if cmp -s "$work/ref_outcomes.txt" "$work/resume_outcomes.txt"; then
+  echo "  resumed outcomes byte-identical to the uninterrupted reference"
+else
+  echo "serve_smoke: resumed outcomes diverged from the reference" >&2
+  diff "$work/ref_outcomes.txt" "$work/resume_outcomes.txt" | head -10 >&2
+  status=1
+fi
+
+# --- 4. budget-refill continuation --------------------------------------
+echo "== lockdown session continued with a refilled budget =="
+printf '%s\n%s\n' \
+  '{"type":"job","id":"L1a","kind":"attack","token":500000,"seed":11,"budget":120,"eval":80,"policy":{"flip_rate":0.03,"query_budget":60},"session":"L1"}' \
+  '{"type":"drain"}' > "$work/lockdown.txt"
+printf '%s\n%s\n' \
+  '{"type":"job","id":"L1b","kind":"attack","token":500000,"seed":11,"budget":120,"eval":80,"policy":{"flip_rate":0.03,"query_budget":300},"session":"L1"}' \
+  '{"type":"drain"}' > "$work/continue.txt"
+printf '%s\n%s\n' \
+  '{"type":"job","id":"L1b","kind":"attack","token":500000,"seed":11,"budget":120,"eval":80,"policy":{"flip_rate":0.03,"query_budget":300}}' \
+  '{"type":"drain"}' > "$work/fresh.txt"
+
+if ! "$served" --tokens 1000000 --seed 42 --checkpoint "$work/ck2.snap" \
+    < "$work/lockdown.txt" > "$work/lockdown.out"; then
+  echo "serve_smoke: lockdown leg failed" >&2
+  exit 1
+fi
+if ! grep -q '"status":"lockdown"' "$work/lockdown.out"; then
+  echo "serve_smoke: lockdown leg never tripped the query budget" >&2
+  exit 1
+fi
+if ! "$served" --tokens 1000000 --seed 42 --checkpoint "$work/ck2.snap" \
+    --resume < "$work/continue.txt" > "$work/continue.out"; then
+  echo "serve_smoke: continuation leg failed" >&2
+  exit 1
+fi
+if ! "$served" --tokens 1000000 --seed 42 \
+    < "$work/fresh.txt" > "$work/fresh.out"; then
+  echo "serve_smoke: fresh-reference leg failed" >&2
+  exit 1
+fi
+grep '"type":"outcome"' "$work/continue.out" > "$work/continue_outcome.txt"
+grep '"type":"outcome"' "$work/fresh.out" > "$work/fresh_outcome.txt"
+if ! grep -q '"status":"modeled"' "$work/continue_outcome.txt"; then
+  echo "serve_smoke: continuation did not complete the refilled attack" >&2
+  status=1
+fi
+if cmp -s "$work/continue_outcome.txt" "$work/fresh_outcome.txt"; then
+  echo "  continuation outcome byte-identical to the uninterrupted run"
+else
+  echo "serve_smoke: continuation outcome diverged from fresh run" >&2
+  diff "$work/continue_outcome.txt" "$work/fresh_outcome.txt" >&2
+  status=1
+fi
+
+if [ "$status" = 0 ]; then
+  echo "serve_smoke: all legs passed"
+fi
+exit $status

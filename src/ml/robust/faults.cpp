@@ -49,6 +49,12 @@ void FaultyMembershipOracle::restore_state(const State& state) {
   drops_ = state.drops;
 }
 
+void FaultyMembershipOracle::refill_budget(std::size_t new_budget) {
+  PITFALLS_REQUIRE(new_budget >= config_.query_budget,
+                   "budget refill must not shrink the lifetime budget");
+  config_.query_budget = new_budget;
+}
+
 std::size_t FaultyMembershipOracle::remaining_budget() const {
   return raw_queries_ >= config_.query_budget
              ? 0

@@ -104,6 +104,16 @@ class FaultyMembershipOracle final : public MembershipOracle {
 
   const FaultConfig& config() const { return config_; }
 
+  /// Budget-refill continuation (DESIGN.md §16): raise the lifetime query
+  /// budget of a live channel without disturbing its fault-stream position.
+  /// The per-query fault streams are keyed by the raw query index, so a
+  /// channel that spent B queries, was refilled to 2B and then spends B more
+  /// draws exactly the fault sequence a fresh channel with budget 2B would
+  /// have drawn — refilling changes *when* the lockdown trips and nothing
+  /// else. Shrinking is rejected: a budget below the spent count would
+  /// re-trip the lockdown retroactively.
+  void refill_budget(std::size_t new_budget);
+
   /// Physical queries still answerable before the lockdown trips.
   std::size_t remaining_budget() const;
 

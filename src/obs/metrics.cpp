@@ -120,6 +120,15 @@ std::string MetricsRegistry::counters_json() const {
   return writer.str();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) values.emplace_back(name, c->value());
+  return values;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   // The support-layer thread pool cannot link obs, so the global registry
   // installs runtime hooks on first use: pool size as a gauge, chunks

@@ -96,6 +96,11 @@ class MetricsRegistry {
   /// wall-clock timings), so cross-thread-count comparisons use this view.
   std::string counters_json() const;
 
+  /// Name-sorted (name, value) pairs of every registered counter — the
+  /// enumeration behind counters_json and the streaming delta reporter
+  /// (stream_sink.hpp), which needs values without a JSON round trip.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
   /// The process-wide registry the library instruments by default.
   static MetricsRegistry& global();
 

@@ -124,6 +124,21 @@ inline constexpr const char* kRegistered[] = {
     "sat.solver.propagations",  // counter
     "sat.solver.reduce_db",  // instant
     "sat.solver.restarts",  // counter
+    "serve.fleet.evictions",  // counter
+    "serve.fleet.hits",  // counter
+    "serve.fleet.materializations",  // counter
+    "serve.job.auth",  // span
+    "serve.job.collect",  // span
+    "serve.job.eval",  // span
+    "serve.job.fit",  // span
+    "serve.job.query",  // span
+    "serve.job.run",  // span
+    "serve.jobs.completed",  // counter
+    "serve.jobs.failed",  // counter
+    "serve.jobs.submitted",  // counter
+    "serve.session.resumed",  // counter
+    "serve.wire.errors",  // counter
+    "serve.wire.requests",  // counter
     "store.snapshot.bytes_written",  // counter
     "store.snapshot.corrupt",  // counter
     "store.snapshot.divergence",  // counter

@@ -1,0 +1,270 @@
+#include "serve/daemon.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/require.hpp"
+
+namespace pitfalls::serve {
+
+namespace {
+
+std::string error_document(const std::string& id, const std::string& message) {
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("error");
+  if (id.empty())
+    writer.key("id").null_value();
+  else
+    writer.key("id").value(id);
+  writer.key("message").value(message);
+  writer.end_object();
+  return writer.str();
+}
+
+std::uint64_t kill_after_from_env() {
+  const char* env = std::getenv("PITFALLS_SERVE_KILL_AFTER_JOBS");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+Daemon::Daemon(const DaemonConfig& config)
+    : config_(config),
+      fleet_(config.fleet),
+      policy_(config.checkpoint_path, fleet_.fingerprint()),
+      scheduler_(fleet_, policy_),
+      kill_after_jobs_(kill_after_from_env()) {
+  if (!config_.checkpoint_path.empty())
+    session_ = std::make_unique<store::CheckpointSession>(
+        config_.checkpoint_path, fleet_.config().seed, fleet_.fingerprint(),
+        config_.resume);
+}
+
+void Daemon::emit_hello(LineChannel& channel) {
+  const TokenFleetConfig& fleet = fleet_.config();
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("hello");
+  writer.key("schema").value(std::uint64_t{1});
+  writer.key("fleet").begin_object();
+  writer.key("seed").value(fleet.seed);
+  writer.key("tokens").value(fleet.tokens);
+  writer.key("stages").value(std::uint64_t{fleet.spec.stages});
+  writer.key("chains").value(std::uint64_t{fleet.spec.chains});
+  writer.key("sigma").value(fleet.spec.noise_sigma);
+  writer.key("resident").value(std::uint64_t{fleet.resident_limit});
+  writer.key("shards").value(std::uint64_t{fleet.shards});
+  writer.end_object();
+  writer.key("checkpoint").value(session_ != nullptr);
+  writer.key("resumed").value(session_ != nullptr && session_->resumed());
+  writer.end_object();
+  channel.write_line(writer.str());
+}
+
+bool Daemon::journaled_block(const JobSpec& spec, JobResult& out) {
+  if (!session_) return false;
+  const std::string spec_section = "job." + spec.id + ".spec";
+  const std::string block_section = "job." + spec.id + ".block";
+  if (!session_->has_section(spec_section) ||
+      !session_->has_section(block_section))
+    return false;
+  support::snapshot::SectionReader spec_reader =
+      session_->reader(spec_section);
+  if (spec_reader.u32() != spec.fingerprint()) return false;
+  support::snapshot::SectionReader block_reader =
+      session_->reader(block_section);
+  const std::uint32_t count = block_reader.u32();
+  out.lines.clear();
+  out.lines.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.lines.push_back(block_reader.str());
+  out.ok = true;
+  return true;
+}
+
+void Daemon::journal_block(const JobSpec& spec, const JobResult& result) {
+  support::snapshot::SectionWriter& spec_writer =
+      session_->reset_section("job." + spec.id + ".spec");
+  spec_writer.u32(spec.fingerprint());
+  support::snapshot::SectionWriter& block_writer =
+      session_->reset_section("job." + spec.id + ".block");
+  block_writer.u32(static_cast<std::uint32_t>(result.lines.size()));
+  for (const std::string& line : result.lines) block_writer.str(line);
+  session_->flush();
+}
+
+void Daemon::run_pending(LineChannel& channel) {
+  if (pending_.empty()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::size_t count = pending_.size();
+  std::vector<JobSpec> specs;
+  specs.reserve(count);
+  std::vector<char> skip(count, 0);
+  std::vector<JobResult> blocks(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back(pending_[i].spec);
+    if (pending_[i].journaled && journaled_block(specs[i], blocks[i]))
+      skip[i] = 1;
+  }
+  scheduler_.run_wave(specs, skip, blocks);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (skip[i]) {
+      obs::JsonWriter writer;
+      writer.begin_object();
+      writer.key("type").value("resumed");
+      writer.key("id").value(specs[i].id);
+      writer.end_object();
+      channel.write_line(writer.str());
+      registry.counter("serve.session.resumed").add();
+    }
+    for (const std::string& line : blocks[i].lines) channel.write_line(line);
+    ++jobs_emitted_;
+    if (session_ && !skip[i] && blocks[i].ok) {
+      journal_block(specs[i], blocks[i]);
+      ++jobs_journaled_;
+      if (kill_after_jobs_ != 0 && jobs_journaled_ >= kill_after_jobs_) {
+        // Deterministic kill -9 stand-in (see header): the journal holds
+        // exactly the blocks flushed so far; nothing is drained.
+        std::_Exit(137);
+      }
+    }
+  }
+  pending_.clear();
+}
+
+Daemon::Request Daemon::handle_request(LineChannel& channel,
+                                       const std::string& line) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::JsonValue request;
+  try {
+    request = obs::JsonValue::parse(line);
+  } catch (const std::exception& error) {
+    registry.counter("serve.wire.errors").add();
+    channel.write_line(error_document("", error.what()));
+    return Request::kContinue;
+  }
+  const obs::JsonValue* type = request.find("type");
+  if (!request.is_object() || type == nullptr || !type->is_string()) {
+    registry.counter("serve.wire.errors").add();
+    channel.write_line(
+        error_document("", "request must be an object with a \"type\""));
+    return Request::kContinue;
+  }
+  registry.counter("serve.wire.requests").add();
+
+  if (type->string_value == "job") {
+    JobSpec spec;
+    try {
+      spec = JobSpec::parse(request);
+      PITFALLS_REQUIRE(spec.token < fleet_.config().tokens,
+                       "job token outside the fleet population");
+      PITFALLS_REQUIRE(spec.session.empty() || session_ != nullptr,
+                       "oracle sessions need the daemon --checkpoint path");
+      PITFALLS_REQUIRE(seen_ids_.find(spec.id) == seen_ids_.end(),
+                       "duplicate job id");
+    } catch (const std::exception& error) {
+      registry.counter("serve.wire.errors").add();
+      channel.write_line(error_document(spec.id, error.what()));
+      return Request::kContinue;
+    }
+    Pending pending;
+    pending.spec = std::move(spec);
+    if (session_) {
+      JobResult probe;
+      const std::string spec_section = "job." + pending.spec.id + ".spec";
+      if (journaled_block(pending.spec, probe)) {
+        pending.journaled = true;
+      } else if (session_->has_section(spec_section)) {
+        // A journaled outcome exists but the resubmitted spec differs —
+        // refusing is the only safe answer (serving it would silently
+        // attribute another spec's outcome to this one).
+        registry.counter("serve.wire.errors").add();
+        channel.write_line(error_document(
+            pending.spec.id,
+            "journaled outcome was produced by a different spec"));
+        return Request::kContinue;
+      }
+    }
+    seen_ids_.emplace(pending.spec.id, true);
+    registry.counter("serve.jobs.submitted").add();
+    obs::JsonWriter writer;
+    writer.begin_object();
+    writer.key("type").value("ack");
+    writer.key("id").value(pending.spec.id);
+    writer.end_object();
+    channel.write_line(writer.str());
+    pending_.push_back(std::move(pending));
+    return Request::kContinue;
+  }
+
+  if (type->string_value == "run") {
+    run_pending(channel);
+    return Request::kRanWave;
+  }
+
+  if (type->string_value == "drain") {
+    return Request::kDrain;  // the serve loop finishes the drain
+  }
+
+  registry.counter("serve.wire.errors").add();
+  channel.write_line(
+      error_document("", "unknown request type: " + type->string_value));
+  return Request::kContinue;
+}
+
+int Daemon::drain(LineChannel& channel, obs::StreamingReporter& reporter) {
+  run_pending(channel);
+  reporter.emit_delta("wave");
+  if (session_) session_->flush();
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("drained");
+  writer.key("jobs").value(jobs_emitted_);
+  writer.end_object();
+  channel.write_line(writer.str());
+  return 0;
+}
+
+int Daemon::serve(LineChannel& channel) {
+  ChannelSink sink(channel);
+  // Only the deterministic counter families go on the wire; the
+  // serve.fleet.* cache counters depend on worker interleaving and would
+  // break the byte-identical-stream contract.
+  obs::StreamingReporter reporter(
+      sink, {"serve.jobs.", "serve.session.", "serve.wire."});
+  emit_hello(channel);
+  std::string line;
+  for (;;) {
+    if (store::termination_requested()) {
+      // Cooperative SIGTERM: flush what is journaled and stop without
+      // starting new work (pending jobs are re-submittable — their specs
+      // are the client's, their finished predecessors are in the journal).
+      reporter.emit_delta("wave");
+      if (session_) session_->flush();
+      obs::JsonWriter writer;
+      writer.begin_object();
+      writer.key("type").value("drained");
+      writer.key("jobs").value(jobs_emitted_);
+      writer.key("terminated").value(true);
+      writer.end_object();
+      channel.write_line(writer.str());
+      return 143;
+    }
+    if (!channel.read_line(line)) break;  // EOF drains
+    if (line.empty()) continue;
+    const Request request = handle_request(channel, line);
+    if (request == Request::kDrain) break;
+    if (request == Request::kRanWave) reporter.emit_delta("wave");
+  }
+  return drain(channel, reporter);
+}
+
+}  // namespace pitfalls::serve

@@ -1,0 +1,77 @@
+// Job specifications for the attack-service plane — DESIGN.md §16.
+//
+// A job is one unit of verifier- or adversary-side work against one fleet
+// token, submitted as a single JSON object on the wire (serve/wire.hpp) and
+// executed by the scheduler (serve/scheduler.hpp). Three kinds:
+//
+//   * auth   — `rounds` lockdown-style authentication rounds (§ lockdown.hpp
+//              protocol shape: half the challenge from the verifier nonce,
+//              half from the token nonce; no chosen challenges).
+//   * attack — a modeling attack: collect `budget` chosen-challenge CRPs
+//              through the per-job oracle policy (serve/oracle_policy.hpp),
+//              fit a logistic model in the parity representation, score it
+//              on `eval` fresh CRPs.
+//   * query  — raw chosen-challenge evaluation of an explicit challenge
+//              block (the §11 batch plane on the wire).
+//
+// Every outcome is a pure function of (fleet config, spec) — the spec
+// carries its own `seed`, so two submissions of the same spec produce
+// byte-identical output blocks at any PITFALLS_THREADS. canonical() renders
+// the spec into a normal form whose crc32 (`fingerprint()`) guards journal
+// resume: a journaled outcome is only served back when the resubmitted spec
+// fingerprints identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/robust/faults.hpp"
+#include "obs/json.hpp"
+#include "support/bitvec.hpp"
+
+namespace pitfalls::serve {
+
+enum class JobKind { kAuth, kAttack, kQuery };
+
+const char* to_string(JobKind kind);
+
+struct JobSpec {
+  std::string id;
+  JobKind kind = JobKind::kQuery;
+  /// Target token within the fleet population.
+  std::uint64_t token = 0;
+  /// Root of the job's private RNG stream (challenge/nonce draws).
+  std::uint64_t seed = 0;
+
+  // auth
+  std::size_t rounds = 0;
+
+  // attack
+  std::size_t budget = 0;  // training CRPs to collect
+  std::size_t eval = 0;    // fresh CRPs the hypothesis is scored on
+  /// Per-job oracle policy: the §9 fault channel between the attacker and
+  /// the token (eta, bursts, drops, lifetime query budget).
+  ml::robust::FaultConfig faults;
+  /// Non-empty: journal the oracle interaction into a named per-job session
+  /// so a lockdown-tripped attack can be continued later with a refilled
+  /// budget (replayed queries charge nothing — DESIGN.md §16).
+  std::string session;
+
+  // query
+  std::vector<support::BitVec> challenges;
+
+  /// Parse one wire request object ({"type":"job",...}). Throws
+  /// std::invalid_argument with a caller-presentable message on any
+  /// missing/ill-typed/out-of-range field.
+  static JobSpec parse(const obs::JsonValue& request);
+
+  /// Normal-form rendering of every outcome-relevant field (formatting of
+  /// the original request does not matter).
+  std::string canonical() const;
+
+  /// crc32(canonical()) — the resume guard for journaled outcomes.
+  std::uint32_t fingerprint() const;
+};
+
+}  // namespace pitfalls::serve

@@ -1,0 +1,63 @@
+#include "serve/oracle_policy.hpp"
+
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace pitfalls::serve {
+
+ml::MembershipOracle& OracleStack::top() {
+  if (recorder_) return *recorder_;
+  return *faulty_;
+}
+
+std::size_t OracleStack::replayed_queries() const {
+  return recorder_ ? recorder_->replayed_queries() : 0;
+}
+
+void OracleStack::flush() {
+  if (recorder_) recorder_->flush_now();
+}
+
+OraclePolicy::OraclePolicy(std::string checkpoint_path,
+                           std::string fleet_fingerprint)
+    : checkpoint_path_(std::move(checkpoint_path)),
+      fleet_fingerprint_(std::move(fleet_fingerprint)) {}
+
+std::string OraclePolicy::session_path(const std::string& name) const {
+  PITFALLS_REQUIRE(!checkpoint_path_.empty(),
+                   "oracle sessions need the daemon --checkpoint path");
+  return checkpoint_path_ + ".sess-" + name + ".snap";
+}
+
+std::unique_ptr<OracleStack> OraclePolicy::open(
+    const JobSpec& spec, const boolfn::BooleanFunction& token) const {
+  PITFALLS_REQUIRE(spec.kind == JobKind::kAttack,
+                   "oracle stacks exist for attack jobs only");
+  // Cannot use make_unique: the constructor is private to this factory.
+  std::unique_ptr<OracleStack> stack(new OracleStack());
+  stack->base_ = std::make_unique<ml::FunctionMembershipOracle>(token);
+  // The fault stream is keyed by the job seed, not the daemon seed: the
+  // fault sequence belongs to the spec, so resubmitting a spec (or resuming
+  // its session on another daemon instance over the same fleet) replays the
+  // identical channel.
+  stack->faulty_ = std::make_unique<ml::robust::FaultyMembershipOracle>(
+      *stack->base_, spec.faults, spec.seed);
+  if (!spec.session.empty()) {
+    // Sessions always resume when their file exists: a continuation job
+    // with a refilled query_budget replays the journaled interactions for
+    // free and answers the stripped refusals live (drop_recorded_refusals).
+    stack->session_ = std::make_unique<store::CheckpointSession>(
+        session_path(spec.session), spec.seed,
+        fleet_fingerprint_ + " session=" + spec.session +
+            " token=" + std::to_string(spec.token),
+        /*resume=*/true);
+    stack->recorder_ = std::make_unique<store::RecordingOracle>(
+        *stack->faulty_, *stack->session_, "oracle.log",
+        stack->faulty_.get(), /*flush_every=*/256,
+        /*drop_recorded_refusals=*/true);
+  }
+  return stack;
+}
+
+}  // namespace pitfalls::serve

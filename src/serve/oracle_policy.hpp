@@ -1,0 +1,85 @@
+// Per-session oracle policy for attack jobs — DESIGN.md §16.
+//
+// Every attack job talks to its token through a private channel stack built
+// here from the job spec alone:
+//
+//   FunctionMembershipOracle (the token's ideal CRP map)
+//     -> FaultyMembershipOracle (the §9 fault layer: eta / bursts / drops /
+//        lifetime query budget, seeded from the job seed so the fault
+//        sequence is a pure function of the spec)
+//     -> RecordingOracle (only when the spec names a session: journals every
+//        interaction into the session's snapshot file, replays it for free
+//        on resume, and strips recorded budget refusals so a continuation
+//        job with a larger query_budget answers them live — the
+//        budget-refill continuation of ROADMAP item 5)
+//
+// Each stack is owned by exactly one job; per-job session files
+// (<checkpoint>.sess-<name>.snap) are never shared between concurrent jobs,
+// which is what keeps journaling race-free on the scheduler's worker pool.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ml/oracle.hpp"
+#include "ml/robust/faults.hpp"
+#include "serve/job.hpp"
+#include "store/checkpoint.hpp"
+
+namespace pitfalls::serve {
+
+/// The channel stack for one attack job. Members are declared bottom-up so
+/// construction/destruction order matches the decoration order.
+class OracleStack {
+ public:
+  /// `top()` is what the learner queries: the recorder when the spec names
+  /// a session, the bare fault channel otherwise.
+  ml::MembershipOracle& top();
+
+  /// Fault-channel accounting for the job's obs line (physical queries,
+  /// injected flips, dropped responses).
+  const ml::robust::FaultyMembershipOracle& faults() const { return *faulty_; }
+
+  /// Journal-replay accounting (0 without a session).
+  std::size_t replayed_queries() const;
+
+  /// Persist the session journal now (no-op without a session). Called at
+  /// job end and by the daemon's drain path.
+  void flush();
+
+ private:
+  friend class OraclePolicy;
+  OracleStack() = default;
+
+  std::unique_ptr<ml::FunctionMembershipOracle> base_;
+  std::unique_ptr<ml::robust::FaultyMembershipOracle> faulty_;
+  std::unique_ptr<store::CheckpointSession> session_;
+  std::unique_ptr<store::RecordingOracle> recorder_;
+};
+
+/// Daemon-level factory: binds the fleet identity and the checkpoint base
+/// path, then opens one stack per attack job.
+class OraclePolicy {
+ public:
+  /// `checkpoint_path` empty disables sessions (a spec naming one is
+  /// rejected); otherwise session files live next to the daemon checkpoint
+  /// as "<checkpoint_path>.sess-<name>.snap". `fleet_fingerprint` goes into
+  /// each session's provenance so a journal can never be replayed against a
+  /// differently-configured fleet.
+  OraclePolicy(std::string checkpoint_path, std::string fleet_fingerprint);
+
+  /// Build the channel stack for `spec` over the token's ideal CRP map.
+  /// `token` must outlive the stack.
+  std::unique_ptr<OracleStack> open(const JobSpec& spec,
+                                    const boolfn::BooleanFunction& token) const;
+
+  /// The snapshot file backing session `name`.
+  std::string session_path(const std::string& name) const;
+
+ private:
+  std::string checkpoint_path_;
+  std::string fleet_fingerprint_;
+};
+
+}  // namespace pitfalls::serve

@@ -1,0 +1,283 @@
+#include "serve/scheduler.hpp"
+
+#include <exception>
+
+#include "ml/features.hpp"
+#include "ml/logistic.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "puf/crp.hpp"
+#include "support/parallel.hpp"
+#include "support/require.hpp"
+#include "support/snapshot/snapshot.hpp"
+
+namespace pitfalls::serve {
+
+namespace {
+
+// Salt separating the per-job RNG streams from the token-materialization
+// streams (both are rng_for_chunk derivations off the fleet seed; without
+// the salt, job seed j and token id j would share a stream).
+constexpr std::uint64_t kJobStreamSalt = 0x6a6f622d73747265ULL;  // "job-stre"
+
+support::Rng job_stream(TokenFleet& fleet, const JobSpec& spec) {
+  return support::rng_for_chunk(fleet.config().seed ^ kJobStreamSalt,
+                                spec.seed);
+}
+
+support::BitVec draw_challenge(std::size_t n, support::Rng& rng) {
+  support::BitVec challenge(n);
+  for (std::size_t i = 0; i < n; ++i) challenge.set(i, rng.coin());
+  return challenge;
+}
+
+std::string pm_string(const std::vector<int>& responses) {
+  std::string text;
+  text.reserve(responses.size());
+  for (const int r : responses) text.push_back(r < 0 ? '-' : '+');
+  return text;
+}
+
+std::string hex32(std::uint32_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+struct JobTally {
+  std::uint64_t queries = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t drops = 0;
+  std::vector<std::string> spans;
+};
+
+std::string obs_line(const JobSpec& spec, const JobTally& tally) {
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("obs");
+  writer.key("scope").value("job");
+  writer.key("id").value(spec.id);
+  writer.key("queries").value(tally.queries);
+  writer.key("replayed").value(tally.replayed);
+  writer.key("flips").value(tally.flips);
+  writer.key("drops").value(tally.drops);
+  writer.key("spans").begin_array();
+  for (const std::string& span : tally.spans) writer.value(span);
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+JobResult run_query(TokenFleet& fleet, const JobSpec& spec) {
+  const auto model = fleet.acquire(spec.token);
+  const std::size_t n = model->num_vars();
+  for (const support::BitVec& challenge : spec.challenges)
+    PITFALLS_REQUIRE(challenge.size() == n,
+                     "query challenge arity does not match the fleet tokens");
+  obs::TraceSpan span("serve.job.query");
+  std::vector<int> responses(spec.challenges.size());
+  model->eval_pm_batch(spec.challenges, responses);
+  const std::string block = pm_string(responses);
+
+  JobTally tally;
+  tally.queries = spec.challenges.size();
+  tally.spans = {"serve.job.query"};
+
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("outcome");
+  writer.key("id").value(spec.id);
+  writer.key("kind").value("query");
+  writer.key("responses").value(block);
+  writer.key("digest").value(hex32(support::snapshot::crc32(block)));
+  writer.end_object();
+
+  JobResult result;
+  result.ok = true;
+  result.lines = {obs_line(spec, tally), writer.str()};
+  return result;
+}
+
+JobResult run_auth(TokenFleet& fleet, const JobSpec& spec) {
+  const auto model = fleet.acquire(spec.token);
+  const std::size_t n = model->num_vars();
+  obs::TraceSpan span("serve.job.auth");
+  support::Rng rng = job_stream(fleet, spec);
+  // Lockdown-shaped rounds (puf/lockdown.hpp): the challenge is nonce-
+  // derived — half verifier, half token — never chosen. Both nonces come
+  // from the job stream, so the round transcript is a pure function of the
+  // spec; the verifier accepts a round when the measured response matches
+  // the enrolled model's ideal response.
+  std::vector<int> measured(spec.rounds);
+  std::size_t accepted = 0;
+  for (std::size_t round = 0; round < spec.rounds; ++round) {
+    const support::BitVec challenge = draw_challenge(n, rng);
+    const int response = fleet.config().spec.noise_sigma > 0.0
+                             ? model->eval_noisy(challenge, rng)
+                             : model->eval_pm(challenge);
+    measured[round] = response;
+    if (response == model->eval_pm(challenge)) ++accepted;
+  }
+  const std::string block = pm_string(measured);
+
+  JobTally tally;
+  tally.queries = spec.rounds;
+  tally.spans = {"serve.job.auth"};
+
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("outcome");
+  writer.key("id").value(spec.id);
+  writer.key("kind").value("auth");
+  writer.key("rounds").value(std::uint64_t{spec.rounds});
+  writer.key("accepted").value(std::uint64_t{accepted});
+  writer.key("digest").value(hex32(support::snapshot::crc32(block)));
+  writer.end_object();
+
+  JobResult result;
+  result.ok = true;
+  result.lines = {obs_line(spec, tally), writer.str()};
+  return result;
+}
+
+JobResult run_attack(TokenFleet& fleet, const OraclePolicy& policy,
+                     const JobSpec& spec) {
+  const auto model = fleet.acquire(spec.token);
+  const std::size_t n = model->num_vars();
+  std::unique_ptr<OracleStack> stack = policy.open(spec, *model);
+  ml::MembershipOracle& oracle = stack->top();
+  support::Rng rng = job_stream(fleet, spec);
+
+  // Collection: chosen uniform challenges, one at a time — scalar on
+  // purpose, because the fault channel is defined per raw query (§9) and a
+  // drop or the lockdown can land on any element. A dropped round consumes
+  // budget but yields no CRP; the lockdown ends collection with whatever
+  // was gathered so far.
+  std::vector<support::BitVec> challenges;
+  std::vector<int> responses;
+  challenges.reserve(spec.budget);
+  responses.reserve(spec.budget);
+  const char* status = "modeled";
+  {
+    obs::TraceSpan span("serve.job.collect");
+    while (challenges.size() < spec.budget) {
+      support::BitVec challenge = draw_challenge(n, rng);
+      try {
+        const int response = oracle.query_pm(challenge);
+        challenges.push_back(std::move(challenge));
+        responses.push_back(response);
+      } catch (const ml::robust::TransientFaultError&) {
+        continue;
+      } catch (const ml::robust::QueryBudgetExhaustedError&) {
+        status = "lockdown";
+        break;
+      }
+    }
+  }
+
+  const std::string block = pm_string(responses);
+  double accuracy = 0.0;
+  if (challenges.size() >= 2) {
+    obs::TraceSpan fit_span("serve.job.fit");
+    ml::LinearModel hypothesis = ml::LogisticRegression().fit_model(
+        challenges, responses, ml::parity_with_bias, rng);
+    obs::TraceSpan eval_span("serve.job.eval");
+    puf::CrpSet holdout = puf::CrpSet::collect_uniform(*model, spec.eval, rng);
+    accuracy = holdout.accuracy_of(hypothesis);
+  } else {
+    status = "starved";
+  }
+  stack->flush();
+
+  JobTally tally;
+  tally.queries = stack->faults().raw_queries();
+  tally.replayed = stack->replayed_queries();
+  tally.flips = stack->faults().faults_injected();
+  tally.drops = stack->faults().responses_dropped();
+  tally.spans = {"serve.job.collect", "serve.job.fit", "serve.job.eval"};
+
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("outcome");
+  writer.key("id").value(spec.id);
+  writer.key("kind").value("attack");
+  writer.key("status").value(status);
+  writer.key("collected").value(std::uint64_t{challenges.size()});
+  writer.key("queries").value(std::uint64_t{tally.queries});
+  writer.key("accuracy").value(accuracy);
+  writer.key("digest").value(hex32(support::snapshot::crc32(block)));
+  writer.end_object();
+
+  JobResult result;
+  result.ok = true;
+  result.lines = {obs_line(spec, tally), writer.str()};
+  return result;
+}
+
+std::string error_line(const std::string& id, const std::string& message) {
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("type").value("error");
+  if (id.empty())
+    writer.key("id").null_value();
+  else
+    writer.key("id").value(id);
+  writer.key("message").value(message);
+  writer.end_object();
+  return writer.str();
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(TokenFleet& fleet, const OraclePolicy& policy)
+    : fleet_(&fleet), policy_(&policy) {}
+
+JobResult JobScheduler::run_job(const JobSpec& spec) const {
+  auto& registry = obs::MetricsRegistry::global();
+  try {
+    obs::TraceSpan span("serve.job.run");
+    JobResult result;
+    switch (spec.kind) {
+      case JobKind::kQuery:
+        result = run_query(*fleet_, spec);
+        break;
+      case JobKind::kAuth:
+        result = run_auth(*fleet_, spec);
+        break;
+      case JobKind::kAttack:
+        result = run_attack(*fleet_, *policy_, spec);
+        break;
+    }
+    registry.counter("serve.jobs.completed").add();
+    return result;
+  } catch (const std::exception& error) {
+    registry.counter("serve.jobs.failed").add();
+    JobResult result;
+    result.ok = false;
+    result.lines = {error_line(spec.id, error.what())};
+    return result;
+  }
+}
+
+void JobScheduler::run_wave(const std::vector<JobSpec>& specs,
+                            const std::vector<char>& skip,
+                            std::vector<JobResult>& out) const {
+  PITFALLS_REQUIRE(specs.size() == skip.size() && specs.size() == out.size(),
+                   "wave vectors must have matching lengths");
+  if (specs.empty()) return;
+  support::parallel_for_tasks(
+      specs.size(),
+      [&](std::size_t index) {
+        if (skip[index]) return;
+        out[index] = run_job(specs[index]);
+      },
+      "serve.wave");
+}
+
+}  // namespace pitfalls::serve

@@ -120,7 +120,7 @@ void note_cell_completed(const CheckpointSession* session) {
 RecordingOracle::RecordingOracle(
     ml::MembershipOracle& inner, CheckpointSession& session,
     std::string section, ml::robust::FaultyMembershipOracle* fault_channel,
-    std::size_t flush_every)
+    std::size_t flush_every, bool drop_recorded_refusals)
     : inner_(&inner),
       session_(&session),
       section_(std::move(section)),
@@ -137,7 +137,21 @@ RecordingOracle::RecordingOracle(
                        "snapshot oracle journal: unknown event kind");
       event.challenge = get_bitvec(r);
       event.flipped = event.kind == kAnswered ? r.u8() : 0;
+      if (drop_recorded_refusals && event.kind == kBudgetRefused) continue;
       replay_.push_back(std::move(event));
+    }
+    if (drop_recorded_refusals && session_->has_section(section_)) {
+      // Rewrite the persisted journal without the refusals: refusals are
+      // not physical interactions, and the channel's recorded position
+      // (raw_queries) never counted them, so the stripped journal plus the
+      // recorded state stay mutually consistent. Continuation events append
+      // after the surviving prefix exactly as they would on a fresh run.
+      SectionWriter& w = session_->reset_section(section_);
+      for (const Event& event : replay_) {
+        w.u8(event.kind);
+        put_bitvec(w, event.challenge);
+        if (event.kind == kAnswered) w.u8(event.flipped);
+      }
     }
   }
   if (session_->has_section(state_section_)) {

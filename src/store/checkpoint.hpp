@@ -124,10 +124,20 @@ bool termination_requested();
 /// the oracle switches to record mode, continuing the same journal.
 class RecordingOracle final : public ml::MembershipOracle {
  public:
+  /// `drop_recorded_refusals` is the budget-refill continuation switch
+  /// (DESIGN.md §16): a recorded budget refusal is a *non*-interaction — the
+  /// token never answered — so when a lockdown session resumes with a larger
+  /// CRP budget, replaying the refusal would re-trip the old lockdown even
+  /// though the refilled channel could now answer. With the flag set, any
+  /// recorded refusal events are stripped from the replay queue (and from
+  /// the persisted journal, which is rewritten without them) so the same
+  /// query is forwarded live against the refilled budget instead. Replayed
+  /// answered/dropped events still charge nothing, exactly as before.
   RecordingOracle(ml::MembershipOracle& inner, CheckpointSession& session,
                   std::string section,
                   ml::robust::FaultyMembershipOracle* fault_channel = nullptr,
-                  std::size_t flush_every = 256);
+                  std::size_t flush_every = 256,
+                  bool drop_recorded_refusals = false);
 
   std::size_t num_vars() const override { return inner_->num_vars(); }
   int query_pm(const BitVec& x) override;

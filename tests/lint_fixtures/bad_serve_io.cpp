@@ -1,0 +1,22 @@
+// The tempting serve-plane mistake: journaling finished jobs through raw
+// file streams instead of the crash-safe snapshot layer. The lint tests
+// present this file under src/serve/ — every open below must flag raw-io.
+#include <fstream>
+#include <cstdio>
+#include <string>
+
+namespace pitfalls::serve {
+
+void journal_block_torn(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  out << line << '\n';
+}
+
+bool journal_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pitfalls::serve

@@ -348,6 +348,17 @@ TEST(LintRawIo, SnapshotAndObsModulesAreExempt) {
   EXPECT_TRUE(run_lint({snap, obs}).empty());
 }
 
+TEST(LintRawIo, CatchesJournalingBypassInServeModule) {
+  // The serve daemon journals finished jobs through store/snapshot; a
+  // version that opens its own files must be caught when presented under
+  // src/serve/ (the daemon's fd-based wire transport is not raw *file* I/O
+  // and stays clean — see serve/wire.hpp).
+  EXPECT_EQ(
+      lines_of(lint_fixture_as("bad_serve_io.cpp", "src/serve/bad_io.cpp"),
+               "raw-io"),
+      (std::vector<std::size_t>{4, 11, 16}));
+}
+
 TEST(LintRawIo, SuppressionTagSilencesTheRule) {
   const SourceFile f{"src/x/t.cpp",
                      "#include <fstream>  // lint:raw-io-ok\n"

@@ -610,6 +610,56 @@ TEST(RecordingOracle, BudgetRefusalsAndDropsReplayAsEvents) {
   EXPECT_EQ(inner.queries(), 0u);
 }
 
+// Satellite regression (DESIGN.md §16): a lockdown-tripped recording can be
+// continued against a refilled budget. Recorded refusals are stripped from
+// the replay queue (drop_recorded_refusals), recorded answers replay free,
+// and only the continuation queries reach the physical oracle.
+TEST(RecordingOracle, RefilledBudgetContinuationChargesOnlyLiveQueries) {
+  TempSnapshot file("refill");
+  Rng setup(23);
+  const puf::ArbiterPuf target(8, 0.0, setup);
+  FaultConfig fc;
+  fc.query_budget = 5;
+  std::vector<BitVec> challenges;
+  for (std::size_t i = 0; i < 12; ++i)
+    challenges.push_back(make_bitvec(8, 900 + i));
+
+  // Leg 1: answer until the lockdown trips (5 answers, then a recorded
+  // budget refusal).
+  std::vector<int> first_answers;
+  {
+    store::CheckpointSession session(file.path(), 7, "p", true);
+    ml::FunctionMembershipOracle inner(target);
+    FaultyMembershipOracle faulty(inner, fc, 5);
+    store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 2);
+    for (const BitVec& x : challenges) {
+      try {
+        first_answers.push_back(oracle.query_pm(x));
+      } catch (const QueryBudgetExhaustedError&) {
+        break;
+      }
+    }
+    oracle.flush_now();
+  }
+  ASSERT_EQ(first_answers.size(), 5u);
+
+  // Leg 2: refilled channel, refusals stripped. The recorded prefix replays
+  // byte-identically without touching the inner oracle; the remaining
+  // challenges are answered live against the refilled budget.
+  store::CheckpointSession session(file.path(), 7, "p", true);
+  ml::FunctionMembershipOracle inner(target);
+  FaultyMembershipOracle faulty(inner, fc, 5);
+  faulty.refill_budget(20);
+  store::RecordingOracle oracle(faulty, session, "u.log", &faulty, 2, true);
+  std::vector<int> answers;
+  for (const BitVec& x : challenges) answers.push_back(oracle.query_pm(x));
+  ASSERT_EQ(answers.size(), challenges.size());
+  for (std::size_t i = 0; i < first_answers.size(); ++i)
+    EXPECT_EQ(answers[i], first_answers[i]) << "replayed answer " << i;
+  EXPECT_EQ(oracle.replayed_queries(), 5u);
+  EXPECT_EQ(inner.queries(), challenges.size() - first_answers.size());
+}
+
 TEST(RecordingOracle, DivergenceThrowsAndBooksTheMetric) {
   TempSnapshot file("diverge");
   Rng setup(19);

@@ -14,7 +14,7 @@ namespace {
 constexpr std::pair<const char*, int> kLayers[] = {
     {"support", 0}, {"obs", 1},  {"core", 2}, {"boolfn", 2},
     {"puf", 3},     {"circuit", 3}, {"sat", 3},  {"ml", 4},
-    {"lock", 4},    {"attack", 4},  {"store", 5},
+    {"lock", 4},    {"attack", 4},  {"store", 5}, {"serve", 6},
 };
 
 // Sanctioned same-layer edges (from, to): the bound-formula plane reads the
